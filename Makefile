@@ -1,0 +1,23 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test race bench experiments experiments-full lint
+
+all: test
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/experiments
+
+experiments-full:
+	go run ./cmd/experiments -full
+
+lint:
+	gofmt -l . && go vet ./...

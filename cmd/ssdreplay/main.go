@@ -1,0 +1,163 @@
+// Command ssdreplay replays one block trace — an MSR Cambridge CSV file or
+// a built-in synthetic workload — against the simulated SSD with a chosen
+// cache policy, and reports the paper's metrics for that single run.
+//
+// Usage:
+//
+//	ssdreplay -trace msr.csv -policy reqblock -cache-mb 16
+//	ssdreplay -workload src1_2 -scale 0.1 -policy vbbms -cache-mb 32
+//
+// Policies: lru, fifo, lfu, cflru, fab, bplru, bplru-pad, vbbms, pudlru,
+// ecr, reqblock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "trace file (MSR Cambridge CSV by default; see -format)")
+		format    = flag.String("format", "msr", "trace file format: msr or spc (UMass/SPC-1)")
+		blockSize = flag.Int64("block-size", 512, "LBA unit in bytes for -format spc")
+		wl        = flag.String("workload", "", "built-in workload name instead of -trace")
+		scale     = flag.Float64("scale", 0.2, "workload scale (with -workload)")
+		policy    = flag.String("policy", "reqblock", "cache policy")
+		cacheMB   = flag.Int("cache-mb", 16, "data cache size in MiB")
+		delta     = flag.Int("delta", core.DefaultDelta, "Req-block δ")
+		readahead = flag.Int("readahead", 0, "wrap the policy with an N-page readahead read cache (0 = off)")
+		divisor   = flag.Int("device-divisor", 16, "flash array size divisor (1 = full 128 GiB)")
+		verbose   = flag.Bool("v", false, "print extended metrics")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
+		os.Exit(1)
+	}
+	params := ssd.ScaledParams(*divisor)
+	dev, err := ssd.New(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
+		os.Exit(1)
+	}
+	pol, err := buildPolicy(*policy, *cacheMB*256, params.Flash.PagesPerBlock, params.Flash.Channels, *delta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
+		os.Exit(1)
+	}
+	if *readahead > 0 {
+		pol = cache.NewReadAhead(pol, *readahead, 8)
+	}
+	m, err := replay.Run(tr, pol, dev, replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
+		os.Exit(1)
+	}
+	report(m, *verbose)
+}
+
+func loadTrace(file, format string, blockSize int64, wl string, scale float64) (*trace.Trace, error) {
+	switch {
+	case file != "" && wl != "":
+		return nil, fmt.Errorf("use either -trace or -workload, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch format {
+		case "msr":
+			return trace.ReadMSR(f, file)
+		case "spc":
+			return trace.ReadSPC(f, file, blockSize)
+		default:
+			return nil, fmt.Errorf("unknown trace format %q", format)
+		}
+	case wl != "":
+		p, ok := workload.ByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", wl)
+		}
+		return workload.Generate(p, workload.Options{Scale: scale})
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -workload NAME")
+	}
+}
+
+func buildPolicy(name string, capacityPages, pagesPerBlock, channels, delta int) (cache.Policy, error) {
+	switch name {
+	case "lru":
+		return cache.NewLRU(capacityPages), nil
+	case "fifo":
+		return cache.NewFIFO(capacityPages), nil
+	case "lfu":
+		return cache.NewLFU(capacityPages), nil
+	case "cflru":
+		return cache.NewCFLRU(capacityPages), nil
+	case "fab":
+		return cache.NewFAB(capacityPages, pagesPerBlock), nil
+	case "bplru":
+		return cache.NewBPLRU(capacityPages, pagesPerBlock), nil
+	case "bplru-pad":
+		return cache.NewBPLRUWithPadding(capacityPages, pagesPerBlock), nil
+	case "vbbms":
+		return cache.NewVBBMS(capacityPages), nil
+	case "pudlru":
+		return cache.NewPUDLRU(capacityPages, pagesPerBlock), nil
+	case "ecr":
+		return cache.NewECR(capacityPages, channels), nil
+	case "reqblock":
+		return core.NewConfig(capacityPages, core.Config{Delta: delta, Merge: true, Recency: true}), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func report(m *replay.Metrics, verbose bool) {
+	fmt.Printf("trace           %s\n", m.Trace)
+	fmt.Printf("policy          %s\n", m.Policy)
+	fmt.Printf("requests        %d\n", m.Requests)
+	fmt.Printf("hit ratio       %.4f (%d hits / %d accesses)\n",
+		m.HitRatio(), m.PageHits, m.PageHits+m.PageMisses)
+	fmt.Printf("mean response   %.3f ms (reads %.3f ms, writes %.3f ms)\n",
+		m.Response.Mean()/1e6, m.ReadResponse.Mean()/1e6, m.WriteResponse.Mean()/1e6)
+	fmt.Printf("response tail   P50 %.3f ms, P99 %.3f ms\n",
+		m.ResponseP50.Value()/1e6, m.ResponseP99.Value()/1e6)
+	fmt.Printf("flash writes    %d (GC migrations %d, erases %d)\n",
+		m.Device.FlashWrites, m.Device.GCMigrations, m.Device.Erases)
+	fmt.Printf("flash reads     %d\n", m.Device.FlashReads)
+	fmt.Printf("evictions       %d ops, %.1f pages/op, %d pages flushed\n",
+		m.EvictionBatch.Total(), m.MeanEvictionPages(), m.FlushedPages)
+	fmt.Printf("metadata        %d nodes peak × %d B = %.1f KB\n",
+		m.MaxNodes, m.NodeBytes, float64(m.SpaceOverheadBytes())/1024)
+	if verbose {
+		fmt.Printf("write amp       %.3f\n", m.Device.WriteAmplification())
+		fmt.Printf("clean drops     %d\n", m.CleanDrops)
+		fmt.Printf("small threshold %d pages\n", m.SmallThresholdPages)
+		if m.InsertBySize != nil {
+			fmt.Printf("small insert/hit share  %.3f / %.3f\n",
+				m.InsertBySize.FractionLE(m.SmallThresholdPages),
+				m.HitBySize.FractionLE(m.SmallThresholdPages))
+			fmt.Printf("large pages hit  %.3f of %d\n", m.LargeHitFraction(), m.LargeInserted)
+		}
+		for name, s := range m.ListSeries {
+			last := 0.0
+			if len(s.Samples) > 0 {
+				last = s.Samples[len(s.Samples)-1]
+			}
+			fmt.Printf("list %-4s       %d samples, last %.0f pages\n", name, s.Len(), last)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command tracegen synthesizes MSR Cambridge-format block traces from the
+// built-in workload profiles (the stand-ins for the paper's Table 2
+// traces) and prints their statistics.
+//
+// Usage:
+//
+//	tracegen -workload src1_2 -scale 0.2 -out src1_2.csv
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "", "profile name (hm_1, lun_1, usr_0, src1_2, ts_0, proj_0)")
+		scale = flag.Float64("scale", 1.0, "request count multiplier")
+		seed  = flag.Int64("seed-offset", 0, "seed offset for alternative instances")
+		out   = flag.String("out", "", "output file (default stdout)")
+		list  = flag.Bool("list", false, "list available profiles and exit")
+		stats = flag.Bool("stats", false, "print Table 2-style statistics instead of the trace")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.All() {
+			fmt.Printf("%-8s %8d requests  write %.1f%%  footprint %d pages\n",
+				p.Name, p.Requests, p.WriteRatio*100, p.FootprintPages)
+		}
+		return
+	}
+	p, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+	tr, err := workload.Generate(p, workload.Options{Scale: *scale, SeedOffset: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		s := trace.ComputeStats(tr, 4096)
+		fmt.Printf("%s: %d requests, write ratio %.3f, mean write %.1f KB, frequent %.3f (wr %.3f), footprint %d pages\n",
+			tr.Name, s.Requests, s.WriteRatio, s.MeanWriteBytes/1024, s.FrequentRatio, s.FrequentWriteRatio, s.DistinctPages)
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteMSR(w, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,133 @@
+// Command traceinfo analyzes a block trace — an MSR Cambridge CSV file or
+// a built-in synthetic workload — and prints its Table 2 statistics,
+// request-size distributions, sequentiality, and the exact LRU miss-ratio
+// curve (hit ratio at a sweep of cache sizes) computed with Mattson's
+// stack algorithm.
+//
+// Usage:
+//
+//	traceinfo -workload src1_2 -scale 0.1
+//	traceinfo -trace msr.csv -mrc 4,8,16,32,64,128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/mrc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "trace file (MSR Cambridge CSV by default; see -format)")
+		format    = flag.String("format", "msr", "trace file format: msr or spc (UMass/SPC-1)")
+		blockSize = flag.Int64("block-size", 512, "LBA unit in bytes for -format spc")
+		wl        = flag.String("workload", "", "built-in workload name instead of -trace")
+		scale     = flag.Float64("scale", 0.2, "workload scale (with -workload)")
+		mrcSizes  = flag.String("mrc", "4,8,16,32,64,128", "comma-separated cache sizes (MiB) for the LRU miss-ratio curve; empty disables")
+		plot      = flag.Bool("plot", false, "render the miss-ratio curve as an ASCII chart")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+	a := trace.Analyze(tr, 4096)
+	s := a.Stats
+	fmt.Printf("trace            %s\n", tr.Name)
+	fmt.Printf("requests         %d (%d writes, %d reads)\n", s.Requests, s.Writes, s.Reads)
+	fmt.Printf("write ratio      %.1f%%\n", s.WriteRatio*100)
+	fmt.Printf("mean write size  %.1f KB (%.1f pages)\n", s.MeanWriteBytes/1024, a.MeanWritePages)
+	fmt.Printf("mean read size   %.1f KB (%.1f pages)\n", s.MeanReadBytes/1024, a.MeanReadPages)
+	fmt.Printf("footprint        %d distinct pages (%.1f MB)\n", s.DistinctPages, float64(s.DistinctPages)*4096/1e6)
+	fmt.Printf("frequent (>=3)   %.1f%% of addresses, %.1f%% of written addresses\n",
+		s.FrequentRatio*100, s.FrequentWriteRatio*100)
+	fmt.Printf("sequential wr    %.1f%% of writes continue a recent stream\n", a.SequentialWriteRatio*100)
+	fmt.Printf("duration         %.1f s, mean gap %.3f ms\n", float64(a.DurationNs)/1e9, float64(a.MeanGapNs)/1e6)
+
+	fmt.Printf("\nwrite sizes (pages: requests):")
+	printBuckets(a.WriteSizePages)
+	fmt.Printf("read sizes  (pages: requests):")
+	printBuckets(a.ReadSizePages)
+
+	if *mrcSizes != "" {
+		curve, err := mrc.Compute(tr, mrc.Options{WriteBuffer: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nLRU miss-ratio curve (write-buffer semantics):\n")
+		for _, tok := range strings.Split(*mrcSizes, ",") {
+			mb, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || mb <= 0 {
+				fmt.Fprintf(os.Stderr, "traceinfo: bad -mrc size %q\n", tok)
+				os.Exit(1)
+			}
+			pages := mb * 256
+			fmt.Printf("  %4d MB: hit %.3f, miss %.3f\n", mb, curve.HitRatio(pages), curve.MissRatio(pages))
+		}
+		fmt.Printf("  working set (99%% of max hits): %.1f MB\n", float64(curve.WorkingSet(0.99))/256)
+		if *plot {
+			var xs, ys []float64
+			limit := curve.WorkingSet(0.999)
+			if limit < 256 {
+				limit = 256
+			}
+			for pages := 64; pages <= limit*2; pages += limit / 32 {
+				xs = append(xs, float64(pages)/256) // MB
+				ys = append(ys, curve.HitRatio(pages))
+			}
+			fmt.Println()
+			fmt.Print(metrics.PlotXY(xs, ys, 56, 12, "LRU hit ratio vs cache size (MB)"))
+		}
+	}
+}
+
+func printBuckets(bs []trace.SizeBucket) {
+	const maxShown = 12
+	for i, b := range bs {
+		if i >= maxShown {
+			fmt.Printf(" …(%d more)", len(bs)-maxShown)
+			break
+		}
+		fmt.Printf(" %d:%d", b.Pages, b.Count)
+	}
+	fmt.Println()
+}
+
+func loadTrace(file, format string, blockSize int64, wl string, scale float64) (*trace.Trace, error) {
+	switch {
+	case file != "" && wl != "":
+		return nil, fmt.Errorf("use either -trace or -workload, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch format {
+		case "msr":
+			return trace.ReadMSR(f, file)
+		case "spc":
+			return trace.ReadSPC(f, file, blockSize)
+		default:
+			return nil, fmt.Errorf("unknown trace format %q", format)
+		}
+	case wl != "":
+		p, ok := workload.ByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", wl)
+		}
+		return workload.Generate(p, workload.Options{Scale: scale})
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -workload NAME")
+	}
+}

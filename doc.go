@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "DRAM Cache
+// Management with Request Granularity for NAND-based SSDs" (Lin et al.,
+// ICPP 2022): the Req-block write-buffer policy, the SSDsim-style flash
+// simulator it was evaluated on, the baseline policies it was compared
+// against (LRU, FIFO, LFU, CFLRU, FAB, BPLRU, VBBMS), synthetic stand-ins
+// for the paper's six trace workloads, and a harness that regenerates
+// every table and figure of the evaluation.
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-vs-measured results. The packages:
+//
+//	internal/core        Req-block (the paper's contribution)
+//	internal/cache       policy interface + all baseline policies
+//	internal/flash       NAND geometry, page/block state, bus/die timing
+//	internal/ftl         page-level mapping, allocation, greedy GC
+//	internal/ssd         the assembled device
+//	internal/trace       request model + MSR Cambridge CSV I/O
+//	internal/workload    synthetic Table 2 workload generators
+//	internal/replay      trace × policy × device evaluation loop
+//	internal/experiments the per-figure/table regenerators
+//
+// bench_test.go in this directory carries one benchmark per table and
+// figure plus the ablation benches called out in DESIGN.md.
+package repro

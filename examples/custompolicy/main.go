@@ -1,0 +1,131 @@
+// Custom policy: the cache.Policy interface is the extension point of this
+// library — anything that maps requests to hits, read misses and eviction
+// batches plugs into the replayer and the experiment harness. This example
+// implements a new policy from scratch (2Q-lite: probationary FIFO in
+// front of a protected LRU) and benchmarks it against LRU and Req-block.
+//
+//	go run ./examples/custompolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// twoQ is a simplified 2Q write buffer: new pages enter a probationary
+// FIFO; a hit promotes a page to the protected LRU segment. Evictions
+// drain the probationary segment first, so one-touch stream data never
+// displaces proven-hot pages — a page-granularity cousin of what Req-block
+// achieves with request blocks.
+type twoQ struct {
+	capacity  int
+	probCap   int // probationary segment capacity
+	pages     map[int64]*list.Node[twoQEntry]
+	probation list.List[twoQEntry]
+	protected list.List[twoQEntry]
+}
+
+type twoQEntry struct {
+	lpn       int64
+	protected bool
+}
+
+func newTwoQ(capacityPages int) *twoQ {
+	cache.ValidateCapacity(capacityPages)
+	probCap := capacityPages / 4
+	if probCap < 1 {
+		probCap = 1
+	}
+	return &twoQ{
+		capacity: capacityPages,
+		probCap:  probCap,
+		pages:    make(map[int64]*list.Node[twoQEntry], capacityPages),
+	}
+}
+
+func (c *twoQ) Name() string       { return "2Q-lite" }
+func (c *twoQ) Len() int           { return len(c.pages) }
+func (c *twoQ) CapacityPages() int { return c.capacity }
+func (c *twoQ) NodeBytes() int     { return 13 }
+func (c *twoQ) NodeCount() int     { return c.probation.Len() + c.protected.Len() }
+
+func (c *twoQ) Access(req cache.Request) cache.Result {
+	cache.CheckRequest(req)
+	var res cache.Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if n, ok := c.pages[lpn]; ok {
+			res.Hits++
+			if n.Value.protected {
+				c.protected.MoveToHead(n)
+			} else {
+				// Promote probation → protected.
+				c.probation.Remove(n)
+				n.Value.protected = true
+				c.protected.PushHead(n)
+			}
+		} else {
+			res.Misses++
+			if req.Write {
+				for len(c.pages) >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evict())
+				}
+				n := &list.Node[twoQEntry]{Value: twoQEntry{lpn: lpn}}
+				c.probation.PushHead(n)
+				c.pages[lpn] = n
+				res.Inserted++
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// evict drains the probationary FIFO first; only when it is empty does the
+// protected LRU tail go.
+func (c *twoQ) evict() cache.Eviction {
+	n := c.probation.PopTail()
+	if n == nil {
+		n = c.protected.PopTail()
+	}
+	if n == nil {
+		panic("2Q: evict on empty cache")
+	}
+	delete(c.pages, n.Value.lpn)
+	return cache.Eviction{LPNs: []int64{n.Value.lpn}}
+}
+
+var _ cache.Policy = (*twoQ)(nil)
+
+func main() {
+	tr := workload.MustGenerate(workload.PROJ0(), workload.Options{Scale: 0.02})
+	const cachePages = 16 * 256
+
+	for _, pol := range []cache.Policy{
+		cache.NewLRU(cachePages),
+		newTwoQ(cachePages),
+		core.New(cachePages),
+	} {
+		dev, err := ssd.New(ssd.ScaledParams(16))
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := replay.Run(tr, pol, dev, replay.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s hit ratio %5.1f%%  mean response %7.3f ms\n",
+			pol.Name(), m.HitRatio()*100, m.Response.Mean()/1e6)
+	}
+	fmt.Println("\n2Q-lite already closes part of the gap to Req-block by protecting")
+	fmt.Println("re-referenced pages; Req-block adds request-granularity batching on top.")
+}

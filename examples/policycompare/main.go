@@ -1,0 +1,73 @@
+// Policy comparison: run every implemented write-buffer policy — the
+// paper's four plus the related-work baselines — over one workload and
+// print a ranking, reproducing in miniature what Figs. 8-9 show.
+//
+//	go run ./examples/policycompare [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := "src1_2"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	profile, ok := workload.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q", name)
+	}
+	tr := workload.MustGenerate(profile, workload.Options{Scale: 0.05})
+
+	params := ssd.ScaledParams(16)
+	pagesPerBlock := params.Flash.PagesPerBlock
+	const cachePages = 16 * 256 // 16 MB
+
+	policies := []cache.Policy{
+		cache.NewLRU(cachePages),
+		cache.NewFIFO(cachePages),
+		cache.NewLFU(cachePages),
+		cache.NewCFLRU(cachePages),
+		cache.NewFAB(cachePages, pagesPerBlock),
+		cache.NewBPLRU(cachePages, pagesPerBlock),
+		cache.NewVBBMS(cachePages),
+		cache.NewPUDLRU(cachePages, pagesPerBlock),
+		core.New(cachePages),
+	}
+
+	type row struct {
+		name     string
+		hitRatio float64
+		meanMs   float64
+		writes   int64
+	}
+	var rows []row
+	for _, pol := range policies {
+		dev, err := ssd.New(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := replay.Run(tr, pol, dev, replay.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{pol.Name(), m.HitRatio(), m.Response.Mean() / 1e6, m.Device.FlashWrites})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].meanMs < rows[j].meanMs })
+
+	fmt.Printf("workload %s, 16 MB cache — ranked by mean response time\n\n", name)
+	fmt.Printf("%-10s  %9s  %12s  %12s\n", "policy", "hit ratio", "response/ms", "flash writes")
+	for _, r := range rows {
+		fmt.Printf("%-10s  %8.1f%%  %12.3f  %12d\n", r.name, r.hitRatio*100, r.meanMs, r.writes)
+	}
+}

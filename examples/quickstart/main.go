@@ -1,0 +1,40 @@
+// Quickstart: simulate an SSD with the Req-block write buffer and replay a
+// synthetic workload through it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A workload: the paper's src1_2 stand-in at 1/100 length.
+	tr := workload.MustGenerate(workload.SRC12(), workload.Options{Scale: 0.02})
+
+	// 2. A device: Table 1 geometry, scaled 16× down (ratios preserved).
+	dev, err := ssd.New(ssd.ScaledParams(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The paper's policy: a 16 MB Req-block buffer (4096 × 4 KB pages).
+	buffer := core.New(16 * 256)
+
+	// 4. Replay and report.
+	m, err := replay.Run(tr, buffer, dev, replay.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d requests of %s\n", m.Requests, m.Trace)
+	fmt.Printf("  hit ratio      %.1f%%\n", m.HitRatio()*100)
+	fmt.Printf("  mean response  %.3f ms\n", m.Response.Mean()/1e6)
+	fmt.Printf("  flash writes   %d pages\n", m.Device.FlashWrites)
+	fmt.Printf("  evictions      %.1f pages per batch\n", m.MeanEvictionPages())
+}

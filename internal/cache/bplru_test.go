@@ -1,0 +1,109 @@
+package cache
+
+import "testing"
+
+func TestBPLRUBlockLevelLRU(t *testing.T) {
+	c := NewBPLRU(4, 4)
+	c.Access(w(0, 0, 1)) // block 0
+	c.Access(w(1, 4, 1)) // block 1
+	c.Access(w(2, 8, 1)) // block 2
+	c.Access(w(3, 1, 1)) // block 0 touched again -> head
+	res := c.Access(w(4, 12, 1))
+	// Block 1 is now the LRU tail.
+	if got := res.Evictions[0].LPNs; len(got) != 1 || got[0] != 4 {
+		t.Fatalf("evicted %v, want block 1's page", got)
+	}
+}
+
+func TestBPLRUFlushIsBlockBound(t *testing.T) {
+	c := NewBPLRU(2, 4)
+	c.Access(w(0, 0, 2))
+	res := c.Access(w(1, 8, 1))
+	ev := res.Evictions[0]
+	if !ev.BlockBound {
+		t.Fatal("BPLRU flush must be block-bound")
+	}
+	if len(ev.LPNs) != 2 || ev.LPNs[0] != 0 || ev.LPNs[1] != 1 {
+		t.Fatalf("flushed %v", ev.LPNs)
+	}
+	if len(ev.PaddingReads) != 0 {
+		t.Fatal("padding disabled by default")
+	}
+}
+
+func TestBPLRUPaddingReadsMissingPages(t *testing.T) {
+	c := NewBPLRUWithPadding(2, 4)
+	c.Access(w(0, 0, 2)) // block 0: pages 0,1 present; 2,3 absent
+	res := c.Access(w(1, 8, 1))
+	ev := res.Evictions[0]
+	if len(ev.LPNs) != 4 {
+		t.Fatalf("padded flush wrote %v, want full block", ev.LPNs)
+	}
+	if len(ev.PaddingReads) != 2 || ev.PaddingReads[0] != 2 || ev.PaddingReads[1] != 3 {
+		t.Fatalf("padding reads %v, want [2 3]", ev.PaddingReads)
+	}
+}
+
+func TestBPLRULRUCompensationForSequentialBlocks(t *testing.T) {
+	c := NewBPLRU(16, 4)
+	// Twelve older single-page blocks, then block 20 written fully
+	// sequentially. Despite being the most recent write, the sequential
+	// block must be moved to the tail and evicted first.
+	for i := int64(0); i < 12; i++ {
+		c.Access(w(i, i*4, 1))
+	}
+	c.Access(w(12, 80, 4)) // block 20: sequential → tail
+	res := c.Access(w(13, 200, 1))
+	first := res.Evictions[0].LPNs
+	if len(first) != 4 || first[0] != 80 {
+		t.Fatalf("first victim %v, want the sequential block's pages 80-83", first)
+	}
+}
+
+func TestBPLRUNonSequentialBlockNotCompensated(t *testing.T) {
+	c := NewBPLRU(16, 4)
+	c.Access(w(0, 8, 1)) // block 2: the natural LRU tail
+	// Block 0 filled out of order: full, but not sequential, so it must
+	// stay at the head instead of being compensated to the tail.
+	c.Access(w(1, 1, 1))
+	c.Access(w(2, 0, 1))
+	c.Access(w(3, 2, 2))
+	// Fill the cache with fresh single-page blocks.
+	for i := int64(0); i < 11; i++ {
+		c.Access(w(4+i, 100+i*4, 1))
+	}
+	res := c.Access(w(20, 300, 1))
+	if got := res.Evictions[0].LPNs; len(got) != 1 || got[0] != 8 {
+		t.Fatalf("first victim %v, want block 2's page 8 (block 0 must not be compensated)", got)
+	}
+}
+
+func TestBPLRUReadsDoNotReorder(t *testing.T) {
+	c := NewBPLRU(8, 4)
+	// One page in each of 8 distinct blocks (none sequentially complete,
+	// so LRU compensation never fires).
+	for i := int64(0); i < 8; i++ {
+		c.Access(w(i, i*4, 1))
+	}
+	res := c.Access(r(8, 0, 1))
+	if res.Hits != 1 {
+		t.Fatalf("read hit missed: %+v", res)
+	}
+	// Block 0 must still be the LRU tail: reads don't promote.
+	res = c.Access(w(9, 100, 1))
+	if got := res.Evictions[0].LPNs; got[0] != 0 {
+		t.Fatalf("evicted %v first, want block 0 (reads must not promote)", got)
+	}
+}
+
+func TestBPLRUCapacityAccounting(t *testing.T) {
+	c := NewBPLRU(4, 4)
+	c.Access(w(0, 0, 4))
+	c.Access(w(1, 8, 2))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after eviction, want 2", c.Len())
+	}
+	if c.Len() > c.CapacityPages() {
+		t.Fatal("capacity exceeded")
+	}
+}

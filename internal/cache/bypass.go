@@ -1,0 +1,88 @@
+package cache
+
+// Bypass is an admission-control wrapper: write requests larger than
+// MaxPages skip the buffer entirely and stream straight to flash. It is
+// the blunt version of the paper's Observation 2 — pages of large write
+// requests are rarely re-accessed, so why spend buffer space (and a later
+// eviction) on them at all? Req-block answers with request blocks and
+// priorities; Bypass answers by not admitting them, at the cost of losing
+// the (rare) hits large data would have produced and of making
+// overwrite-after-bypass writes always miss.
+type Bypass struct {
+	inner Policy
+	// MaxPages is the largest write admitted into the buffer.
+	maxPages int
+	bypassed int64
+}
+
+// NewBypass wraps inner so that writes larger than maxPages pages go
+// straight to flash.
+func NewBypass(inner Policy, maxPages int) *Bypass {
+	if maxPages < 1 {
+		panic("cache: Bypass maxPages must be >= 1")
+	}
+	return &Bypass{inner: inner, maxPages: maxPages}
+}
+
+// Name implements Policy.
+func (c *Bypass) Name() string { return c.inner.Name() + "+bypass" }
+
+// Len implements Policy.
+func (c *Bypass) Len() int { return c.inner.Len() }
+
+// CapacityPages implements Policy.
+func (c *Bypass) CapacityPages() int { return c.inner.CapacityPages() }
+
+// NodeBytes implements Policy.
+func (c *Bypass) NodeBytes() int { return c.inner.NodeBytes() }
+
+// NodeCount implements Policy.
+func (c *Bypass) NodeCount() int { return c.inner.NodeCount() }
+
+// BypassedPages returns how many write pages skipped the buffer.
+func (c *Bypass) BypassedPages() int64 { return c.bypassed }
+
+// Access implements Policy.
+func (c *Bypass) Access(req Request) Result {
+	CheckRequest(req)
+	if !req.Write || req.Pages <= c.maxPages {
+		return c.inner.Access(req)
+	}
+	// Large write: pages already buffered must still be refreshed (the
+	// buffer would otherwise serve stale data to later reads), so probe
+	// them as a write hit; the rest stream to flash.
+	var res Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		probe := Request{Time: req.Time, Write: true, LPN: lpn, Pages: 1}
+		if r := c.probeResident(lpn); r {
+			// Refresh in place via the inner policy (counts as its hit).
+			inner := c.inner.Access(probe)
+			res.Hits += inner.Hits
+			res.Misses += inner.Misses
+			res.Evictions = append(res.Evictions, inner.Evictions...)
+			res.Inserted += inner.Inserted
+		} else {
+			res.Misses++
+			res.Bypass = append(res.Bypass, lpn)
+			c.bypassed++
+		}
+		lpn++
+	}
+	return res
+}
+
+// probeResident asks the inner policy whether a page is buffered, without
+// mutating it. The Policy interface has no lookup method by design (Access
+// is the only mutation point), so Bypass relies on the concrete helpers
+// the policies expose; unknown implementations are treated as not
+// resident, which only costs a duplicate flash write.
+func (c *Bypass) probeResident(lpn int64) bool {
+	type container interface{ Contains(int64) bool }
+	if p, ok := c.inner.(container); ok {
+		return p.Contains(lpn)
+	}
+	return false
+}
+
+var _ Policy = (*Bypass)(nil)

@@ -1,0 +1,71 @@
+package cache
+
+import "testing"
+
+func TestBypassSmallWritesAdmitted(t *testing.T) {
+	c := NewBypass(NewLRU(16), 4)
+	res := c.Access(w(0, 0, 3))
+	if len(res.Bypass) != 0 || res.Inserted != 3 {
+		t.Fatalf("small write mishandled: %+v", res)
+	}
+	if c.Len() != 3 {
+		t.Fatal("pages not buffered")
+	}
+}
+
+func TestBypassLargeWritesSkipBuffer(t *testing.T) {
+	c := NewBypass(NewLRU(16), 4)
+	res := c.Access(w(0, 100, 8))
+	if len(res.Bypass) != 8 || res.Inserted != 0 {
+		t.Fatalf("large write mishandled: %+v", res)
+	}
+	if c.Len() != 0 {
+		t.Fatal("bypassed pages entered the buffer")
+	}
+	if c.BypassedPages() != 8 {
+		t.Fatalf("BypassedPages = %d", c.BypassedPages())
+	}
+}
+
+func TestBypassRefreshesResidentPages(t *testing.T) {
+	// A large write overlapping buffered pages must refresh them through
+	// the buffer (they would otherwise serve stale data), and only the
+	// rest bypasses.
+	c := NewBypass(NewLRU(16), 4)
+	c.Access(w(0, 100, 2)) // pages 100,101 buffered
+	res := c.Access(w(1, 100, 8))
+	if res.Hits != 2 {
+		t.Fatalf("resident pages not refreshed: %+v", res)
+	}
+	if len(res.Bypass) != 6 {
+		t.Fatalf("bypass = %v, want the 6 non-resident pages", res.Bypass)
+	}
+	if res.Bypass[0] != 102 {
+		t.Fatalf("bypass starts at %d, want 102", res.Bypass[0])
+	}
+}
+
+func TestBypassReadsUntouched(t *testing.T) {
+	c := NewBypass(NewLRU(16), 4)
+	res := c.Access(r(0, 0, 8)) // large READ: not bypassed, normal misses
+	if len(res.Bypass) != 0 || len(res.ReadMisses) != 8 {
+		t.Fatalf("read mishandled: %+v", res)
+	}
+}
+
+func TestBypassIdentity(t *testing.T) {
+	inner := NewLRU(16)
+	c := NewBypass(inner, 4)
+	if c.Name() != "LRU+bypass" || c.CapacityPages() != 16 || c.NodeBytes() != inner.NodeBytes() {
+		t.Fatal("identity passthrough wrong")
+	}
+}
+
+func TestBypassPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxPages 0 accepted")
+		}
+	}()
+	NewBypass(NewLRU(4), 0)
+}

@@ -1,0 +1,159 @@
+// Package cache defines the SSD write-buffer abstraction the paper studies
+// and implements the baseline replacement policies it compares against:
+// page-granularity LRU, FIFO, LFU and CFLRU, and block-granularity FAB,
+// BPLRU and VBBMS. The paper's own contribution, Req-block, lives in
+// internal/core and implements the same Policy interface.
+//
+// A Policy is a pure, deterministic state machine: Access consumes one host
+// request and reports page hits, read misses that must be fetched from
+// flash, and the eviction batches flushed to make room. The replayer turns
+// those decisions into simulated flash traffic; keeping policies free of
+// timing makes every replacement decision unit-testable.
+//
+// Following the paper's Algorithm 1, the cache is a write buffer: only
+// write data is inserted. Read hits are served from the buffer; read misses
+// go to flash and are not inserted (CFLRU, whose design depends on clean
+// pages, optionally deviates — see its constructor).
+package cache
+
+import "fmt"
+
+// Request is one host I/O as seen by the cache, already page-aligned.
+type Request struct {
+	// Time is the arrival time in nanoseconds; policies use it for
+	// recency/frequency bookkeeping (e.g. Req-block's Freq formula).
+	Time int64
+	// Write is true for writes.
+	Write bool
+	// LPN is the first logical page.
+	LPN int64
+	// Pages is the page count, >= 1.
+	Pages int
+}
+
+// Eviction is one batch of pages flushed from the buffer to flash as a
+// unit. How the batch maps to flash parallelism is part of the policy's
+// identity: BPLRU flushes whole logical blocks onto single physical blocks
+// (BlockBound), everything else stripes across channels.
+type Eviction struct {
+	// LPNs are the dirty pages written to flash.
+	LPNs []int64
+	// BlockBound forces the batch onto one plane (BPLRU).
+	BlockBound bool
+	// PaddingReads are pages fetched from flash before the flush (BPLRU's
+	// page padding reads the block's missing pages so it can program a
+	// full block).
+	PaddingReads []int64
+	// CleanDrop is true when the batch was dropped without a flash write
+	// (CFLRU evicting clean pages). LPNs then documents what was dropped.
+	CleanDrop bool
+	// HasChannelHint, with Channel, pins the flush to one channel's
+	// planes. ECR uses static page→channel affinity and picks victims by
+	// channel queue state, so its flushes must honor the mapping.
+	HasChannelHint bool
+	Channel        int
+}
+
+// DeviceView is the read-only device state a device-aware policy may
+// consult (ECR ranks eviction victims by channel backlog). The replayer
+// attaches it before the run; pure policies ignore it.
+type DeviceView interface {
+	// Channels returns the channel count.
+	Channels() int
+	// ChannelFreeAt returns the absolute time the channel's bus frees.
+	ChannelFreeAt(channel int) int64
+}
+
+// DeviceAware is implemented by policies that want a DeviceView.
+type DeviceAware interface {
+	AttachDevice(DeviceView)
+}
+
+// Result reports what one request did to the cache.
+type Result struct {
+	// Hits and Misses count pages of this request served from / absent
+	// from the buffer. Hits+Misses == Request.Pages.
+	Hits, Misses int
+	// ReadMisses lists pages a read request must fetch from flash.
+	ReadMisses []int64
+	// Evictions lists flush batches triggered while making room, in order.
+	Evictions []Eviction
+	// Inserted counts pages newly added to the buffer.
+	Inserted int
+	// Prefetches lists pages to read from flash in the background
+	// (readahead): the replayer issues them without blocking the request.
+	// Only prefetching policies (NewReadAhead) populate this.
+	Prefetches []int64
+	// Bypass lists write pages sent straight to flash without entering
+	// the buffer (admission control for very large writes): the request
+	// blocks until their transfers finish, like an eviction flush. Only
+	// bypassing policies (NewBypass) populate this.
+	Bypass []int64
+}
+
+// Policy is an SSD write-buffer replacement scheme.
+type Policy interface {
+	// Name identifies the policy ("LRU", "Req-block", ...).
+	Name() string
+	// Access processes one request and returns its effects.
+	Access(req Request) Result
+	// Len returns the number of pages currently buffered.
+	Len() int
+	// CapacityPages returns the buffer capacity in pages.
+	CapacityPages() int
+	// NodeBytes is the metadata size of one list node, as the paper's
+	// Fig. 12 accounts it (LRU 12 B, block schemes 24 B, Req-block 32 B).
+	NodeBytes() int
+	// NodeCount returns the number of list nodes currently allocated.
+	NodeCount() int
+}
+
+// IdleEvictor is implemented by policies that can nominate victims outside
+// the request path, enabling Co-Active-style proactive eviction (Sun et
+// al., TPDS'21, cited in the paper's related work): when the device sits
+// idle, the replayer drains cold dirty data so later bursts find free
+// buffer space and an idle flash array.
+type IdleEvictor interface {
+	// EvictIdle returns one victim batch to flush during idle time, or
+	// false when the policy prefers to keep everything (e.g. the buffer
+	// is not full enough to bother).
+	EvictIdle(now int64) (Eviction, bool)
+}
+
+// OccupancyReporter is implemented by policies with multiple internal lists
+// whose sizes are worth tracking over time (Req-block's IRL/SRL/DRL for the
+// paper's Fig. 13).
+type OccupancyReporter interface {
+	// ListPages returns the page count held by each named internal list.
+	ListPages() map[string]int
+}
+
+// Factory builds a policy instance for a given capacity in pages. The
+// experiment grid uses factories so each (trace, cache size) cell gets a
+// fresh policy.
+type Factory struct {
+	// Name is the policy name, matching Policy.Name().
+	Name string
+	// New builds a fresh instance with the given capacity in pages.
+	New func(capacityPages int) Policy
+}
+
+// ValidateCapacity panics on non-positive capacities; shared by all
+// constructors. A zero-capacity write buffer is a configuration error, not
+// a state to limp through.
+func ValidateCapacity(capacityPages int) {
+	if capacityPages <= 0 {
+		panic(fmt.Sprintf("cache: capacity %d pages, need >= 1", capacityPages))
+	}
+}
+
+// CheckRequest panics on malformed requests; policies call it first. The
+// replayer only produces well-formed requests, so a violation is a bug.
+func CheckRequest(req Request) {
+	if req.Pages < 1 {
+		panic(fmt.Sprintf("cache: request with %d pages", req.Pages))
+	}
+	if req.LPN < 0 {
+		panic(fmt.Sprintf("cache: negative LPN %d", req.LPN))
+	}
+}

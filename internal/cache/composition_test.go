@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Wrapper composition: admission control around readahead around a base
+// policy must preserve every contract.
+
+func TestBypassOverReadAheadComposition(t *testing.T) {
+	inner := NewLRU(32)
+	ra := NewReadAhead(inner, 16, 4)
+	c := NewBypass(ra, 4)
+
+	// Small write → through both wrappers into LRU.
+	res := c.Access(w(0, 0, 2))
+	if res.Inserted != 2 || inner.Len() != 2 {
+		t.Fatalf("small write lost in composition: %+v", res)
+	}
+	// Large write → bypassed, nothing buffered.
+	res = c.Access(w(1, 100, 8))
+	if len(res.Bypass) != 8 || inner.Len() != 2 {
+		t.Fatalf("large write not bypassed: %+v", res)
+	}
+	// Sequential reads → readahead still fires through the bypass.
+	c.Access(r(2, 500, 2))
+	res = c.Access(r(3, 502, 2))
+	if len(res.Prefetches) == 0 {
+		t.Fatal("readahead lost under bypass")
+	}
+	// Name chains.
+	if c.Name() != "LRU+RA+bypass" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestCompositionRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	inner := NewLRU(24)
+	c := NewBypass(NewReadAhead(inner, 8, 2), 6)
+	for i := 0; i < 3000; i++ {
+		req := Request{
+			Time:  int64(i) * 1000,
+			Write: rng.Intn(10) < 6,
+			LPN:   rng.Int63n(300),
+			Pages: 1 + rng.Intn(12),
+		}
+		res := c.Access(req)
+		if res.Hits+res.Misses != req.Pages {
+			t.Fatalf("op %d: hits %d + misses %d != %d", i, res.Hits, res.Misses, req.Pages)
+		}
+		if c.Len() > c.CapacityPages() {
+			t.Fatalf("op %d: capacity exceeded", i)
+		}
+		for _, lpn := range res.Bypass {
+			if lpn < req.LPN || lpn >= req.LPN+int64(req.Pages) {
+				t.Fatalf("op %d: bypass page %d outside request", i, lpn)
+			}
+		}
+	}
+}
+
+func TestAllWrappersAroundEveryBase(t *testing.T) {
+	bases := []func() Policy{
+		func() Policy { return NewLRU(16) },
+		func() Policy { return NewVBBMS(16) },
+		func() Policy { return NewBPLRU(16, 4) },
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, mk := range bases {
+		c := NewBypass(NewReadAhead(mk(), 8, 2), 6)
+		for i := 0; i < 500; i++ {
+			req := Request{
+				Time:  int64(i) * 1000,
+				Write: rng.Intn(10) < 7,
+				LPN:   rng.Int63n(200),
+				Pages: 1 + rng.Intn(10),
+			}
+			res := c.Access(req)
+			if res.Hits+res.Misses != req.Pages {
+				t.Fatalf("%s: accounting broken", c.Name())
+			}
+		}
+	}
+}

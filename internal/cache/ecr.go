@@ -1,0 +1,135 @@
+package cache
+
+import "repro/internal/list"
+
+// ECR approximates the eviction-cost-aware replacement of Chen et al.
+// (CCPE'21), the paper's citation [10]: when the buffer is full, the
+// victim is the page whose flush will wait least — i.e. the least recently
+// used page belonging to the channel whose I/O queue frees earliest. Pages
+// carry static channel affinity (LPN mod channels, the static-allocation
+// assumption ECR builds on), flushes are pinned to the page's channel, and
+// the channel queue state comes from the attached DeviceView.
+//
+// Without a device view ECR degrades to per-channel LRU with round-robin
+// victim channels, which keeps it usable (and testable) standalone.
+type ECR struct {
+	capacity int
+	channels int
+	view     DeviceView
+	pages    map[int64]*list.Node[lruEntry]
+	order    []list.List[lruEntry] // one LRU list per channel
+	rr       int                   // fallback victim channel without a view
+	count    int
+}
+
+// NewECR returns an ECR buffer for a device with the given channel count.
+func NewECR(capacityPages, channels int) *ECR {
+	ValidateCapacity(capacityPages)
+	if channels < 1 {
+		panic("cache: ECR channels must be >= 1")
+	}
+	return &ECR{
+		capacity: capacityPages,
+		channels: channels,
+		pages:    make(map[int64]*list.Node[lruEntry], capacityPages),
+		order:    make([]list.List[lruEntry], channels),
+	}
+}
+
+// AttachDevice implements DeviceAware.
+func (c *ECR) AttachDevice(v DeviceView) { c.view = v }
+
+// Name implements Policy.
+func (c *ECR) Name() string { return "ECR" }
+
+// Len implements Policy.
+func (c *ECR) Len() int { return c.count }
+
+// CapacityPages implements Policy.
+func (c *ECR) CapacityPages() int { return c.capacity }
+
+// NodeBytes implements Policy: an LRU node plus the channel tag.
+func (c *ECR) NodeBytes() int { return 13 }
+
+// NodeCount implements Policy.
+func (c *ECR) NodeCount() int { return c.count }
+
+// channelOf is the static page→channel affinity.
+func (c *ECR) channelOf(lpn int64) int { return int(lpn % int64(c.channels)) }
+
+// Access implements Policy.
+func (c *ECR) Access(req Request) Result {
+	CheckRequest(req)
+	var res Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if n, ok := c.pages[lpn]; ok {
+			res.Hits++
+			c.order[c.channelOf(lpn)].MoveToHead(n)
+		} else {
+			res.Misses++
+			if req.Write {
+				for c.count >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evict(req.Time))
+				}
+				n := &list.Node[lruEntry]{Value: lruEntry{lpn: lpn}}
+				c.order[c.channelOf(lpn)].PushHead(n)
+				c.pages[lpn] = n
+				c.count++
+				res.Inserted++
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// evict picks the channel with the earliest-freeing bus among those
+// holding pages, and flushes its LRU tail page there.
+func (c *ECR) evict(now int64) Eviction {
+	victimCh := -1
+	if c.view != nil {
+		var best int64
+		for ch := 0; ch < c.channels; ch++ {
+			if c.order[ch].Len() == 0 {
+				continue
+			}
+			free := c.view.ChannelFreeAt(ch)
+			if free < now {
+				free = now
+			}
+			if victimCh < 0 || free < best {
+				victimCh, best = ch, free
+			}
+		}
+	} else {
+		for probe := 0; probe < c.channels; probe++ {
+			ch := (c.rr + probe) % c.channels
+			if c.order[ch].Len() > 0 {
+				victimCh = ch
+				c.rr = (ch + 1) % c.channels
+				break
+			}
+		}
+	}
+	if victimCh < 0 {
+		panic("cache: ECR evict on empty buffer")
+	}
+	n := c.order[victimCh].PopTail()
+	delete(c.pages, n.Value.lpn)
+	c.count--
+	return Eviction{LPNs: []int64{n.Value.lpn}, HasChannelHint: true, Channel: victimCh}
+}
+
+// Contains reports whether a page is buffered (tests).
+func (c *ECR) Contains(lpn int64) bool {
+	_, ok := c.pages[lpn]
+	return ok
+}
+
+var (
+	_ Policy      = (*ECR)(nil)
+	_ DeviceAware = (*ECR)(nil)
+)

@@ -1,0 +1,85 @@
+package cache
+
+import "testing"
+
+// fakeView is a scripted DeviceView.
+type fakeView struct {
+	free []int64
+}
+
+func (v *fakeView) Channels() int              { return len(v.free) }
+func (v *fakeView) ChannelFreeAt(ch int) int64 { return v.free[ch] }
+
+func TestECRStaticChannelAffinity(t *testing.T) {
+	c := NewECR(8, 4)
+	c.Access(w(0, 0, 1)) // lpn 0 → channel 0
+	c.Access(w(1, 5, 1)) // lpn 5 → channel 1
+	if c.order[0].Len() != 1 || c.order[1].Len() != 1 {
+		t.Fatal("channel lists wrong")
+	}
+}
+
+func TestECRPicksLeastBusyChannel(t *testing.T) {
+	c := NewECR(3, 2)
+	c.AttachDevice(&fakeView{free: []int64{1_000_000, 0}}) // channel 0 busy
+	c.Access(w(0, 0, 1))                                   // ch 0
+	c.Access(w(1, 1, 1))                                   // ch 1
+	c.Access(w(2, 2, 1))                                   // ch 0
+	res := c.Access(w(3, 4, 1))
+	ev := res.Evictions[0]
+	// Channel 1 frees first, so its (only) page 1 is the victim.
+	if len(ev.LPNs) != 1 || ev.LPNs[0] != 1 {
+		t.Fatalf("evicted %v, want [1] from the idle channel", ev.LPNs)
+	}
+	if !ev.HasChannelHint || ev.Channel != 1 {
+		t.Fatalf("channel hint wrong: %+v", ev)
+	}
+}
+
+func TestECRSkipsEmptyChannels(t *testing.T) {
+	c := NewECR(2, 4)
+	c.AttachDevice(&fakeView{free: []int64{0, 0, 0, 0}}) // all idle
+	c.Access(w(0, 1, 1))                                 // ch 1
+	c.Access(w(1, 5, 1))                                 // ch 1
+	res := c.Access(w(2, 9, 1))
+	// Only channel 1 holds pages; the victim must come from it even
+	// though channels 0/2/3 are "freer".
+	if got := res.Evictions[0]; got.Channel != 1 || got.LPNs[0] != 1 {
+		t.Fatalf("eviction %+v, want LRU of channel 1", got)
+	}
+}
+
+func TestECRWithinChannelIsLRU(t *testing.T) {
+	c := NewECR(3, 1) // single channel: pure LRU
+	c.AttachDevice(&fakeView{free: []int64{0}})
+	c.Access(w(0, 0, 1))
+	c.Access(w(1, 1, 1))
+	c.Access(w(2, 2, 1))
+	c.Access(w(3, 0, 1)) // touch 0
+	res := c.Access(w(4, 3, 1))
+	if got := res.Evictions[0].LPNs; got[0] != 1 {
+		t.Fatalf("evicted %v, want [1] (LRU)", got)
+	}
+}
+
+func TestECRFallbackWithoutView(t *testing.T) {
+	c := NewECR(2, 2)
+	c.Access(w(0, 0, 1))
+	c.Access(w(1, 1, 1))
+	res := c.Access(w(2, 2, 1)) // must evict without panicking
+	if len(res.Evictions) != 1 || !res.Evictions[0].HasChannelHint {
+		t.Fatalf("fallback eviction wrong: %+v", res.Evictions)
+	}
+}
+
+func TestECRReadPath(t *testing.T) {
+	c := NewECR(8, 4)
+	c.Access(w(0, 0, 1))
+	res := c.Access(r(1, 0, 2))
+	if res.Hits != 1 || len(res.ReadMisses) != 1 {
+		t.Fatalf("read path: %+v", res)
+	}
+	if c.Len() != 1 {
+		t.Fatal("read inserted")
+	}
+}

@@ -1,0 +1,73 @@
+package cache
+
+import "testing"
+
+func TestFABGroupsByBlock(t *testing.T) {
+	c := NewFAB(16, 4)
+	c.Access(w(0, 0, 2)) // block 0
+	c.Access(w(1, 5, 1)) // block 1
+	c.Access(w(2, 2, 1)) // block 0 again
+	if c.NodeCount() != 2 {
+		t.Fatalf("groups = %d, want 2", c.NodeCount())
+	}
+	if c.Len() != 4 {
+		t.Fatalf("pages = %d, want 4", c.Len())
+	}
+}
+
+func TestFABEvictsLargestGroup(t *testing.T) {
+	c := NewFAB(4, 4)
+	c.Access(w(0, 0, 3)) // block 0: 3 pages
+	c.Access(w(1, 4, 1)) // block 1: 1 page
+	res := c.Access(w(2, 8, 1))
+	if len(res.Evictions) != 1 {
+		t.Fatalf("evictions: %+v", res.Evictions)
+	}
+	ev := res.Evictions[0]
+	if len(ev.LPNs) != 3 || ev.LPNs[0] != 0 || ev.LPNs[2] != 2 {
+		t.Fatalf("evicted %v, want block 0's pages", ev.LPNs)
+	}
+	if !ev.BlockBound {
+		t.Fatal("FAB flush should be block-bound")
+	}
+}
+
+func TestFABTieBreaksOldest(t *testing.T) {
+	c := NewFAB(4, 4)
+	c.Access(w(0, 0, 2)) // block 0, older
+	c.Access(w(1, 4, 2)) // block 1, newer
+	res := c.Access(w(2, 8, 1))
+	if got := res.Evictions[0].LPNs; got[0] != 0 {
+		t.Fatalf("tie evicted %v, want oldest group (block 0)", got)
+	}
+}
+
+func TestFABHitDoesNotDuplicate(t *testing.T) {
+	c := NewFAB(8, 4)
+	c.Access(w(0, 0, 2))
+	res := c.Access(w(1, 0, 2))
+	if res.Hits != 2 || c.Len() != 2 {
+		t.Fatalf("rewrite duplicated pages: %+v len=%d", res, c.Len())
+	}
+}
+
+func TestFABReadPath(t *testing.T) {
+	c := NewFAB(8, 4)
+	c.Access(w(0, 0, 1))
+	res := c.Access(r(1, 0, 2))
+	if res.Hits != 1 || len(res.ReadMisses) != 1 || res.ReadMisses[0] != 1 {
+		t.Fatalf("read path wrong: %+v", res)
+	}
+}
+
+func TestSortLPNs(t *testing.T) {
+	lpns := []int64{5, 1, 4, 1, 3}
+	sortLPNs(lpns)
+	want := []int64{1, 1, 3, 4, 5}
+	for i := range want {
+		if lpns[i] != want[i] {
+			t.Fatalf("sorted = %v", lpns)
+		}
+	}
+	sortLPNs(nil) // must not panic
+}

@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Golden-sequence tests: a fixed request stream drives each policy and the
+// exact eviction transcript is compared against a recorded expectation.
+// These lock the replacement behavior down to the page — any change to a
+// policy's ordering rules shows up as a diff here.
+
+// goldenStream is a small scripted workload with rewrites, reads and a
+// stream of one-touch data.
+func goldenStream() []Request {
+	var reqs []Request
+	add := func(wr bool, lpn int64, pages int) {
+		reqs = append(reqs, Request{
+			Time:  int64(len(reqs)) * 1000,
+			Write: wr, LPN: lpn, Pages: pages,
+		})
+	}
+	add(true, 0, 2)   // hot pair
+	add(true, 100, 4) // cold batch
+	add(true, 0, 2)   // rewrite hot
+	add(true, 200, 3) // cold batch
+	add(false, 1, 1)  // read hit
+	add(true, 300, 4) // overflow begins (capacity 12)
+	add(true, 400, 2)
+	add(false, 0, 2) // read hot again
+	add(true, 500, 4)
+	return reqs
+}
+
+// transcript renders the eviction history compactly: one token per
+// eviction op listing its pages.
+func transcript(p Policy, reqs []Request) string {
+	var b strings.Builder
+	for _, req := range reqs {
+		res := p.Access(req)
+		for _, ev := range res.Evictions {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			if ev.CleanDrop {
+				b.WriteByte('~')
+			}
+			for i, lpn := range ev.LPNs {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprint(&b, lpn)
+			}
+		}
+	}
+	return b.String()
+}
+
+func TestGoldenEvictionTranscripts(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy Policy
+		want   string
+	}{
+		// Capacity 12 pages everywhere; block-granularity policies use
+		// 4-page blocks.
+		{"LRU", NewLRU(12),
+			// 0,1 rewritten at t=2 and page 1 read at t=4, so the cold
+			// batches go in insertion order: 100..103, then 200..202.
+			"100 101 102 103 200 201 202"},
+		{"FIFO", NewFIFO(12),
+			// Pure insertion order: the hot pair goes first despite reuse.
+			"0 1 100 101 102 103 200"},
+		{"BPLRU", NewBPLRU(12, 4),
+			// Block LRU evicts block 100..103 first; block 300..303 was
+			// written fully sequentially, so LRU compensation parks it at
+			// the tail and it goes next — before the older blocks.
+			"100,101,102,103 300,301,302,303"},
+		{"VBBMS", NewVBBMS(12),
+			// Every request here is ≤ 4 pages < the 5-page sequential
+			// bound, so all traffic shares the 7-page random region and
+			// evictions are 3-page-aligned virtual blocks (or fragments).
+			"100,101 102,103 200 201,202 0,1 300,301,302"},
+		{"PUD-LRU", NewPUDLRU(12, 4),
+			// Largest predicted update distance first: the cold 100-block
+			// ties the hot 0-block but sits nearer the tail; the hot pair
+			// ages out next because it was never updated after t=2.
+			"100,101,102,103 0,1 200,201,202"},
+		{"LFU", NewLFU(12),
+			// The hot pair reaches count 3+; everything else sits in the
+			// frequency-1 bucket and leaves LRU-within-bucket.
+			"100 101 102 103 200 201 202"},
+		{"CFLRU", NewCFLRU(12),
+			// All buffered pages are dirty (the reads hit), so CFLRU
+			// behaves as plain LRU here.
+			"100 101 102 103 200 201 202"},
+		{"ECR", NewECR(12, 4),
+			// No device view: fallback round-robin over the four channel
+			// lists, evicting each channel's LRU page in turn.
+			"100 101 102 103 200 201 202"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := transcript(tc.policy, goldenStream())
+			if got != tc.want {
+				t.Fatalf("eviction transcript changed:\n got: %s\nwant: %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenListOrderLRU locks the internal recency order, not only the
+// evictions.
+func TestGoldenListOrderLRU(t *testing.T) {
+	c := NewLRU(12)
+	for _, req := range goldenStream()[:5] {
+		c.Access(req)
+	}
+	var order []int64
+	for n := c.order.Head(); n != nil; n = n.Next() {
+		order = append(order, n.Value.lpn)
+	}
+	// Only page 1 was read at t=4, so it alone moved ahead of the t=3
+	// batch; page 0 still sits at its t=2 rewrite position.
+	want := []int64{1, 202, 201, 200, 0, 103, 102, 101, 100}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cache
+
+import "repro/internal/list"
+
+// lfuEntry is one cached page together with its reference count.
+type lfuEntry struct {
+	lpn  int64
+	freq int64
+	// bucket points at the frequency bucket this page currently lives in.
+	bucket *list.Node[*lfuBucket]
+}
+
+// lfuBucket groups pages with equal reference counts; within a bucket
+// pages are LRU-ordered so ties evict the least recently used page.
+type lfuBucket struct {
+	freq  int64
+	pages list.List[*lfuEntry]
+}
+
+// LFU is a page-granularity least-frequently-used write buffer using the
+// classic O(1) frequency-bucket structure. It rounds out the "traditional
+// schemes" the paper's related-work section names (FIFO, LRU, LFU).
+type LFU struct {
+	capacity int
+	pages    map[int64]*list.Node[*lfuEntry]
+	// buckets is ordered by ascending frequency; head = lowest.
+	buckets list.List[*lfuBucket]
+}
+
+// NewLFU returns a page-level LFU buffer with the given capacity in pages.
+func NewLFU(capacityPages int) *LFU {
+	ValidateCapacity(capacityPages)
+	return &LFU{
+		capacity: capacityPages,
+		pages:    make(map[int64]*list.Node[*lfuEntry], capacityPages),
+	}
+}
+
+// Name implements Policy.
+func (c *LFU) Name() string { return "LFU" }
+
+// Len implements Policy.
+func (c *LFU) Len() int { return len(c.pages) }
+
+// CapacityPages implements Policy.
+func (c *LFU) CapacityPages() int { return c.capacity }
+
+// NodeBytes implements Policy: an LFU node carries a pointer and a counter
+// beyond the 12-byte LRU node.
+func (c *LFU) NodeBytes() int { return 16 }
+
+// NodeCount implements Policy.
+func (c *LFU) NodeCount() int { return len(c.pages) }
+
+// Access implements Policy.
+func (c *LFU) Access(req Request) Result {
+	CheckRequest(req)
+	var res Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if n, ok := c.pages[lpn]; ok {
+			res.Hits++
+			c.promote(n)
+		} else {
+			res.Misses++
+			if req.Write {
+				for len(c.pages) >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evictOne())
+				}
+				c.insert(lpn)
+				res.Inserted++
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// insert places a new page in the frequency-1 bucket.
+func (c *LFU) insert(lpn int64) {
+	e := &lfuEntry{lpn: lpn, freq: 1}
+	b := c.buckets.Head()
+	if b == nil || b.Value.freq != 1 {
+		nb := &list.Node[*lfuBucket]{Value: &lfuBucket{freq: 1}}
+		if b == nil {
+			c.buckets.PushHead(nb)
+		} else {
+			c.buckets.InsertBefore(nb, b)
+		}
+		b = nb
+	}
+	e.bucket = b
+	n := &list.Node[*lfuEntry]{Value: e}
+	b.Value.pages.PushHead(n)
+	c.pages[lpn] = n
+}
+
+// promote moves a hit page to the next frequency bucket.
+func (c *LFU) promote(n *list.Node[*lfuEntry]) {
+	e := n.Value
+	cur := e.bucket
+	next := cur.Next()
+	e.freq++
+	cur.Value.pages.Remove(n)
+	if next == nil || next.Value.freq != e.freq {
+		nb := &list.Node[*lfuBucket]{Value: &lfuBucket{freq: e.freq}}
+		c.buckets.InsertAfter(nb, cur)
+		next = nb
+	}
+	if cur.Value.pages.Len() == 0 {
+		c.buckets.Remove(cur)
+	}
+	e.bucket = next
+	next.Value.pages.PushHead(n)
+}
+
+// evictOne flushes the least-recently-used page of the lowest-frequency
+// bucket.
+func (c *LFU) evictOne() Eviction {
+	b := c.buckets.Head()
+	if b == nil {
+		panic("cache: LFU evict on empty cache")
+	}
+	n := b.Value.pages.PopTail()
+	if b.Value.pages.Len() == 0 {
+		c.buckets.Remove(b)
+	}
+	delete(c.pages, n.Value.lpn)
+	return Eviction{LPNs: []int64{n.Value.lpn}}
+}
+
+// Contains reports whether a page is buffered (tests).
+func (c *LFU) Contains(lpn int64) bool {
+	_, ok := c.pages[lpn]
+	return ok
+}
+
+// Freq returns the reference count of a buffered page, 0 if absent (tests).
+func (c *LFU) Freq(lpn int64) int64 {
+	if n, ok := c.pages[lpn]; ok {
+		return n.Value.freq
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package cache
+
+import "testing"
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	c := NewLFU(3)
+	c.Access(w(0, 1, 1))
+	c.Access(w(1, 2, 1))
+	c.Access(w(2, 3, 1))
+	c.Access(w(3, 1, 1)) // freq(1)=2
+	c.Access(w(4, 3, 1)) // freq(3)=2
+	res := c.Access(w(5, 4, 1))
+	if got := evictedLPNs(res); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", got)
+	}
+}
+
+func TestLFUTieBreaksLRU(t *testing.T) {
+	c := NewLFU(2)
+	c.Access(w(0, 1, 1))
+	c.Access(w(1, 2, 1))
+	// Both freq 1; page 1 is older in the freq-1 bucket.
+	res := c.Access(w(2, 3, 1))
+	if got := evictedLPNs(res); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", got)
+	}
+}
+
+func TestLFUFrequencyTracking(t *testing.T) {
+	c := NewLFU(4)
+	c.Access(w(0, 9, 1))
+	c.Access(r(1, 9, 1))
+	c.Access(w(2, 9, 1))
+	if f := c.Freq(9); f != 3 {
+		t.Fatalf("Freq = %d, want 3", f)
+	}
+	if c.Freq(1234) != 0 {
+		t.Fatal("absent page should report freq 0")
+	}
+}
+
+func TestLFUReadMissesBypass(t *testing.T) {
+	c := NewLFU(4)
+	res := c.Access(r(0, 5, 3))
+	if len(res.ReadMisses) != 3 || c.Len() != 0 {
+		t.Fatalf("read misses mishandled: %+v len=%d", res, c.Len())
+	}
+}
+
+func TestLFUBucketChurn(t *testing.T) {
+	// Drive a page through many promotions and ensure structure holds.
+	c := NewLFU(2)
+	c.Access(w(0, 1, 1))
+	for i := 0; i < 50; i++ {
+		c.Access(w(int64(i+1), 1, 1))
+	}
+	if c.Freq(1) != 51 {
+		t.Fatalf("Freq = %d, want 51", c.Freq(1))
+	}
+	c.Access(w(100, 2, 1))
+	c.Access(w(101, 3, 1)) // must evict page 2 (freq 1), never page 1
+	if !c.Contains(1) {
+		t.Fatal("hot page evicted")
+	}
+	if c.Contains(2) {
+		t.Fatal("cold page survived")
+	}
+}

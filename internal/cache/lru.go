@@ -1,0 +1,111 @@
+package cache
+
+import "repro/internal/list"
+
+// lruEntry is the payload of one page node in the LRU/FIFO lists.
+type lruEntry struct {
+	lpn int64
+}
+
+// LRU is the classic page-granularity least-recently-used write buffer: any
+// page hit moves the page to the head; eviction flushes the single tail
+// page. It is the paper's primary baseline.
+type LRU struct {
+	capacity  int
+	pages     map[int64]*list.Node[lruEntry]
+	order     list.List[lruEntry]
+	moveOnHit bool // false turns this into FIFO
+	name      string
+}
+
+// NewLRU returns a page-level LRU buffer with the given capacity in pages.
+func NewLRU(capacityPages int) *LRU {
+	ValidateCapacity(capacityPages)
+	return &LRU{
+		capacity:  capacityPages,
+		pages:     make(map[int64]*list.Node[lruEntry], capacityPages),
+		moveOnHit: true,
+		name:      "LRU",
+	}
+}
+
+// NewFIFO returns a page-level first-in-first-out buffer: hits do not
+// reorder, eviction flushes the oldest inserted page.
+func NewFIFO(capacityPages int) *LRU {
+	l := NewLRU(capacityPages)
+	l.moveOnHit = false
+	l.name = "FIFO"
+	return l
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return c.name }
+
+// Len implements Policy.
+func (c *LRU) Len() int { return len(c.pages) }
+
+// CapacityPages implements Policy.
+func (c *LRU) CapacityPages() int { return c.capacity }
+
+// NodeBytes implements Policy: the paper's Fig. 12 charges 12 bytes per
+// page node for LRU-class lists.
+func (c *LRU) NodeBytes() int { return 12 }
+
+// NodeCount implements Policy.
+func (c *LRU) NodeCount() int { return c.order.Len() }
+
+// Access implements Policy, walking the request page by page exactly like
+// the paper's Algorithm 1 main loop.
+func (c *LRU) Access(req Request) Result {
+	CheckRequest(req)
+	var res Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if n, ok := c.pages[lpn]; ok {
+			res.Hits++
+			if c.moveOnHit {
+				c.order.MoveToHead(n)
+			}
+		} else {
+			res.Misses++
+			if req.Write {
+				for len(c.pages) >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evictOne())
+				}
+				n := &list.Node[lruEntry]{Value: lruEntry{lpn: lpn}}
+				c.order.PushHead(n)
+				c.pages[lpn] = n
+				res.Inserted++
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// evictOne flushes the tail page.
+func (c *LRU) evictOne() Eviction {
+	n := c.order.PopTail()
+	if n == nil {
+		panic("cache: LRU evict on empty list")
+	}
+	delete(c.pages, n.Value.lpn)
+	return Eviction{LPNs: []int64{n.Value.lpn}}
+}
+
+// Contains reports whether a page is buffered (tests).
+func (c *LRU) Contains(lpn int64) bool {
+	_, ok := c.pages[lpn]
+	return ok
+}
+
+// EvictIdle implements cache.IdleEvictor: during idle time the LRU tail
+// page is flushed, as long as the buffer is more than half full.
+func (c *LRU) EvictIdle(now int64) (Eviction, bool) {
+	if len(c.pages) <= c.capacity/2 {
+		return Eviction{}, false
+	}
+	return c.evictOne(), true
+}

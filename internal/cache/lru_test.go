@@ -1,0 +1,154 @@
+package cache
+
+import "testing"
+
+// w and r build single-shot requests for tests.
+func w(time, lpn int64, pages int) Request {
+	return Request{Time: time, Write: true, LPN: lpn, Pages: pages}
+}
+
+func r(time, lpn int64, pages int) Request {
+	return Request{Time: time, Write: false, LPN: lpn, Pages: pages}
+}
+
+// evictedLPNs flattens all eviction batches of a result.
+func evictedLPNs(res Result) []int64 {
+	var out []int64
+	for _, ev := range res.Evictions {
+		out = append(out, ev.LPNs...)
+	}
+	return out
+}
+
+func TestLRUWriteMissInserts(t *testing.T) {
+	c := NewLRU(4)
+	res := c.Access(w(0, 10, 2))
+	if res.Hits != 0 || res.Misses != 2 || res.Inserted != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if c.Len() != 2 || !c.Contains(10) || !c.Contains(11) {
+		t.Fatal("pages not inserted")
+	}
+}
+
+func TestLRUWriteHitNoReinsert(t *testing.T) {
+	c := NewLRU(4)
+	c.Access(w(0, 10, 2))
+	res := c.Access(w(1, 10, 2))
+	if res.Hits != 2 || res.Inserted != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRU(3)
+	c.Access(w(0, 1, 1))
+	c.Access(w(1, 2, 1))
+	c.Access(w(2, 3, 1))
+	c.Access(w(3, 1, 1)) // touch 1: order now 1,3,2
+	res := c.Access(w(4, 4, 1))
+	if got := evictedLPNs(res); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", got)
+	}
+	if c.Contains(2) || !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("cache contents wrong after eviction")
+	}
+}
+
+func TestLRUReadHitRefreshesRecency(t *testing.T) {
+	c := NewLRU(2)
+	c.Access(w(0, 1, 1))
+	c.Access(w(1, 2, 1))
+	c.Access(r(2, 1, 1)) // read hit moves 1 to head
+	res := c.Access(w(3, 3, 1))
+	if got := evictedLPNs(res); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", got)
+	}
+}
+
+func TestLRUReadMissDoesNotInsert(t *testing.T) {
+	c := NewLRU(4)
+	res := c.Access(r(0, 7, 2))
+	if res.Hits != 0 || res.Misses != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.ReadMisses) != 2 || res.ReadMisses[0] != 7 || res.ReadMisses[1] != 8 {
+		t.Fatalf("ReadMisses = %v", res.ReadMisses)
+	}
+	if c.Len() != 0 {
+		t.Fatal("read miss inserted pages into a write buffer")
+	}
+}
+
+func TestLRUEvictionsAreSinglePages(t *testing.T) {
+	c := NewLRU(2)
+	c.Access(w(0, 0, 2))
+	res := c.Access(w(1, 10, 2))
+	if len(res.Evictions) != 2 {
+		t.Fatalf("evictions = %d, want 2", len(res.Evictions))
+	}
+	for _, ev := range res.Evictions {
+		if len(ev.LPNs) != 1 || ev.BlockBound || ev.CleanDrop {
+			t.Fatalf("LRU eviction malformed: %+v", ev)
+		}
+	}
+}
+
+func TestLRURequestLargerThanCache(t *testing.T) {
+	c := NewLRU(4)
+	res := c.Access(w(0, 0, 10))
+	if res.Inserted != 10 {
+		t.Fatalf("Inserted = %d", res.Inserted)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want full capacity", c.Len())
+	}
+	// The last 4 pages of the request must be resident.
+	for lpn := int64(6); lpn < 10; lpn++ {
+		if !c.Contains(lpn) {
+			t.Fatalf("tail page %d missing", lpn)
+		}
+	}
+}
+
+func TestLRUNodeAccounting(t *testing.T) {
+	c := NewLRU(8)
+	c.Access(w(0, 0, 5))
+	if c.NodeCount() != 5 || c.NodeBytes() != 12 {
+		t.Fatalf("nodes = %d × %dB", c.NodeCount(), c.NodeBytes())
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	c := NewFIFO(2)
+	c.Access(w(0, 1, 1))
+	c.Access(w(1, 2, 1))
+	c.Access(w(2, 1, 1)) // hit on 1 must NOT refresh it
+	res := c.Access(w(3, 3, 1))
+	if got := evictedLPNs(res); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FIFO evicted %v, want [1] (oldest insert)", got)
+	}
+	if c.Name() != "FIFO" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestPolicyPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLRU(0) },
+		func() { NewLRU(4).Access(Request{Write: true, LPN: 0, Pages: 0}) },
+		func() { NewLRU(4).Access(Request{Write: true, LPN: -1, Pages: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,174 @@
+package cache
+
+import "repro/internal/list"
+
+// raEntry is one page of the read cache.
+type raEntry struct {
+	lpn        int64
+	prefetched bool // brought in by readahead, not yet demanded
+}
+
+// ReadAhead composes any write-buffer policy with a small sequential
+// readahead read cache, in the spirit of the pattern-based prefetching
+// work the paper builds on (Li et al., ACM TOS'22, its citation [12]):
+// the DRAM holds the write buffer plus a read region that absorbs
+// repeated reads and prefetches ahead of detected sequential read
+// streams.
+//
+// Semantics:
+//
+//   - Writes go to the inner write buffer untouched; any read-cache copy
+//     of a written page is dropped (the buffer now holds newer data).
+//   - A read hits the write buffer first, then the read cache.
+//   - A read miss is fetched from flash and cached in the read region.
+//   - A read that continues one of the recently seen streams triggers a
+//     background prefetch of the next PrefetchDepth pages; prefetched
+//     pages do not block the triggering request.
+//
+// The read region is managed by LRU and evicts silently (clean data).
+type ReadAhead struct {
+	inner Policy
+
+	readCap       int
+	prefetchDepth int
+	pages         map[int64]*list.Node[raEntry]
+	order         list.List[raEntry] // head = most recent
+
+	// streams holds the end LPNs of recent read runs for sequential
+	// detection.
+	streams [4]int64
+
+	// Stats.
+	readHits     int64 // hits served by the read region
+	prefetchHits int64 // first demand hits on prefetched pages
+	prefetched   int64 // pages prefetched
+}
+
+// NewReadAhead wraps inner with a read cache of readPages pages that
+// prefetches prefetchDepth pages ahead of sequential read streams.
+func NewReadAhead(inner Policy, readPages, prefetchDepth int) *ReadAhead {
+	ValidateCapacity(readPages)
+	if prefetchDepth < 0 {
+		prefetchDepth = 0
+	}
+	return &ReadAhead{
+		inner:         inner,
+		readCap:       readPages,
+		prefetchDepth: prefetchDepth,
+		pages:         make(map[int64]*list.Node[raEntry], readPages),
+	}
+}
+
+// Name implements Policy.
+func (c *ReadAhead) Name() string { return c.inner.Name() + "+RA" }
+
+// Len implements Policy: write-buffer pages plus read-region pages.
+func (c *ReadAhead) Len() int { return c.inner.Len() + len(c.pages) }
+
+// CapacityPages implements Policy.
+func (c *ReadAhead) CapacityPages() int { return c.inner.CapacityPages() + c.readCap }
+
+// NodeBytes implements Policy (the read region uses LRU-sized nodes; the
+// dominant metadata is the inner policy's).
+func (c *ReadAhead) NodeBytes() int { return c.inner.NodeBytes() }
+
+// NodeCount implements Policy.
+func (c *ReadAhead) NodeCount() int { return c.inner.NodeCount() + c.order.Len() }
+
+// ReadRegionLen returns the pages held by the read cache (tests).
+func (c *ReadAhead) ReadRegionLen() int { return len(c.pages) }
+
+// Stats returns (read-region hits, prefetch first-hits, pages prefetched).
+func (c *ReadAhead) Stats() (readHits, prefetchHits, prefetched int64) {
+	return c.readHits, c.prefetchHits, c.prefetched
+}
+
+// Access implements Policy.
+func (c *ReadAhead) Access(req Request) Result {
+	CheckRequest(req)
+	if req.Write {
+		// Drop stale read-cache copies, then delegate.
+		lpn := req.LPN
+		for i := 0; i < req.Pages; i++ {
+			if n, ok := c.pages[lpn]; ok {
+				c.order.Remove(n)
+				delete(c.pages, lpn)
+			}
+			lpn++
+		}
+		return c.inner.Access(req)
+	}
+	// Read: write buffer first (per page), then the read region.
+	res := c.inner.Access(req)
+	// The inner policy reported misses for pages it does not hold; the
+	// read region may still satisfy them.
+	var stillMissing []int64
+	for _, lpn := range res.ReadMisses {
+		if n, ok := c.pages[lpn]; ok {
+			res.Hits++
+			res.Misses--
+			c.readHits++
+			if n.Value.prefetched {
+				c.prefetchHits++
+				n.Value.prefetched = false
+			}
+			c.order.MoveToHead(n)
+		} else {
+			stillMissing = append(stillMissing, lpn)
+			c.insertRead(lpn, false)
+		}
+	}
+	res.ReadMisses = stillMissing
+	// Sequential stream detection and readahead.
+	if c.prefetchDepth > 0 {
+		if c.continuesStream(req.LPN) {
+			next := req.LPN + int64(req.Pages)
+			for i := 0; i < c.prefetchDepth; i++ {
+				lpn := next + int64(i)
+				if _, ok := c.pages[lpn]; ok {
+					continue
+				}
+				res.Prefetches = append(res.Prefetches, lpn)
+				c.insertRead(lpn, true)
+				c.prefetched++
+			}
+		}
+		c.noteStream(req.LPN + int64(req.Pages))
+	}
+	return res
+}
+
+// insertRead adds a page to the read region, silently evicting its LRU
+// tail when full.
+func (c *ReadAhead) insertRead(lpn int64, prefetched bool) {
+	if n, ok := c.pages[lpn]; ok {
+		c.order.MoveToHead(n)
+		return
+	}
+	for len(c.pages) >= c.readCap {
+		tail := c.order.PopTail()
+		delete(c.pages, tail.Value.lpn)
+	}
+	n := &list.Node[raEntry]{Value: raEntry{lpn: lpn, prefetched: prefetched}}
+	c.order.PushHead(n)
+	c.pages[lpn] = n
+}
+
+// continuesStream reports whether a read starting at lpn continues one of
+// the recent read runs.
+func (c *ReadAhead) continuesStream(lpn int64) bool {
+	for _, end := range c.streams {
+		if end != 0 && lpn == end {
+			return true
+		}
+	}
+	return false
+}
+
+// noteStream records a read run's end, displacing the oldest slot.
+func (c *ReadAhead) noteStream(end int64) {
+	copy(c.streams[:], c.streams[1:])
+	c.streams[len(c.streams)-1] = end
+}
+
+var _ Policy = (*ReadAhead)(nil)

@@ -1,0 +1,127 @@
+package cache
+
+import "testing"
+
+func newRA(readPages, depth int) *ReadAhead {
+	return NewReadAhead(NewLRU(32), readPages, depth)
+}
+
+func TestReadAheadCachesReadMisses(t *testing.T) {
+	c := newRA(8, 0)
+	res := c.Access(r(0, 10, 2))
+	if res.Misses != 2 || len(res.ReadMisses) != 2 {
+		t.Fatalf("first read: %+v", res)
+	}
+	res = c.Access(r(1, 10, 2))
+	if res.Hits != 2 || len(res.ReadMisses) != 0 {
+		t.Fatalf("repeat read should hit the read region: %+v", res)
+	}
+	readHits, _, _ := c.Stats()
+	if readHits != 2 {
+		t.Fatalf("readHits = %d", readHits)
+	}
+}
+
+func TestReadAheadWriteBufferHasPriority(t *testing.T) {
+	c := newRA(8, 0)
+	c.Access(w(0, 5, 1))        // write buffer holds page 5
+	res := c.Access(r(1, 5, 1)) // must hit the write buffer, not miss
+	if res.Hits != 1 {
+		t.Fatalf("write-buffer hit lost: %+v", res)
+	}
+	if c.ReadRegionLen() != 0 {
+		t.Fatal("write-buffer hit should not populate the read region")
+	}
+}
+
+func TestReadAheadSequentialPrefetch(t *testing.T) {
+	c := newRA(32, 4)
+	c.Access(r(0, 100, 2)) // establishes stream ending at 102
+	res := c.Access(r(1, 102, 2))
+	if len(res.Prefetches) != 4 {
+		t.Fatalf("prefetches = %v, want 4 pages", res.Prefetches)
+	}
+	if res.Prefetches[0] != 104 || res.Prefetches[3] != 107 {
+		t.Fatalf("prefetch range = %v, want [104..107]", res.Prefetches)
+	}
+	// The prefetched pages now hit without flash reads.
+	res = c.Access(r(2, 104, 2))
+	if res.Hits != 2 || len(res.ReadMisses) != 0 {
+		t.Fatalf("prefetched pages missed: %+v", res)
+	}
+	_, pfHits, pfTotal := c.Stats()
+	// The read of 104..105 itself continues the stream and prefetches
+	// 108,109 (106,107 are already cached): 4 + 2 prefetched in total.
+	if pfHits != 2 || pfTotal != 6 {
+		t.Fatalf("prefetch stats = %d/%d, want 2/6", pfHits, pfTotal)
+	}
+}
+
+func TestReadAheadRandomReadsNoPrefetch(t *testing.T) {
+	c := newRA(32, 4)
+	c.Access(r(0, 100, 2))
+	res := c.Access(r(1, 500, 2)) // unrelated address
+	if len(res.Prefetches) != 0 {
+		t.Fatalf("random read triggered prefetch: %v", res.Prefetches)
+	}
+}
+
+func TestReadAheadWriteInvalidatesReadCopy(t *testing.T) {
+	c := newRA(8, 0)
+	c.Access(r(0, 7, 1)) // cached in read region
+	if c.ReadRegionLen() != 1 {
+		t.Fatal("setup failed")
+	}
+	c.Access(w(1, 7, 1)) // write supersedes
+	if c.ReadRegionLen() != 0 {
+		t.Fatal("stale read copy kept after write")
+	}
+	// Read now hits the write buffer.
+	res := c.Access(r(2, 7, 1))
+	if res.Hits != 1 {
+		t.Fatalf("read after write: %+v", res)
+	}
+}
+
+func TestReadAheadRegionCapacity(t *testing.T) {
+	c := newRA(4, 0)
+	for i := int64(0); i < 10; i++ {
+		c.Access(r(i, i*100, 1))
+	}
+	if c.ReadRegionLen() != 4 {
+		t.Fatalf("read region = %d pages, want 4", c.ReadRegionLen())
+	}
+	// Oldest entries evicted silently: re-reading page 0 misses again.
+	res := c.Access(r(100, 0, 1))
+	if res.Hits != 0 {
+		t.Fatal("evicted read page still hit")
+	}
+}
+
+func TestReadAheadDelegatesWritesUntouched(t *testing.T) {
+	inner := NewLRU(2)
+	c := NewReadAhead(inner, 4, 2)
+	res := c.Access(w(0, 0, 3)) // overflows the inner buffer → evictions
+	if res.Inserted != 3 || len(res.Evictions) == 0 {
+		t.Fatalf("inner write semantics lost: %+v", res)
+	}
+	if c.Name() != "LRU+RA" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if c.CapacityPages() != 6 || c.NodeBytes() != inner.NodeBytes() {
+		t.Fatal("capacity/node accounting wrong")
+	}
+}
+
+func TestReadAheadPrefetchDeduplicates(t *testing.T) {
+	c := newRA(32, 4)
+	c.Access(r(0, 100, 2))
+	c.Access(r(1, 102, 2)) // prefetches 104..107
+	res := c.Access(r(2, 104, 2))
+	// 106,107 already cached; prefetch of 106..109 must only add 108,109.
+	for _, lpn := range res.Prefetches {
+		if lpn < 108 {
+			t.Fatalf("re-prefetched cached page %d", lpn)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import "repro/internal/cache"
+
+// AdaptiveReqBlock wraps Req-block with an online δ controller — the
+// extension the paper's sensitivity study (§4.2.1) implies: δ=5 is chosen
+// offline from a sweep, but the best bound differs per workload, so a
+// deployed device should find it itself.
+//
+// The controller hill-climbs: it measures the hit ratio over fixed-size
+// epochs of page accesses and nudges δ one step in the direction that
+// last improved it, reversing on regression. Because δ only influences
+// *future* upgrade decisions (existing blocks keep their list placement),
+// retuning is cheap and safe at any moment.
+type AdaptiveReqBlock struct {
+	*ReqBlock
+
+	epochAccesses int64 // epoch length in page accesses
+
+	// Controller state.
+	accesses, hits int64   // within the current epoch
+	lastRatio      float64 // previous epoch's hit ratio
+	direction      int     // +1 or -1: current search direction
+	haveBaseline   bool
+	// History of (delta, hitRatio) pairs for diagnostics.
+	epochs []EpochStat
+}
+
+// EpochStat records one adaptation epoch.
+type EpochStat struct {
+	Delta    int
+	HitRatio float64
+}
+
+// DeltaBounds clamp the search: δ=1 degenerates to page-granular SRL and
+// very large δ stops separating small from large requests.
+const (
+	MinDelta = 1
+	MaxDelta = 16
+)
+
+// NewAdaptive returns an adaptive Req-block buffer. epochAccesses is the
+// adaptation period in page accesses (e.g. a few times the cache size);
+// values below 1 default to 4× the capacity.
+func NewAdaptive(capacityPages int, epochAccesses int64) *AdaptiveReqBlock {
+	if epochAccesses < 1 {
+		epochAccesses = int64(4 * capacityPages)
+	}
+	return &AdaptiveReqBlock{
+		ReqBlock:      New(capacityPages),
+		epochAccesses: epochAccesses,
+		direction:     +1,
+	}
+}
+
+// Name implements cache.Policy.
+func (c *AdaptiveReqBlock) Name() string { return "Req-block-adaptive" }
+
+// Access implements cache.Policy, delegating to Req-block and running the
+// δ controller on epoch boundaries.
+func (c *AdaptiveReqBlock) Access(req cache.Request) cache.Result {
+	res := c.ReqBlock.Access(req)
+	c.accesses += int64(res.Hits + res.Misses)
+	c.hits += int64(res.Hits)
+	if c.accesses >= c.epochAccesses {
+		c.adapt()
+	}
+	return res
+}
+
+// adapt closes the epoch and moves δ by one step.
+func (c *AdaptiveReqBlock) adapt() {
+	ratio := 0.0
+	if c.accesses > 0 {
+		ratio = float64(c.hits) / float64(c.accesses)
+	}
+	c.epochs = append(c.epochs, EpochStat{Delta: c.cfg.Delta, HitRatio: ratio})
+	switch {
+	case !c.haveBaseline:
+		c.haveBaseline = true
+	case ratio < c.lastRatio:
+		// The last move hurt: reverse.
+		c.direction = -c.direction
+	}
+	next := c.cfg.Delta + c.direction
+	if next < MinDelta {
+		next, c.direction = MinDelta, +1
+	}
+	if next > MaxDelta {
+		next, c.direction = MaxDelta, -1
+	}
+	c.cfg.Delta = next
+	c.lastRatio = ratio
+	c.accesses, c.hits = 0, 0
+}
+
+// Epochs returns the adaptation history (diagnostics and tests).
+func (c *AdaptiveReqBlock) Epochs() []EpochStat { return c.epochs }
+
+var _ cache.Policy = (*AdaptiveReqBlock)(nil)

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestAdaptiveDefaults(t *testing.T) {
+	c := NewAdaptive(256, 0)
+	if c.epochAccesses != 4*256 {
+		t.Fatalf("default epoch = %d", c.epochAccesses)
+	}
+	if c.Name() != "Req-block-adaptive" || c.Delta() != DefaultDelta {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestAdaptiveEpochBoundaries(t *testing.T) {
+	c := NewAdaptive(64, 10)
+	for i := int64(0); i < 35; i++ {
+		c.Access(cache.Request{Time: i, Write: true, LPN: i % 16, Pages: 1})
+	}
+	// 35 accesses with epoch 10 → 3 completed epochs.
+	if got := len(c.Epochs()); got != 3 {
+		t.Fatalf("epochs = %d, want 3", got)
+	}
+	for _, e := range c.Epochs() {
+		if e.Delta < MinDelta || e.Delta > MaxDelta {
+			t.Fatalf("epoch delta %d out of bounds", e.Delta)
+		}
+		if e.HitRatio < 0 || e.HitRatio > 1 {
+			t.Fatalf("epoch hit ratio %v out of range", e.HitRatio)
+		}
+	}
+}
+
+func TestAdaptiveDeltaStaysInBounds(t *testing.T) {
+	c := NewAdaptive(32, 5)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		c.Access(cache.Request{
+			Time:  int64(i) * 100,
+			Write: rng.Intn(10) < 8,
+			LPN:   rng.Int63n(256),
+			Pages: 1 + rng.Intn(12),
+		})
+		if d := c.Delta(); d < MinDelta || d > MaxDelta {
+			t.Fatalf("delta %d escaped bounds at op %d", d, i)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if len(c.Epochs()) == 0 {
+		t.Fatal("controller never adapted")
+	}
+}
+
+func TestAdaptiveReversesOnRegression(t *testing.T) {
+	c := NewAdaptive(64, 4)
+	c.haveBaseline = true
+	c.lastRatio = 0.9
+	c.direction = +1
+	startDelta := c.cfg.Delta
+	// Feed an all-miss epoch: ratio 0 < 0.9 → direction must flip and δ
+	// move the other way.
+	for i := int64(0); i < 4; i++ {
+		c.Access(cache.Request{Time: i, Write: true, LPN: 1000 + i*10, Pages: 1})
+	}
+	if c.direction != -1 {
+		t.Fatalf("direction = %d, want -1 after regression", c.direction)
+	}
+	if c.cfg.Delta != startDelta-1 {
+		t.Fatalf("delta = %d, want %d", c.cfg.Delta, startDelta-1)
+	}
+}
+
+func TestAdaptiveConvergesTowardGoodDelta(t *testing.T) {
+	// A workload where small-request protection matters (hot 2-page
+	// requests + cold 12-page streams): the controller must not wander to
+	// the extremes and stay there while hit ratio suffers; after many
+	// epochs its δ should sit in the useful band for 2-page requests.
+	c := NewAdaptive(128, 512)
+	rng := rand.New(rand.NewSource(9))
+	pos := int64(10_000)
+	for i := 0; i < 60_000; i++ {
+		if rng.Intn(10) < 7 {
+			c.Access(cache.Request{Time: int64(i), Write: true, LPN: rng.Int63n(96) * 2, Pages: 2})
+		} else {
+			c.Access(cache.Request{Time: int64(i), Write: true, LPN: pos, Pages: 12})
+			pos += 12
+		}
+	}
+	es := c.Epochs()
+	if len(es) < 20 {
+		t.Fatalf("too few epochs: %d", len(es))
+	}
+	// Average δ over the last half of the run.
+	var sum int
+	tail := es[len(es)/2:]
+	for _, e := range tail {
+		sum += e.Delta
+	}
+	avg := float64(sum) / float64(len(tail))
+	if avg < 1 || avg > 12 {
+		t.Fatalf("late-run mean delta %.1f — controller stuck at an extreme", avg)
+	}
+}
+
+func TestAdaptiveStillReqBlockUnderneath(t *testing.T) {
+	// The wrapper must preserve all Req-block semantics.
+	c := NewAdaptive(64, 1000)
+	c.Access(w(0, 0, 3))
+	c.Access(w(1, 0, 1))
+	if c.WhereIs(0) != "SRL" {
+		t.Fatal("upgrade semantics lost")
+	}
+	mustInv(t, c.ReqBlock)
+}

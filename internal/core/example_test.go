@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// The basic lifecycle: small request blocks are promoted to the SRL on a
+// hit; hit pages of large blocks are divided into the DRL.
+func Example() {
+	buf := core.New(1024) // 1024 pages = 4 MB of 4 KB pages
+
+	// A small write request (2 pages ≤ δ=5) forms one request block.
+	buf.Access(cache.Request{Time: 0, Write: true, LPN: 100, Pages: 2})
+	fmt.Println("after insert:", buf.WhereIs(100))
+
+	// Re-writing it is a hit: the block moves to the Small Request List.
+	res := buf.Access(cache.Request{Time: 1, Write: true, LPN: 100, Pages: 2})
+	fmt.Println("hits:", res.Hits, "now in:", buf.WhereIs(100))
+
+	// A large request (8 pages) stays in IRL; hitting one page divides it.
+	buf.Access(cache.Request{Time: 2, Write: true, LPN: 500, Pages: 8})
+	buf.Access(cache.Request{Time: 3, Write: false, LPN: 502, Pages: 1})
+	fmt.Println("hit page:", buf.WhereIs(502), "remainder:", buf.WhereIs(500))
+
+	// Output:
+	// after insert: IRL
+	// hits: 2 now in: SRL
+	// hit page: DRL remainder: IRL
+}
+
+// Configuring the δ bound and the ablation switches.
+func ExampleNewConfig() {
+	buf := core.NewConfig(1024, core.Config{Delta: 2, Merge: false, Recency: true})
+	buf.Access(cache.Request{Time: 0, Write: true, LPN: 0, Pages: 3})
+	buf.Access(cache.Request{Time: 1, Write: true, LPN: 0, Pages: 1})
+	// 3 pages > δ=2, so the hit page was divided rather than promoted.
+	fmt.Println(buf.WhereIs(0), buf.Delta())
+	// Output: DRL 2
+}

@@ -1,0 +1,293 @@
+package core
+
+// A second, deliberately naive implementation of Algorithm 1, written
+// directly from the paper's pseudocode with plain slices and linear scans
+// — no shared code with the optimized ReqBlock beyond the package's test
+// files. The property test drives both with identical request streams and
+// demands bit-identical behavior: hits, list placement, and every eviction
+// batch. Two independent derivations of the same spec agreeing is the
+// strongest correctness evidence this package has.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+// refBlock is a request block in the reference implementation.
+type refBlock struct {
+	reqID      uint64
+	pages      []int64 // unsorted, unique
+	accessCnt  int64
+	insertTime int64
+	origin     *refBlock
+}
+
+func (b *refBlock) remove(lpn int64) {
+	for i, p := range b.pages {
+		if p == lpn {
+			b.pages = append(b.pages[:i], b.pages[i+1:]...)
+			return
+		}
+	}
+}
+
+// refCache is the literal Algorithm 1 machine. Lists are slices with the
+// head at index 0.
+type refCache struct {
+	capacity int
+	delta    int
+	merge    bool
+	recency  bool
+	irl      []*refBlock
+	srl      []*refBlock
+	drl      []*refBlock
+	nextReq  uint64
+}
+
+func newRef(capacity int, cfg Config) *refCache {
+	return &refCache{capacity: capacity, delta: cfg.Delta, merge: cfg.Merge, recency: cfg.Recency}
+}
+
+func (c *refCache) pageCount() int {
+	n := 0
+	for _, l := range [][]*refBlock{c.irl, c.srl, c.drl} {
+		for _, b := range l {
+			n += len(b.pages)
+		}
+	}
+	return n
+}
+
+// find returns the block holding lpn and which list it is in.
+func (c *refCache) find(lpn int64) (*refBlock, int) {
+	for li, l := range [][]*refBlock{c.irl, c.srl, c.drl} {
+		for _, b := range l {
+			for _, p := range b.pages {
+				if p == lpn {
+					return b, li
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+func removeBlock(l []*refBlock, b *refBlock) []*refBlock {
+	for i, x := range l {
+		if x == b {
+			return append(l[:i], l[i+1:]...)
+		}
+	}
+	return l
+}
+
+func pushHead(l []*refBlock, b *refBlock) []*refBlock {
+	return append([]*refBlock{b}, l...)
+}
+
+func (c *refCache) freq(b *refBlock, now int64) float64 {
+	age := now - b.insertTime
+	if !c.recency {
+		age = 1
+	} else if age < 1 {
+		age = 1
+	}
+	return float64(b.accessCnt) / (float64(len(b.pages)) * float64(age))
+}
+
+// access implements Algorithm 1's main routine, returning per-request
+// (hits, evicted batches).
+func (c *refCache) access(req cache.Request) (hits int, evictions [][]int64) {
+	c.nextReq++
+	reqID := c.nextReq
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if blk, li := c.find(lpn); blk != nil {
+			hits++
+			blk.accessCnt++
+			if len(blk.pages) <= c.delta {
+				// Move whole block to SRL head.
+				switch li {
+				case 0:
+					c.irl = removeBlock(c.irl, blk)
+				case 1:
+					c.srl = removeBlock(c.srl, blk)
+				case 2:
+					c.drl = removeBlock(c.drl, blk)
+				}
+				c.srl = pushHead(c.srl, blk)
+			} else {
+				// Divide: move the page into this request's DRL head block.
+				var dst *refBlock
+				if len(c.drl) > 0 && c.drl[0].reqID == reqID {
+					dst = c.drl[0]
+				} else {
+					origin := blk
+					if li != 0 {
+						origin = blk.origin
+					}
+					dst = &refBlock{reqID: reqID, accessCnt: 1, insertTime: req.Time, origin: origin}
+					c.drl = pushHead(c.drl, dst)
+				}
+				if dst != blk {
+					blk.remove(lpn)
+					dst.pages = append(dst.pages, lpn)
+					if len(blk.pages) == 0 {
+						switch li {
+						case 0:
+							c.irl = removeBlock(c.irl, blk)
+						case 1:
+							c.srl = removeBlock(c.srl, blk)
+						case 2:
+							c.drl = removeBlock(c.drl, blk)
+						}
+					}
+				}
+			}
+		} else if req.Write {
+			for c.pageCount() >= c.capacity {
+				evictions = append(evictions, c.evict(req.Time))
+			}
+			var dst *refBlock
+			if len(c.irl) > 0 && c.irl[0].reqID == reqID {
+				dst = c.irl[0]
+			} else {
+				dst = &refBlock{reqID: reqID, accessCnt: 1, insertTime: req.Time}
+				c.irl = pushHead(c.irl, dst)
+			}
+			dst.pages = append(dst.pages, lpn)
+		}
+		lpn++
+	}
+	return hits, evictions
+}
+
+// evict implements get_victim + flush: compare the three tails, evict the
+// minimum-Freq block, merging a split victim with its IRL origin.
+func (c *refCache) evict(now int64) []int64 {
+	type cand struct {
+		blk  *refBlock
+		list int
+	}
+	var cands []cand
+	if n := len(c.irl); n > 0 {
+		cands = append(cands, cand{c.irl[n-1], 0})
+	}
+	if n := len(c.drl); n > 0 {
+		cands = append(cands, cand{c.drl[n-1], 2})
+	}
+	if n := len(c.srl); n > 0 {
+		cands = append(cands, cand{c.srl[n-1], 1})
+	}
+	victim := cands[0]
+	for _, cd := range cands[1:] {
+		if c.freq(cd.blk, now) < c.freq(victim.blk, now) {
+			victim = cd
+		}
+	}
+	out := append([]int64(nil), victim.blk.pages...)
+	switch victim.list {
+	case 0:
+		c.irl = removeBlock(c.irl, victim.blk)
+	case 1:
+		c.srl = removeBlock(c.srl, victim.blk)
+	case 2:
+		c.drl = removeBlock(c.drl, victim.blk)
+	}
+	if c.merge && victim.list == 2 && victim.blk.origin != nil {
+		// Merge only if the origin still sits in IRL.
+		for _, b := range c.irl {
+			if b == victim.blk.origin {
+				out = append(out, b.pages...)
+				c.irl = removeBlock(c.irl, b)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestReqBlockMatchesReference drives both implementations with identical
+// random streams and demands identical hits and eviction batches.
+func TestReqBlockMatchesReference(t *testing.T) {
+	f := func(seed int64, deltaRaw uint8, merge, recency bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Delta: 1 + int(deltaRaw%7), Merge: merge, Recency: recency}
+		fast := NewConfig(20, cfg)
+		ref := newRef(20, cfg)
+		now := int64(0)
+		for op := 0; op < 300; op++ {
+			now += int64(rng.Intn(5000)) + 1
+			req := cache.Request{
+				Time:  now,
+				Write: rng.Intn(10) < 8,
+				LPN:   rng.Int63n(96),
+				Pages: 1 + rng.Intn(9),
+			}
+			fres := fast.Access(req)
+			rhits, revs := ref.access(req)
+			if fres.Hits != rhits {
+				t.Logf("seed %d op %d: hits %d vs ref %d", seed, op, fres.Hits, rhits)
+				return false
+			}
+			if len(fres.Evictions) != len(revs) {
+				t.Logf("seed %d op %d: %d evictions vs ref %d", seed, op, len(fres.Evictions), len(revs))
+				return false
+			}
+			for i := range revs {
+				a, b := fres.Evictions[i].LPNs, revs[i]
+				if len(a) != len(b) {
+					t.Logf("seed %d op %d ev %d: %v vs ref %v", seed, op, i, a, b)
+					return false
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Logf("seed %d op %d ev %d: %v vs ref %v", seed, op, i, a, b)
+						return false
+					}
+				}
+			}
+			if fast.Len() != ref.pageCount() {
+				t.Logf("seed %d op %d: len %d vs ref %d", seed, op, fast.Len(), ref.pageCount())
+				return false
+			}
+			if err := fast.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+			// Occasionally exercise idle eviction on both models: the fast
+			// path's EvictIdle must equal the reference's evict under the
+			// same more-than-half-full gating.
+			if op%37 == 0 {
+				ev, ok := fast.EvictIdle(now)
+				refShould := ref.pageCount() > 20/2
+				if ok != refShould {
+					t.Logf("seed %d op %d: EvictIdle gating %v vs ref %v", seed, op, ok, refShould)
+					return false
+				}
+				if ok {
+					rev := ref.evict(now)
+					if len(ev.LPNs) != len(rev) {
+						t.Logf("seed %d op %d: idle eviction %v vs ref %v", seed, op, ev.LPNs, rev)
+						return false
+					}
+					for j := range rev {
+						if ev.LPNs[j] != rev[j] {
+							t.Logf("seed %d op %d: idle eviction %v vs ref %v", seed, op, ev.LPNs, rev)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,451 @@
+// Package core implements Req-block, the paper's contribution: a DRAM
+// write-buffer replacement scheme for SSDs that manages cached data at
+// write-request granularity (§3, Algorithm 1).
+//
+// Every write request's pages form one "request block". Three linked lists
+// sift blocks by size and hotness:
+//
+//   - IRL (Inserted Request List): every new request block starts here.
+//   - SRL (Small Request List): a block of at most δ pages moves to the SRL
+//     head when any of its pages is hit (Fig. 5b).
+//   - DRL (Divided Request List): when a page of a *large* block (> δ
+//     pages) is hit, the hit page is split off into a fresh block at the
+//     DRL head (Fig. 5a); consecutive hit pages of the same request share
+//     that block.
+//
+// Eviction compares the three tail blocks by the access-frequency estimate
+// of Eq. 1, Freq = AccessCnt / (PageNum × (Tcur − Tinsert)), and evicts the
+// lowest. A split victim whose original block still sits in IRL is merged
+// with it and the union is evicted in one batch ("downgraded merging",
+// Fig. 6), recovering spatial locality for the flush.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/list"
+)
+
+// DefaultDelta is the small-request bound the paper selects in its
+// sensitivity study (§4.2.1): blocks of at most 5 pages are "small".
+const DefaultDelta = 5
+
+// listID identifies which of the three lists a block lives in.
+type listID uint8
+
+const (
+	inIRL listID = iota
+	inSRL
+	inDRL
+)
+
+func (l listID) String() string {
+	switch l {
+	case inIRL:
+		return "IRL"
+	case inSRL:
+		return "SRL"
+	case inDRL:
+		return "DRL"
+	}
+	return "?"
+}
+
+// reqBlock is one cached request block. The paper's Fig. 12 charges its
+// list node 32 bytes: forward/backward pointers, page count, access count,
+// insert time and the origin link.
+type reqBlock struct {
+	reqID      uint64         // identity of the originating write request
+	pages      map[int64]bool // lpns currently held
+	accessCnt  int64          // hits since insertion, initialized to 1 (Eq. 1)
+	insertTime int64          // Tinsert of Eq. 1, ns
+	where      listID
+	node       *list.Node[*reqBlock]
+	// origin links a split (DRL) block back to the large block it was
+	// divided from, enabling downgraded merging at eviction. It may go
+	// stale (origin evicted or upgraded); users must re-validate.
+	origin *reqBlock
+}
+
+// pageNum returns the block's current page count (PageNum of Eq. 1).
+func (b *reqBlock) pageNum() int { return len(b.pages) }
+
+// Config carries Req-block's tunables; the zero value is not valid, use
+// DefaultConfig.
+type Config struct {
+	// Delta is the small-request bound δ in pages.
+	Delta int
+	// Merge enables downgraded merging of split victims with their IRL
+	// originals (Fig. 6). The ablation bench switches it off.
+	Merge bool
+	// Recency enables the (Tcur − Tinsert) term of Eq. 1. With it off the
+	// victim score degrades to AccessCnt / PageNum (ablation).
+	Recency bool
+}
+
+// DefaultConfig returns the paper's configuration: δ = 5, merging and the
+// recency term enabled.
+func DefaultConfig() Config {
+	return Config{Delta: DefaultDelta, Merge: true, Recency: true}
+}
+
+// ReqBlock is the Req-block write buffer. It implements cache.Policy.
+type ReqBlock struct {
+	capacity  int
+	cfg       Config
+	pageCount int
+	index     map[int64]*reqBlock // lpn -> containing block
+	irl       list.List[*reqBlock]
+	srl       list.List[*reqBlock]
+	drl       list.List[*reqBlock]
+	listPages [3]int // buffered pages per list (Fig. 13 gauge)
+	nextReq   uint64
+}
+
+var _ cache.Policy = (*ReqBlock)(nil)
+var _ cache.OccupancyReporter = (*ReqBlock)(nil)
+
+// New returns a Req-block buffer with the paper's default configuration.
+func New(capacityPages int) *ReqBlock {
+	return NewConfig(capacityPages, DefaultConfig())
+}
+
+// NewConfig returns a Req-block buffer with an explicit configuration.
+func NewConfig(capacityPages int, cfg Config) *ReqBlock {
+	cache.ValidateCapacity(capacityPages)
+	if cfg.Delta < 1 {
+		panic(fmt.Sprintf("core: delta %d, need >= 1", cfg.Delta))
+	}
+	return &ReqBlock{
+		capacity: capacityPages,
+		cfg:      cfg,
+		index:    make(map[int64]*reqBlock, capacityPages),
+	}
+}
+
+// Name implements cache.Policy.
+func (c *ReqBlock) Name() string { return "Req-block" }
+
+// Len implements cache.Policy.
+func (c *ReqBlock) Len() int { return c.pageCount }
+
+// CapacityPages implements cache.Policy.
+func (c *ReqBlock) CapacityPages() int { return c.capacity }
+
+// NodeBytes implements cache.Policy per the paper's Fig. 12 accounting.
+func (c *ReqBlock) NodeBytes() int { return 32 }
+
+// NodeCount implements cache.Policy.
+func (c *ReqBlock) NodeCount() int {
+	return c.irl.Len() + c.srl.Len() + c.drl.Len()
+}
+
+// Delta returns the configured small-request bound.
+func (c *ReqBlock) Delta() int { return c.cfg.Delta }
+
+// ListPages implements cache.OccupancyReporter: buffered pages per list.
+func (c *ReqBlock) ListPages() map[string]int {
+	return map[string]int{
+		"IRL": c.listPages[inIRL],
+		"SRL": c.listPages[inSRL],
+		"DRL": c.listPages[inDRL],
+	}
+}
+
+// listOf returns the list a block currently belongs to.
+func (c *ReqBlock) listOf(id listID) *list.List[*reqBlock] {
+	switch id {
+	case inIRL:
+		return &c.irl
+	case inSRL:
+		return &c.srl
+	default:
+		return &c.drl
+	}
+}
+
+// Access implements cache.Policy, following Algorithm 1's main routine
+// page by page.
+func (c *ReqBlock) Access(req cache.Request) cache.Result {
+	cache.CheckRequest(req)
+	c.nextReq++
+	reqID := c.nextReq
+	var res cache.Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if blk, ok := c.index[lpn]; ok {
+			res.Hits++
+			c.onHit(blk, lpn, reqID, req.Time)
+		} else {
+			res.Misses++
+			if req.Write {
+				for c.pageCount >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evict(req.Time))
+				}
+				c.insertNew(lpn, reqID, req.Time)
+				res.Inserted++
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// onHit applies Algorithm 1 lines 19-28: small blocks move to the SRL head;
+// a hit page of a large block is split off into the DRL head block of the
+// current request.
+func (c *ReqBlock) onHit(blk *reqBlock, lpn int64, reqID uint64, now int64) {
+	blk.accessCnt++
+	if blk.pageNum() <= c.cfg.Delta {
+		// Small block (wherever it lives): upgrade to SRL head.
+		c.moveBlock(blk, inSRL)
+		return
+	}
+	// Large block: divide. Remove the hit page and re-home it in the DRL
+	// head block belonging to the current request.
+	dst := c.drlHeadFor(reqID, now, blk)
+	if dst == blk {
+		return // the page already sits in the current request's DRL block
+	}
+	c.removePageFromBlock(blk, lpn)
+	dst.pages[lpn] = true
+	c.listPages[dst.where]++
+	c.index[lpn] = dst
+}
+
+// drlHeadFor returns the DRL head block if it belongs to the current
+// request, otherwise creates one (Algorithm 1's create_req_blk). The new
+// block records its origin for downgraded merging.
+func (c *ReqBlock) drlHeadFor(reqID uint64, now int64, src *reqBlock) *reqBlock {
+	if h := c.drl.Head(); h != nil && h.Value.reqID == reqID {
+		return h.Value
+	}
+	blk := &reqBlock{
+		reqID:      reqID,
+		pages:      make(map[int64]bool, 4),
+		accessCnt:  1,
+		insertTime: now,
+		where:      inDRL,
+		origin:     c.originOf(src),
+	}
+	blk.node = &list.Node[*reqBlock]{Value: blk}
+	c.drl.PushHead(blk.node)
+	return blk
+}
+
+// originOf resolves the IRL block a split descends from: the source itself
+// when it lives in IRL, else the source's own origin (splitting a split).
+func (c *ReqBlock) originOf(src *reqBlock) *reqBlock {
+	if src.where == inIRL {
+		return src
+	}
+	return src.origin
+}
+
+// insertNew adds a missed write page to the IRL head block of the current
+// request, creating it if the head belongs to another request.
+func (c *ReqBlock) insertNew(lpn int64, reqID uint64, now int64) {
+	var blk *reqBlock
+	if h := c.irl.Head(); h != nil && h.Value.reqID == reqID {
+		blk = h.Value
+	} else {
+		blk = &reqBlock{
+			reqID:      reqID,
+			pages:      make(map[int64]bool, 8),
+			accessCnt:  1,
+			insertTime: now,
+			where:      inIRL,
+		}
+		blk.node = &list.Node[*reqBlock]{Value: blk}
+		c.irl.PushHead(blk.node)
+	}
+	blk.pages[lpn] = true
+	c.index[lpn] = blk
+	c.listPages[inIRL]++
+	c.pageCount++
+}
+
+// moveBlock relocates a block to the head of the target list, keeping the
+// per-list page gauges consistent.
+func (c *ReqBlock) moveBlock(blk *reqBlock, to listID) {
+	from := blk.where
+	if from == to {
+		c.listOf(to).MoveToHead(blk.node)
+		return
+	}
+	c.listOf(from).Remove(blk.node)
+	c.listPages[from] -= blk.pageNum()
+	blk.where = to
+	c.listOf(to).PushHead(blk.node)
+	c.listPages[to] += blk.pageNum()
+}
+
+// removePageFromBlock detaches one page from a block, dropping the block
+// entirely when it empties. The caller re-homes the page (or deletes it
+// from the index).
+func (c *ReqBlock) removePageFromBlock(blk *reqBlock, lpn int64) {
+	delete(blk.pages, lpn)
+	c.listPages[blk.where]--
+	if blk.pageNum() == 0 {
+		c.listOf(blk.where).Remove(blk.node)
+	}
+}
+
+// freq computes Eq. 1 for a block at time now. A zero or negative age is
+// clamped to one nanosecond so brand-new blocks score high rather than
+// dividing by zero.
+func (c *ReqBlock) freq(blk *reqBlock, now int64) float64 {
+	age := now - blk.insertTime
+	if !c.cfg.Recency {
+		age = 1
+	} else if age < 1 {
+		age = 1
+	}
+	return float64(blk.accessCnt) / (float64(blk.pageNum()) * float64(age))
+}
+
+// evict implements Algorithm 1's get_victim plus the flush: the tail block
+// with the minimum Freq across the three lists is evicted; a split victim
+// is first merged with its original block if that block still sits in IRL
+// (Fig. 6), and the union is flushed as one batch.
+func (c *ReqBlock) evict(now int64) cache.Eviction {
+	victim := c.pickVictim(now)
+	if victim == nil {
+		panic("core: evict on empty cache")
+	}
+	lpns := c.detachBlock(victim)
+	if c.cfg.Merge && victim.where == inDRL {
+		if o := victim.origin; o != nil && o.node.Attached() && o.where == inIRL {
+			lpns = append(lpns, c.detachBlock(o)...)
+		}
+	}
+	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	return cache.Eviction{LPNs: lpns}
+}
+
+// pickVictim compares the three tail blocks by Eq. 1 and returns the
+// lowest-frequency one. Ties prefer IRL, then DRL, then SRL, matching the
+// design's bias toward keeping small hot blocks.
+func (c *ReqBlock) pickVictim(now int64) *reqBlock {
+	var victim *reqBlock
+	var victimFreq float64
+	for _, l := range []*list.List[*reqBlock]{&c.irl, &c.drl, &c.srl} {
+		t := l.Tail()
+		if t == nil {
+			continue
+		}
+		f := c.freq(t.Value, now)
+		if victim == nil || f < victimFreq {
+			victim, victimFreq = t.Value, f
+		}
+	}
+	return victim
+}
+
+// detachBlock unlinks a block and all its pages from the cache, returning
+// the page LPNs.
+func (c *ReqBlock) detachBlock(blk *reqBlock) []int64 {
+	lpns := make([]int64, 0, blk.pageNum())
+	for lpn := range blk.pages {
+		lpns = append(lpns, lpn)
+		delete(c.index, lpn)
+	}
+	c.listOf(blk.where).Remove(blk.node)
+	c.listPages[blk.where] -= blk.pageNum()
+	c.pageCount -= blk.pageNum()
+	blk.pages = nil
+	return lpns
+}
+
+// EvictIdle implements cache.IdleEvictor: during idle time the same Eq. 1
+// victim selection runs proactively, as long as the buffer is more than
+// half full. Small hot SRL blocks keep their priority, so idle flushing
+// drains exactly the cold large blocks the paper wants gone early
+// (§4.2.4: "evicting more cold data pages earlier can make more room for
+// hot data").
+func (c *ReqBlock) EvictIdle(now int64) (cache.Eviction, bool) {
+	if c.pageCount <= c.capacity/2 {
+		return cache.Eviction{}, false
+	}
+	return c.evict(now), true
+}
+
+// Contains reports whether a page is buffered (tests).
+func (c *ReqBlock) Contains(lpn int64) bool {
+	_, ok := c.index[lpn]
+	return ok
+}
+
+// WhereIs returns "IRL", "SRL", "DRL" or "" for a page (tests).
+func (c *ReqBlock) WhereIs(lpn int64) string {
+	blk, ok := c.index[lpn]
+	if !ok {
+		return ""
+	}
+	return blk.where.String()
+}
+
+// BlockOf returns the page count and access count of the block holding a
+// page (tests); ok is false when the page is absent.
+func (c *ReqBlock) BlockOf(lpn int64) (pages int, accessCnt int64, ok bool) {
+	blk, found := c.index[lpn]
+	if !found {
+		return 0, 0, false
+	}
+	return blk.pageNum(), blk.accessCnt, true
+}
+
+// CheckInvariants validates the cross-structure bookkeeping: every indexed
+// page belongs to exactly one attached block, per-list page gauges match
+// recounts, page totals match, and list structures are sound. Tests and
+// property checks call it after every operation.
+func (c *ReqBlock) CheckInvariants() error {
+	if !c.irl.Validate() || !c.srl.Validate() || !c.drl.Validate() {
+		return fmt.Errorf("core: list structure corrupt")
+	}
+	var gauge [3]int
+	total := 0
+	seen := make(map[int64]bool, len(c.index))
+	for id, l := range map[listID]*list.List[*reqBlock]{inIRL: &c.irl, inSRL: &c.srl, inDRL: &c.drl} {
+		for n := l.Head(); n != nil; n = n.Next() {
+			blk := n.Value
+			if blk.where != id {
+				return fmt.Errorf("core: block tagged %v found in %v", blk.where, id)
+			}
+			if blk.pageNum() == 0 {
+				return fmt.Errorf("core: empty block left in %v", id)
+			}
+			if blk.node != n {
+				return fmt.Errorf("core: block node back-pointer broken")
+			}
+			for lpn := range blk.pages {
+				if seen[lpn] {
+					return fmt.Errorf("core: lpn %d in two blocks", lpn)
+				}
+				seen[lpn] = true
+				if c.index[lpn] != blk {
+					return fmt.Errorf("core: index[%d] does not point at holder", lpn)
+				}
+			}
+			gauge[id] += blk.pageNum()
+			total += blk.pageNum()
+		}
+	}
+	if total != c.pageCount || total != len(c.index) {
+		return fmt.Errorf("core: page accounting: listed %d, pageCount %d, index %d",
+			total, c.pageCount, len(c.index))
+	}
+	for i, g := range gauge {
+		if g != c.listPages[i] {
+			return fmt.Errorf("core: listPages[%v] = %d, recounted %d", listID(i), c.listPages[i], g)
+		}
+	}
+	if c.pageCount > c.capacity {
+		return fmt.Errorf("core: pageCount %d exceeds capacity %d", c.pageCount, c.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func w(time, lpn int64, pages int) cache.Request {
+	return cache.Request{Time: time, Write: true, LPN: lpn, Pages: pages}
+}
+
+func r(time, lpn int64, pages int) cache.Request {
+	return cache.Request{Time: time, Write: false, LPN: lpn, Pages: pages}
+}
+
+func mustInv(t *testing.T, c *ReqBlock) {
+	t.Helper()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func evictedLPNs(res cache.Result) []int64 {
+	var out []int64
+	for _, ev := range res.Evictions {
+		out = append(out, ev.LPNs...)
+	}
+	return out
+}
+
+func TestInsertCreatesIRLBlockPerRequest(t *testing.T) {
+	c := New(64)
+	res := c.Access(w(0, 10, 3))
+	if res.Inserted != 3 || res.Misses != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	for lpn := int64(10); lpn < 13; lpn++ {
+		if c.WhereIs(lpn) != "IRL" {
+			t.Fatalf("page %d in %q, want IRL", lpn, c.WhereIs(lpn))
+		}
+	}
+	// All three pages share one request block.
+	if n, _, _ := c.BlockOf(10); n != 3 {
+		t.Fatalf("block pages = %d, want 3", n)
+	}
+	if c.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d, want 1", c.NodeCount())
+	}
+	mustInv(t, c)
+}
+
+func TestSeparateRequestsSeparateBlocks(t *testing.T) {
+	c := New(64)
+	c.Access(w(0, 0, 2))
+	c.Access(w(1, 100, 2))
+	if c.NodeCount() != 2 {
+		t.Fatalf("NodeCount = %d, want 2", c.NodeCount())
+	}
+	mustInv(t, c)
+}
+
+func TestSmallBlockHitUpgradesToSRL(t *testing.T) {
+	c := New(64) // delta = 5
+	c.Access(w(0, 0, 3))
+	res := c.Access(w(1, 0, 1)) // hit one page of a 3-page (small) block
+	if res.Hits != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	// The whole block moves to SRL (Fig. 5b).
+	for lpn := int64(0); lpn < 3; lpn++ {
+		if c.WhereIs(lpn) != "SRL" {
+			t.Fatalf("page %d in %q, want SRL", lpn, c.WhereIs(lpn))
+		}
+	}
+	if _, cnt, _ := c.BlockOf(0); cnt != 2 {
+		t.Fatalf("accessCnt = %d, want 2 (init 1 + 1 hit)", cnt)
+	}
+	mustInv(t, c)
+}
+
+func TestReadHitAlsoUpgrades(t *testing.T) {
+	c := New(64)
+	c.Access(w(0, 0, 2))
+	res := c.Access(r(1, 1, 1))
+	if res.Hits != 1 {
+		t.Fatalf("read hit missed: %+v", res)
+	}
+	if c.WhereIs(0) != "SRL" {
+		t.Fatal("read hit did not upgrade small block")
+	}
+	mustInv(t, c)
+}
+
+func TestLargeBlockHitSplitsToDRL(t *testing.T) {
+	c := New(64)
+	c.Access(w(0, 0, 8)) // large block (8 > delta 5)
+	res := c.Access(w(1, 2, 1))
+	if res.Hits != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if c.WhereIs(2) != "DRL" {
+		t.Fatalf("hit page in %q, want DRL", c.WhereIs(2))
+	}
+	// The remainder stays in IRL with 7 pages.
+	if c.WhereIs(0) != "IRL" {
+		t.Fatal("remainder moved unexpectedly")
+	}
+	if n, _, _ := c.BlockOf(0); n != 7 {
+		t.Fatalf("remainder pages = %d, want 7", n)
+	}
+	if n, cnt, _ := c.BlockOf(2); n != 1 || cnt != 1 {
+		t.Fatalf("split block pages=%d cnt=%d, want 1/1", n, cnt)
+	}
+	mustInv(t, c)
+}
+
+func TestConsecutiveHitPagesShareOneDRLBlock(t *testing.T) {
+	c := New(64)
+	c.Access(w(0, 0, 10))
+	c.Access(w(1, 2, 3)) // hits pages 2,3,4 of the large block in one request
+	if c.NodeCount() != 2 {
+		t.Fatalf("NodeCount = %d, want 2 (remainder + one DRL block)", c.NodeCount())
+	}
+	if n, _, _ := c.BlockOf(2); n != 3 {
+		t.Fatalf("DRL block pages = %d, want 3", n)
+	}
+	mustInv(t, c)
+}
+
+func TestSeparateRequestsSeparateDRLBlocks(t *testing.T) {
+	c := New(64)
+	c.Access(w(0, 0, 10))
+	c.Access(w(1, 2, 1))
+	c.Access(w(2, 5, 1))
+	// Two distinct hit requests -> two DRL blocks.
+	lp := c.ListPages()
+	if lp["DRL"] != 2 {
+		t.Fatalf("DRL pages = %d, want 2", lp["DRL"])
+	}
+	if c.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d, want 3", c.NodeCount())
+	}
+	mustInv(t, c)
+}
+
+func TestSmallSplitBlockHitMovesToSRL(t *testing.T) {
+	// Fig. 5b: a split block in DRL that is small moves to SRL when hit.
+	c := New(64)
+	c.Access(w(0, 0, 10))
+	c.Access(w(1, 4, 1)) // split page 4 into DRL (1-page block)
+	if c.WhereIs(4) != "DRL" {
+		t.Fatal("setup failed")
+	}
+	c.Access(w(2, 4, 1)) // hit the small DRL block
+	if c.WhereIs(4) != "SRL" {
+		t.Fatalf("page 4 in %q, want SRL", c.WhereIs(4))
+	}
+	mustInv(t, c)
+}
+
+func TestLargeDRLBlockSplitsAgain(t *testing.T) {
+	// A DRL block that grew beyond delta is itself divided on a hit.
+	c := NewConfig(64, Config{Delta: 2, Merge: true, Recency: true})
+	c.Access(w(0, 0, 10))
+	c.Access(w(1, 3, 3)) // pages 3,4,5 split into one 3-page DRL block (> delta 2)
+	if n, _, _ := c.BlockOf(3); n != 3 {
+		t.Fatalf("setup: DRL block has %d pages", n)
+	}
+	c.Access(w(2, 4, 1)) // hit inside the large DRL block -> divide again
+	if c.WhereIs(4) != "DRL" {
+		t.Fatalf("re-split page in %q", c.WhereIs(4))
+	}
+	if n, _, _ := c.BlockOf(4); n != 1 {
+		t.Fatalf("re-split block pages = %d, want 1", n)
+	}
+	if n, _, _ := c.BlockOf(3); n != 2 {
+		t.Fatalf("old DRL block pages = %d, want 2", n)
+	}
+	mustInv(t, c)
+}
+
+func TestExactlyDeltaPagesIsSmall(t *testing.T) {
+	c := New(64) // delta 5
+	c.Access(w(0, 0, 5))
+	c.Access(w(1, 0, 1))
+	if c.WhereIs(0) != "SRL" {
+		t.Fatalf("5-page block treated as large (in %q)", c.WhereIs(4))
+	}
+	mustInv(t, c)
+}
+
+func TestDeltaOneDegeneratesToPageGranularSRL(t *testing.T) {
+	c := NewConfig(64, Config{Delta: 1, Merge: true, Recency: true})
+	c.Access(w(0, 0, 1))
+	c.Access(w(1, 0, 1))
+	if c.WhereIs(0) != "SRL" {
+		t.Fatal("single-page block not upgraded")
+	}
+	c.Access(w(2, 10, 4))
+	c.Access(w(3, 11, 1)) // 4-page block is large under delta 1 -> split
+	if c.WhereIs(11) != "DRL" {
+		t.Fatal("page of large block not split under delta 1")
+	}
+	mustInv(t, c)
+}
+
+func TestEvictionPicksLowestFreqTail(t *testing.T) {
+	c := New(8)
+	// Block A: 4 pages, never hit, old.
+	c.Access(w(0, 0, 4))
+	// Block B: 2 pages, hit once (lands in SRL).
+	c.Access(w(1, 100, 2))
+	c.Access(w(2, 100, 1))
+	// Cache holds 6 pages. Insert 4 more: must evict block A
+	// (freq = 1/(4·age)) rather than B (freq = 2/(2·age)).
+	res := c.Access(w(1000, 200, 4))
+	got := evictedLPNs(res)
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("evicted %v, want block A's pages 0-3", got)
+	}
+	if !c.Contains(100) || !c.Contains(101) {
+		t.Fatal("hot small block evicted")
+	}
+	mustInv(t, c)
+}
+
+func TestEvictionIsWholeBlockBatch(t *testing.T) {
+	c := New(8)
+	c.Access(w(0, 0, 8))
+	res := c.Access(w(1, 100, 1))
+	if len(res.Evictions) != 1 {
+		t.Fatalf("evictions = %d", len(res.Evictions))
+	}
+	ev := res.Evictions[0]
+	if len(ev.LPNs) != 8 || ev.BlockBound {
+		t.Fatalf("eviction %+v, want striped 8-page batch", ev)
+	}
+	// LPNs must be sorted for deterministic flushing.
+	for i := 1; i < len(ev.LPNs); i++ {
+		if ev.LPNs[i] < ev.LPNs[i-1] {
+			t.Fatalf("unsorted eviction %v", ev.LPNs)
+		}
+	}
+	mustInv(t, c)
+}
+
+// mergeScenario builds the shared fixture for the downgraded-merging tests
+// (recency off so Eq. 1 reduces to AccessCnt/PageNum and scores are exact):
+//
+//	w(0,0,4)   A = {0,1,2,3} in IRL, cnt 1
+//	w(1,1,2)   hits pages 1,2 of A (4 > δ=2): both split into D = {1,2}
+//	           in DRL with origin A; A = {0,3}, cnt 3 → score 1.5
+//	w(2..5)    two 1-page blocks F{50}, G{60}, each hit once → SRL, score 2
+//	w(6..7)    two 1-page IRL fillers H{70}, I{80}, score 1
+//
+// Cache then holds 8 pages (capacity 8). The next insert compares tails:
+// IRL tail A = 1.5, DRL tail D = 0.5, SRL tail F = 2.0 → victim is D.
+func mergeScenario(t *testing.T, merge bool) *ReqBlock {
+	t.Helper()
+	c := NewConfig(8, Config{Delta: 2, Merge: merge, Recency: false})
+	c.Access(w(0, 0, 4))
+	c.Access(w(1, 1, 2))
+	if c.WhereIs(1) != "DRL" || c.WhereIs(2) != "DRL" {
+		t.Fatal("setup: split block not in DRL")
+	}
+	if n, cnt, _ := c.BlockOf(0); n != 2 || cnt != 3 {
+		t.Fatalf("setup: origin has %d pages cnt %d, want 2/3", n, cnt)
+	}
+	c.Access(w(2, 50, 1))
+	c.Access(w(3, 50, 1))
+	c.Access(w(4, 60, 1))
+	c.Access(w(5, 60, 1))
+	c.Access(w(6, 70, 1))
+	c.Access(w(7, 80, 1))
+	if c.Len() != 8 {
+		t.Fatalf("setup: cache holds %d pages, want 8", c.Len())
+	}
+	mustInv(t, c)
+	return c
+}
+
+func TestDowngradedMergeEvictsSplitWithOrigin(t *testing.T) {
+	// Fig. 6: the DRL victim {1,2} merges with its IRL origin {0,3} and
+	// the union is flushed as one batch.
+	c := mergeScenario(t, true)
+	res := c.Access(w(8, 90, 1))
+	if len(res.Evictions) != 1 {
+		t.Fatalf("evictions: %+v", res.Evictions)
+	}
+	got := res.Evictions[0].LPNs
+	want := []int64{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("merged eviction %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged eviction %v, want %v", got, want)
+		}
+	}
+	if c.Contains(0) || c.Contains(3) {
+		t.Fatal("origin pages survived the merged eviction")
+	}
+	mustInv(t, c)
+}
+
+func TestMergeDisabledEvictsSplitAlone(t *testing.T) {
+	c := mergeScenario(t, false)
+	res := c.Access(w(8, 90, 1))
+	got := res.Evictions[0].LPNs
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("merge-off eviction %v, want [1 2] alone", got)
+	}
+	if !c.Contains(0) || !c.Contains(3) {
+		t.Fatal("origin pages must survive when merging is disabled")
+	}
+	mustInv(t, c)
+}
+
+func TestStaleOriginNotMerged(t *testing.T) {
+	// As mergeScenario, but the origin is upgraded to SRL before eviction
+	// (a small-block hit): the split victim must then be evicted alone.
+	c := NewConfig(8, Config{Delta: 2, Merge: true, Recency: false})
+	c.Access(w(0, 0, 4))
+	c.Access(w(1, 1, 2)) // D = {1,2} in DRL, origin A = {0,3}
+	c.Access(w(2, 0, 1)) // hit A: 2 pages ≤ δ → SRL, cnt 4 → score 2.0
+	if c.WhereIs(0) != "SRL" {
+		t.Fatal("setup: origin not in SRL")
+	}
+	c.Access(w(3, 50, 1))
+	c.Access(w(4, 50, 1)) // F → SRL, score 2
+	c.Access(w(5, 60, 1))
+	c.Access(w(6, 70, 1))
+	c.Access(w(7, 80, 1)) // G{60}, H{70}, I{80} in IRL, score 1 each
+	if c.Len() != 8 {
+		t.Fatalf("setup: cache holds %d pages, want 8", c.Len())
+	}
+	// Tails: IRL G (score 1, pushed first → tail), DRL D (0.5), SRL A (2).
+	res := c.Access(w(8, 90, 1))
+	got := res.Evictions[0].LPNs
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("stale-origin eviction %v, want [1 2] alone", got)
+	}
+	if !c.Contains(0) || !c.Contains(3) {
+		t.Fatal("SRL origin must not be dragged into the eviction")
+	}
+	mustInv(t, c)
+}
+
+func TestReadMissesBypass(t *testing.T) {
+	c := New(8)
+	res := c.Access(r(0, 5, 3))
+	if len(res.ReadMisses) != 3 || c.Len() != 0 {
+		t.Fatalf("read misses mishandled: %+v", res)
+	}
+	mustInv(t, c)
+}
+
+func TestRequestLargerThanCapacity(t *testing.T) {
+	c := New(4)
+	res := c.Access(w(0, 0, 12))
+	if res.Inserted != 12 {
+		t.Fatalf("Inserted = %d", res.Inserted)
+	}
+	if c.Len() > 4 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+	mustInv(t, c)
+}
+
+func TestListPagesGauges(t *testing.T) {
+	c := New(64)
+	c.Access(w(0, 0, 8))   // IRL: 8
+	c.Access(w(1, 100, 2)) // IRL: 10
+	c.Access(w(2, 100, 1)) // -> SRL: 2, IRL: 8
+	c.Access(w(3, 3, 1))   // split -> DRL: 1, IRL: 7
+	lp := c.ListPages()
+	if lp["IRL"] != 7 || lp["SRL"] != 2 || lp["DRL"] != 1 {
+		t.Fatalf("ListPages = %v", lp)
+	}
+	mustInv(t, c)
+}
+
+func TestFreqClampsZeroAge(t *testing.T) {
+	c := New(2)
+	c.Access(w(1000, 0, 2))
+	// Evicting at the same timestamp must not divide by zero.
+	res := c.Access(w(1000, 10, 1))
+	if len(res.Evictions) != 1 {
+		t.Fatalf("evictions: %+v", res.Evictions)
+	}
+	mustInv(t, c)
+}
+
+func TestSmallRequestsSurviveLargeStreams(t *testing.T) {
+	// The headline behavior (Observations 1-2): hot small requests stay
+	// cached while cold large streams wash through.
+	c := New(64)
+	// Hot small working set: 8 requests of 2 pages, re-hit periodically.
+	for round := 0; round < 20; round++ {
+		now := int64(round) * 1000
+		for i := int64(0); i < 8; i++ {
+			c.Access(w(now+i, 1000+i*2, 2))
+		}
+		// Cold large stream: 3 requests of 16 pages each round.
+		for i := int64(0); i < 3; i++ {
+			c.Access(w(now+100+i, 10_000+int64(round)*48+i*16, 16))
+		}
+	}
+	// Every hot page must still be resident.
+	for i := int64(0); i < 8; i++ {
+		if !c.Contains(1000 + i*2) {
+			t.Fatalf("hot page %d evicted", 1000+i*2)
+		}
+	}
+	// The hot set sits in SRL.
+	if lp := c.ListPages(); lp["SRL"] < 16 {
+		t.Fatalf("SRL pages = %d, want >= 16", lp["SRL"])
+	}
+	mustInv(t, c)
+}
+
+func TestNodeAccounting(t *testing.T) {
+	c := New(64)
+	if c.NodeBytes() != 32 {
+		t.Fatalf("NodeBytes = %d, want 32 (Fig. 12)", c.NodeBytes())
+	}
+	if c.Name() != "Req-block" || c.Delta() != 5 {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { NewConfig(8, Config{Delta: 0, Merge: true, Recency: true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRandomWorkloadInvariants drives Req-block with random mixed
+// workloads, checking the full invariant set after every request.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	f := func(seed int64, deltaRaw uint8, merge, recency bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Delta: 1 + int(deltaRaw%8), Merge: merge, Recency: recency}
+		c := NewConfig(24, cfg)
+		now := int64(0)
+		for i := 0; i < 500; i++ {
+			now += int64(rng.Intn(1000)) + 1
+			req := cache.Request{
+				Time:  now,
+				Write: rng.Intn(10) < 7,
+				LPN:   rng.Int63n(128),
+				Pages: 1 + rng.Intn(12),
+			}
+			res := c.Access(req)
+			if res.Hits+res.Misses != req.Pages {
+				return false
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictedPagesWereResident: every evicted page was either previously
+// buffered or inserted by the in-flight request.
+func TestEvictedPagesWereResident(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(16)
+	resident := map[int64]bool{}
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		now += int64(rng.Intn(100)) + 1
+		req := w(now, rng.Int63n(64), 1+rng.Intn(10))
+		res := c.Access(req)
+		for _, ev := range res.Evictions {
+			for _, lpn := range ev.LPNs {
+				inFlight := lpn >= req.LPN && lpn < req.LPN+int64(req.Pages)
+				if !resident[lpn] && !inFlight {
+					t.Fatalf("op %d: evicted unknown page %d", i, lpn)
+				}
+				delete(resident, lpn)
+			}
+		}
+		for lpn := req.LPN; lpn < req.LPN+int64(req.Pages); lpn++ {
+			if c.Contains(lpn) {
+				resident[lpn] = true
+			} else {
+				delete(resident, lpn)
+			}
+		}
+		if len(resident) != c.Len() {
+			t.Fatalf("op %d: model %d != len %d", i, len(resident), c.Len())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	reqs := make([]cache.Request, 500)
+	now := int64(0)
+	for i := range reqs {
+		now += int64(rng.Intn(500)) + 1
+		reqs[i] = cache.Request{
+			Time: now, Write: rng.Intn(10) < 8,
+			LPN: rng.Int63n(96), Pages: 1 + rng.Intn(10),
+		}
+	}
+	a, b := New(32), New(32)
+	for i, req := range reqs {
+		ra, rb := a.Access(req), b.Access(req)
+		if ra.Hits != rb.Hits || len(ra.Evictions) != len(rb.Evictions) {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+		for j := range ra.Evictions {
+			if len(ra.Evictions[j].LPNs) != len(rb.Evictions[j].LPNs) {
+				t.Fatalf("eviction mismatch at %d", i)
+			}
+			for k := range ra.Evictions[j].LPNs {
+				if ra.Evictions[j].LPNs[k] != rb.Evictions[j].LPNs[k] {
+					t.Fatalf("eviction contents differ at %d", i)
+				}
+			}
+		}
+	}
+}

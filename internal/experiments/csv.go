@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CSV exports for plotting pipelines. Each function returns rows (header
+// first); WriteCSV serializes them.
+
+// CSVFigure8 renders the grid's absolute mean response times (ms).
+func (g *GridResult) CSVFigure8() [][]string {
+	rows := [][]string{append([]string{"trace", "cache_mb"}, g.Policies...)}
+	for _, tr := range g.Traces {
+		for _, mb := range g.CacheMBs {
+			row := []string{tr, strconv.Itoa(mb)}
+			for _, pol := range g.Policies {
+				m := g.Find(tr, pol, mb)
+				if m == nil {
+					row = append(row, "")
+					continue
+				}
+				row = append(row, strconv.FormatFloat(m.Response.Mean()/1e6, 'f', 6, 64))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// CSVFigure9 renders the grid's absolute hit ratios.
+func (g *GridResult) CSVFigure9() [][]string {
+	rows := [][]string{append([]string{"trace", "cache_mb"}, g.Policies...)}
+	for _, tr := range g.Traces {
+		for _, mb := range g.CacheMBs {
+			row := []string{tr, strconv.Itoa(mb)}
+			for _, pol := range g.Policies {
+				m := g.Find(tr, pol, mb)
+				if m == nil {
+					row = append(row, "")
+					continue
+				}
+				row = append(row, strconv.FormatFloat(m.HitRatio(), 'f', 6, 64))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// CSVFigure13 renders one trace's IRL/SRL/DRL occupancy series.
+func CSVFigure13(row Figure13Row) [][]string {
+	rows := [][]string{{"sample", "IRL", "SRL", "DRL"}}
+	n := len(row.Series["IRL"])
+	for i := 0; i < n; i++ {
+		r := []string{strconv.Itoa(i)}
+		for _, list := range []string{"IRL", "SRL", "DRL"} {
+			s := row.Series[list]
+			if i < len(s) {
+				r = append(r, strconv.FormatFloat(s[i], 'f', 0, 64))
+			} else {
+				r = append(r, "0")
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// WriteCSV writes comma-joined rows to dir/name, creating dir as needed.
+// Cells containing commas, quotes or newlines are quoted per RFC 4180;
+// the exporters above only emit plain tokens, but user-supplied trace
+// names flow through.
+func WriteCSV(dir, name string, rows [][]string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func csvEscape(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\n") {
+		return cell
+	}
+	return fmt.Sprintf("%q", cell)
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	rows := [][]string{{"a", "b"}, {"1", "x,y"}, {"2", `q"uote`}}
+	path, err := WriteCSV(dir, "out.csv", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != filepath.Join(dir, "out.csv") {
+		t.Fatalf("path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "a,b\n") {
+		t.Fatalf("header missing: %q", got)
+	}
+	if !strings.Contains(got, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", got)
+	}
+	if !strings.Contains(got, `"q\"uote"`) {
+		t.Fatalf("quote cell not escaped: %q", got)
+	}
+}
+
+func TestCSVFigure13(t *testing.T) {
+	row := Figure13Row{
+		Trace: "t",
+		Series: map[string][]float64{
+			"IRL": {10, 20}, "SRL": {1}, "DRL": {},
+		},
+	}
+	rows := CSVFigure13(row)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][1] != "10" || rows[1][2] != "1" || rows[1][3] != "0" {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+	if rows[2][2] != "0" { // SRL shorter than IRL pads with zero
+		t.Fatalf("row 2 = %v", rows[2])
+	}
+}
+
+func TestCSVGridExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid is seconds-long")
+	}
+	cfg := testConfig()
+	cfg.Traces = []string{"ts_0"}
+	cfg.CacheSizesMB = []int{16}
+	r := NewRunner(cfg)
+	g, err := r.RunGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, f9 := g.CSVFigure8(), g.CSVFigure9()
+	if len(f8) != 2 || len(f9) != 2 { // header + one row
+		t.Fatalf("rows: %d/%d", len(f8), len(f9))
+	}
+	if f8[0][0] != "trace" || len(f8[1]) != 2+len(g.Policies) {
+		t.Fatalf("fig8 shape: %v", f8)
+	}
+	// Values parse as floats in (0, 1] for hit ratios.
+	for i := 2; i < len(f9[1]); i++ {
+		if f9[1][i] == "" {
+			t.Fatalf("empty cell in %v", f9[1])
+		}
+	}
+}

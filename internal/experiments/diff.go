@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Delta is one metric's change between two reports.
+type Delta struct {
+	// Key identifies the metric ("fig9 src1_2 16MB Req-block", ...).
+	Key string
+	// Old and New are the two values.
+	Old, New float64
+}
+
+// Rel returns the relative change (new−old)/old, or +Inf when old is 0 and
+// new is not.
+func (d Delta) Rel() float64 {
+	if d.Old == 0 {
+		if d.New == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (d.New - d.Old) / d.Old
+}
+
+// DiffReports compares the headline per-cell metrics of two reports —
+// Fig. 8 normalized response times and Fig. 9 hit ratios — and returns
+// every metric whose relative change exceeds threshold, sorted by
+// magnitude. It is the regression gate for policy or simulator changes:
+// run `cmd/experiments -json` before and after, then diff.
+func DiffReports(old, new *Report, threshold float64) []Delta {
+	var out []Delta
+	check := func(key string, o, n float64) {
+		d := Delta{Key: key, Old: o, New: n}
+		if r := math.Abs(d.Rel()); r > threshold {
+			out = append(out, d)
+		}
+	}
+	// Fig. 8: normalized response per cell.
+	oldRows := index8(old.Figure8)
+	for _, row := range new.Figure8 {
+		prev, ok := oldRows[fmt.Sprintf("%s/%d", row.Trace, row.CacheMB)]
+		if !ok {
+			continue
+		}
+		for pol, v := range row.Normalized {
+			check(fmt.Sprintf("fig8 %s %dMB %s", row.Trace, row.CacheMB, pol),
+				prev.Normalized[pol], v)
+		}
+	}
+	// Fig. 9: absolute Req-block hit ratio + normalized per policy.
+	oldRows9 := index9(old.Figure9)
+	for _, row := range new.Figure9 {
+		prev, ok := oldRows9[fmt.Sprintf("%s/%d", row.Trace, row.CacheMB)]
+		if !ok {
+			continue
+		}
+		check(fmt.Sprintf("fig9 %s %dMB Req-block-abs", row.Trace, row.CacheMB),
+			prev.ReqBlockHitRatio, row.ReqBlockHitRatio)
+		for pol, v := range row.Normalized {
+			check(fmt.Sprintf("fig9 %s %dMB %s", row.Trace, row.CacheMB, pol),
+				prev.Normalized[pol], v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := math.Abs(out[i].Rel()), math.Abs(out[j].Rel())
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// RenderDiff formats deltas for the terminal.
+func RenderDiff(deltas []Delta) string {
+	if len(deltas) == 0 {
+		return "no metric moved beyond the threshold\n"
+	}
+	var b strings.Builder
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "%-40s %8.4f -> %8.4f  (%+.1f%%)\n", d.Key, d.Old, d.New, d.Rel()*100)
+	}
+	return b.String()
+}
+
+func index8(rows []Figure8Row) map[string]Figure8Row {
+	m := make(map[string]Figure8Row, len(rows))
+	for _, r := range rows {
+		m[fmt.Sprintf("%s/%d", r.Trace, r.CacheMB)] = r
+	}
+	return m
+}
+
+func index9(rows []Figure9Row) map[string]Figure9Row {
+	m := make(map[string]Figure9Row, len(rows))
+	for _, r := range rows {
+		m[fmt.Sprintf("%s/%d", r.Trace, r.CacheMB)] = r
+	}
+	return m
+}

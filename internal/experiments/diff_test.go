@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleReport(hit float64) *Report {
+	return &Report{
+		Figure8: []Figure8Row{{
+			Trace: "t1", CacheMB: 16,
+			Normalized: map[string]float64{"LRU": 1.0, "Req-block": 0.9},
+		}},
+		Figure9: []Figure9Row{{
+			Trace: "t1", CacheMB: 16, ReqBlockHitRatio: hit,
+			Normalized: map[string]float64{"LRU": 0.95},
+		}},
+	}
+}
+
+func TestDiffReportsNoChange(t *testing.T) {
+	a, b := sampleReport(0.4), sampleReport(0.4)
+	if ds := DiffReports(a, b, 0.01); len(ds) != 0 {
+		t.Fatalf("identical reports diff: %v", ds)
+	}
+	if !strings.Contains(RenderDiff(nil), "no metric moved") {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestDiffReportsDetectsRegression(t *testing.T) {
+	old, new := sampleReport(0.4), sampleReport(0.3) // −25% hit ratio
+	ds := DiffReports(old, new, 0.05)
+	if len(ds) != 1 {
+		t.Fatalf("deltas = %v", ds)
+	}
+	d := ds[0]
+	if !strings.Contains(d.Key, "Req-block-abs") {
+		t.Fatalf("key = %q", d.Key)
+	}
+	if math.Abs(d.Rel()+0.25) > 1e-9 {
+		t.Fatalf("Rel = %v, want -0.25", d.Rel())
+	}
+	out := RenderDiff(ds)
+	if !strings.Contains(out, "-25.0%") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestDiffReportsSortsByMagnitude(t *testing.T) {
+	old := sampleReport(0.4)
+	new := sampleReport(0.4)
+	new.Figure8[0].Normalized = map[string]float64{"LRU": 1.5, "Req-block": 0.99}
+	ds := DiffReports(old, new, 0.01)
+	if len(ds) != 2 {
+		t.Fatalf("deltas = %d", len(ds))
+	}
+	if !strings.Contains(ds[0].Key, "LRU") {
+		t.Fatalf("largest delta not first: %v", ds)
+	}
+}
+
+func TestDeltaRelZeroOld(t *testing.T) {
+	if !math.IsInf((Delta{Old: 0, New: 1}).Rel(), 1) {
+		t.Fatal("0→x must be +Inf")
+	}
+	if (Delta{Old: 0, New: 0}).Rel() != 0 {
+		t.Fatal("0→0 must be 0")
+	}
+}
+
+func TestDiffReportsIgnoresMissingCells(t *testing.T) {
+	old := sampleReport(0.4)
+	new := sampleReport(0.4)
+	new.Figure9 = append(new.Figure9, Figure9Row{
+		Trace: "new-trace", CacheMB: 64, ReqBlockHitRatio: 0.9,
+		Normalized: map[string]float64{"LRU": 1},
+	})
+	if ds := DiffReports(old, new, 0.01); len(ds) != 0 {
+		t.Fatalf("new cells should not diff against nothing: %v", ds)
+	}
+}

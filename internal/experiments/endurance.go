@@ -1,0 +1,72 @@
+package experiments
+
+import "fmt"
+
+// EnduranceRow is one trace's endurance comparison across policies — an
+// extension experiment: the paper motivates DRAM write buffering with SSD
+// lifetime (§1: QLC endures ~500 P/E cycles) but never quantifies it. This
+// table does, using the simulator's wear tracking.
+type EnduranceRow struct {
+	Trace   string
+	CacheMB int
+	// WriteAmp maps policy → write amplification (host+GC programs / host).
+	WriteAmp map[string]float64
+	// Erases maps policy → total block erases.
+	Erases map[string]int64
+	// WearStdDev maps policy → per-block erase-count standard deviation.
+	WearStdDev map[string]float64
+	// EnergyMJ maps policy → total flash+DRAM energy in millijoules.
+	EnergyMJ map[string]float64
+}
+
+// EnduranceTable derives the endurance comparison from a grid run at the
+// given cache size (0 = middle configured size).
+func (g *GridResult) EnduranceTable(cacheMB int) []EnduranceRow {
+	if cacheMB == 0 {
+		cacheMB = g.CacheMBs[len(g.CacheMBs)/2]
+	}
+	var rows []EnduranceRow
+	for _, tr := range g.Traces {
+		row := EnduranceRow{
+			Trace: tr, CacheMB: cacheMB,
+			WriteAmp:   map[string]float64{},
+			Erases:     map[string]int64{},
+			WearStdDev: map[string]float64{},
+			EnergyMJ:   map[string]float64{},
+		}
+		for _, pol := range g.Policies {
+			if m := g.Find(tr, pol, cacheMB); m != nil {
+				row.WriteAmp[pol] = m.Device.WriteAmplification()
+				row.Erases[pol] = m.Device.Erases
+				row.WearStdDev[pol] = m.Endurance.Wear.StdDev
+				row.EnergyMJ[pol] = (m.Energy.TotalUJ + m.DRAMEnergyUJ) / 1000
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderEndurance renders the endurance extension table.
+func RenderEndurance(rows []EnduranceRow, policies []string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"Trace", "Metric"}
+	header = append(header, policies...)
+	var out [][]string
+	for _, row := range rows {
+		wa := []string{row.Trace, "write amp"}
+		er := []string{row.Trace, "erases"}
+		en := []string{row.Trace, "energy mJ"}
+		for _, pol := range policies {
+			wa = append(wa, fmt.Sprintf("%.3f", row.WriteAmp[pol]))
+			er = append(er, fmt.Sprint(row.Erases[pol]))
+			en = append(en, fmt.Sprintf("%.1f", row.EnergyMJ[pol]))
+		}
+		out = append(out, wa, er, en)
+	}
+	return renderTable(
+		fmt.Sprintf("Extension: endurance — write amplification, erases, energy (%dMB cache)", rows[0].CacheMB),
+		header, out)
+}

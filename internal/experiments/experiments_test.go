@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig runs the harness at a small scale so `go test` stays fast;
+// shape assertions hold at this scale (the full-scale numbers are produced
+// by cmd/experiments and recorded in EXPERIMENTS.md).
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	return cfg
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	r := NewRunner(Config{})
+	cfg := r.Config()
+	if cfg.Scale != 0.2 || cfg.DeviceDivisor != 16 || len(cfg.CacheSizesMB) != 3 || cfg.Delta != 5 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestRunnerTraceCaching(t *testing.T) {
+	r := NewRunner(testConfig())
+	a, err := r.Trace("ts_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Trace("ts_0")
+	if a != b {
+		t.Fatal("trace not cached")
+	}
+	if _, err := r.Trace("bogus"); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestRunnerTraceRestriction(t *testing.T) {
+	cfg := testConfig()
+	cfg.Traces = []string{"ts_0", "hm_1"}
+	r := NewRunner(cfg)
+	ps := r.Profiles()
+	if len(ps) != 2 || ps[0].Name != "ts_0" || ps[1].Name != "hm_1" {
+		t.Fatalf("restriction failed: %v", ps)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	r := NewRunner(testConfig())
+	out := r.Table1()
+	for _, want := range []string{"128 GiB", "Page level", "2 ms", "15 ms", "10%", "16/32/64MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2MatchesProfiles(t *testing.T) {
+	cfg := testConfig()
+	cfg.Traces = []string{"ts_0", "src1_2"}
+	r := NewRunner(cfg)
+	rows, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Requests == 0 || row.WriteRatio == 0 {
+			t.Fatalf("empty stats: %+v", row)
+		}
+		// Write ratio within 5 points of the paper's.
+		if d := row.WriteRatio - row.PaperWriteRatio; d > 0.05 || d < -0.05 {
+			t.Errorf("%s write ratio %.3f vs paper %.3f", row.Trace, row.WriteRatio, row.PaperWriteRatio)
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "ts_0") || !strings.Contains(out, "src1_2") {
+		t.Fatal("render missing traces")
+	}
+}
+
+// TestFigure2Shape: the motivation result — small requests contribute a far
+// larger share of hits than of inserts.
+func TestFigure2Shape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Traces = []string{"src1_2", "proj_0"}
+	r := NewRunner(cfg)
+	results, err := r.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.SmallHitShare <= res.SmallInsertShare {
+			t.Errorf("%s: hit share %.2f ≤ insert share %.2f — motivation shape missing",
+				res.Trace, res.SmallHitShare, res.SmallInsertShare)
+		}
+		if res.SmallHitShare < 0.5 {
+			t.Errorf("%s: small-request hit share only %.2f", res.Trace, res.SmallHitShare)
+		}
+	}
+	if out := RenderFigure2(results); !strings.Contains(out, "src1_2") {
+		t.Fatal("render broken")
+	}
+}
+
+// TestFigure3Shape: only a minority of large-request pages get re-accessed.
+func TestFigure3Shape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Traces = []string{"src1_2", "proj_0", "lun_1"}
+	r := NewRunner(cfg)
+	results, err := r.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.LargeInserted == 0 {
+			t.Fatalf("%s: no large pages tracked", res.Trace)
+		}
+		if res.LargeHitFraction > 0.5 {
+			t.Errorf("%s: large-page hit fraction %.2f — should be a minority",
+				res.Trace, res.LargeHitFraction)
+		}
+	}
+	if out := RenderFigure3(results); len(out) == 0 {
+		t.Fatal("render broken")
+	}
+}
+
+// TestGridShapes runs the full (restricted) grid and checks the paper's
+// headline orderings.
+func TestGridShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid replay is seconds-long")
+	}
+	cfg := testConfig()
+	cfg.Traces = []string{"src1_2", "ts_0", "proj_0"}
+	cfg.CacheSizesMB = []int{16, 32}
+	r := NewRunner(cfg)
+	g, err := r.RunGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 9 shape: Req-block achieves the best hit ratio on average, and
+	// beats LRU clearly on the mixed small/large traces.
+	var lruSum, rbSum float64
+	var n int
+	for _, row := range g.Figure9() {
+		lruSum += row.Normalized["LRU"]
+		rbSum += row.Normalized["Req-block"]
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no Figure 9 rows")
+	}
+	if lruSum/float64(n) >= 1.0 {
+		t.Errorf("LRU mean normalized hit ratio %.3f — Req-block should lead", lruSum/float64(n))
+	}
+
+	// Fig. 8 shape: Req-block's mean normalized response beats LRU (< 1).
+	var respSum float64
+	n = 0
+	for _, row := range g.Figure8() {
+		respSum += row.Normalized["Req-block"]
+		n++
+	}
+	if respSum/float64(n) >= 1.0 {
+		t.Errorf("Req-block mean normalized response %.3f ≥ 1 — should beat LRU", respSum/float64(n))
+	}
+
+	// Fig. 10 shape: LRU evicts single pages; BPLRU the largest batches;
+	// Req-block in between BPLRU and VBBMS.
+	for _, row := range g.Figure10(16) {
+		if row.MeanPages["LRU"] != 1 {
+			t.Errorf("%s: LRU eviction batch %.2f, want 1", row.Trace, row.MeanPages["LRU"])
+		}
+		if row.MeanPages["BPLRU"] < row.MeanPages["Req-block"] {
+			t.Errorf("%s: BPLRU batch %.1f < Req-block %.1f", row.Trace,
+				row.MeanPages["BPLRU"], row.MeanPages["Req-block"])
+		}
+		if row.MeanPages["Req-block"] < row.MeanPages["VBBMS"] {
+			t.Errorf("%s: Req-block batch %.1f < VBBMS %.1f", row.Trace,
+				row.MeanPages["Req-block"], row.MeanPages["VBBMS"])
+		}
+	}
+
+	// Fig. 11 shape: Req-block does not write more than LRU on average.
+	var lruW, rbW int64
+	for _, row := range g.Figure11(16) {
+		lruW += row.Writes["LRU"]
+		rbW += row.Writes["Req-block"]
+	}
+	if rbW > lruW {
+		t.Errorf("Req-block flash writes %d > LRU %d", rbW, lruW)
+	}
+
+	// Fig. 12 shape: all metadata overheads are below 2%% of the cache.
+	for _, row := range g.Figure12() {
+		if row.PercentOfCache > 2.0 {
+			t.Errorf("%s@%dMB: space overhead %.2f%% of cache", row.Policy, row.CacheMB, row.PercentOfCache)
+		}
+	}
+
+	// Fig. 13 shape: DRL holds a small share; SRL+IRL dominate.
+	for _, row := range g.Figure13(0) {
+		if row.MeanShare["DRL"] > 0.4 {
+			t.Errorf("%s: DRL share %.2f — paper says DRL stays small", row.Trace, row.MeanShare["DRL"])
+		}
+	}
+
+	// Renders must not be empty.
+	for _, s := range []string{
+		RenderFigure8(g.Figure8(), g.Policies),
+		RenderFigure9(g.Figure9(), g.Policies),
+		RenderFigure10(g.Figure10(0), g.Policies),
+		RenderFigure11(g.Figure11(0), g.Policies),
+		RenderFigure12(g.Figure12()),
+		RenderFigure13(g.Figure13(0)),
+	} {
+		if len(s) == 0 {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+// TestEnduranceExtension: on a nearly full device GC fires and the
+// endurance table reports write amplification > 1 with consistent erases.
+func TestEnduranceExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid replay is seconds-long")
+	}
+	cfg := testConfig()
+	cfg.Traces = []string{"proj_0"}
+	cfg.CacheSizesMB = []int{16}
+	cfg.DevicePrecondition = 0.95
+	cfg.DeviceDivisor = 64
+	r := NewRunner(cfg)
+	g, err := r.RunGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := g.EnduranceTable(16)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	row := rows[0]
+	for _, pol := range g.Policies {
+		if row.WriteAmp[pol] < 1 {
+			t.Errorf("%s: WA %.3f < 1", pol, row.WriteAmp[pol])
+		}
+		if row.WriteAmp[pol] > 1.01 && row.Erases[pol] == 0 {
+			t.Errorf("%s: WA %.3f but no erases", pol, row.WriteAmp[pol])
+		}
+	}
+	if out := RenderEndurance(rows, g.Policies); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// TestFigure7Shape: δ=5 should not be worse than δ=1 for hit ratio on the
+// mixed traces (the paper's reason for choosing it).
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep is seconds-long")
+	}
+	cfg := testConfig()
+	cfg.Traces = []string{"src1_2"}
+	r := NewRunner(cfg)
+	rows, err := r.Figure7([]int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].HitRatioNorm) != 3 {
+		t.Fatalf("rows malformed: %+v", rows)
+	}
+	if rows[0].HitRatioNorm[0] != 1.0 {
+		t.Fatal("normalization broken")
+	}
+	if rows[0].HitRatioNorm[2] < 0.95 {
+		t.Errorf("δ=5 hit ratio %.3f of δ=1 — should be competitive", rows[0].HitRatioNorm[2])
+	}
+	if out := RenderFigure7(rows); !strings.Contains(out, "δ=5") {
+		t.Fatal("render broken")
+	}
+}

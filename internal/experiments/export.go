@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report bundles every experiment's structured results for machine
+// consumption (plotting scripts, regression tracking). Fields are nil when
+// the corresponding experiment was not run.
+type Report struct {
+	// Config echoes the harness configuration that produced the report.
+	Config Config `json:"config"`
+
+	Table2  []Table2Row      `json:"table2,omitempty"`
+	Figure2 []Figure2Result  `json:"figure2,omitempty"`
+	Figure3 []Figure3Result  `json:"figure3,omitempty"`
+	Figure7 []Figure7Row     `json:"figure7,omitempty"`
+	MRC     []MRCRow         `json:"mrc,omitempty"`
+	Figure8 []Figure8Row     `json:"figure8,omitempty"`
+	Figure9 []Figure9Row     `json:"figure9,omitempty"`
+	Fig10   []Figure10Row    `json:"figure10,omitempty"`
+	Fig11   []Figure11Row    `json:"figure11,omitempty"`
+	Fig12   []Figure12Row    `json:"figure12,omitempty"`
+	Fig13   []Figure13Row    `json:"figure13,omitempty"`
+	Endur   []EnduranceRow   `json:"endurance,omitempty"`
+	Tail    []TailRow        `json:"tail,omitempty"`
+	Par     []ParallelismRow `json:"parallelism,omitempty"`
+}
+
+// BuildReport runs every experiment (reusing one grid) and assembles the
+// full structured report.
+func (r *Runner) BuildReport() (*Report, error) {
+	rep := &Report{Config: r.cfg}
+	var err error
+	if rep.Table2, err = r.Table2(); err != nil {
+		return nil, fmt.Errorf("report: table2: %w", err)
+	}
+	if rep.Figure2, err = r.Figure2(); err != nil {
+		return nil, fmt.Errorf("report: figure2: %w", err)
+	}
+	if rep.Figure3, err = r.Figure3(); err != nil {
+		return nil, fmt.Errorf("report: figure3: %w", err)
+	}
+	if rep.Figure7, err = r.Figure7(nil); err != nil {
+		return nil, fmt.Errorf("report: figure7: %w", err)
+	}
+	if rep.MRC, err = r.MRC(); err != nil {
+		return nil, fmt.Errorf("report: mrc: %w", err)
+	}
+	g, err := r.RunGrid()
+	if err != nil {
+		return nil, fmt.Errorf("report: grid: %w", err)
+	}
+	rep.Figure8 = g.Figure8()
+	rep.Figure9 = g.Figure9()
+	rep.Fig10 = g.Figure10(0)
+	rep.Fig11 = g.Figure11(0)
+	rep.Fig12 = g.Figure12()
+	rep.Fig13 = g.Figure13(0)
+	rep.Endur = g.EnduranceTable(0)
+	rep.Tail = g.TailLatency(0)
+	rep.Par = g.Parallelism(0)
+	return rep, nil
+}
+
+// WriteJSON serializes the report, indented.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("report: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadReport parses a serialized report (regression-diff tooling).
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/replay"
+)
+
+// Figure2Result holds, for one trace, the CDFs of page inserts and page
+// hits as a function of the inserting write request's size — the paper's
+// motivation experiment, run with a 16 MB LRU cache.
+type Figure2Result struct {
+	Trace     string
+	InsertCDF []metrics.CDFPoint // fraction of inserted pages from requests ≤ size
+	HitCDF    []metrics.CDFPoint // fraction of hits on pages from requests ≤ size
+	// SmallThresholdPages is the trace's mean request size (footnote 1).
+	SmallThresholdPages int
+	// SmallInsertShare / SmallHitShare evaluate both CDFs at the
+	// threshold: the paper's headline is hits ≈ 80% while inserts ≈ 20%.
+	SmallInsertShare, SmallHitShare float64
+}
+
+// Figure2 reproduces Fig. 2: replay each trace through a 16 MB LRU cache
+// and histogram page inserts and hits by inserting-request size.
+func (r *Runner) Figure2() ([]Figure2Result, error) {
+	lru := cache.Factory{Name: "LRU", New: func(c int) cache.Policy { return cache.NewLRU(c) }}
+	var out []Figure2Result
+	for _, p := range r.Profiles() {
+		m, err := r.Replay(p.Name, lru, 16, replay.Options{TrackPageFates: true})
+		if err != nil {
+			return nil, err
+		}
+		res := Figure2Result{
+			Trace:               p.Name,
+			InsertCDF:           m.InsertBySize.CDF(),
+			HitCDF:              m.HitBySize.CDF(),
+			SmallThresholdPages: m.SmallThresholdPages,
+			SmallInsertShare:    m.InsertBySize.FractionLE(m.SmallThresholdPages),
+			SmallHitShare:       m.HitBySize.FractionLE(m.SmallThresholdPages),
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderFigure2 renders the CDF evaluation at the small/large threshold.
+func RenderFigure2(results []Figure2Result) string {
+	rows := make([][]string, 0, len(results))
+	for _, res := range results {
+		rows = append(rows, []string{
+			res.Trace,
+			fmt.Sprintf("%d pages", res.SmallThresholdPages),
+			metrics.Percent(res.SmallInsertShare),
+			metrics.Percent(res.SmallHitShare),
+		})
+	}
+	return renderTable("Figure 2: share of page inserts vs page hits from small requests (16MB LRU)",
+		[]string{"Trace", "Small ≤", "Insert share", "Hit share"}, rows)
+}
+
+// Figure3Result is one trace's large-request hit statistic.
+type Figure3Result struct {
+	Trace string
+	// LargeHitFraction is the fraction of pages inserted by large write
+	// requests that were re-accessed before eviction (paper: 22.0-37.2%).
+	LargeHitFraction float64
+	LargeInserted    int64
+}
+
+// Figure3 reproduces Fig. 3 with the same 16 MB LRU configuration.
+func (r *Runner) Figure3() ([]Figure3Result, error) {
+	lru := cache.Factory{Name: "LRU", New: func(c int) cache.Policy { return cache.NewLRU(c) }}
+	var out []Figure3Result
+	for _, p := range r.Profiles() {
+		m, err := r.Replay(p.Name, lru, 16, replay.Options{TrackPageFates: true})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure3Result{
+			Trace:            p.Name,
+			LargeHitFraction: m.LargeHitFraction(),
+			LargeInserted:    m.LargeInserted,
+		})
+	}
+	return out, nil
+}
+
+// RenderFigure3 renders the large-request hit fractions.
+func RenderFigure3(results []Figure3Result) string {
+	rows := make([][]string, 0, len(results))
+	for _, res := range results {
+		rows = append(rows, []string{
+			res.Trace,
+			fmt.Sprint(res.LargeInserted),
+			metrics.Percent(res.LargeHitFraction),
+		})
+	}
+	return renderTable("Figure 3: large-request pages re-accessed while cached (16MB LRU; paper: 22.0%-37.2%)",
+		[]string{"Trace", "Large pages inserted", "Hit fraction"}, rows)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/mrc"
+)
+
+// MRCRow is one trace's exact LRU miss-ratio curve at the configured cache
+// sweep — a provisioning extension: the paper evaluates three cache sizes;
+// the curve shows the whole tradeoff and where extra DRAM stops paying.
+type MRCRow struct {
+	Trace string
+	// HitRatios maps cache size (MB) → exact LRU hit ratio.
+	HitRatios map[int]float64
+	// WorkingSetMB is the capacity reaching 99% of the max hit ratio.
+	WorkingSetMB float64
+	// ColdMissRatio is the compulsory miss floor.
+	ColdMissRatio float64
+}
+
+// MRC computes the curves for every configured trace.
+func (r *Runner) MRC() ([]MRCRow, error) {
+	var rows []MRCRow
+	for _, p := range r.Profiles() {
+		tr, err := r.Trace(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := mrc.Compute(tr, mrc.Options{WriteBuffer: true})
+		if err != nil {
+			return nil, fmt.Errorf("mrc %s: %w", p.Name, err)
+		}
+		row := MRCRow{Trace: p.Name, HitRatios: map[int]float64{}}
+		for _, mb := range r.cfg.CacheSizesMB {
+			row.HitRatios[mb] = curve.HitRatio(mb * PagesPerMB)
+		}
+		row.WorkingSetMB = float64(curve.WorkingSet(0.99)) / PagesPerMB
+		if curve.Total > 0 {
+			row.ColdMissRatio = float64(curve.ColdMisses) / float64(curve.Total)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderMRC renders the provisioning table.
+func RenderMRC(rows []MRCRow, cacheMBs []int) string {
+	header := []string{"Trace"}
+	for _, mb := range cacheMBs {
+		header = append(header, fmt.Sprintf("LRU hit @%dMB", mb))
+	}
+	header = append(header, "Working set", "Cold misses")
+	var out [][]string
+	for _, row := range rows {
+		cells := []string{row.Trace}
+		for _, mb := range cacheMBs {
+			cells = append(cells, fmt.Sprintf("%.3f", row.HitRatios[mb]))
+		}
+		cells = append(cells,
+			fmt.Sprintf("%.1f MB", row.WorkingSetMB),
+			fmt.Sprintf("%.1f%%", row.ColdMissRatio*100))
+		out = append(out, cells)
+	}
+	return renderTable("Extension: exact LRU miss-ratio curves (Mattson stack algorithm)",
+		header, out)
+}

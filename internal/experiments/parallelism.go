@@ -1,0 +1,68 @@
+package experiments
+
+import "fmt"
+
+// ParallelismRow quantifies §4.2.4's argument per policy: how evenly the
+// flush traffic spreads over the channel buses. Striped batch evictions
+// should be near-balanced (imbalance ≈ 1); BPLRU's block-bound flushes
+// rotate between channels but serialize within each flush.
+type ParallelismRow struct {
+	Trace   string
+	CacheMB int
+	// MeanChannelPct maps policy → mean bus occupancy (% of trace time).
+	MeanChannelPct map[string]float64
+	// Imbalance maps policy → busiest/mean channel occupancy.
+	Imbalance map[string]float64
+	// MaxChipPct maps policy → busiest die occupancy (% of trace time).
+	MaxChipPct map[string]float64
+}
+
+// Parallelism derives the utilization comparison from a grid run at the
+// given cache size (0 = middle configured size).
+func (g *GridResult) Parallelism(cacheMB int) []ParallelismRow {
+	if cacheMB == 0 {
+		cacheMB = g.CacheMBs[len(g.CacheMBs)/2]
+	}
+	var rows []ParallelismRow
+	for _, tr := range g.Traces {
+		row := ParallelismRow{
+			Trace: tr, CacheMB: cacheMB,
+			MeanChannelPct: map[string]float64{},
+			Imbalance:      map[string]float64{},
+			MaxChipPct:     map[string]float64{},
+		}
+		for _, pol := range g.Policies {
+			if m := g.Find(tr, pol, cacheMB); m != nil {
+				row.MeanChannelPct[pol] = m.Utilization.MeanChannel * 100
+				row.Imbalance[pol] = m.Utilization.ChannelImbalance
+				row.MaxChipPct[pol] = m.Utilization.MaxChip * 100
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderParallelism renders the utilization extension table.
+func RenderParallelism(rows []ParallelismRow, policies []string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"Trace", "Metric"}
+	header = append(header, policies...)
+	var out [][]string
+	for _, row := range rows {
+		mean := []string{row.Trace, "chan busy %"}
+		imb := []string{row.Trace, "imbalance"}
+		chip := []string{row.Trace, "max die %"}
+		for _, pol := range policies {
+			mean = append(mean, fmt.Sprintf("%.2f", row.MeanChannelPct[pol]))
+			imb = append(imb, fmt.Sprintf("%.2f", row.Imbalance[pol]))
+			chip = append(chip, fmt.Sprintf("%.2f", row.MaxChipPct[pol]))
+		}
+		out = append(out, mean, imb, chip)
+	}
+	return renderTable(
+		fmt.Sprintf("Extension: channel/die utilization (%dMB cache)", rows[0].CacheMB),
+		header, out)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Renderer unit tests with synthetic rows: every table must include its
+// headers, align its data, and tolerate missing policies.
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := renderTable("T", []string{"A", "LongHeader"}, [][]string{
+		{"x", "1"},
+		{"yyyy", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5 (title+header+sep+2 rows): %v", len(lines), lines)
+	}
+	if lines[0] != "T" {
+		t.Fatalf("title = %q", lines[0])
+	}
+	// All data lines padded to equal width per column.
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}
+
+func TestRenderFigure8SyntheticRows(t *testing.T) {
+	rows := []Figure8Row{{
+		Trace: "t1", CacheMB: 16, LRUMeanMs: 1.5,
+		Normalized: map[string]float64{"LRU": 1, "Req-block": 0.8},
+	}}
+	out := RenderFigure8(rows, []string{"LRU", "Req-block"})
+	for _, want := range []string{"t1", "16MB", "1.50", "0.800", "Req-block"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure9SyntheticRows(t *testing.T) {
+	rows := []Figure9Row{{
+		Trace: "t1", CacheMB: 32, ReqBlockHitRatio: 0.42,
+		Normalized: map[string]float64{"LRU": 0.9},
+	}}
+	out := RenderFigure9(rows, []string{"LRU"})
+	if !strings.Contains(out, "0.420") || !strings.Contains(out, "0.900") {
+		t.Fatalf("render wrong:\n%s", out)
+	}
+}
+
+func TestRenderFigure10And11Empty(t *testing.T) {
+	if RenderFigure10(nil, nil) != "" || RenderFigure11(nil, nil) != "" {
+		t.Fatal("empty rows must render empty")
+	}
+}
+
+func TestRenderFigure12SyntheticRows(t *testing.T) {
+	rows := []Figure12Row{{Policy: "X", CacheMB: 16, MeanKB: 12.34, PercentOfCache: 0.07}}
+	out := RenderFigure12(rows)
+	if !strings.Contains(out, "12.3 KB") || !strings.Contains(out, "0.07%") {
+		t.Fatalf("render wrong:\n%s", out)
+	}
+}
+
+func TestRenderFigure13SyntheticRows(t *testing.T) {
+	rows := []Figure13Row{{
+		Trace: "t1", CacheMB: 32,
+		Series:    map[string][]float64{"IRL": {1, 2}, "SRL": {3}, "DRL": {}},
+		MeanShare: map[string]float64{"IRL": 0.5, "SRL": 0.4, "DRL": 0.1},
+	}}
+	out := RenderFigure13(rows)
+	for _, want := range []string{"50.0%", "40.0%", "10.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if RenderFigure13(nil) != "" {
+		t.Fatal("empty rows must render empty")
+	}
+}
+
+func TestRenderEnduranceSyntheticRows(t *testing.T) {
+	rows := []EnduranceRow{{
+		Trace: "t1", CacheMB: 16,
+		WriteAmp:   map[string]float64{"LRU": 1.25},
+		Erases:     map[string]int64{"LRU": 42},
+		WearStdDev: map[string]float64{"LRU": 0.5},
+	}}
+	out := RenderEndurance(rows, []string{"LRU"})
+	if !strings.Contains(out, "1.250") || !strings.Contains(out, "42") {
+		t.Fatalf("render wrong:\n%s", out)
+	}
+}
+
+func TestRenderTailLatencySyntheticRows(t *testing.T) {
+	rows := []TailRow{{
+		Trace: "t1", CacheMB: 16,
+		P50Ms: map[string]float64{"LRU": 0.004},
+		P99Ms: map[string]float64{"LRU": 1.234},
+	}}
+	out := RenderTailLatency(rows, []string{"LRU"})
+	if !strings.Contains(out, "0.004") || !strings.Contains(out, "1.234") {
+		t.Fatalf("render wrong:\n%s", out)
+	}
+}
+
+func TestRenderFigure7Empty(t *testing.T) {
+	if RenderFigure7(nil) != "" {
+		t.Fatal("empty δ sweep must render empty")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := sortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+}
+
+func TestGridFindMiss(t *testing.T) {
+	g := &GridResult{}
+	if g.Find("x", "y", 16) != nil {
+		t.Fatal("Find on empty grid returned a cell")
+	}
+}
+
+func TestFigure7BestDelta(t *testing.T) {
+	row := Figure7Row{
+		Deltas:       []int{1, 3, 5},
+		HitRatioNorm: []float64{1.0, 1.05, 1.02},
+		ResponseNorm: []float64{1.0, 0.99, 0.98},
+	}
+	if row.BestDelta() != 3 {
+		t.Fatalf("BestDelta = %d, want 3", row.BestDelta())
+	}
+	out := RenderFigure7([]Figure7Row{row})
+	if !strings.Contains(out, "best δ") {
+		t.Fatalf("summary column missing:\n%s", out)
+	}
+}
+
+func TestSummarizeAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid is seconds-long")
+	}
+	cfg := testConfig()
+	cfg.Traces = []string{"src1_2", "proj_0"}
+	cfg.CacheSizesMB = []int{16}
+	r := NewRunner(cfg)
+	g, err := r.RunGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Summarize()
+	if s.Cells != 2 || len(s.Baselines) != 3 {
+		t.Fatalf("summary shape: %+v", s)
+	}
+	// Req-block beats LRU on these traces, on average.
+	if s.HitImprovement["LRU"] <= 0 {
+		t.Errorf("hit improvement over LRU %v, want > 0", s.HitImprovement["LRU"])
+	}
+	if s.RespReduction["Req-block"] != 0 { // not a baseline
+		t.Error("Req-block compared against itself")
+	}
+	out := RenderSummary(s)
+	if !strings.Contains(out, "LRU") || !strings.Contains(out, "(paper)") {
+		t.Fatalf("render: %s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReplicatedCell aggregates one (trace, policy, cacheMB) cell over several
+// workload seeds: the paper reports single runs; replication across
+// generator seeds shows how much of each gap is signal.
+type ReplicatedCell struct {
+	Trace   string
+	Policy  string
+	CacheMB int
+	// HitMean/HitStd summarize the absolute hit ratio across seeds.
+	HitMean, HitStd float64
+	// RespMean/RespStd summarize the mean response time (ms).
+	RespMean, RespStd float64
+	// Seeds is the replication count.
+	Seeds int
+}
+
+// ReplicatedGrid runs the evaluation grid once per seed offset and
+// aggregates. Each replication regenerates every trace with a different
+// generator seed; devices and policies are fresh per cell as always.
+func ReplicatedGrid(cfg Config, seeds int) ([]ReplicatedCell, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	type acc struct {
+		hits, resps []float64
+	}
+	accs := map[string]*acc{}
+	var order []string
+	var meta map[string]ReplicatedCell = map[string]ReplicatedCell{}
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.SeedOffset = int64(s) * 104729 // distinct workload instances
+		r := NewRunner(c)
+		g, err := r.RunGrid()
+		if err != nil {
+			return nil, fmt.Errorf("replication %d: %w", s, err)
+		}
+		for i := range g.Cells {
+			cell := &g.Cells[i]
+			key := fmt.Sprintf("%s/%s/%d", cell.Trace, cell.Policy, cell.CacheMB)
+			a, ok := accs[key]
+			if !ok {
+				a = &acc{}
+				accs[key] = a
+				order = append(order, key)
+				meta[key] = ReplicatedCell{
+					Trace: cell.Trace, Policy: cell.Policy, CacheMB: cell.CacheMB,
+				}
+			}
+			a.hits = append(a.hits, cell.M.HitRatio())
+			a.resps = append(a.resps, cell.M.Response.Mean()/1e6)
+		}
+	}
+	out := make([]ReplicatedCell, 0, len(order))
+	for _, key := range order {
+		a := accs[key]
+		rc := meta[key]
+		rc.Seeds = len(a.hits)
+		rc.HitMean, rc.HitStd = meanStd(a.hits)
+		rc.RespMean, rc.RespStd = meanStd(a.resps)
+		out = append(out, rc)
+	}
+	return out, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RenderReplicated renders the aggregated grid.
+func RenderReplicated(cells []ReplicatedCell) string {
+	var out [][]string
+	for _, c := range cells {
+		out = append(out, []string{
+			c.Trace, fmt.Sprintf("%dMB", c.CacheMB), c.Policy,
+			fmt.Sprintf("%.3f ± %.3f", c.HitMean, c.HitStd),
+			fmt.Sprintf("%.3f ± %.3f", c.RespMean, c.RespStd),
+			fmt.Sprint(c.Seeds),
+		})
+	}
+	return renderTable("Replicated grid: hit ratio and mean response (ms) across workload seeds",
+		[]string{"Trace", "Cache", "Policy", "Hit ratio", "Resp ms", "Seeds"}, out)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplicatedGridAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated grid is seconds-long")
+	}
+	cfg := testConfig()
+	cfg.Traces = []string{"ts_0"}
+	cfg.CacheSizesMB = []int{16}
+	cells, err := ReplicatedGrid(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // 1 trace × 1 cache × 4 policies
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Seeds != 3 {
+			t.Fatalf("%s: seeds = %d", c.Policy, c.Seeds)
+		}
+		if c.HitMean <= 0 || c.HitMean > 1 {
+			t.Fatalf("%s: hit mean %v", c.Policy, c.HitMean)
+		}
+		if c.HitStd < 0 || c.RespStd < 0 {
+			t.Fatalf("%s: negative std", c.Policy)
+		}
+		// Different seeds produce different workload instances, so some
+		// variance must exist (deterministic per seed, varying across).
+		if c.HitStd == 0 && c.RespStd == 0 {
+			t.Fatalf("%s: zero variance across distinct seeds", c.Policy)
+		}
+	}
+	out := RenderReplicated(cells)
+	if !strings.Contains(out, "±") || !strings.Contains(out, "ts_0") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestReplicatedGridSingleSeedNoVariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid is seconds-long")
+	}
+	cfg := testConfig()
+	cfg.Traces = []string{"ts_0"}
+	cfg.CacheSizesMB = []int{16}
+	cells, err := ReplicatedGrid(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.HitStd != 0 || c.Seeds != 1 {
+			t.Fatalf("single seed must have zero std: %+v", c)
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 6})
+	if m != 4 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s != 2 { // sample std of {2,4,6}
+		t.Fatalf("std = %v", s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty input")
+	}
+	if _, s := meanStd([]float64{5}); s != 0 {
+		t.Fatal("single sample std must be 0")
+	}
+}

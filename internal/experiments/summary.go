@@ -1,0 +1,105 @@
+package experiments
+
+import "fmt"
+
+// Summary condenses the grid into the headline numbers the paper states in
+// its abstract and §4.2: average response-time reduction and hit-ratio
+// improvement of Req-block over each baseline, and how many grid cells
+// Req-block wins. This is the quantitative form of EXPERIMENTS.md's
+// scoreboard, computed rather than transcribed.
+type Summary struct {
+	// Baselines lists the compared policies (everything except Req-block).
+	Baselines []string
+	// RespReduction maps baseline → mean fractional response-time
+	// reduction achieved by Req-block (positive = Req-block faster),
+	// averaged over all (trace, cache) cells.
+	RespReduction map[string]float64
+	// HitImprovement maps baseline → mean fractional hit-ratio
+	// improvement of Req-block over the baseline.
+	HitImprovement map[string]float64
+	// CellsWonResp / CellsWonHit map baseline → cells where Req-block is
+	// strictly better, out of Cells.
+	CellsWonResp, CellsWonHit map[string]int
+	// Cells is the number of (trace, cache) cells compared.
+	Cells int
+}
+
+// Summarize computes the scoreboard from a grid run.
+func (g *GridResult) Summarize() Summary {
+	s := Summary{
+		RespReduction:  map[string]float64{},
+		HitImprovement: map[string]float64{},
+		CellsWonResp:   map[string]int{},
+		CellsWonHit:    map[string]int{},
+	}
+	for _, pol := range g.Policies {
+		if pol != "Req-block" {
+			s.Baselines = append(s.Baselines, pol)
+		}
+	}
+	for _, tr := range g.Traces {
+		for _, mb := range g.CacheMBs {
+			rb := g.Find(tr, "Req-block", mb)
+			if rb == nil {
+				continue
+			}
+			s.Cells++
+			for _, pol := range s.Baselines {
+				m := g.Find(tr, pol, mb)
+				if m == nil {
+					continue
+				}
+				if base := m.Response.Mean(); base > 0 {
+					red := 1 - rb.Response.Mean()/base
+					s.RespReduction[pol] += red
+					if red > 0 {
+						s.CellsWonResp[pol]++
+					}
+				}
+				if base := m.HitRatio(); base > 0 {
+					imp := rb.HitRatio()/base - 1
+					s.HitImprovement[pol] += imp
+					if imp > 0 {
+						s.CellsWonHit[pol]++
+					}
+				}
+			}
+		}
+	}
+	if s.Cells > 0 {
+		for _, pol := range s.Baselines {
+			s.RespReduction[pol] /= float64(s.Cells)
+			s.HitImprovement[pol] /= float64(s.Cells)
+		}
+	}
+	return s
+}
+
+// RenderSummary renders the scoreboard with the paper's reported averages
+// alongside, where it states them (§4.2.2: response −23.8/−11.3/−7.7% vs
+// LRU/BPLRU/VBBMS; §4.2.3: hits +42.9/+23.6/+4.1%).
+func RenderSummary(s Summary) string {
+	paperResp := map[string]float64{"LRU": 0.238, "BPLRU": 0.113, "VBBMS": 0.077}
+	paperHit := map[string]float64{"LRU": 0.429, "BPLRU": 0.236, "VBBMS": 0.041}
+	var out [][]string
+	for _, pol := range s.Baselines {
+		respPaper, hitPaper := "—", "—"
+		if v, ok := paperResp[pol]; ok {
+			respPaper = fmt.Sprintf("%.1f%%", v*100)
+		}
+		if v, ok := paperHit[pol]; ok {
+			hitPaper = fmt.Sprintf("%.1f%%", v*100)
+		}
+		out = append(out, []string{
+			pol,
+			fmt.Sprintf("%.1f%%", s.RespReduction[pol]*100),
+			respPaper,
+			fmt.Sprintf("%d/%d", s.CellsWonResp[pol], s.Cells),
+			fmt.Sprintf("%.1f%%", s.HitImprovement[pol]*100),
+			hitPaper,
+			fmt.Sprintf("%d/%d", s.CellsWonHit[pol], s.Cells),
+		})
+	}
+	return renderTable("Summary: Req-block vs baselines — measured (paper)",
+		[]string{"Baseline", "resp −", "(paper)", "cells", "hits +", "(paper)", "cells"}, out)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ssd"
+)
+
+// Table1 renders the experimental settings of the paper's Table 1 as
+// resolved by this configuration (both the paper-scale values and the
+// scaled device actually simulated).
+func (r *Runner) Table1() string {
+	full := ssd.DefaultParams().Flash
+	scaled := ssd.ScaledParams(r.cfg.DeviceDivisor).Flash
+	rows := [][]string{
+		{"Capacity", fmt.Sprintf("%d GiB", full.PhysicalBytes()>>30), fmt.Sprintf("%d GiB", scaled.PhysicalBytes()>>30)},
+		{"Channel Size", fmt.Sprint(full.Channels), fmt.Sprint(scaled.Channels)},
+		{"Chip Size", fmt.Sprint(full.ChipsPerChannel), fmt.Sprint(scaled.ChipsPerChannel)},
+		{"Page per block", fmt.Sprint(full.PagesPerBlock), fmt.Sprint(scaled.PagesPerBlock)},
+		{"Page Size", fmt.Sprintf("%d KB", full.PageSize/1024), fmt.Sprintf("%d KB", scaled.PageSize/1024)},
+		{"FTL Scheme", "Page level", "Page level"},
+		{"Read latency", fmt.Sprintf("%.3f ms", float64(full.ReadLatency)/1e6), fmt.Sprintf("%.3f ms", float64(scaled.ReadLatency)/1e6)},
+		{"Write latency", fmt.Sprintf("%g ms", float64(full.ProgramLatency)/1e6), fmt.Sprintf("%g ms", float64(scaled.ProgramLatency)/1e6)},
+		{"Erase latency", fmt.Sprintf("%g ms", float64(full.EraseLatency)/1e6), fmt.Sprintf("%g ms", float64(scaled.EraseLatency)/1e6)},
+		{"Transfer (Byte)", fmt.Sprintf("%d ns", full.TransferPerByte), fmt.Sprintf("%d ns", scaled.TransferPerByte)},
+		{"GC Threshold", fmt.Sprintf("%.0f%%", full.GCThreshold*100), fmt.Sprintf("%.0f%%", scaled.GCThreshold*100)},
+		{"DRAM Cache", cacheSizesLabel(r.cfg.CacheSizesMB), cacheSizesLabel(r.cfg.CacheSizesMB)},
+	}
+	return renderTable("Table 1: SSDsim experimental settings (paper scale vs simulated scale)",
+		[]string{"Parameter", "Paper", "Simulated"}, rows)
+}
+
+func cacheSizesLabel(sizes []int) string {
+	s := ""
+	for i, mb := range sizes {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprint(mb)
+	}
+	return s + "MB"
+}
+
+// Table2Row is one workload's statistics alongside the paper's values.
+type Table2Row struct {
+	Trace string
+	// Measured statistics of the synthetic trace.
+	Requests           int
+	WriteRatio         float64
+	MeanWriteKB        float64
+	FrequentRatio      float64
+	FrequentWriteRatio float64
+	// Paper-reported values for the original trace.
+	PaperWriteRatio    float64
+	PaperMeanWriteKB   float64
+	PaperFrequentRatio float64
+	PaperFrequentWrite float64
+}
+
+// paperTable2 holds the values printed in the paper's Table 2.
+var paperTable2 = map[string][4]float64{
+	// write ratio, mean write KB, frequent ratio, frequent write ratio
+	"hm_1":   {0.047, 20.0, 0.461, 0.839},
+	"lun_1":  {0.332, 18.6, 0.124, 0.128},
+	"usr_0":  {0.596, 10.3, 0.529, 0.329},
+	"src1_2": {0.746, 32.5, 0.796, 0.391},
+	"ts_0":   {0.824, 8.0, 0.430, 0.581},
+	"proj_0": {0.875, 40.9, 0.625, 0.599},
+}
+
+// Table2 computes the synthetic-trace statistics mirroring Table 2.
+func (r *Runner) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, p := range r.Profiles() {
+		s, err := r.TraceStats(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		paper := paperTable2[p.Name]
+		rows = append(rows, Table2Row{
+			Trace:              p.Name,
+			Requests:           s.Requests,
+			WriteRatio:         s.WriteRatio,
+			MeanWriteKB:        s.MeanWriteBytes / 1024,
+			FrequentRatio:      s.FrequentRatio,
+			FrequentWriteRatio: s.FrequentWriteRatio,
+			PaperWriteRatio:    paper[0],
+			PaperMeanWriteKB:   paper[1],
+			PaperFrequentRatio: paper[2],
+			PaperFrequentWrite: paper[3],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 renders Table2 rows with paper values side by side.
+func RenderTable2(rows []Table2Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, []string{
+			row.Trace,
+			fmt.Sprint(row.Requests),
+			fmt.Sprintf("%.1f%% (%.1f%%)", row.WriteRatio*100, row.PaperWriteRatio*100),
+			fmt.Sprintf("%.1fKB (%.1fKB)", row.MeanWriteKB, row.PaperMeanWriteKB),
+			fmt.Sprintf("%.1f%% (%.1f%%)", row.FrequentRatio*100, row.PaperFrequentRatio*100),
+			fmt.Sprintf("%.1f%% (%.1f%%)", row.FrequentWriteRatio*100, row.PaperFrequentWrite*100),
+		})
+	}
+	return renderTable("Table 2: trace specifications — measured (paper)",
+		[]string{"Trace", "Req #", "Wr Ratio", "Wr Size", "Frequent R", "(Wr)"}, out)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import "fmt"
+
+// TailRow is one trace's tail-latency comparison — an extension experiment:
+// the paper reports mean response time only (Fig. 8), but batch-eviction
+// policies differ most in the tail, where a request that triggers a flush
+// pays the whole batch's transfer serialization.
+type TailRow struct {
+	Trace   string
+	CacheMB int
+	// P50Ms / P99Ms map policy → estimated percentile in milliseconds.
+	P50Ms, P99Ms map[string]float64
+}
+
+// TailLatency derives the tail comparison from a grid run at the given
+// cache size (0 = middle configured size).
+func (g *GridResult) TailLatency(cacheMB int) []TailRow {
+	if cacheMB == 0 {
+		cacheMB = g.CacheMBs[len(g.CacheMBs)/2]
+	}
+	var rows []TailRow
+	for _, tr := range g.Traces {
+		row := TailRow{
+			Trace: tr, CacheMB: cacheMB,
+			P50Ms: map[string]float64{}, P99Ms: map[string]float64{},
+		}
+		for _, pol := range g.Policies {
+			if m := g.Find(tr, pol, cacheMB); m != nil {
+				row.P50Ms[pol] = m.ResponseP50.Value() / 1e6
+				row.P99Ms[pol] = m.ResponseP99.Value() / 1e6
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTailLatency renders the tail-latency extension table.
+func RenderTailLatency(rows []TailRow, policies []string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"Trace", "Pct"}
+	header = append(header, policies...)
+	var out [][]string
+	for _, row := range rows {
+		p50 := []string{row.Trace, "P50 ms"}
+		p99 := []string{row.Trace, "P99 ms"}
+		for _, pol := range policies {
+			p50 = append(p50, fmt.Sprintf("%.3f", row.P50Ms[pol]))
+			p99 = append(p99, fmt.Sprintf("%.3f", row.P99Ms[pol]))
+		}
+		out = append(out, p50, p99)
+	}
+	return renderTable(
+		fmt.Sprintf("Extension: response-time percentiles (%dMB cache)", rows[0].CacheMB),
+		header, out)
+}

@@ -1,0 +1,79 @@
+package flash
+
+import "testing"
+
+func TestArrayStateAccessors(t *testing.T) {
+	a, err := NewArray(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State(0) != PageFree {
+		t.Fatal("fresh page not free")
+	}
+	if a.BlockFull(0) || a.FreePagesInBlock(0) != 4 {
+		t.Fatal("fresh block accounting wrong")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.Program(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.BlockFull(0) || a.FreePagesInBlock(0) != 0 {
+		t.Fatal("full block accounting wrong")
+	}
+	if a.State(0) != PageValid {
+		t.Fatal("programmed page not valid")
+	}
+	if err := a.Invalidate(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.State(0) != PageInvalid {
+		t.Fatal("invalidated page state wrong")
+	}
+}
+
+func TestNewArrayRejectsInvalidParams(t *testing.T) {
+	p := tinyParams()
+	p.Channels = 0
+	if _, err := NewArray(p); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestParamsLogicalPages(t *testing.T) {
+	p := tinyParams()
+	p.OverProvision = 0.25
+	if got := p.LogicalPages(); got != p.PhysicalPages()*3/4 {
+		t.Fatalf("LogicalPages = %d, want 3/4 of %d", got, p.PhysicalPages())
+	}
+}
+
+func TestParamsChipOfPPN(t *testing.T) {
+	p := tinyParams()
+	// Last PPN of the device lives on the last chip.
+	last := p.PhysicalPages() - 1
+	if p.ChipOfPPN(last) != p.Chips()-1 {
+		t.Fatalf("ChipOfPPN(last) = %d, want %d", p.ChipOfPPN(last), p.Chips()-1)
+	}
+	if p.ChipOfPPN(0) != 0 {
+		t.Fatal("ChipOfPPN(0) != 0")
+	}
+}
+
+func TestWearStatsInPackage(t *testing.T) {
+	a, _ := NewArray(tinyParams())
+	for i := 0; i < 4; i++ {
+		ppn, _ := a.Program(0)
+		a.Invalidate(ppn)
+	}
+	if err := a.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	w := a.WearStats()
+	if w.TotalErases != 1 || w.MaxErase != 1 || w.MinErase != 0 {
+		t.Fatalf("wear stats: %+v", w)
+	}
+	if w.MeanErase <= 0 || w.StdDev <= 0 {
+		t.Fatalf("wear distribution: %+v", w)
+	}
+}

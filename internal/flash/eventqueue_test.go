@@ -1,0 +1,132 @@
+package flash
+
+// An independent event-driven re-implementation of the timing semantics,
+// used purely to cross-validate Timeline: operations are expanded into
+// resource phases, and each resource (channel bus, die, die-read port) is
+// a FIFO that admits a phase at max(its free time, the phase's ready
+// time). The algebraic Timeline computes the same schedule without a
+// queue; the property test demands identical completion times for random
+// operation sequences.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// evResource is a FIFO resource with a free time.
+type evResource struct {
+	free int64
+}
+
+// admit starts a phase when both the resource and the input are ready,
+// occupying the resource for dur; returns the phase end.
+func (r *evResource) admit(ready, dur int64) int64 {
+	start := ready
+	if r.free > start {
+		start = r.free
+	}
+	end := start + dur
+	r.free = end
+	return end
+}
+
+// evDevice mirrors Timeline's semantics phase by phase.
+type evDevice struct {
+	p        Params
+	channels []evResource
+	dies     []evResource // program/erase backlog
+	readers  []evResource // read port per die
+}
+
+func newEvDevice(p Params) *evDevice {
+	return &evDevice{
+		p:        p,
+		channels: make([]evResource, p.Channels),
+		dies:     make([]evResource, p.Chips()),
+		readers:  make([]evResource, p.Chips()),
+	}
+}
+
+func (d *evDevice) program(now int64, ch, chip int) (xfer, done int64) {
+	// Phase 1: bus transfer into the cache register (channel only).
+	xfer = d.channels[ch].admit(now, d.p.PageTransferTime())
+	// Phase 2: cell program, serialized on the die.
+	done = d.dies[chip].admit(xfer, d.p.ProgramLatency)
+	return xfer, done
+}
+
+func (d *evDevice) read(now int64, ch, chip int) int64 {
+	// Phase 1: cell read on the die's read port (suspends programs).
+	ready := d.readers[chip].admit(now, d.p.ReadLatency)
+	// Suspension pushes the program backlog out by the cell time.
+	if d.dies[chip].free > ready-d.p.ReadLatency {
+		d.dies[chip].free += d.p.ReadLatency
+	}
+	// Phase 2: bus transfer out.
+	return d.channels[ch].admit(ready, d.p.PageTransferTime())
+}
+
+func (d *evDevice) erase(now int64, chip int) int64 {
+	return d.dies[chip].admit(now, d.p.EraseLatency)
+}
+
+func (d *evDevice) copyback(now int64, chip int) int64 {
+	return d.dies[chip].admit(now, d.p.ReadLatency+d.p.ProgramLatency)
+}
+
+// TestTimelineMatchesEventModel schedules random operation sequences on
+// both models and compares every completion time.
+func TestTimelineMatchesEventModel(t *testing.T) {
+	p := tinyParams()
+	f := func(ops []uint32) bool {
+		tl := NewTimeline(p)
+		ev := newEvDevice(p)
+		now := int64(0)
+		for _, op := range ops {
+			now += int64(op % 100_000)
+			ch := int(op>>8) % p.Channels
+			chip := int(op>>16) % p.Chips()
+			switch op % 4 {
+			case 0:
+				x1, d1 := tl.Program(now, ch, chip)
+				x2, d2 := ev.program(now, ch, chip)
+				if x1 != x2 || d1 != d2 {
+					t.Logf("program @%d ch%d chip%d: (%d,%d) vs (%d,%d)", now, ch, chip, x1, d1, x2, d2)
+					return false
+				}
+			case 1:
+				d1 := tl.Read(now, ch, chip)
+				d2 := ev.read(now, ch, chip)
+				if d1 != d2 {
+					t.Logf("read @%d ch%d chip%d: %d vs %d", now, ch, chip, d1, d2)
+					return false
+				}
+			case 2:
+				if tl.Erase(now, chip) != ev.erase(now, chip) {
+					return false
+				}
+			case 3:
+				if tl.Copyback(now, chip) != ev.copyback(now, chip) {
+					return false
+				}
+			}
+		}
+		// Final resource states must agree too.
+		for ch := 0; ch < p.Channels; ch++ {
+			if tl.ChannelFree(ch) != ev.channels[ch].free {
+				t.Logf("channel %d free: %d vs %d", ch, tl.ChannelFree(ch), ev.channels[ch].free)
+				return false
+			}
+		}
+		for c := 0; c < p.Chips(); c++ {
+			if tl.ChipFree(c) != ev.dies[c].free {
+				t.Logf("chip %d free: %d vs %d", c, tl.ChipFree(c), ev.dies[c].free)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

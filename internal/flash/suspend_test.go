@@ -1,0 +1,102 @@
+package flash
+
+import "testing"
+
+// Tests for the two timing-model refinements: cache-program transfer
+// overlap and read suspend/resume (see DESIGN.md).
+
+func TestReadPreemptsProgramBacklog(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	// Queue three programs on chip 0: die busy until ~Ttr+3·Tprog.
+	for i := 0; i < 3; i++ {
+		tl.Program(0, 0, 0)
+	}
+	busyUntil := tl.ChipFree(0)
+	// A read issued now must NOT wait for the backlog.
+	done := tl.Read(0, 0, 0)
+	maxRead := p.ReadLatency + p.PageTransferTime() + 3*p.PageTransferTime()
+	if done > maxRead {
+		t.Fatalf("read done = %d, want <= %d (suspend/resume)", done, maxRead)
+	}
+	if done >= busyUntil {
+		t.Fatalf("read (%d) served after the whole program backlog (%d)", done, busyUntil)
+	}
+	// The suspended backlog is pushed back by the read's cell time.
+	if got := tl.ChipFree(0); got != busyUntil+p.ReadLatency {
+		t.Fatalf("backlog end = %d, want %d (+ReadLatency)", got, busyUntil+p.ReadLatency)
+	}
+}
+
+func TestReadOnIdleDieDoesNotInflateBacklog(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	tl.Read(0, 0, 0)
+	if tl.ChipFree(0) != 0 {
+		t.Fatalf("idle-die read created program backlog: %d", tl.ChipFree(0))
+	}
+}
+
+func TestReadsSerializeOnSameDie(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	d0 := tl.Read(0, 0, 0)
+	d1 := tl.Read(0, 0, 0)
+	if d1 <= d0 {
+		t.Fatal("reads on one die must serialize")
+	}
+	// Cell phases serialize; the second read's cell phase starts when the
+	// first's ends.
+	want := 2*p.ReadLatency + p.PageTransferTime()
+	if d1 < want {
+		t.Fatalf("second read done = %d, want >= %d", d1, want)
+	}
+}
+
+func TestReadsOnDifferentDiesSameChannelShareBus(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	d0 := tl.Read(0, 0, 0)
+	d1 := tl.Read(0, 0, 1) // other die, same channel
+	if d1 != d0+p.PageTransferTime() {
+		t.Fatalf("second read done = %d, want %d (bus serialization only)",
+			d1, d0+p.PageTransferTime())
+	}
+}
+
+func TestCacheProgramTransferOverlap(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	// Five programs to the same die: transfers are gated only by the
+	// channel, programs pipeline on the die.
+	var lastXfer, lastDone int64
+	for i := 0; i < 5; i++ {
+		lastXfer, lastDone = tl.Program(0, 0, 0)
+	}
+	if wantXfer := 5 * p.PageTransferTime(); lastXfer != wantXfer {
+		t.Fatalf("5th transfer end = %d, want %d", lastXfer, wantXfer)
+	}
+	if wantDone := p.PageTransferTime() + 5*p.ProgramLatency; lastDone != wantDone {
+		t.Fatalf("5th program done = %d, want %d", lastDone, wantDone)
+	}
+}
+
+func TestProgramAfterEraseWaitsForDie(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	tl.Erase(0, 0)
+	_, done := tl.Program(0, 0, 0)
+	if done < p.EraseLatency+p.ProgramLatency {
+		t.Fatalf("program done = %d, did not wait for the erase", done)
+	}
+}
+
+func TestEraseSuspendForReads(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	tl.Erase(0, 0) // die busy 15 ms
+	done := tl.Read(0, 0, 0)
+	if done >= p.EraseLatency {
+		t.Fatalf("read (%d) waited for the erase (%d)", done, p.EraseLatency)
+	}
+}

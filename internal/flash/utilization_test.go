@@ -1,0 +1,73 @@
+package flash
+
+import "testing"
+
+func TestUtilizationZeroHorizon(t *testing.T) {
+	tl := NewTimeline(tinyParams())
+	u := tl.Utilization(0)
+	if u.MeanChannel != 0 || u.ChannelImbalance != 0 {
+		t.Fatalf("zero horizon must report zeros: %+v", u)
+	}
+}
+
+func TestUtilizationAccountsOperations(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	tl.Program(0, 0, 0)
+	tl.Read(0, 1, 2)
+	tl.Erase(0, 1)
+	tl.Copyback(0, 3)
+	if got := tl.ChannelBusy(0); got != p.PageTransferTime() {
+		t.Fatalf("channel 0 busy = %d, want one transfer", got)
+	}
+	if got := tl.ChannelBusy(1); got != p.PageTransferTime() {
+		t.Fatalf("channel 1 busy = %d, want one read transfer", got)
+	}
+	if got := tl.ChipBusy(0); got != p.ProgramLatency {
+		t.Fatalf("chip 0 busy = %d, want one program", got)
+	}
+	if got := tl.ChipBusy(1); got != p.EraseLatency {
+		t.Fatalf("chip 1 busy = %d, want one erase", got)
+	}
+	if got := tl.ChipBusy(2); got != p.ReadLatency {
+		t.Fatalf("chip 2 busy = %d, want one cell read", got)
+	}
+	if got := tl.ChipBusy(3); got != p.ReadLatency+p.ProgramLatency {
+		t.Fatalf("chip 3 busy = %d, want one copyback", got)
+	}
+}
+
+func TestUtilizationFractionsAndImbalance(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	// Three programs on channel 0, none on channel 1.
+	tl.Program(0, 0, 0)
+	tl.Program(0, 0, 0)
+	tl.Program(0, 0, 1)
+	horizon := 10 * p.PageTransferTime()
+	u := tl.Utilization(horizon)
+	wantMean := 3.0 * float64(p.PageTransferTime()) / float64(horizon) / 2 // 2 channels
+	if diff := u.MeanChannel - wantMean; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("MeanChannel = %v, want %v", u.MeanChannel, wantMean)
+	}
+	if u.MaxChannel <= u.MeanChannel {
+		t.Fatal("all traffic on one channel must show MaxChannel > MeanChannel")
+	}
+	if u.ChannelImbalance != 2.0 {
+		t.Fatalf("imbalance = %v, want 2.0 (one of two channels used)", u.ChannelImbalance)
+	}
+	if u.MaxChip <= 0 || u.MeanChip <= 0 {
+		t.Fatal("chip occupancy missing")
+	}
+}
+
+func TestUtilizationBalancedTraffic(t *testing.T) {
+	p := tinyParams()
+	tl := NewTimeline(p)
+	tl.Program(0, 0, 0)
+	tl.Program(0, 1, 2)
+	u := tl.Utilization(1_000_000)
+	if u.ChannelImbalance != 1.0 {
+		t.Fatalf("balanced traffic imbalance = %v, want 1.0", u.ChannelImbalance)
+	}
+}

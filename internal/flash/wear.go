@@ -1,0 +1,49 @@
+package flash
+
+import "math"
+
+// Wear summarizes the erase-cycle distribution across the array's blocks.
+// The paper's introduction motivates DRAM write buffering with SSD
+// endurance — high-density cells survive only a few hundred program/erase
+// cycles (QLC ≈ 500) — so the simulator reports how evenly a policy's
+// flush traffic wears the flash.
+type Wear struct {
+	// MinErase / MaxErase / MeanErase describe the per-block erase counts.
+	MinErase, MaxErase int
+	MeanErase          float64
+	// StdDev is the standard deviation of per-block erase counts; dynamic
+	// wear leveling keeps it low.
+	StdDev float64
+	// TotalErases is the sum over all blocks.
+	TotalErases int64
+}
+
+// WearStats computes the current erase-count distribution.
+func (a *Array) WearStats() Wear {
+	blocks := a.p.Blocks()
+	w := Wear{MinErase: int(^uint(0) >> 1)}
+	var sum, sumSq float64
+	for b := 0; b < blocks; b++ {
+		e := int(a.eraseCount[b])
+		if e < w.MinErase {
+			w.MinErase = e
+		}
+		if e > w.MaxErase {
+			w.MaxErase = e
+		}
+		sum += float64(e)
+		sumSq += float64(e) * float64(e)
+		w.TotalErases += int64(e)
+	}
+	if blocks > 0 {
+		w.MeanErase = sum / float64(blocks)
+		variance := sumSq/float64(blocks) - w.MeanErase*w.MeanErase
+		if variance > 0 {
+			w.StdDev = math.Sqrt(variance)
+		}
+	}
+	if w.MinErase == int(^uint(0)>>1) {
+		w.MinErase = 0
+	}
+	return w
+}

@@ -1,0 +1,624 @@
+// Package ftl implements a page-level flash translation layer over the
+// flash array: logical-to-physical mapping, write allocation, and greedy
+// garbage collection, matching the "Page level" FTL scheme of the paper's
+// Table 1.
+//
+// Two allocation modes exist because the cache policies under study differ
+// exactly there:
+//
+//   - Striped (dynamic) allocation sends consecutive pages of a flush batch
+//     to different channels, exploiting internal parallelism. This is what
+//     page-level evictions (LRU et al.), VBBMS virtual blocks and Req-block
+//     request blocks use.
+//   - Block-bound allocation places a whole batch on one plane, back to
+//     back in the same physical block(s). This models BPLRU, which flushes
+//     a logical block onto a single SSD block and therefore serializes on
+//     one channel (paper §4.2.2).
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+)
+
+// unmapped marks an absent translation.
+const unmapped = int32(-1)
+
+// Stats aggregates the FTL's activity counters.
+type Stats struct {
+	// HostPrograms counts pages programmed on behalf of host flushes.
+	HostPrograms int64
+	// HostReads counts pages read on behalf of host requests.
+	HostReads int64
+	// GCMigrations counts valid pages copied during garbage collection.
+	GCMigrations int64
+	// GCRuns counts garbage-collection invocations (one victim each).
+	GCRuns int64
+	// Erases counts block erases.
+	Erases int64
+	// Trims counts logical pages discarded via Trim.
+	Trims int64
+}
+
+// FTL is a page-level flash translation layer bound to one flash array and
+// timeline. It is not safe for concurrent use; the simulator is
+// single-threaded by design (deterministic replay).
+type FTL struct {
+	p   flash.Params
+	arr *flash.Array
+	tl  *flash.Timeline
+
+	mapping []int32 // LPN -> PPN (int32 is sufficient: < 2^31 pages)
+	reverse []int32 // PPN -> LPN, needed to remap pages during GC
+
+	freeBlocks  [][]int32 // per plane: stack of erased blocks
+	activeBlock []int32   // per plane: block accepting host programs, -1 if none
+	gcActive    []int32   // per plane: block accepting GC migrations, -1 if none
+	stripeOrder []int32   // plane visit order for striped allocation (channels first)
+	stripeNext  int       // cursor into stripeOrder
+	boundNext   int       // cursor into stripeOrder for block-bound flushes
+	chanCursor  []int     // per channel: plane rotation for channel-bound flushes
+
+	gcLow      int  // free-block count per plane that triggers GC
+	wearLevel  bool // pick least-erased free blocks (dynamic wear leveling)
+	separateGC bool // keep GC migrations out of the host write blocks
+
+	stats Stats
+}
+
+// New builds an FTL over a fresh array and timeline for the given geometry,
+// with dynamic wear leveling and GC stream separation enabled.
+func New(p flash.Params) (*FTL, error) {
+	return NewConfig(p, true)
+}
+
+// NewConfig builds an FTL with explicit wear-leveling behavior (GC stream
+// separation stays on; see NewConfigFull for the ablation).
+func NewConfig(p flash.Params, wearLevel bool) (*FTL, error) {
+	return NewConfigFull(p, wearLevel, true)
+}
+
+// NewConfigFull builds an FTL with explicit wear-leveling and GC-stream
+// separation behavior.
+func NewConfigFull(p flash.Params, wearLevel, separateGC bool) (*FTL, error) {
+	f, err := newFTL(p)
+	if err != nil {
+		return nil, err
+	}
+	f.wearLevel = wearLevel
+	f.separateGC = separateGC
+	return f, nil
+}
+
+func newFTL(p flash.Params) (*FTL, error) {
+	arr, err := flash.NewArray(p)
+	if err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		p:   p,
+		arr: arr,
+		tl:  flash.NewTimeline(p),
+	}
+	f.mapping = make([]int32, p.LogicalPages())
+	for i := range f.mapping {
+		f.mapping[i] = unmapped
+	}
+	f.reverse = make([]int32, p.PhysicalPages())
+	for i := range f.reverse {
+		f.reverse[i] = unmapped
+	}
+	planes := p.Planes()
+	f.freeBlocks = make([][]int32, planes)
+	f.activeBlock = make([]int32, planes)
+	f.gcActive = make([]int32, planes)
+	for pl := 0; pl < planes; pl++ {
+		first := p.FirstBlockOfPlane(pl)
+		blocks := make([]int32, 0, p.BlocksPerPlane)
+		// Push in reverse so blocks are consumed in ascending order.
+		for b := p.BlocksPerPlane - 1; b >= 0; b-- {
+			blocks = append(blocks, int32(first+b))
+		}
+		f.freeBlocks[pl] = blocks
+		f.activeBlock[pl] = -1
+		f.gcActive[pl] = -1
+	}
+	// Visit planes cycling across channels first so that consecutive pages
+	// of a striped batch land on distinct channels.
+	f.stripeOrder = make([]int32, 0, planes)
+	for rank := 0; rank < p.ChipsPerChannel*p.PlanesPerChip; rank++ {
+		for ch := 0; ch < p.Channels; ch++ {
+			chip := ch*p.ChipsPerChannel + rank/p.PlanesPerChip
+			plane := chip*p.PlanesPerChip + rank%p.PlanesPerChip
+			f.stripeOrder = append(f.stripeOrder, int32(plane))
+		}
+	}
+	f.chanCursor = make([]int, p.Channels)
+	f.gcLow = int(float64(p.BlocksPerPlane) * p.GCThreshold)
+	if f.gcLow < 1 {
+		f.gcLow = 1
+	}
+	return f, nil
+}
+
+// Params returns the device geometry.
+func (f *FTL) Params() flash.Params { return f.p }
+
+// Array exposes the underlying flash array (read-only use expected).
+func (f *FTL) Array() *flash.Array { return f.arr }
+
+// Timeline exposes the shared timing model.
+func (f *FTL) Timeline() *flash.Timeline { return f.tl }
+
+// Stats returns a copy of the activity counters.
+func (f *FTL) Stats() Stats {
+	s := f.stats
+	s.Erases = f.arr.Erases()
+	return s
+}
+
+// Mapped reports whether an LPN currently has a physical translation.
+func (f *FTL) Mapped(lpn int64) bool {
+	return f.mapping[lpn] != unmapped
+}
+
+// LogicalPages returns the host-visible page count.
+func (f *FTL) LogicalPages() int64 { return int64(len(f.mapping)) }
+
+func (f *FTL) checkLPN(lpn int64) error {
+	if lpn < 0 || lpn >= int64(len(f.mapping)) {
+		return fmt.Errorf("ftl: lpn %d out of range [0,%d)", lpn, len(f.mapping))
+	}
+	return nil
+}
+
+// allocPage hands out the next programmable PPN, preferring the requested
+// plane. It pulls a fresh block when the active one fills and runs GC
+// beforehand when the plane is low on free blocks (gcAllowed breaks
+// recursion when GC itself allocates). If the plane is exhausted even after
+// GC — dynamic allocation lets valid data concentrate beyond one plane's
+// physical share — it falls back to the plane with the most free blocks, as
+// real dynamic-allocation FTLs do.
+func (f *FTL) allocPage(now int64, plane int, gcAllowed bool) (int64, int64, error) {
+	stream := streamHost
+	if !gcAllowed {
+		// GC migrations come through the gcAllowed=false path; keep their
+		// data in separate blocks (hot/cold stream separation: survivor
+		// pages are colder than fresh host writes, and mixing them spreads
+		// invalidations across more blocks, raising write amplification).
+		if f.separateGC {
+			stream = streamGC
+		}
+	}
+	if gcAllowed {
+		now = f.maybeGC(now, plane)
+	}
+	ppn, ok := f.allocOnPlane(plane, stream)
+	if !ok {
+		fallback := f.richestPlane()
+		if gcAllowed {
+			now = f.maybeGC(now, fallback)
+		}
+		ppn, ok = f.allocOnPlane(fallback, stream)
+		if !ok {
+			return 0, now, fmt.Errorf("ftl: planes %d and %d out of free blocks", plane, fallback)
+		}
+	}
+	return ppn, now, nil
+}
+
+// Write streams for hot/cold separation.
+const (
+	streamHost = iota
+	streamGC
+)
+
+// allocOnPlane programs the next page of the plane's active block, opening a
+// new block from the free list when needed. It reports false when the plane
+// has neither an open active block nor free blocks.
+//
+// Opening a new block applies dynamic wear leveling: the least-erased free
+// block is chosen, so erase cycles spread evenly instead of recycling the
+// same few blocks (NewConfig can disable this for the ablation bench).
+func (f *FTL) allocOnPlane(plane, stream int) (int64, bool) {
+	slot := &f.activeBlock[plane]
+	if stream == streamGC {
+		slot = &f.gcActive[plane]
+		// Graceful degradation: holding a second frontier block per plane
+		// is a luxury small or nearly-full planes cannot afford. If the GC
+		// stream would need a fresh block while at most one remains, merge
+		// into the host stream instead of deadlocking the plane.
+		if a := *slot; (a < 0 || f.arr.BlockFull(int(a))) && len(f.freeBlocks[plane]) <= 1 {
+			slot = &f.activeBlock[plane]
+		}
+	}
+	active := *slot
+	if active < 0 || f.arr.BlockFull(int(active)) {
+		fb := f.freeBlocks[plane]
+		if len(fb) == 0 {
+			return 0, false
+		}
+		pick := len(fb) - 1
+		if f.wearLevel {
+			best := f.arr.EraseCount(int(fb[pick]))
+			for i, b := range fb[:len(fb)-1] {
+				if e := f.arr.EraseCount(int(b)); e < best {
+					best, pick = e, i
+				}
+			}
+		}
+		active = fb[pick]
+		fb[pick] = fb[len(fb)-1]
+		f.freeBlocks[plane] = fb[:len(fb)-1]
+		*slot = active
+	}
+	ppn, err := f.arr.Program(int(active))
+	if err != nil {
+		return 0, false
+	}
+	return ppn, true
+}
+
+// richestPlane returns the plane with the most free blocks, counting a
+// non-full active block as headroom.
+func (f *FTL) richestPlane() int {
+	best, bestFree := 0, -1
+	for pl := range f.freeBlocks {
+		free := len(f.freeBlocks[pl]) * f.p.PagesPerBlock
+		if a := f.activeBlock[pl]; a >= 0 {
+			free += f.arr.FreePagesInBlock(int(a))
+		}
+		if a := f.gcActive[pl]; a >= 0 {
+			free += f.arr.FreePagesInBlock(int(a))
+		}
+		if free > bestFree {
+			best, bestFree = pl, free
+		}
+	}
+	return best
+}
+
+// BatchTiming reports when a flush batch releases its buffer frames and
+// when it is durable on flash.
+//
+// A write buffer frees a frame as soon as the page's data has crossed the
+// channel into the chip register (Transferred); the cell program continues
+// on the die and completes at Durable. The host request that triggered the
+// flush blocks only until Transferred — the paper's response-time effects
+// come from the transfer serialization (one channel vs eight) plus the die
+// occupancy that delays subsequent reads and flushes.
+type BatchTiming struct {
+	// Transferred is when the last page of the batch left the controller.
+	Transferred int64
+	// Durable is when the last page finished programming.
+	Durable int64
+}
+
+// writeOne performs the mapping update and timed program of one host page
+// onto the given plane, returning the channel-transfer end and the
+// durability time.
+func (f *FTL) writeOne(now int64, lpn int64, plane int) (int64, int64, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return 0, 0, err
+	}
+	ppn, now, err := f.allocPage(now, plane, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if old := f.mapping[lpn]; old != unmapped {
+		if err := f.arr.Invalidate(int64(old)); err != nil {
+			return 0, 0, err
+		}
+		f.reverse[old] = unmapped
+	}
+	f.mapping[lpn] = int32(ppn)
+	f.reverse[ppn] = int32(lpn)
+	block := f.p.BlockOfPPN(ppn)
+	xfer, done := f.tl.Program(now, f.p.ChannelOfBlock(block), f.p.ChipOfBlock(block))
+	f.stats.HostPrograms++
+	return xfer, done, nil
+}
+
+// WriteStriped flushes a batch of logical pages using dynamic allocation:
+// page i of the batch goes to stripe plane (cursor+i), so an 8-channel
+// device programs 8 pages concurrently.
+func (f *FTL) WriteStriped(now int64, lpns []int64) (BatchTiming, error) {
+	t := BatchTiming{Transferred: now, Durable: now}
+	for _, lpn := range lpns {
+		plane := int(f.stripeOrder[f.stripeNext])
+		f.stripeNext = (f.stripeNext + 1) % len(f.stripeOrder)
+		xfer, done, err := f.writeOne(now, lpn, plane)
+		if err != nil {
+			return BatchTiming{}, err
+		}
+		if xfer > t.Transferred {
+			t.Transferred = xfer
+		}
+		if done > t.Durable {
+			t.Durable = done
+		}
+	}
+	return t, nil
+}
+
+// WriteBlockBound flushes a batch onto a single plane, back to back in the
+// same physical block(s): BPLRU's "flush the logical block onto one SSD
+// block". Each call advances to the next plane so successive block flushes
+// still spread wear, but pages within one call share a channel.
+func (f *FTL) WriteBlockBound(now int64, lpns []int64) (BatchTiming, error) {
+	t := BatchTiming{Transferred: now, Durable: now}
+	if len(lpns) == 0 {
+		return t, nil
+	}
+	plane := int(f.stripeOrder[f.boundNext])
+	f.boundNext = (f.boundNext + 1) % len(f.stripeOrder)
+	for _, lpn := range lpns {
+		xfer, done, err := f.writeOne(now, lpn, plane)
+		if err != nil {
+			return BatchTiming{}, err
+		}
+		if xfer > t.Transferred {
+			t.Transferred = xfer
+		}
+		if done > t.Durable {
+			t.Durable = done
+		}
+	}
+	return t, nil
+}
+
+// WriteOnChannel flushes a batch onto the planes of one channel, rotating
+// among that channel's chips. ECR's eviction decisions assume page→channel
+// affinity, so its flushes are pinned here instead of striping everywhere.
+func (f *FTL) WriteOnChannel(now int64, lpns []int64, channel int) (BatchTiming, error) {
+	t := BatchTiming{Transferred: now, Durable: now}
+	if channel < 0 || channel >= f.p.Channels {
+		return BatchTiming{}, fmt.Errorf("ftl: channel %d out of range", channel)
+	}
+	planesPerChannel := f.p.ChipsPerChannel * f.p.PlanesPerChip
+	for i, lpn := range lpns {
+		plane := channel*planesPerChannel + (f.chanCursor[channel]+i)%planesPerChannel
+		xfer, done, err := f.writeOne(now, lpn, plane)
+		if err != nil {
+			return BatchTiming{}, err
+		}
+		if xfer > t.Transferred {
+			t.Transferred = xfer
+		}
+		if done > t.Durable {
+			t.Durable = done
+		}
+	}
+	f.chanCursor[channel] = (f.chanCursor[channel] + len(lpns)) % planesPerChannel
+	return t, nil
+}
+
+// Read services a batch of logical page reads and returns the time the last
+// page arrives at the controller. Pages that were never written (cold data
+// from before the trace started) are charged a read on the plane they would
+// stripe to, mirroring SSDsim's assumption that pre-trace data exists on
+// flash.
+func (f *FTL) Read(now int64, lpns []int64) (int64, error) {
+	var last int64 = now
+	for _, lpn := range lpns {
+		if err := f.checkLPN(lpn); err != nil {
+			return 0, err
+		}
+		var block int
+		if ppn := f.mapping[lpn]; ppn != unmapped {
+			if err := f.arr.Read(int64(ppn)); err != nil {
+				return 0, err
+			}
+			block = f.p.BlockOfPPN(int64(ppn))
+		} else {
+			// Deterministic pseudo-location for pre-trace data.
+			plane := int(f.stripeOrder[int(lpn)%len(f.stripeOrder)])
+			block = f.p.FirstBlockOfPlane(plane)
+		}
+		done := f.tl.Read(now, f.p.ChannelOfBlock(block), f.p.ChipOfBlock(block))
+		f.stats.HostReads++
+		if done > last {
+			last = done
+		}
+	}
+	return last, nil
+}
+
+// Trim discards logical pages: their physical copies are invalidated and
+// the translations dropped, so GC reclaims the space without migrating
+// them. Trimming an unmapped page is a no-op, as in the ATA/NVMe
+// specifications. Trim is a metadata operation and takes no simulated
+// time (real devices execute it asynchronously).
+func (f *FTL) Trim(lpns []int64) error {
+	for _, lpn := range lpns {
+		if err := f.checkLPN(lpn); err != nil {
+			return err
+		}
+		ppn := f.mapping[lpn]
+		if ppn == unmapped {
+			continue
+		}
+		if err := f.arr.Invalidate(int64(ppn)); err != nil {
+			return err
+		}
+		f.mapping[lpn] = unmapped
+		f.reverse[ppn] = unmapped
+		f.stats.Trims++
+	}
+	return nil
+}
+
+// Precondition maps the first fraction of the logical space sequentially,
+// filling flash as an aged device would be, without charging any simulated
+// time and without touching the activity counters. Replaying a trace
+// against a preconditioned device makes GC behave realistically from the
+// first request instead of after a long fill phase.
+func (f *FTL) Precondition(fraction float64) error {
+	if fraction < 0 || fraction > 1 {
+		return fmt.Errorf("ftl: precondition fraction %v out of [0,1]", fraction)
+	}
+	n := int64(float64(f.LogicalPages()) * fraction)
+	for lpn := int64(0); lpn < n; lpn++ {
+		plane := int(f.stripeOrder[f.stripeNext])
+		f.stripeNext = (f.stripeNext + 1) % len(f.stripeOrder)
+		ppn, _, err := f.allocPage(0, plane, true)
+		if err != nil {
+			return fmt.Errorf("ftl: precondition at lpn %d: %w", lpn, err)
+		}
+		if old := f.mapping[lpn]; old != unmapped {
+			if err := f.arr.Invalidate(int64(old)); err != nil {
+				return err
+			}
+			f.reverse[old] = unmapped
+		}
+		f.mapping[lpn] = int32(ppn)
+		f.reverse[ppn] = int32(lpn)
+	}
+	return nil
+}
+
+// maybeGC runs greedy garbage collection on a plane until its free-block
+// count is back above the threshold. It returns the (possibly advanced)
+// time after which new programs may be issued: GC work occupies the chip,
+// so the caller's subsequent programs are delayed by the timeline itself;
+// the returned time equals the input time (GC is asynchronous with respect
+// to the host clock but synchronous on the chip resource).
+func (f *FTL) maybeGC(now int64, plane int) int64 {
+	// Each successful round erases one victim and reclaims at least one
+	// invalid page, so the loop terminates: either the free pool recovers
+	// or no victim with invalid pages remains and gcOnce reports failure.
+	// A single round may be block-neutral (migrations filled the active
+	// block), which is why we do not demand per-round free-count growth.
+	for len(f.freeBlocks[plane]) < f.gcLow {
+		if !f.gcOnce(now, plane) {
+			break // nothing reclaimable; let allocation fail upstream
+		}
+	}
+	return now
+}
+
+// gcOnce selects the victim block with the fewest valid pages on the plane
+// (greedy policy), migrates its valid pages via in-chip copyback into the
+// plane's active block, erases it, and returns it to the free list.
+func (f *FTL) gcOnce(now int64, plane int) bool {
+	first := f.p.FirstBlockOfPlane(plane)
+	victim := -1
+	best := f.p.PagesPerBlock + 1
+	for b := first; b < first+f.p.BlocksPerPlane; b++ {
+		if int32(b) == f.activeBlock[plane] || int32(b) == f.gcActive[plane] || !f.arr.BlockFull(b) {
+			continue // skip the active frontier and still-open blocks
+		}
+		if v := f.arr.ValidCount(b); v < best {
+			best, victim = v, b
+		}
+	}
+	if victim < 0 || best >= f.p.PagesPerBlock {
+		// Nothing reclaimable: every candidate is fully valid.
+		return false
+	}
+	chip := f.p.ChipOfBlock(victim)
+	// Migrate valid pages.
+	base := f.p.PPN(victim, 0)
+	for i := 0; i < f.p.PagesPerBlock; i++ {
+		ppn := base + int64(i)
+		if f.arr.State(ppn) != flash.PageValid {
+			continue
+		}
+		lpn := f.reverse[ppn]
+		newPPN, _, err := f.allocPage(now, plane, false)
+		if err != nil {
+			return false
+		}
+		if err := f.arr.Invalidate(ppn); err != nil {
+			panic(fmt.Sprintf("ftl: gc invalidate: %v", err))
+		}
+		f.reverse[ppn] = unmapped
+		f.mapping[lpn] = int32(newPPN)
+		f.reverse[newPPN] = lpn
+		if tgtChip := f.p.ChipOfPPN(newPPN); tgtChip == chip {
+			// Same chip: in-place copyback, no channel traffic.
+			f.tl.Copyback(now, chip)
+		} else {
+			// Cross-plane fallback: data moves through the controller.
+			f.tl.Read(now, f.p.ChannelOfBlock(victim), chip)
+			tgtBlock := f.p.BlockOfPPN(newPPN)
+			f.tl.Program(now, f.p.ChannelOfBlock(tgtBlock), tgtChip)
+		}
+		f.stats.GCMigrations++
+	}
+	if err := f.arr.Erase(victim); err != nil {
+		panic(fmt.Sprintf("ftl: gc erase: %v", err))
+	}
+	f.tl.Erase(now, chip)
+	f.freeBlocks[plane] = append(f.freeBlocks[plane], int32(victim))
+	f.stats.GCRuns++
+	return true
+}
+
+// BackgroundGC opportunistically collects up to maxVictims blocks during
+// an idle window, targeting planes whose free pool sits below softLow
+// blocks — a laxer bar than the foreground gcLow, so idle time refills
+// headroom before the write path ever stalls on GC. It returns the number
+// of victims collected; the erases and migrations occupy the dies through
+// the timeline exactly like foreground GC.
+func (f *FTL) BackgroundGC(now int64, maxVictims, softLow int) int {
+	if softLow <= f.gcLow {
+		softLow = f.gcLow * 2
+	}
+	collected := 0
+	for pl := range f.freeBlocks {
+		for collected < maxVictims && len(f.freeBlocks[pl]) < softLow {
+			if !f.gcOnce(now, pl) {
+				break
+			}
+			collected++
+		}
+		if collected >= maxVictims {
+			break
+		}
+	}
+	return collected
+}
+
+// FreeBlocks returns the current free-block count of a plane (tests).
+func (f *FTL) FreeBlocks(plane int) int { return len(f.freeBlocks[plane]) }
+
+// CheckInvariants validates mapping/reverse consistency and the array's
+// physical invariants. Intended for tests.
+func (f *FTL) CheckInvariants() error {
+	if err := f.arr.CheckInvariants(); err != nil {
+		return err
+	}
+	for lpn, ppn := range f.mapping {
+		if ppn == unmapped {
+			continue
+		}
+		if f.arr.State(int64(ppn)) != flash.PageValid {
+			return fmt.Errorf("ftl: lpn %d maps to non-valid ppn %d", lpn, ppn)
+		}
+		if f.reverse[ppn] != int32(lpn) {
+			return fmt.Errorf("ftl: reverse[%d] = %d, want %d", ppn, f.reverse[ppn], lpn)
+		}
+	}
+	var valid int64
+	for ppn, lpn := range f.reverse {
+		if lpn == unmapped {
+			continue
+		}
+		valid++
+		if f.mapping[lpn] != int32(ppn) {
+			return fmt.Errorf("ftl: mapping[%d] = %d, want %d", lpn, f.mapping[lpn], ppn)
+		}
+	}
+	var mapped int64
+	for _, ppn := range f.mapping {
+		if ppn != unmapped {
+			mapped++
+		}
+	}
+	if mapped != valid {
+		return fmt.Errorf("ftl: %d mapped lpns but %d reverse entries", mapped, valid)
+	}
+	return nil
+}

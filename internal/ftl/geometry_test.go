@@ -1,0 +1,117 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flash"
+)
+
+// Multi-geometry conformance: the FTL must behave identically well across
+// plane counts and asymmetric shapes, not just the 1-plane test geometry.
+
+func geometries() []flash.Params {
+	base := flash.DefaultParams()
+	shape := func(ch, chips, planes, blocks, pages int) flash.Params {
+		p := base
+		p.Channels, p.ChipsPerChannel, p.PlanesPerChip = ch, chips, planes
+		p.BlocksPerPlane, p.PagesPerBlock = blocks, pages
+		p.OverProvision = 0.25
+		p.GCThreshold = 0.25
+		return p
+	}
+	return []flash.Params{
+		shape(1, 1, 1, 8, 4),  // minimal
+		shape(2, 2, 2, 8, 4),  // multi-plane
+		shape(4, 1, 4, 8, 4),  // plane-heavy
+		shape(3, 2, 1, 8, 8),  // odd channel count
+		shape(8, 2, 1, 16, 8), // Table 1 shape, shrunk
+	}
+}
+
+func TestFTLAcrossGeometries(t *testing.T) {
+	for gi, p := range geometries() {
+		p := p
+		t.Run("", func(t *testing.T) {
+			f, err := New(p)
+			if err != nil {
+				t.Fatalf("geometry %d: %v", gi, err)
+			}
+			logical := f.LogicalPages()
+			rng := rand.New(rand.NewSource(int64(gi)))
+			for op := 0; op < 400; op++ {
+				base := rng.Int63n(logical)
+				n := int64(1 + rng.Intn(6))
+				if base+n > logical {
+					n = logical - base
+				}
+				switch op % 5 {
+				case 0:
+					if _, err := f.WriteBlockBound(int64(op)*1000, seq(base, n)); err != nil {
+						t.Fatalf("geometry %d op %d: %v", gi, op, err)
+					}
+				case 1:
+					ch := op % p.Channels
+					if _, err := f.WriteOnChannel(int64(op)*1000, seq(base, n), ch); err != nil {
+						t.Fatalf("geometry %d op %d: %v", gi, op, err)
+					}
+				default:
+					if _, err := f.WriteStriped(int64(op)*1000, seq(base, n)); err != nil {
+						t.Fatalf("geometry %d op %d: %v", gi, op, err)
+					}
+				}
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("geometry %d: %v", gi, err)
+			}
+		})
+	}
+}
+
+func TestWriteOnChannelStaysOnChannel(t *testing.T) {
+	for _, p := range geometries() {
+		f := mustNew(t, p)
+		for ch := 0; ch < p.Channels; ch++ {
+			if _, err := f.WriteOnChannel(0, seq(int64(ch*8), 4), ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		arr := f.Array()
+		// Every valid block must sit on the channel it was pinned to:
+		// map each written lpn's block back and verify.
+		for b := 0; b < p.Blocks(); b++ {
+			if arr.ValidCount(b) == 0 {
+				continue
+			}
+			// Each channel wrote lpns [ch*8, ch*8+4): find which channel's
+			// data this block holds by reading the reverse map through the
+			// public surface: re-write detection is overkill; instead
+			// verify per-channel page counts match.
+			_ = b
+		}
+		// Aggregate check: each channel's planes hold exactly 4 pages.
+		planesPerChannel := p.ChipsPerChannel * p.PlanesPerChip
+		for ch := 0; ch < p.Channels; ch++ {
+			var pages int
+			for pl := ch * planesPerChannel; pl < (ch+1)*planesPerChannel; pl++ {
+				first := p.FirstBlockOfPlane(pl)
+				for b := first; b < first+p.BlocksPerPlane; b++ {
+					pages += arr.ValidCount(b)
+				}
+			}
+			if pages != 4 {
+				t.Fatalf("channel %d holds %d pages, want 4", ch, pages)
+			}
+		}
+	}
+}
+
+func TestWriteOnChannelRejectsBadChannel(t *testing.T) {
+	f := mustNew(t, tinyParams())
+	if _, err := f.WriteOnChannel(0, seq(0, 2), -1); err == nil {
+		t.Fatal("negative channel accepted")
+	}
+	if _, err := f.WriteOnChannel(0, seq(0, 2), f.Params().Channels); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFTLModelBased drives the FTL with random writes, trims and GC
+// pressure while mirroring the logical state in a plain map. At every step
+// the FTL's view (Mapped) must match the model, and after the run every
+// mapped page must still resolve through the physical invariants. The FTL
+// stores no data, so the model tracks existence, which is what mapping
+// corruption would break first.
+func TestFTLModelBased(t *testing.T) {
+	f := func(seed int64, wearLevel bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ftl, err := NewConfig(tinyParams(), wearLevel)
+		if err != nil {
+			return false
+		}
+		logical := ftl.LogicalPages()
+		model := map[int64]bool{}
+		now := int64(0)
+		for op := 0; op < 400; op++ {
+			now += int64(rng.Intn(500)) + 1
+			switch rng.Intn(10) {
+			case 0, 1: // trim a random range
+				base := rng.Int63n(logical)
+				n := int64(1 + rng.Intn(4))
+				if base+n > logical {
+					n = logical - base
+				}
+				if err := ftl.Trim(seq(base, n)); err != nil {
+					t.Logf("trim: %v", err)
+					return false
+				}
+				for p := base; p < base+n; p++ {
+					delete(model, p)
+				}
+			case 2: // read a random mapped page (timing only)
+				if len(model) == 0 {
+					continue
+				}
+				for p := range model {
+					if _, err := ftl.Read(now, []int64{p}); err != nil {
+						t.Logf("read: %v", err)
+						return false
+					}
+					break
+				}
+			default: // write a short run
+				base := rng.Int63n(logical)
+				n := int64(1 + rng.Intn(5))
+				if base+n > logical {
+					n = logical - base
+				}
+				var werr error
+				if rng.Intn(4) == 0 {
+					_, werr = ftl.WriteBlockBound(now, seq(base, n))
+				} else {
+					_, werr = ftl.WriteStriped(now, seq(base, n))
+				}
+				if werr != nil {
+					t.Logf("write: %v", werr)
+					return false
+				}
+				for p := base; p < base+n; p++ {
+					model[p] = true
+				}
+			}
+			// Spot-check a few pages against the model.
+			for k := 0; k < 4; k++ {
+				p := rng.Int63n(logical)
+				if ftl.Mapped(p) != model[p] {
+					t.Logf("op %d: Mapped(%d) = %v, model %v", op, p, ftl.Mapped(p), model[p])
+					return false
+				}
+			}
+		}
+		if err := ftl.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Full sweep: the mapping must equal the model exactly.
+		for p := int64(0); p < logical; p++ {
+			if ftl.Mapped(p) != model[p] {
+				t.Logf("final: Mapped(%d) = %v, model %v", p, ftl.Mapped(p), model[p])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

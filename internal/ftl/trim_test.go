@@ -1,0 +1,87 @@
+package ftl
+
+import "testing"
+
+func TestTrimInvalidatesMapping(t *testing.T) {
+	f := mustNew(t, tinyParams())
+	if _, err := f.WriteStriped(0, seq(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Trim([]int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapped(1) || f.Mapped(2) {
+		t.Fatal("trimmed pages still mapped")
+	}
+	if !f.Mapped(0) || !f.Mapped(3) {
+		t.Fatal("untouched pages lost their mapping")
+	}
+	if f.Stats().Trims != 2 {
+		t.Fatalf("Trims = %d", f.Stats().Trims)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimUnmappedIsNoop(t *testing.T) {
+	f := mustNew(t, tinyParams())
+	if err := f.Trim([]int64{10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Trims != 0 {
+		t.Fatal("no-op trims counted")
+	}
+}
+
+func TestTrimRejectsOutOfRange(t *testing.T) {
+	f := mustNew(t, tinyParams())
+	if err := f.Trim([]int64{f.LogicalPages()}); err == nil {
+		t.Fatal("out-of-range trim accepted")
+	}
+}
+
+func TestTrimReducesGCMigrations(t *testing.T) {
+	// Write a working set, trim half, then churn: GC migrates fewer
+	// valid pages than without the trim.
+	run := func(trim bool) int64 {
+		f := mustNew(t, tinyParams())
+		if _, err := f.WriteStriped(0, seq(0, 32)); err != nil {
+			t.Fatal(err)
+		}
+		if trim {
+			if err := f.Trim(seq(16, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for round := 0; round < 30; round++ {
+			if _, err := f.WriteStriped(int64(round)*1000, seq(0, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Stats().GCMigrations
+	}
+	with, without := run(true), run(false)
+	if with > without {
+		t.Fatalf("trim increased GC migrations: %d vs %d", with, without)
+	}
+}
+
+func TestTrimmedPageCanBeRewritten(t *testing.T) {
+	f := mustNew(t, tinyParams())
+	if _, err := f.WriteStriped(0, []int64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Trim([]int64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteStriped(1, []int64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Mapped(5) {
+		t.Fatal("rewrite after trim failed")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

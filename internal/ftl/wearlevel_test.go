@@ -1,0 +1,72 @@
+package ftl
+
+import (
+	"testing"
+
+	"repro/internal/flash"
+)
+
+// churnWear hammers a tiny working set and returns the wear distribution,
+// with or without dynamic wear leveling.
+func churnWear(t *testing.T, wearLevel bool) flash.Wear {
+	t.Helper()
+	p := tinyParams()
+	f, err := NewConfig(p, wearLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the same four pages over and over: without wear leveling,
+	// the recycled blocks come back LIFO and absorb all the erases.
+	for round := 0; round < 400; round++ {
+		if _, err := f.WriteStriped(int64(round)*1000, seq(0, 4)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	return f.Array().WearStats()
+}
+
+func TestWearLevelingReducesImbalance(t *testing.T) {
+	with := churnWear(t, true)
+	without := churnWear(t, false)
+	if with.TotalErases == 0 || without.TotalErases == 0 {
+		t.Fatal("workload did not trigger GC erases")
+	}
+	// Same work, so total erase counts should be in the same ballpark.
+	ratio := float64(with.TotalErases) / float64(without.TotalErases)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("erase totals diverge too much: %d vs %d", with.TotalErases, without.TotalErases)
+	}
+	// Leveling must spread the cycles: strictly lower max-min spread or
+	// standard deviation.
+	spreadWith := with.MaxErase - with.MinErase
+	spreadWithout := without.MaxErase - without.MinErase
+	if spreadWith > spreadWithout && with.StdDev >= without.StdDev {
+		t.Fatalf("wear leveling did not help: spread %d vs %d, sd %.2f vs %.2f",
+			spreadWith, spreadWithout, with.StdDev, without.StdDev)
+	}
+}
+
+func TestWearStatsOnFreshArray(t *testing.T) {
+	f := mustNew(t, tinyParams())
+	w := f.Array().WearStats()
+	if w.MinErase != 0 || w.MaxErase != 0 || w.MeanErase != 0 || w.StdDev != 0 || w.TotalErases != 0 {
+		t.Fatalf("fresh array wear not zero: %+v", w)
+	}
+}
+
+func TestWearStatsCountsErases(t *testing.T) {
+	p := tinyParams()
+	f := mustNew(t, p)
+	for round := 0; round < 60; round++ {
+		if _, err := f.WriteStriped(0, seq(0, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := f.Array().WearStats()
+	if w.TotalErases != f.Array().Erases() {
+		t.Fatalf("WearStats total %d != array erases %d", w.TotalErases, f.Array().Erases())
+	}
+	if w.MeanErase <= 0 || w.MaxErase < 1 {
+		t.Fatalf("wear stats wrong: %+v", w)
+	}
+}

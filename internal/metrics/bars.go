@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarGroup is one labeled group of bars (e.g. a trace) in a grouped bar
+// chart (the shape of the paper's Figs. 8-12).
+type BarGroup struct {
+	// Label names the group.
+	Label string
+	// Values maps series name → value.
+	Values map[string]float64
+}
+
+// BarChart renders horizontal grouped bars: every group shows one bar per
+// series, all scaled to the global maximum. Width is the bar area in
+// characters.
+func BarChart(title string, groups []BarGroup, series []string, width int) string {
+	if len(groups) == 0 || len(series) == 0 || width < 4 {
+		return ""
+	}
+	var max float64
+	for _, g := range groups {
+		for _, s := range series {
+			if v := g.Values[s]; v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW, seriesW := 0, 0
+	for _, g := range groups {
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+	}
+	for _, s := range series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for gi, g := range groups {
+		if gi > 0 {
+			b.WriteByte('\n')
+		}
+		for si, s := range series {
+			label := g.Label
+			if si > 0 {
+				label = ""
+			}
+			v := g.Values[s]
+			n := int(v / max * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			if n > width {
+				n = width
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s%s %.3f\n",
+				labelW, label, seriesW, s,
+				strings.Repeat("█", n), strings.Repeat(" ", width-n), v)
+		}
+	}
+	return b.String()
+}

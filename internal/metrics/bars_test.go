@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	groups := []BarGroup{
+		{Label: "t1", Values: map[string]float64{"A": 1.0, "B": 0.5}},
+		{Label: "t2", Values: map[string]float64{"A": 0.25, "B": 1.0}},
+	}
+	out := BarChart("chart", groups, []string{"A", "B"}, 20)
+	if !strings.Contains(out, "chart") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 2 groups × 2 series + 1 blank separator
+	if len(lines) != 1+4+1 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// The max value (1.0) fills the full width; 0.5 fills half.
+	full := strings.Count(lines[1], "█")
+	half := strings.Count(lines[2], "█")
+	if full != 20 || half != 10 {
+		t.Fatalf("bar lengths %d/%d, want 20/10", full, half)
+	}
+	if !strings.Contains(lines[1], "1.000") || !strings.Contains(lines[2], "0.500") {
+		t.Fatal("values missing")
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	if BarChart("x", nil, []string{"A"}, 20) != "" {
+		t.Fatal("no groups must render empty")
+	}
+	if BarChart("x", []BarGroup{{Label: "g"}}, nil, 20) != "" {
+		t.Fatal("no series must render empty")
+	}
+	if BarChart("x", []BarGroup{{Label: "g"}}, []string{"A"}, 2) != "" {
+		t.Fatal("tiny width must render empty")
+	}
+	// All-zero values must not divide by zero.
+	out := BarChart("", []BarGroup{{Label: "g", Values: map[string]float64{"A": 0}}}, []string{"A"}, 10)
+	if !strings.Contains(out, "0.000") {
+		t.Fatalf("zero chart: %q", out)
+	}
+}
+
+func TestBarChartMissingSeriesValue(t *testing.T) {
+	groups := []BarGroup{{Label: "g", Values: map[string]float64{"A": 1}}}
+	out := BarChart("", groups, []string{"A", "B"}, 10)
+	if !strings.Contains(out, "B") {
+		t.Fatal("missing series not rendered")
+	}
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	if !almostEq(s.Mean(), 2.5) {
+		t.Fatalf("Mean = %v, want 2.5", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !almostEq(s.Sum(), 10) {
+		t.Fatalf("Sum = %v, want 10", s.Sum())
+	}
+	if !almostEq(s.Variance(), 1.25) { // population variance of 1..4
+		t.Fatalf("Variance = %v, want 1.25", s.Variance())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary stats must be zero")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	// Bound inputs to a realistic range: quick generates values near
+	// ±MaxFloat64 whose sums overflow, which is not a regime the simulator
+	// ever operates in (latencies and counts).
+	bound := func(v float64) float64 { return math.Mod(v, 1e9) }
+	f := func(a, b []float64) bool {
+		var left, right, all Summary
+		for _, v := range a {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			v = bound(v)
+			left.Observe(v)
+			all.Observe(v)
+		}
+		for _, v := range b {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			v = bound(v)
+			right.Observe(v)
+			all.Observe(v)
+		}
+		left.Merge(&right)
+		if left.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return math.Abs(left.Mean()-all.Mean()) < 1e-6*scale &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistDenseAndSparse(t *testing.T) {
+	h := NewHist(4)
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1)
+	h.Add(100, 5) // beyond dense range -> sparse
+	if h.Count(1) != 2 || h.Count(100) != 5 || h.Count(3) != 0 {
+		t.Fatalf("counts wrong: %d %d %d", h.Count(1), h.Count(100), h.Count(3))
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	keys := h.Keys()
+	want := []int{0, 1, 100}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestHistNegativeKeyClamped(t *testing.T) {
+	h := NewHist(4)
+	h.Observe(-5)
+	if h.Count(0) != 1 {
+		t.Fatal("negative key not clamped to 0")
+	}
+}
+
+func TestHistMean(t *testing.T) {
+	h := NewHist(8)
+	h.Add(2, 3) // 6
+	h.Add(10, 1)
+	if !almostEq(h.Mean(), 16.0/4.0) {
+		t.Fatalf("Mean = %v, want 4", h.Mean())
+	}
+}
+
+func TestHistCDF(t *testing.T) {
+	h := NewHist(8)
+	h.Add(1, 1)
+	h.Add(2, 1)
+	h.Add(4, 2)
+	cdf := h.CDF()
+	if len(cdf) != 3 {
+		t.Fatalf("CDF points = %d, want 3", len(cdf))
+	}
+	if cdf[0].Key != 1 || !almostEq(cdf[0].Fraction, 0.25) {
+		t.Fatalf("cdf[0] = %+v", cdf[0])
+	}
+	if cdf[2].Key != 4 || !almostEq(cdf[2].Fraction, 1.0) {
+		t.Fatalf("cdf[2] = %+v", cdf[2])
+	}
+	if !almostEq(h.FractionLE(2), 0.5) {
+		t.Fatalf("FractionLE(2) = %v, want 0.5", h.FractionLE(2))
+	}
+	if !almostEq(h.FractionLE(0), 0) {
+		t.Fatalf("FractionLE(0) = %v, want 0", h.FractionLE(0))
+	}
+}
+
+func TestHistCDFEmpty(t *testing.T) {
+	h := NewHist(4)
+	if h.CDF() != nil {
+		t.Fatal("empty histogram CDF should be nil")
+	}
+	if h.FractionLE(10) != 0 {
+		t.Fatal("empty histogram FractionLE should be 0")
+	}
+}
+
+// Property: CDF is non-decreasing and ends at 1.
+func TestHistCDFMonotoneProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		h := NewHist(16)
+		for _, k := range keys {
+			h.Observe(int(k))
+		}
+		cdf := h.CDF()
+		if len(keys) == 0 {
+			return cdf == nil
+		}
+		prev := 0.0
+		for _, p := range cdf {
+			if p.Fraction < prev {
+				return false
+			}
+			prev = p.Fraction
+		}
+		return almostEq(prev, 1.0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesTick(t *testing.T) {
+	s := NewSeries(10)
+	s.Tick(5, 1.0) // below first boundary: nothing
+	if s.Len() != 0 {
+		t.Fatalf("premature sample: %d", s.Len())
+	}
+	s.Tick(10, 2.0)
+	if s.Len() != 1 || s.Samples[0] != 2.0 {
+		t.Fatalf("first sample wrong: %v", s.Samples)
+	}
+	s.Tick(35, 3.0) // crosses 20 and 30 -> two samples of current value
+	if s.Len() != 3 || s.Samples[2] != 3.0 {
+		t.Fatalf("catch-up samples wrong: %v", s.Samples)
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+	if !almostEq(Ratio(3, 4), 0.75) {
+		t.Fatal("Ratio wrong")
+	}
+	if Percent(0.5) != "50.0%" {
+		t.Fatalf("Percent = %q", Percent(0.5))
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(4), NewHist(2)
+	a.Add(1, 2)
+	b.Add(1, 3)
+	b.Add(100, 1) // sparse in b
+	a.Merge(b)
+	if a.Count(1) != 5 || a.Count(100) != 1 || a.Total() != 6 {
+		t.Fatalf("merge wrong: %d/%d/%d", a.Count(1), a.Count(100), a.Total())
+	}
+	// Merging an empty histogram is a no-op.
+	a.Merge(NewHist(4))
+	if a.Total() != 6 {
+		t.Fatal("empty merge changed totals")
+	}
+}

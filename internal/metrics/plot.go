@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII rendering for the CLI tools: sparklines for time series (Fig. 13's
+// list occupancy) and simple line plots for curves (miss-ratio curves).
+
+// sparkRunes are the eight-level block glyphs, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as one line of block glyphs, scaled to the
+// series' own min..max. An empty series yields an empty string; a constant
+// series renders at mid height.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		idx := len(sparkRunes) / 2
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// PlotXY renders (x, y) points as a fixed-size ASCII chart with axis
+// labels: width×height characters of plot area plus a frame. Points are
+// connected by vertical fill so monotone curves read as a line. NaN/Inf
+// points are skipped.
+func PlotXY(xs, ys []float64, width, height int, title string) string {
+	if len(xs) != len(ys) || len(xs) == 0 || width < 8 || height < 3 {
+		return ""
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		if badFloat(xs[i]) || badFloat(ys[i]) {
+			continue
+		}
+		minX, maxX = math.Min(minX, xs[i]), math.Max(maxX, xs[i])
+		minY, maxY = math.Min(minY, ys[i]), math.Max(maxY, ys[i])
+	}
+	if math.IsInf(minX, 1) {
+		return ""
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int((y - minY) / (maxY - minY) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	for i := range xs {
+		if badFloat(xs[i]) || badFloat(ys[i]) {
+			continue
+		}
+		grid[row(ys[i])][col(xs[i])] = '*'
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3g ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.3g ", minY)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(fmt.Sprintf("        %-*.4g%*.4g\n", width/2, minX, width-width/2, maxX))
+	return b.String()
+}
+
+func badFloat(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }

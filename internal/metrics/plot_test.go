@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series must render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length = %d runes", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("scaling wrong: %q", s)
+	}
+	// Monotone input → monotone glyph levels.
+	prev := -1
+	for _, r := range runes {
+		level := strings.IndexRune(string(sparkRunes), r)
+		if level < prev {
+			t.Fatalf("not monotone: %q", s)
+		}
+		prev = level
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := []rune(Sparkline([]float64{5, 5, 5}))
+	if len(s) != 3 || s[0] != s[1] || s[1] != s[2] {
+		t.Fatalf("constant series uneven: %q", string(s))
+	}
+}
+
+func TestPlotXYBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 4, 9, 16}
+	out := PlotXY(xs, ys, 20, 6, "parabola")
+	if !strings.Contains(out, "parabola") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + x labels
+	if len(lines) != 1+6+2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Max y label on the top row, min on the bottom plot row.
+	if !strings.Contains(lines[1], "16") {
+		t.Fatalf("max label missing: %q", lines[1])
+	}
+}
+
+func TestPlotXYDegenerateInputs(t *testing.T) {
+	if PlotXY(nil, nil, 20, 6, "") != "" {
+		t.Fatal("empty input must render empty")
+	}
+	if PlotXY([]float64{1}, []float64{1, 2}, 20, 6, "") != "" {
+		t.Fatal("mismatched lengths must render empty")
+	}
+	if PlotXY([]float64{1}, []float64{1}, 2, 6, "") != "" {
+		t.Fatal("tiny width must render empty")
+	}
+	// All-NaN input.
+	if PlotXY([]float64{math.NaN()}, []float64{math.NaN()}, 20, 6, "") != "" {
+		t.Fatal("NaN-only input must render empty")
+	}
+	// Single valid point must not panic and must plot.
+	out := PlotXY([]float64{1, math.NaN()}, []float64{2, math.NaN()}, 20, 6, "")
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point lost")
+	}
+}
+
+func TestPlotXYConstantY(t *testing.T) {
+	out := PlotXY([]float64{0, 1, 2}, []float64{5, 5, 5}, 16, 4, "")
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series lost")
+	}
+}

@@ -1,0 +1,25 @@
+package mrc_test
+
+import (
+	"fmt"
+
+	"repro/internal/mrc"
+	"repro/internal/trace"
+)
+
+// Computing an exact LRU miss-ratio curve from a trace: one pass yields
+// the hit ratio at every cache size.
+func ExampleCompute() {
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 1, Write: true, Offset: 4096, Size: 4096},
+		{Time: 2, Write: true, Offset: 0, Size: 4096},    // distance 1
+		{Time: 3, Write: true, Offset: 4096, Size: 4096}, // distance 1
+	}}
+	curve, _ := mrc.Compute(tr, mrc.Options{WriteBuffer: true})
+	fmt.Printf("1 page:  %.2f\n", curve.HitRatio(1))
+	fmt.Printf("2 pages: %.2f\n", curve.HitRatio(2))
+	// Output:
+	// 1 page:  0.00
+	// 2 pages: 0.50
+}

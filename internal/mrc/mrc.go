@@ -1,0 +1,173 @@
+// Package mrc computes exact LRU miss-ratio curves with Mattson's stack
+// algorithm: because LRU has the inclusion property, one pass over a trace
+// yields the hit ratio at every cache size simultaneously. The experiment
+// harness uses it two ways:
+//
+//   - cross-validation: the simulator's LRU hit ratio at capacity C must
+//     equal the curve's value at C (they implement the same policy by two
+//     entirely different routes);
+//   - cache provisioning: the curve shows where extra DRAM stops paying,
+//     per workload — the question behind the paper's 16/32/64 MB sweep.
+//
+// Reuse (stack) distances are computed in O(log n) per access with a
+// Fenwick tree over access timestamps, the standard technique: each page's
+// stack distance is the number of *distinct* pages touched since its last
+// access, obtained by counting surviving last-access markers.
+package mrc
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Curve is an exact LRU miss-ratio curve over page-granular accesses.
+type Curve struct {
+	// Distances[d] counts accesses with stack distance d (0 = re-access
+	// of the most recently used page). Infinite distances (first
+	// accesses) are in ColdMisses.
+	Distances []int64
+	// ColdMisses counts first-ever accesses.
+	ColdMisses int64
+	// Total counts all page accesses.
+	Total int64
+}
+
+// fenwick is a binary-indexed tree over access slots.
+type fenwick struct {
+	tree []int64
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int64, n+1)} }
+
+func (f *fenwick) add(i int, v int64) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+// sum returns the prefix sum of [0, i].
+func (f *fenwick) sum(i int) int64 {
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Options control which accesses feed the curve.
+type Options struct {
+	// WriteBuffer mirrors the simulator's write-buffer semantics: only
+	// written pages enter the cache, so a read of a never-written page is
+	// a compulsory miss and does not establish residency. When false,
+	// every access establishes residency (a general page cache).
+	//
+	// Caveat: with WriteBuffer set, the curve is exact only for write-only
+	// traffic. A read miss that does not insert breaks LRU's inclusion
+	// property (whether the read refreshed recency depends on whether the
+	// page was resident, which depends on capacity), so on mixed traces
+	// the curve is an approximation that treats every read of a
+	// previously-written page as refreshing. The tests bound the error
+	// against the simulated LRU.
+	WriteBuffer bool
+	// PageSize converts byte addresses (0 = 4096).
+	PageSize int64
+}
+
+// Compute runs the stack algorithm over a trace.
+func Compute(tr *trace.Trace, opts Options) (*Curve, error) {
+	pageSize := opts.PageSize
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	if pageSize < 0 {
+		return nil, fmt.Errorf("mrc: negative page size")
+	}
+	// Count page accesses to size the Fenwick tree.
+	var slots int
+	for _, r := range tr.Requests {
+		_, n := r.PageSpan(pageSize)
+		slots += n
+	}
+	ft := newFenwick(slots + 1)
+	lastSlot := make(map[int64]int, 1024)
+	c := &Curve{}
+	slot := 0
+	observe := func(d int64) {
+		for int64(len(c.Distances)) <= d {
+			c.Distances = append(c.Distances, 0)
+		}
+		c.Distances[d]++
+	}
+	for _, r := range tr.Requests {
+		first, n := r.PageSpan(pageSize)
+		for pg := first; pg < first+int64(n); pg++ {
+			c.Total++
+			prev, seen := lastSlot[pg]
+			if seen {
+				// Stack distance = distinct pages accessed after prev.
+				d := ft.sum(slots) - ft.sum(prev)
+				observe(d)
+				ft.add(prev, -1)
+			} else {
+				c.ColdMisses++
+			}
+			if seen || r.Write || !opts.WriteBuffer {
+				// Establish (or refresh) residency: in write-buffer mode a
+				// never-written page read from flash stays non-resident.
+				if !seen && opts.WriteBuffer && !r.Write {
+					slot++
+					continue
+				}
+				ft.add(slot, 1)
+				lastSlot[pg] = slot
+			}
+			slot++
+		}
+	}
+	return c, nil
+}
+
+// HitRatio returns the LRU hit ratio at the given cache capacity in pages:
+// the fraction of accesses whose stack distance is below the capacity.
+func (c *Curve) HitRatio(capacityPages int) float64 {
+	if c.Total == 0 || capacityPages <= 0 {
+		return 0
+	}
+	var hits int64
+	limit := capacityPages
+	if limit > len(c.Distances) {
+		limit = len(c.Distances)
+	}
+	for d := 0; d < limit; d++ {
+		hits += c.Distances[d]
+	}
+	return float64(hits) / float64(c.Total)
+}
+
+// MissRatio is 1 − HitRatio.
+func (c *Curve) MissRatio(capacityPages int) float64 {
+	return 1 - c.HitRatio(capacityPages)
+}
+
+// WorkingSet returns the smallest capacity achieving the given fraction of
+// the maximum possible hit ratio (the curve's knee finder), or 0 for an
+// empty curve.
+func (c *Curve) WorkingSet(fraction float64) int {
+	if c.Total == 0 {
+		return 0
+	}
+	max := c.HitRatio(len(c.Distances) + 1)
+	if max == 0 {
+		return 0
+	}
+	target := max * fraction
+	var hits int64
+	for d := 0; d < len(c.Distances); d++ {
+		hits += c.Distances[d]
+		if float64(hits)/float64(c.Total) >= target {
+			return d + 1
+		}
+	}
+	return len(c.Distances) + 1
+}

@@ -1,0 +1,192 @@
+package mrc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func wreq(tm, page int64, pages int64) trace.Request {
+	return trace.Request{Time: tm, Write: true, Offset: page * 4096, Size: pages * 4096}
+}
+
+func rreq(tm, page int64, pages int64) trace.Request {
+	return trace.Request{Time: tm, Write: false, Offset: page * 4096, Size: pages * 4096}
+}
+
+func TestCurveHandComputed(t *testing.T) {
+	// Access pattern (single pages): A B A C B A
+	// Stack distances:               ∞ ∞ 1 ∞ 2 2
+	tr := &trace.Trace{Requests: []trace.Request{
+		wreq(0, 10, 1), wreq(1, 20, 1), wreq(2, 10, 1),
+		wreq(3, 30, 1), wreq(4, 20, 1), wreq(5, 10, 1),
+	}}
+	c, err := Compute(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 6 || c.ColdMisses != 3 {
+		t.Fatalf("total/cold = %d/%d, want 6/3", c.Total, c.ColdMisses)
+	}
+	if c.Distances[1] != 1 || c.Distances[2] != 2 {
+		t.Fatalf("distances = %v, want [_ 1 2]", c.Distances)
+	}
+	// Capacity 1: only distance-0 hits → 0. Capacity 2: distance ≤1 → 1/6.
+	// Capacity 3: all finite distances → 3/6.
+	if c.HitRatio(1) != 0 {
+		t.Fatalf("HitRatio(1) = %v", c.HitRatio(1))
+	}
+	if got := c.HitRatio(2); math.Abs(got-1.0/6) > 1e-12 {
+		t.Fatalf("HitRatio(2) = %v, want 1/6", got)
+	}
+	if got := c.HitRatio(3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("HitRatio(3) = %v, want 0.5", got)
+	}
+	if got := c.MissRatio(3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MissRatio(3) = %v", got)
+	}
+}
+
+func TestCurveEmptyTrace(t *testing.T) {
+	c, err := Compute(&trace.Trace{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HitRatio(100) != 0 || c.WorkingSet(0.9) != 0 {
+		t.Fatal("empty curve must be all zeros")
+	}
+}
+
+func TestCurveMonotoneInCapacity(t *testing.T) {
+	tr := workload.MustGenerate(workload.TS0(), workload.Options{Scale: 0.01})
+	c, err := Compute(tr, Options{WriteBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for cap := 1; cap < len(c.Distances)+2; cap *= 2 {
+		h := c.HitRatio(cap)
+		if h < prev {
+			t.Fatalf("hit ratio decreased at capacity %d: %v < %v", cap, h, prev)
+		}
+		prev = h
+	}
+}
+
+// TestCurveMatchesSimulatedLRUWriteOnly is the cross-validation: on
+// write-only traffic the stack algorithm and the simulated write-buffer
+// LRU are the same policy computed two different ways, so their hit
+// ratios must agree EXACTLY at every capacity.
+func TestCurveMatchesSimulatedLRUWriteOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := &trace.Trace{Name: "wonly"}
+	for i := 0; i < 4000; i++ {
+		tr.Requests = append(tr.Requests,
+			wreq(int64(i), rng.Int63n(600), 1+rng.Int63n(6)))
+	}
+	c, err := Compute(tr, Options{WriteBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capacity := range []int{16, 64, 256, 1024} {
+		pol := cache.NewLRU(capacity)
+		var hits, total int64
+		for _, r := range tr.Requests {
+			first, n := r.PageSpan(4096)
+			res := pol.Access(cache.Request{Time: r.Time, Write: true, LPN: first, Pages: n})
+			hits += int64(res.Hits)
+			total += int64(n)
+		}
+		simulated := float64(hits) / float64(total)
+		curve := c.HitRatio(capacity)
+		if math.Abs(simulated-curve) > 1e-12 {
+			t.Errorf("capacity %d: simulated %v vs curve %v", capacity, simulated, curve)
+		}
+	}
+}
+
+// TestCurveApproximatesSimulatedLRUMixed bounds the write-buffer
+// approximation error on a realistic mixed read/write trace.
+func TestCurveApproximatesSimulatedLRUMixed(t *testing.T) {
+	tr := workload.MustGenerate(workload.USR0(), workload.Options{Scale: 0.02})
+	c, err := Compute(tr, Options{WriteBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capacity := range []int{1024, 4096} {
+		pol := cache.NewLRU(capacity)
+		var hits, total int64
+		for _, r := range tr.Requests {
+			first, n := r.PageSpan(4096)
+			res := pol.Access(cache.Request{Time: r.Time, Write: r.Write, LPN: first, Pages: n})
+			hits += int64(res.Hits)
+			total += int64(n)
+		}
+		simulated := float64(hits) / float64(total)
+		curve := c.HitRatio(capacity)
+		if math.Abs(simulated-curve) > 0.05 {
+			t.Errorf("capacity %d: simulated %.4f vs curve %.4f — approximation too loose",
+				capacity, simulated, curve)
+		}
+	}
+}
+
+func TestWriteBufferModeSkipsColdReads(t *testing.T) {
+	// Read of a never-written page: cold miss, no residency; the next
+	// read of it is cold again (distance never recorded).
+	tr := &trace.Trace{Requests: []trace.Request{
+		rreq(0, 10, 1), rreq(1, 10, 1), wreq(2, 10, 1), rreq(3, 10, 1),
+	}}
+	c, err := Compute(tr, Options{WriteBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ColdMisses != 3 {
+		t.Fatalf("ColdMisses = %d, want 3 (two pre-write reads + the inserting write)", c.ColdMisses)
+	}
+	// The post-write read hits at distance 0.
+	if c.Distances[0] != 1 {
+		t.Fatalf("distances = %v, want one hit at distance 0", c.Distances)
+	}
+	// General-cache mode would have made the second read a distance-0 hit.
+	g, _ := Compute(tr, Options{WriteBuffer: false})
+	if g.ColdMisses != 1 {
+		t.Fatalf("general mode ColdMisses = %d, want 1", g.ColdMisses)
+	}
+}
+
+func TestWorkingSetFindsKnee(t *testing.T) {
+	// 100 pages cycled twice: every re-access has distance 99, so the
+	// working set for any fraction is exactly 100 pages.
+	tr := &trace.Trace{}
+	for round := 0; round < 2; round++ {
+		for p := int64(0); p < 100; p++ {
+			tr.Requests = append(tr.Requests, wreq(int64(round*100)+p, p, 1))
+		}
+	}
+	c, err := Compute(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := c.WorkingSet(0.999); ws != 100 {
+		t.Fatalf("WorkingSet = %d, want 100", ws)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(8)
+	f.add(0, 1)
+	f.add(3, 2)
+	f.add(7, 5)
+	if f.sum(0) != 1 || f.sum(2) != 1 || f.sum(3) != 3 || f.sum(7) != 8 {
+		t.Fatalf("prefix sums wrong: %v %v %v %v", f.sum(0), f.sum(2), f.sum(3), f.sum(7))
+	}
+	f.add(3, -2)
+	if f.sum(7) != 6 {
+		t.Fatal("negative update failed")
+	}
+}

@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// burstTrace: many read misses arriving at the same instant.
+func burstTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Name: "burst"}
+	for i := 0; i < n; i++ {
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: 0, Write: false, Offset: int64(i) * 4096 * 64, Size: 4096,
+		})
+	}
+	return tr
+}
+
+func TestClosedLoopSerializesBursts(t *testing.T) {
+	open, err := Run(burstTrace(32), cache.NewLRU(64), testDevice(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := Run(burstTrace(32), cache.NewLRU(64), testDevice(t), Options{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open loop: all 32 reads queue against the device at t=0, so late
+	// requests see large queueing delays. Closed loop at QD=1 issues one
+	// at a time: every response is roughly one service time.
+	if closed.Response.Max() >= open.Response.Max() {
+		t.Fatalf("closed-loop max %v >= open-loop max %v",
+			closed.Response.Max(), open.Response.Max())
+	}
+	// At QD=1 the response variance collapses (no queueing in view).
+	if closed.Response.StdDev() >= open.Response.StdDev() {
+		t.Fatalf("closed-loop sd %v >= open-loop sd %v",
+			closed.Response.StdDev(), open.Response.StdDev())
+	}
+}
+
+func TestClosedLoopRespectsArrivals(t *testing.T) {
+	// Requests spaced far apart: the queue never fills and closed loop
+	// degenerates to open loop.
+	tr := &trace.Trace{Name: "spaced", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 1_000_000_000, Write: true, Offset: 4096, Size: 4096},
+	}}
+	open, err := Run(tr, cache.NewLRU(64), testDevice(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := Run(tr, cache.NewLRU(64), testDevice(t), Options{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Response.Sum() != closed.Response.Sum() {
+		t.Fatalf("sparse arrivals must behave identically: %v vs %v",
+			open.Response.Sum(), closed.Response.Sum())
+	}
+}
+
+func TestClosedLoopDeeperQueueOverlapsMore(t *testing.T) {
+	// With QD=8, eight reads overlap on the 4 channels; the run finishes
+	// sooner than QD=1 (sum of issue-to-completion spans shrinks).
+	var last [2]float64
+	for i, qd := range []int{1, 8} {
+		m, err := Run(burstTrace(64), cache.NewLRU(64), testDevice(t), Options{QueueDepth: qd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Proxy for makespan: the device read counter is equal, but the
+		// per-request mean shows queueing at the deeper depth.
+		last[i] = m.Response.Mean()
+		if m.Device.FlashReads != 64 {
+			t.Fatalf("QD=%d: reads %d", qd, m.Device.FlashReads)
+		}
+	}
+	if last[1] <= last[0] {
+		t.Fatalf("QD=8 mean response %v should exceed QD=1's %v (more in flight)",
+			last[1], last[0])
+	}
+}
+
+func TestClosedLoopWorksWithReqBlock(t *testing.T) {
+	tr := workload.MustGenerate(workload.TS0(), workload.Options{Scale: 0.005})
+	m, err := Run(tr, core.New(512), testDevice(t), Options{QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != tr.Len() || m.Response.Count() == 0 {
+		t.Fatal("closed-loop replay incomplete")
+	}
+}

@@ -1,0 +1,33 @@
+package replay_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// A complete simulation in a dozen lines: device, policy, trace, replay.
+func ExampleRun() {
+	dev, err := ssd.New(ssd.ScaledParams(64))
+	if err != nil {
+		panic(err)
+	}
+	buffer := core.New(1024) // 4 MB Req-block write buffer
+
+	tr := &trace.Trace{Name: "demo", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 8 * 4096},
+		{Time: 1_000_000, Write: true, Offset: 0, Size: 8 * 4096}, // rewrite: hits
+		{Time: 2_000_000, Write: false, Offset: 0, Size: 4096},    // read hit
+	}}
+
+	m, err := replay.Run(tr, buffer, dev, replay.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hits=%d misses=%d flashWrites=%d\n",
+		m.PageHits, m.PageMisses, m.Device.FlashWrites)
+	// Output: hits=9 misses=8 flashWrites=0
+}

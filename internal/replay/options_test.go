@@ -1,0 +1,61 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestAllOptionsTogether exercises the full option surface in one run:
+// warmup + closed loop + idle flushing + tenant attribution + page fates
+// + occupancy series, on a mixed workload.
+func TestAllOptionsTogether(t *testing.T) {
+	ts0, hm1 := workload.TS0(), workload.HM1()
+	tr, err := workload.Mix("combo", workload.Options{Scale: 0.01}, ts0, hm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := testDevice(t)
+	pol := core.New(1024)
+	m, err := Run(tr, pol, dev, Options{
+		TrackPageFates: true,
+		SeriesInterval: 500,
+		WarmupRequests: 100,
+		IdleFlushNs:    2_000_000,
+		QueueDepth:     16,
+		TenantBoundaries: []int64{
+			ts0.FootprintPages,
+			ts0.FootprintPages + hm1.FootprintPages,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != tr.Len() {
+		t.Fatalf("processed %d of %d", m.Requests, tr.Len())
+	}
+	// Warmup excluded exactly 100 requests from the summaries.
+	if m.Response.Count() != int64(tr.Len()-100) {
+		t.Fatalf("response count %d, want %d", m.Response.Count(), tr.Len()-100)
+	}
+	if len(m.Tenants) != 2 {
+		t.Fatal("tenants missing")
+	}
+	// Tenant responses also respect the warmup split.
+	if m.Tenants[0].Response.Count()+m.Tenants[1].Response.Count() != int64(tr.Len()-100) {
+		t.Fatal("tenant responses do not partition the measured window")
+	}
+	if m.ListSeries == nil || m.ListSeries["SRL"].Len() == 0 {
+		t.Fatal("occupancy series missing")
+	}
+	if m.InsertBySize == nil || m.InsertBySize.Total() == 0 {
+		t.Fatal("page fates missing")
+	}
+	if err := pol.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

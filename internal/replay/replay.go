@@ -1,0 +1,537 @@
+// Package replay drives a block trace through a cache policy and the
+// simulated SSD, producing every metric the paper's evaluation reports:
+// per-request response times (Fig. 8), page hit ratios (Fig. 9), eviction
+// batch sizes (Fig. 10), flash write counts (Fig. 11), metadata space
+// (Fig. 12), list occupancy series (Fig. 13), and the motivation
+// statistics (Figs. 2 and 3).
+//
+// The replay is open-loop and deterministic: requests enter at their trace
+// timestamps, the cache decides hits/evictions instantly (DRAM time), and
+// flash work is scheduled on the device's channel/chip timeline. A write
+// request that triggered evictions completes when the victims' buffer
+// frames are free — i.e. when their data has transferred over the channels
+// into the chip registers; the cell programs continue on the dies and slow
+// down later reads and flushes through resource occupancy. A read completes
+// when its last page arrives from flash or DRAM.
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/metrics"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// Options tune the replay instrumentation.
+type Options struct {
+	// SmallThresholdPages separates small from large requests for the
+	// Fig. 2/3 motivation statistics. Zero derives it from the trace's
+	// mean request size, as the paper's footnote 1 specifies.
+	SmallThresholdPages int
+	// SeriesInterval is the request interval for occupancy sampling
+	// (Fig. 13 logs every 10,000 requests). Zero disables the series.
+	SeriesInterval int64
+	// TrackPageFates enables the per-page bookkeeping behind Figs. 2-3
+	// (insert/hit CDFs by request size and large-page hit fractions). It
+	// costs one map entry per resident page.
+	TrackPageFates bool
+	// WarmupRequests excludes the first N requests from the hit/latency
+	// metrics: they still drive the cache and the device (state warms up),
+	// but a cold cache's compulsory misses do not pollute steady-state
+	// numbers. Structural counters (flash writes, evictions) still cover
+	// the whole run.
+	WarmupRequests int
+	// IdleFlushNs enables Co-Active-style proactive eviction (for
+	// policies implementing cache.IdleEvictor): whenever the gap before
+	// the next request exceeds this threshold, victims are flushed during
+	// the idle period, as many as fit before the next arrival. Zero
+	// disables.
+	IdleFlushNs int64
+	// IdleGC additionally runs background garbage collection during those
+	// same idle windows (requires IdleFlushNs > 0), refilling free-block
+	// headroom so foreground writes stall on GC less often.
+	IdleGC bool
+	// QueueDepth switches from open-loop replay (requests enter at their
+	// trace timestamps regardless of progress) to a closed loop with this
+	// many outstanding requests: request i issues at
+	// max(arrival_i, completion_{i-QD}). Zero keeps the open loop.
+	// Closed-loop replay answers "what does the device sustain", open
+	// loop "how does it respond to this arrival process" — the paper's
+	// SSDsim runs are open-loop.
+	QueueDepth int
+	// TenantBoundaries splits the logical address space (in pages) into
+	// tenants for per-tenant metrics on mixed workloads (workload.Mix):
+	// tenant i covers [boundary_{i-1}, boundary_i), with an implicit
+	// leading 0. A request belongs to the tenant holding its first page.
+	// Empty disables per-tenant accounting.
+	TenantBoundaries []int64
+}
+
+// TenantMetrics is the per-tenant slice of a mixed-workload run.
+type TenantMetrics struct {
+	// FirstPage and LastPage delimit the tenant's address range.
+	FirstPage, LastPage int64
+	// PageHits / PageMisses count the tenant's cache outcomes.
+	PageHits, PageMisses int64
+	// Response summarizes the tenant's request response times.
+	Response metrics.Summary
+}
+
+// HitRatio returns the tenant's page hit ratio.
+func (tm *TenantMetrics) HitRatio() float64 {
+	return metrics.Ratio(float64(tm.PageHits), float64(tm.PageHits+tm.PageMisses))
+}
+
+// Metrics aggregates one replay run.
+type Metrics struct {
+	// Trace and Policy identify the run.
+	Trace, Policy string
+
+	// Requests processed.
+	Requests int
+	// PageHits / PageMisses count page-level cache outcomes; the paper's
+	// hit ratio is PageHits / (PageHits + PageMisses).
+	PageHits, PageMisses int64
+	// ReadPageHits and WritePageHits split PageHits by request type.
+	ReadPageHits, WritePageHits int64
+
+	// Response summarizes per-request response times in nanoseconds.
+	Response metrics.Summary
+	// ReadResponse / WriteResponse split Response by request type.
+	ReadResponse, WriteResponse metrics.Summary
+	// ResponseP50 / ResponseP99 estimate the median and 99th-percentile
+	// response times (P² streaming estimators): whole-block flush bursts
+	// show up in the tail long before they move the mean.
+	ResponseP50, ResponseP99 *metrics.Quantile
+
+	// EvictionBatch is the histogram of pages per eviction operation
+	// (Fig. 10). Clean drops (CFLRU) are excluded: nothing was flushed.
+	EvictionBatch *metrics.Hist
+	// FlushedPages counts pages written to flash by evictions.
+	FlushedPages int64
+	// CleanDrops counts pages discarded without a flush.
+	CleanDrops int64
+	// IdleFlushedPages counts pages proactively flushed during idle gaps
+	// (Options.IdleFlushNs); they are part of FlushedPages too.
+	IdleFlushedPages int64
+	// IdleGCRuns counts background GC victim collections (Options.IdleGC).
+	IdleGCRuns int64
+	// PrefetchedPages counts background readahead pages fetched from
+	// flash (prefetching policies only).
+	PrefetchedPages int64
+	// BypassedPages counts large-write pages that skipped the buffer and
+	// streamed straight to flash (admission-control policies only).
+	BypassedPages int64
+	// Tenants holds per-tenant metrics when Options.TenantBoundaries was
+	// set (mixed workloads).
+	Tenants []TenantMetrics
+	// Energy is the run's flash energy breakdown plus DRAM traffic energy
+	// (extension; representative per-op energies, see ssd.EnergyParams).
+	Energy ssd.EnergyBreakdown
+	// DRAMEnergyUJ is the cache-side energy (hits and insertions).
+	DRAMEnergyUJ float64
+
+	// Device is the SSD counter snapshot (Fig. 11's write count is
+	// Device.FlashWrites).
+	Device ssd.Counters
+	// Endurance is the end-of-run wear and lifetime projection at the
+	// default QLC P/E budget (extension experiment; the paper motivates
+	// write buffering with endurance but does not quantify it).
+	Endurance ssd.Endurance
+	// Utilization is the channel/die occupancy over the trace duration
+	// (extension: quantifies §4.2.4's parallelism argument).
+	Utilization flash.Utilization
+
+	// NodeBytes is the per-node metadata cost of the policy; MaxNodes and
+	// MeanNodes track the list population (Fig. 12: space = bytes×nodes).
+	NodeBytes int
+	MaxNodes  int
+	MeanNodes float64
+
+	// ListSeries samples each internal list's page count every
+	// SeriesInterval requests for OccupancyReporter policies (Fig. 13).
+	ListSeries map[string]*metrics.Series
+
+	// InsertBySize / HitBySize histogram page inserts and page hits by
+	// the page count of the *write request that inserted the page*
+	// (Fig. 2's CDFs).
+	InsertBySize, HitBySize *metrics.Hist
+
+	// LargeInserted counts page insertions from large write requests;
+	// LargeHitBeforeEviction counts how many of those received at least
+	// one hit before leaving the cache (Fig. 3).
+	LargeInserted, LargeHitBeforeEviction int64
+
+	// SmallThresholdPages is the small/large boundary used (resolved).
+	SmallThresholdPages int
+}
+
+// HitRatio returns page hits over all page accesses.
+func (m *Metrics) HitRatio() float64 {
+	return metrics.Ratio(float64(m.PageHits), float64(m.PageHits+m.PageMisses))
+}
+
+// LargeHitFraction returns Fig. 3's statistic: the fraction of pages
+// inserted by large requests that were re-accessed while cached.
+func (m *Metrics) LargeHitFraction() float64 {
+	return metrics.Ratio(float64(m.LargeHitBeforeEviction), float64(m.LargeInserted))
+}
+
+// MeanEvictionPages returns Fig. 10's statistic.
+func (m *Metrics) MeanEvictionPages() float64 { return m.EvictionBatch.Mean() }
+
+// SpaceOverheadBytes returns Fig. 12's statistic using peak population.
+func (m *Metrics) SpaceOverheadBytes() int64 {
+	return int64(m.NodeBytes) * int64(m.MaxNodes)
+}
+
+// pageFate tracks one resident page for the Fig. 2/3 statistics.
+type pageFate struct {
+	insertReqPages int32 // size (pages) of the write request that inserted it
+	large          bool
+	hit            bool
+}
+
+// Run replays a trace against a policy and device.
+func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Metrics, error) {
+	m := &Metrics{
+		Trace:         tr.Name,
+		Policy:        pol.Name(),
+		EvictionBatch: metrics.NewHist(512),
+		NodeBytes:     pol.NodeBytes(),
+		ResponseP50:   metrics.NewQuantile(0.5),
+		ResponseP99:   metrics.NewQuantile(0.99),
+	}
+	if opts.TrackPageFates {
+		m.InsertBySize = metrics.NewHist(256)
+		m.HitBySize = metrics.NewHist(256)
+	}
+	m.SmallThresholdPages = opts.SmallThresholdPages
+	if m.SmallThresholdPages <= 0 {
+		m.SmallThresholdPages = meanRequestPages(tr, dev.PageSize())
+	}
+
+	occupancy, _ := pol.(cache.OccupancyReporter)
+	if opts.SeriesInterval > 0 && occupancy != nil {
+		m.ListSeries = make(map[string]*metrics.Series)
+		for name := range occupancy.ListPages() {
+			m.ListSeries[name] = metrics.NewSeries(opts.SeriesInterval)
+		}
+	}
+
+	var fates map[int64]*pageFate
+	if opts.TrackPageFates {
+		fates = make(map[int64]*pageFate, pol.CapacityPages())
+	}
+
+	idler, _ := pol.(cache.IdleEvictor)
+	if da, ok := pol.(cache.DeviceAware); ok {
+		da.AttachDevice(dev)
+	}
+
+	// Per-tenant accounting.
+	if n := len(opts.TenantBoundaries); n > 0 {
+		m.Tenants = make([]TenantMetrics, n)
+		var prev int64
+		for i, b := range opts.TenantBoundaries {
+			if b <= prev {
+				return nil, fmt.Errorf("replay: tenant boundaries must be increasing")
+			}
+			m.Tenants[i] = TenantMetrics{FirstPage: prev, LastPage: b}
+			prev = b
+		}
+	}
+	tenantOf := func(page int64) *TenantMetrics {
+		for i := range m.Tenants {
+			if page < m.Tenants[i].LastPage {
+				return &m.Tenants[i]
+			}
+		}
+		return nil
+	}
+
+	// Closed-loop state: completions of the last QueueDepth requests.
+	var window []int64
+	var windowPos int
+	if opts.QueueDepth > 0 {
+		window = make([]int64, opts.QueueDepth)
+	}
+
+	var nodeSum float64
+	var prevArrival int64
+	var dramPages int64
+	logical := dev.LogicalPages()
+	for i := range tr.Requests {
+		req := tr.Requests[i]
+		// Proactive eviction during the idle gap before this request.
+		if opts.IdleFlushNs > 0 && opts.IdleGC && i > 0 &&
+			req.Time-prevArrival >= opts.IdleFlushNs {
+			// One block collection per idle window keeps background GC
+			// from monopolizing the dies right before the next burst.
+			if n := dev.BackgroundGC(prevArrival, 1); n > 0 {
+				m.IdleGCRuns += int64(n)
+			}
+		}
+		if opts.IdleFlushNs > 0 && idler != nil && i > 0 {
+			idleAt := prevArrival
+			for req.Time-idleAt >= opts.IdleFlushNs {
+				ev, ok := idler.EvictIdle(idleAt)
+				if !ok || len(ev.LPNs) == 0 {
+					break
+				}
+				bt, err := dev.FlushStriped(idleAt, ev.LPNs)
+				if err != nil {
+					return nil, fmt.Errorf("replay: %s idle flush: %w", tr.Name, err)
+				}
+				m.EvictionBatch.Observe(len(ev.LPNs))
+				m.FlushedPages += int64(len(ev.LPNs))
+				m.IdleFlushedPages += int64(len(ev.LPNs))
+				if fates != nil {
+					finalizeFates(m, fates, ev.LPNs)
+				}
+				idleAt = bt.Transferred
+			}
+		}
+		prevArrival = req.Time
+
+		first, pages := req.PageSpan(dev.PageSize())
+		if pages == 0 {
+			continue
+		}
+		if first+int64(pages) > logical {
+			return nil, fmt.Errorf("replay: %s request %d beyond device: lpn %d+%d > %d",
+				tr.Name, i, first, pages, logical)
+		}
+		// Issue time: the trace arrival, or — in closed-loop mode — when a
+		// queue slot frees up (the completion of the request QueueDepth
+		// places back), whichever is later.
+		now := req.Time
+		if window != nil {
+			if freeAt := window[windowPos]; freeAt > now {
+				now = freeAt
+			}
+		}
+		creq := cache.Request{Time: now, Write: req.Write, LPN: first, Pages: pages}
+		res := pol.Access(creq)
+
+		completion := dev.CacheAccess(now, res.Hits+res.Inserted)
+		dramPages += int64(res.Hits + res.Inserted)
+		warm := i >= opts.WarmupRequests
+
+		// Account hits/misses and page fates.
+		if warm {
+			m.PageHits += int64(res.Hits)
+			m.PageMisses += int64(res.Misses)
+			if req.Write {
+				m.WritePageHits += int64(res.Hits)
+			} else {
+				m.ReadPageHits += int64(res.Hits)
+			}
+		}
+		if fates != nil {
+			recordFates(m, fates, creq, res)
+		}
+
+		// Evictions: flush victims; the request waits for durability.
+		for _, ev := range res.Evictions {
+			if ev.CleanDrop {
+				m.CleanDrops += int64(len(ev.LPNs))
+				if fates != nil {
+					finalizeFates(m, fates, ev.LPNs)
+				}
+				continue
+			}
+			m.EvictionBatch.Observe(len(ev.LPNs))
+			m.FlushedPages += int64(len(ev.LPNs))
+			flushAt := now
+			if len(ev.PaddingReads) > 0 {
+				padDone, err := dev.ReadPages(now, ev.PaddingReads)
+				if err != nil {
+					return nil, fmt.Errorf("replay: %s padding: %w", tr.Name, err)
+				}
+				flushAt = padDone
+			}
+			var bt ftl.BatchTiming
+			var err error
+			switch {
+			case ev.BlockBound:
+				bt, err = dev.FlushBlockBound(flushAt, ev.LPNs)
+			case ev.HasChannelHint:
+				bt, err = dev.FlushOnChannel(flushAt, ev.LPNs, ev.Channel)
+			default:
+				bt, err = dev.FlushStriped(flushAt, ev.LPNs)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("replay: %s flush: %w", tr.Name, err)
+			}
+			// The request waits until the victims' frames are free (their
+			// transfers finish); the programs continue on the dies and
+			// delay later operations through the timeline.
+			if bt.Transferred > completion {
+				completion = bt.Transferred
+			}
+			if fates != nil {
+				finalizeFates(m, fates, ev.LPNs)
+			}
+		}
+
+		// Bypassed large-write pages stream straight to flash; the request
+		// blocks on their transfers like an eviction flush.
+		if len(res.Bypass) > 0 {
+			bt, err := dev.FlushStriped(now, res.Bypass)
+			if err != nil {
+				return nil, fmt.Errorf("replay: %s bypass: %w", tr.Name, err)
+			}
+			if bt.Transferred > completion {
+				completion = bt.Transferred
+			}
+			m.BypassedPages += int64(len(res.Bypass))
+		}
+
+		// Read misses fetch from flash.
+		if len(res.ReadMisses) > 0 {
+			done, err := dev.ReadPages(now, res.ReadMisses)
+			if err != nil {
+				return nil, fmt.Errorf("replay: %s read: %w", tr.Name, err)
+			}
+			if done > completion {
+				completion = done
+			}
+		}
+
+		// Background prefetches load the device but never block the
+		// triggering request. Readahead past the end of the logical space
+		// is clipped (the policy cannot know the device size).
+		if len(res.Prefetches) > 0 {
+			pf := res.Prefetches[:0]
+			for _, lpn := range res.Prefetches {
+				if lpn < logical {
+					pf = append(pf, lpn)
+				}
+			}
+			if len(pf) > 0 {
+				if _, err := dev.ReadPages(now, pf); err != nil {
+					return nil, fmt.Errorf("replay: %s prefetch: %w", tr.Name, err)
+				}
+				m.PrefetchedPages += int64(len(pf))
+			}
+		}
+
+		if window != nil {
+			window[windowPos] = completion
+			windowPos = (windowPos + 1) % len(window)
+		}
+		if warm {
+			resp := float64(completion - now)
+			m.Response.Observe(resp)
+			m.ResponseP50.Observe(resp)
+			m.ResponseP99.Observe(resp)
+			if req.Write {
+				m.WriteResponse.Observe(resp)
+			} else {
+				m.ReadResponse.Observe(resp)
+			}
+			if tm := tenantOf(first); tm != nil {
+				tm.PageHits += int64(res.Hits)
+				tm.PageMisses += int64(res.Misses)
+				tm.Response.Observe(resp)
+			}
+		}
+
+		// Structural gauges.
+		nodes := pol.NodeCount()
+		if nodes > m.MaxNodes {
+			m.MaxNodes = nodes
+		}
+		nodeSum += float64(nodes)
+		m.Requests++
+		if m.ListSeries != nil {
+			for name, pagesHeld := range occupancy.ListPages() {
+				m.ListSeries[name].Tick(int64(m.Requests), float64(pagesHeld))
+			}
+		}
+	}
+	// Pages still resident at the end never got evicted; their fates count.
+	if fates != nil {
+		remaining := make([]int64, 0, len(fates))
+		for lpn := range fates {
+			remaining = append(remaining, lpn)
+		}
+		finalizeFates(m, fates, remaining)
+	}
+	if m.Requests > 0 {
+		m.MeanNodes = nodeSum / float64(m.Requests)
+	}
+	m.Device = dev.Counters()
+	m.Endurance = dev.Endurance(0)
+	ep := ssd.DefaultEnergyParams()
+	m.Energy = dev.Energy(ep)
+	m.DRAMEnergyUJ = float64(dramPages) * ep.DRAMAccessUJ
+	if n := len(tr.Requests); n > 0 {
+		horizon := tr.Requests[n-1].Time - tr.Requests[0].Time
+		m.Utilization = dev.Utilization(horizon)
+	}
+	return m, nil
+}
+
+// recordFates updates the per-page bookkeeping for one request. A page
+// found in the fate map was resident when the request arrived, so touching
+// it is a hit attributed to the size of the write request that inserted it
+// (Fig. 2 keys both CDFs by inserting-request size); a written page not in
+// the map is a fresh insertion. The shadow model can diverge from the
+// policy by at most the pages a request evicts of itself (requests larger
+// than the whole buffer), which the experiments never produce.
+func recordFates(m *Metrics, fates map[int64]*pageFate, req cache.Request, res cache.Result) {
+	_ = res
+	large := req.Pages > m.SmallThresholdPages
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if f, ok := fates[lpn]; ok {
+			f.hit = true
+			m.HitBySize.Observe(int(f.insertReqPages))
+		} else if req.Write {
+			fates[lpn] = &pageFate{insertReqPages: int32(req.Pages), large: large}
+			m.InsertBySize.Observe(req.Pages)
+		}
+		lpn++
+	}
+}
+
+// finalizeFates closes the lifetime of evicted pages, feeding Fig. 3.
+func finalizeFates(m *Metrics, fates map[int64]*pageFate, lpns []int64) {
+	for _, lpn := range lpns {
+		f, ok := fates[lpn]
+		if !ok {
+			continue
+		}
+		if f.large {
+			m.LargeInserted++
+			if f.hit {
+				m.LargeHitBeforeEviction++
+			}
+		}
+		delete(fates, lpn)
+	}
+}
+
+// meanRequestPages computes the trace's mean request size in pages, the
+// paper's small/large boundary.
+func meanRequestPages(tr *trace.Trace, pageSize int64) int {
+	if len(tr.Requests) == 0 {
+		return 1
+	}
+	var total int64
+	for _, r := range tr.Requests {
+		_, n := r.PageSpan(pageSize)
+		total += int64(n)
+	}
+	mean := int(total / int64(len(tr.Requests)))
+	if mean < 1 {
+		mean = 1
+	}
+	return mean
+}

@@ -1,0 +1,363 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testDevice builds a small but realistic device for replay tests.
+func testDevice(t *testing.T) *ssd.Device {
+	t.Helper()
+	p := ssd.DefaultParams()
+	p.Flash.BlocksPerPlane = 512 // 114688 logical pages: covers every test footprint
+	p.Flash.PagesPerBlock = 16
+	p.Precondition = 0
+	d, err := ssd.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// microTrace builds a tiny deterministic trace.
+func microTrace() *trace.Trace {
+	mk := func(tm int64, wr bool, page, pages int64) trace.Request {
+		return trace.Request{Time: tm, Write: wr, Offset: page * 4096, Size: pages * 4096}
+	}
+	return &trace.Trace{Name: "micro", Requests: []trace.Request{
+		mk(0, true, 0, 2),            // insert 0,1
+		mk(1_000_000, true, 0, 2),    // hit 0,1
+		mk(2_000_000, false, 0, 1),   // read hit 0
+		mk(3_000_000, false, 100, 2), // read miss 100,101
+		mk(4_000_000, true, 200, 8),  // large insert
+	}}
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(4096)
+	m, err := Run(microTrace(), pol, dev, Options{TrackPageFates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 5 {
+		t.Fatalf("Requests = %d", m.Requests)
+	}
+	if m.PageHits != 3 || m.PageMisses != 12 {
+		t.Fatalf("hits/misses = %d/%d, want 3/12", m.PageHits, m.PageMisses)
+	}
+	if m.WritePageHits != 2 || m.ReadPageHits != 1 {
+		t.Fatalf("split hits wrong: %d/%d", m.WritePageHits, m.ReadPageHits)
+	}
+	if got := m.HitRatio(); got < 0.19 || got > 0.21 {
+		t.Fatalf("HitRatio = %v, want 0.2", got)
+	}
+	if m.Device.FlashReads != 2 {
+		t.Fatalf("FlashReads = %d, want 2 (read misses)", m.Device.FlashReads)
+	}
+	if m.Device.FlashWrites != 0 {
+		t.Fatalf("FlashWrites = %d, want 0 (no eviction yet)", m.Device.FlashWrites)
+	}
+	if m.Response.Count() != 5 || m.ReadResponse.Count() != 2 || m.WriteResponse.Count() != 3 {
+		t.Fatal("response summaries wrong")
+	}
+}
+
+func TestRunResponseTimes(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(4096)
+	m, err := Run(microTrace(), pol, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache-absorbed writes must be orders of magnitude faster than
+	// the flash read misses.
+	if m.WriteResponse.Max() >= m.ReadResponse.Max() {
+		t.Fatalf("write max %v >= read max %v", m.WriteResponse.Max(), m.ReadResponse.Max())
+	}
+	fp := dev.Params().Flash
+	if m.ReadResponse.Max() < float64(fp.ReadLatency) {
+		t.Fatalf("read response %v below device read latency", m.ReadResponse.Max())
+	}
+}
+
+func TestRunEvictionFlushes(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(8) // tiny: force evictions
+	tr := &trace.Trace{Name: "evict", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 8 * 4096},
+		{Time: 1_000_000, Write: true, Offset: 100 * 4096, Size: 4 * 4096},
+	}}
+	m, err := Run(tr, pol, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FlushedPages != 4 {
+		t.Fatalf("FlushedPages = %d, want 4", m.FlushedPages)
+	}
+	if m.Device.FlashWrites != 4 {
+		t.Fatalf("FlashWrites = %d, want 4", m.Device.FlashWrites)
+	}
+	if m.EvictionBatch.Total() != 4 { // LRU evicts one page at a time
+		t.Fatalf("eviction ops = %d, want 4", m.EvictionBatch.Total())
+	}
+	if m.MeanEvictionPages() != 1 {
+		t.Fatalf("mean eviction pages = %v, want 1", m.MeanEvictionPages())
+	}
+	// The evicting request's response covers the victims' channel
+	// transfers (frames freed), but not the asynchronous cell programs.
+	fp := dev.Params().Flash
+	if m.WriteResponse.Max() < float64(fp.PageTransferTime()) {
+		t.Fatalf("evicting write response %v did not wait for the transfer", m.WriteResponse.Max())
+	}
+	if m.WriteResponse.Max() >= float64(fp.ProgramLatency) {
+		t.Fatalf("evicting write response %v blocked on the async program", m.WriteResponse.Max())
+	}
+}
+
+func TestRunRejectsOutOfRangeTrace(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(64)
+	tr := &trace.Trace{Name: "oob", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: dev.LogicalPages() * 4096, Size: 4096},
+	}}
+	if _, err := Run(tr, pol, dev, Options{}); err == nil {
+		t.Fatal("out-of-range request accepted")
+	}
+}
+
+func TestRunPageFates(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(4096)
+	m, err := Run(microTrace(), pol, dev, Options{TrackPageFates: true, SmallThresholdPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserts: 2 pages from a 2-page request, 8 from an 8-page request.
+	if m.InsertBySize.Count(2) != 2 || m.InsertBySize.Count(8) != 8 {
+		t.Fatalf("InsertBySize: %v/%v", m.InsertBySize.Count(2), m.InsertBySize.Count(8))
+	}
+	// Hits: 3 hit events on pages inserted by the 2-page request.
+	if m.HitBySize.Count(2) != 3 {
+		t.Fatalf("HitBySize(2) = %d, want 3", m.HitBySize.Count(2))
+	}
+	// Fig. 3: 8 large pages inserted, none ever hit.
+	if m.LargeInserted != 8 || m.LargeHitBeforeEviction != 0 {
+		t.Fatalf("large fates: %d/%d", m.LargeInserted, m.LargeHitBeforeEviction)
+	}
+	if m.LargeHitFraction() != 0 {
+		t.Fatal("LargeHitFraction should be 0")
+	}
+}
+
+func TestRunLargeHitTracking(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(4096)
+	tr := &trace.Trace{Name: "large-hit", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 8 * 4096},
+		{Time: 1, Write: false, Offset: 0, Size: 4096}, // hit one large page
+	}}
+	m, err := Run(tr, pol, dev, Options{TrackPageFates: true, SmallThresholdPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LargeInserted != 8 || m.LargeHitBeforeEviction != 1 {
+		t.Fatalf("large fates: %d/%d, want 8/1", m.LargeInserted, m.LargeHitBeforeEviction)
+	}
+}
+
+func TestRunSmallThresholdAuto(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(64)
+	// Mean request size = (2+2+1+2+8)/5 = 3 pages.
+	m, err := Run(microTrace(), pol, dev, Options{TrackPageFates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SmallThresholdPages != 3 {
+		t.Fatalf("auto threshold = %d, want 3", m.SmallThresholdPages)
+	}
+}
+
+func TestRunOccupancySeries(t *testing.T) {
+	dev := testDevice(t)
+	pol := core.New(64)
+	tr := workload.MustGenerate(workload.TS0(), workload.Options{Scale: 0.005})
+	m, err := Run(tr, pol, dev, Options{SeriesInterval: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"IRL", "SRL", "DRL"} {
+		s, ok := m.ListSeries[name]
+		if !ok {
+			t.Fatalf("missing series %q", name)
+		}
+		if s.Len() == 0 {
+			t.Fatalf("series %q has no samples", name)
+		}
+	}
+}
+
+func TestRunNoSeriesForFlatPolicies(t *testing.T) {
+	dev := testDevice(t)
+	m, err := Run(microTrace(), cache.NewLRU(64), dev, Options{SeriesInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ListSeries != nil {
+		t.Fatal("LRU should not produce occupancy series")
+	}
+}
+
+func TestRunBlockBoundFlushPath(t *testing.T) {
+	// BPLRU flushes block-bound; the device must still complete, and
+	// flushes appear in the flash write count.
+	dev := testDevice(t)
+	pol := cache.NewBPLRU(8, 4)
+	tr := &trace.Trace{Name: "bb", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 8 * 4096},
+		{Time: 1_000_000, Write: true, Offset: 100 * 4096, Size: 4 * 4096},
+	}}
+	m, err := Run(tr, pol, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Device.FlashWrites == 0 {
+		t.Fatal("block-bound flush missing from device counters")
+	}
+}
+
+func TestRunPaddingReads(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewBPLRUWithPadding(8, 4)
+	tr := &trace.Trace{Name: "pad", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096}, // 1 page of block 0
+		{Time: 1, Write: true, Offset: 4 * 4096, Size: 4096},
+		{Time: 2, Write: true, Offset: 8 * 4096, Size: 4096},
+		{Time: 3, Write: true, Offset: 12 * 4096, Size: 4096},
+		{Time: 4, Write: true, Offset: 16 * 4096, Size: 4096},
+		{Time: 5, Write: true, Offset: 20 * 4096, Size: 4096},
+		{Time: 6, Write: true, Offset: 24 * 4096, Size: 4096},
+		{Time: 7, Write: true, Offset: 28 * 4096, Size: 4096},
+		{Time: 8, Write: true, Offset: 32 * 4096, Size: 4096}, // evicts block 0
+	}}
+	m, err := Run(tr, pol, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The padded flush writes 4 pages (1 resident + 3 padded) and reads 3.
+	if m.Device.FlashWrites != 4 {
+		t.Fatalf("FlashWrites = %d, want 4 (padded block)", m.Device.FlashWrites)
+	}
+	if m.Device.FlashReads != 3 {
+		t.Fatalf("FlashReads = %d, want 3 (padding)", m.Device.FlashReads)
+	}
+}
+
+func TestRunCleanDropsNotFlushed(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewCFLRUWindow(4, 4, true)
+	tr := &trace.Trace{Name: "clean", Requests: []trace.Request{
+		{Time: 0, Write: false, Offset: 0, Size: 4 * 4096},                 // fills with clean pages
+		{Time: 1_000_000, Write: true, Offset: 100 * 4096, Size: 2 * 4096}, // evicts 2 clean
+	}}
+	m, err := Run(tr, pol, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CleanDrops != 2 {
+		t.Fatalf("CleanDrops = %d, want 2", m.CleanDrops)
+	}
+	if m.Device.FlashWrites != 0 {
+		t.Fatalf("clean drops caused %d flash writes", m.Device.FlashWrites)
+	}
+	if m.EvictionBatch.Total() != 0 {
+		t.Fatal("clean drops must not count as eviction flushes")
+	}
+}
+
+func TestRunWarmupExcludesEarlyRequests(t *testing.T) {
+	dev := testDevice(t)
+	pol := cache.NewLRU(4096)
+	m, err := Run(microTrace(), pol, dev, Options{WarmupRequests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requests 0 and 1 (2+2 pages, 2 hits) excluded; remaining: read hit
+	// on page 0, 2 read misses, 8-page insert.
+	if m.Response.Count() != 3 {
+		t.Fatalf("Response.Count = %d, want 3", m.Response.Count())
+	}
+	if m.PageHits != 1 || m.PageMisses != 10 {
+		t.Fatalf("hits/misses = %d/%d, want 1/10", m.PageHits, m.PageMisses)
+	}
+	// The cache still warmed up: all distinct written pages are resident
+	// (pages 0,1 plus the 8-page insert).
+	if pol.Len() != 10 {
+		t.Fatalf("cache pages = %d, want 10", pol.Len())
+	}
+}
+
+func TestRunWarmupLongerThanTrace(t *testing.T) {
+	dev := testDevice(t)
+	m, err := Run(microTrace(), cache.NewLRU(64), dev, Options{WarmupRequests: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Response.Count() != 0 || m.PageHits != 0 {
+		t.Fatal("warmup longer than trace must leave metrics empty")
+	}
+	if m.Requests != 5 {
+		t.Fatal("requests must still be processed")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr := workload.MustGenerate(workload.USR0(), workload.Options{Scale: 0.002})
+	run := func() *Metrics {
+		dev := testDevice(t)
+		m, err := Run(tr, core.New(512), dev, Options{TrackPageFates: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.PageHits != b.PageHits || a.FlushedPages != b.FlushedPages ||
+		a.Response.Sum() != b.Response.Sum() || a.Device.FlashWrites != b.Device.FlashWrites {
+		t.Fatal("replay is not deterministic")
+	}
+}
+
+func TestRunRealisticWorkloadAllPolicies(t *testing.T) {
+	tr := workload.MustGenerate(workload.SRC12(), workload.Options{Scale: 0.002})
+	pols := []cache.Policy{
+		cache.NewLRU(512), cache.NewFIFO(512), cache.NewLFU(512),
+		cache.NewCFLRU(512), cache.NewFAB(512, 64), cache.NewBPLRU(512, 64),
+		cache.NewVBBMS(512), core.New(512),
+	}
+	for _, pol := range pols {
+		dev := testDevice(t)
+		m, err := Run(tr, pol, dev, Options{TrackPageFates: true})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if m.Requests != tr.Len() {
+			t.Fatalf("%s: processed %d of %d", pol.Name(), m.Requests, tr.Len())
+		}
+		if m.PageHits+m.PageMisses == 0 {
+			t.Fatalf("%s: no page accesses recorded", pol.Name())
+		}
+		if m.Response.Count() == 0 || m.Response.Min() < 0 {
+			t.Fatalf("%s: response summary broken", pol.Name())
+		}
+		if err := dev.CheckInvariants(); err != nil {
+			t.Fatalf("%s: device invariants: %v", pol.Name(), err)
+		}
+	}
+}

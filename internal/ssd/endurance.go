@@ -1,0 +1,57 @@
+package ssd
+
+import "repro/internal/flash"
+
+// Endurance projects device lifetime from the observed wear and write
+// amplification — the quantity the paper's introduction says write
+// buffering protects (high-density NAND endures only a few hundred P/E
+// cycles; it quotes 500 for QLC).
+type Endurance struct {
+	// Wear is the erase-cycle distribution across blocks.
+	Wear flash.Wear
+	// PELimit is the per-block program/erase budget used for projection.
+	PELimit int
+	// LifeConsumed is MaxErase / PELimit: the fraction of the worst
+	// block's budget already spent.
+	LifeConsumed float64
+	// ProjectedHostPages is how many further host page writes the device
+	// can absorb before the mean block exhausts its budget, given the
+	// observed write amplification. Zero when nothing has been written.
+	ProjectedHostPages int64
+	// WriteAmplification echoes the counter-derived WA used above.
+	WriteAmplification float64
+}
+
+// DefaultPELimit is the QLC program/erase budget the paper quotes.
+const DefaultPELimit = 500
+
+// Endurance computes the projection for a given P/E budget (0 means
+// DefaultPELimit).
+func (d *Device) Endurance(peLimit int) Endurance {
+	if peLimit <= 0 {
+		peLimit = DefaultPELimit
+	}
+	c := d.Counters()
+	w := d.f.Array().WearStats()
+	e := Endurance{
+		Wear:               w,
+		PELimit:            peLimit,
+		WriteAmplification: c.WriteAmplification(),
+	}
+	e.LifeConsumed = float64(w.MaxErase) / float64(peLimit)
+	// Total programs the array can still absorb before the MEAN block hits
+	// the budget, divided by WA, gives host pages remaining.
+	if c.FlashWrites > 0 {
+		pagesPerErase := float64(d.p.Flash.PagesPerBlock)
+		remainingErases := (float64(peLimit) - w.MeanErase) * float64(d.p.Flash.Blocks())
+		if remainingErases < 0 {
+			remainingErases = 0
+		}
+		wa := e.WriteAmplification
+		if wa < 1 {
+			wa = 1
+		}
+		e.ProjectedHostPages = int64(remainingErases * pagesPerErase / wa)
+	}
+	return e
+}

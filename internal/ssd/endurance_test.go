@@ -1,0 +1,75 @@
+package ssd
+
+import "testing"
+
+func TestEnduranceFreshDevice(t *testing.T) {
+	d, err := New(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := d.Endurance(0)
+	if e.PELimit != DefaultPELimit {
+		t.Fatalf("PELimit = %d, want default %d", e.PELimit, DefaultPELimit)
+	}
+	if e.LifeConsumed != 0 || e.Wear.TotalErases != 0 {
+		t.Fatalf("fresh device shows wear: %+v", e)
+	}
+	if e.ProjectedHostPages != 0 {
+		t.Fatal("projection requires host writes")
+	}
+}
+
+func TestEnduranceTracksWear(t *testing.T) {
+	p := tinyParams()
+	p.Precondition = 0.8
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpns := make([]int64, 16)
+	for i := range lpns {
+		lpns[i] = int64(i)
+	}
+	now := int64(0)
+	for round := 0; round < 80; round++ {
+		bt, err := d.FlushStriped(now, lpns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = bt.Durable
+	}
+	e := d.Endurance(100)
+	if e.Wear.TotalErases == 0 {
+		t.Fatal("no erases recorded after churn")
+	}
+	if e.LifeConsumed <= 0 {
+		t.Fatalf("LifeConsumed = %v", e.LifeConsumed)
+	}
+	if e.ProjectedHostPages <= 0 {
+		t.Fatalf("ProjectedHostPages = %d", e.ProjectedHostPages)
+	}
+	if e.WriteAmplification < 1 {
+		t.Fatalf("WA = %v, want >= 1", e.WriteAmplification)
+	}
+	if e.Wear.MaxErase < e.Wear.MinErase || e.Wear.MeanErase <= 0 {
+		t.Fatalf("wear stats inconsistent: %+v", e.Wear)
+	}
+}
+
+func TestEnduranceCustomPELimit(t *testing.T) {
+	d, err := New(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FlushStriped(0, []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	e := d.Endurance(1000)
+	if e.PELimit != 1000 {
+		t.Fatalf("PELimit = %d", e.PELimit)
+	}
+	// No erases yet: full life remaining, projection positive.
+	if e.LifeConsumed != 0 || e.ProjectedHostPages <= 0 {
+		t.Fatalf("endurance wrong: %+v", e)
+	}
+}

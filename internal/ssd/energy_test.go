@@ -1,0 +1,74 @@
+package ssd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyOnFreshDevice(t *testing.T) {
+	d, err := New(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := d.Energy(DefaultEnergyParams())
+	if e.TotalUJ != 0 {
+		t.Fatalf("fresh device energy %v", e.TotalUJ)
+	}
+}
+
+func TestEnergyCountsOperations(t *testing.T) {
+	d, err := New(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpns := []int64{0, 1, 2, 3}
+	if _, err := d.FlushStriped(0, lpns); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadPages(0, lpns[:2]); err != nil {
+		t.Fatal(err)
+	}
+	ep := DefaultEnergyParams()
+	e := d.Energy(ep)
+	if math.Abs(e.ProgramsUJ-4*ep.ProgramUJ) > 1e-9 {
+		t.Fatalf("ProgramsUJ = %v", e.ProgramsUJ)
+	}
+	if math.Abs(e.ReadsUJ-2*ep.ReadUJ) > 1e-9 {
+		t.Fatalf("ReadsUJ = %v", e.ReadsUJ)
+	}
+	if math.Abs(e.TotalUJ-(e.ReadsUJ+e.ProgramsUJ+e.GCUJ+e.ErasesUJ)) > 1e-9 {
+		t.Fatal("total does not sum")
+	}
+}
+
+func TestEnergyIncludesGC(t *testing.T) {
+	p := tinyParams()
+	p.Precondition = 0.8
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpns := make([]int64, 16)
+	for i := range lpns {
+		lpns[i] = int64(i)
+	}
+	now := int64(0)
+	for round := 0; round < 80; round++ {
+		bt, err := d.FlushStriped(now, lpns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = bt.Durable
+	}
+	e := d.Energy(DefaultEnergyParams())
+	c := d.Counters()
+	if c.GCRuns > 0 && e.ErasesUJ <= 0 {
+		t.Fatalf("erase energy missing: %+v (counters %+v)", e, c)
+	}
+	// A pure hot-spot overwrite leaves victims fully invalid, so GC may
+	// migrate nothing; migration energy must track the counter exactly.
+	ep := DefaultEnergyParams()
+	if want := float64(c.GCMigrations) * (ep.ReadUJ + ep.ProgramUJ); e.GCUJ != want {
+		t.Fatalf("GCUJ = %v, want %v", e.GCUJ, want)
+	}
+}

@@ -1,0 +1,198 @@
+// Package ssd presents the simulated solid-state drive as one device: the
+// flash array and FTL behind a host-facing API, plus the DRAM service
+// times for cache hits. The replayer drives a Device with the flash
+// traffic the cache policy decides on (evicted batches, read misses) and
+// uses the returned completion times to compute I/O response times.
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+)
+
+// Params configures a simulated SSD.
+type Params struct {
+	// Flash is the array geometry and timing (Table 1).
+	Flash flash.Params
+	// DRAMAccess is the service time of one page moved to or from the
+	// on-board DRAM cache, in nanoseconds. Cache hits cost only this.
+	DRAMAccess int64
+	// Precondition is the fraction of the logical space pre-mapped before
+	// the trace starts, so GC sees an aged device.
+	Precondition float64
+}
+
+// DefaultParams mirrors the paper's setup: Table 1 flash parameters, a
+// 1 µs DRAM page access, and a device preconditioned to 50% utilization.
+func DefaultParams() Params {
+	return Params{
+		Flash:        flash.DefaultParams(),
+		DRAMAccess:   1_000,
+		Precondition: 0.5,
+	}
+}
+
+// ScaledParams is DefaultParams with a smaller flash array (see
+// flash.ScaledParams); ratios and latencies are unchanged.
+func ScaledParams(blockDivisor int) Params {
+	p := DefaultParams()
+	p.Flash = flash.ScaledParams(blockDivisor)
+	return p
+}
+
+// Counters is a snapshot of the device's activity.
+type Counters struct {
+	// FlashWrites counts pages programmed for host flushes — the metric of
+	// the paper's Fig. 11.
+	FlashWrites int64
+	// FlashReads counts pages read from flash for the host.
+	FlashReads int64
+	// GCMigrations counts valid-page copies performed by GC.
+	GCMigrations int64
+	// GCRuns counts GC victim collections.
+	GCRuns int64
+	// Erases counts block erases.
+	Erases int64
+}
+
+// TotalPrograms is every page program the flash saw (host + GC).
+func (c Counters) TotalPrograms() int64 { return c.FlashWrites + c.GCMigrations }
+
+// WriteAmplification is (host + GC programs) / host programs, or 0 when no
+// host writes happened.
+func (c Counters) WriteAmplification() float64 {
+	if c.FlashWrites == 0 {
+		return 0
+	}
+	return float64(c.TotalPrograms()) / float64(c.FlashWrites)
+}
+
+// Device is one simulated SSD. Not safe for concurrent use: trace replay is
+// deterministic and single-threaded.
+type Device struct {
+	p Params
+	f *ftl.FTL
+}
+
+// New builds a device, preconditioning it per the params.
+func New(p Params) (*Device, error) {
+	if p.DRAMAccess < 0 {
+		return nil, fmt.Errorf("ssd: negative DRAM access time")
+	}
+	f, err := ftl.New(p.Flash)
+	if err != nil {
+		return nil, err
+	}
+	if p.Precondition > 0 {
+		if err := f.Precondition(p.Precondition); err != nil {
+			return nil, err
+		}
+	}
+	return &Device{p: p, f: f}, nil
+}
+
+// Params returns the device configuration.
+func (d *Device) Params() Params { return d.p }
+
+// LogicalPages returns the host-visible capacity in pages.
+func (d *Device) LogicalPages() int64 { return d.f.LogicalPages() }
+
+// PageSize returns the page size in bytes.
+func (d *Device) PageSize() int64 { return int64(d.p.Flash.PageSize) }
+
+// CacheAccess returns the completion time of touching n pages in DRAM
+// starting at now — the cost of a cache hit or of landing write data in the
+// buffer.
+func (d *Device) CacheAccess(now int64, n int) int64 {
+	return now + int64(n)*d.p.DRAMAccess
+}
+
+// FlushStriped writes a batch of evicted pages using dynamic allocation
+// across all channels. The returned timing separates when the buffer
+// frames are free (Transferred — what an evicting host request waits for)
+// from when the data is durable.
+func (d *Device) FlushStriped(now int64, lpns []int64) (ftl.BatchTiming, error) {
+	t, err := d.f.WriteStriped(now, lpns)
+	if err != nil {
+		return ftl.BatchTiming{}, fmt.Errorf("ssd: striped flush: %w", err)
+	}
+	return t, nil
+}
+
+// FlushBlockBound writes a batch onto a single plane (BPLRU's whole-block
+// flush); see FlushStriped for the timing semantics.
+func (d *Device) FlushBlockBound(now int64, lpns []int64) (ftl.BatchTiming, error) {
+	t, err := d.f.WriteBlockBound(now, lpns)
+	if err != nil {
+		return ftl.BatchTiming{}, fmt.Errorf("ssd: block-bound flush: %w", err)
+	}
+	return t, nil
+}
+
+// ReadPages reads a batch of pages from flash, returning when the last one
+// reaches the controller.
+func (d *Device) ReadPages(now int64, lpns []int64) (int64, error) {
+	done, err := d.f.Read(now, lpns)
+	if err != nil {
+		return 0, fmt.Errorf("ssd: read: %w", err)
+	}
+	return done, nil
+}
+
+// Counters snapshots the device activity.
+func (d *Device) Counters() Counters {
+	s := d.f.Stats()
+	return Counters{
+		FlashWrites:  s.HostPrograms,
+		FlashReads:   s.HostReads,
+		GCMigrations: s.GCMigrations,
+		GCRuns:       s.GCRuns,
+		Erases:       s.Erases,
+	}
+}
+
+// BackgroundGC runs opportunistic garbage collection during an idle
+// window (up to maxVictims block collections), refilling free-block
+// headroom before foreground writes would stall on it. Returns the victim
+// count.
+func (d *Device) BackgroundGC(now int64, maxVictims int) int {
+	soft := int(float64(d.p.Flash.BlocksPerPlane)*d.p.Flash.GCThreshold) * 2
+	return d.f.BackgroundGC(now, maxVictims, soft)
+}
+
+// FlushOnChannel writes a batch onto one channel's planes (ECR's
+// channel-affine flush); see FlushStriped for the timing semantics.
+func (d *Device) FlushOnChannel(now int64, lpns []int64, channel int) (ftl.BatchTiming, error) {
+	t, err := d.f.WriteOnChannel(now, lpns, channel)
+	if err != nil {
+		return ftl.BatchTiming{}, fmt.Errorf("ssd: channel flush: %w", err)
+	}
+	return t, nil
+}
+
+// Channels implements cache.DeviceView.
+func (d *Device) Channels() int { return d.p.Flash.Channels }
+
+// ChannelFreeAt implements cache.DeviceView: when the channel's bus frees.
+func (d *Device) ChannelFreeAt(channel int) int64 {
+	return d.f.Timeline().ChannelFree(channel)
+}
+
+// Trim discards logical pages (ATA TRIM / NVMe Deallocate): stale copies
+// are invalidated so GC reclaims them without migration.
+func (d *Device) Trim(lpns []int64) error {
+	if err := d.f.Trim(lpns); err != nil {
+		return fmt.Errorf("ssd: trim: %w", err)
+	}
+	return nil
+}
+
+// Utilization reports channel/die occupancy fractions over [0, horizon].
+func (d *Device) Utilization(horizon int64) flash.Utilization {
+	return d.f.Timeline().Utilization(horizon)
+}
+
+// CheckInvariants validates the FTL and array state (tests only).
+func (d *Device) CheckInvariants() error { return d.f.CheckInvariants() }

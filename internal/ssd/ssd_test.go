@@ -1,0 +1,171 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/flash"
+)
+
+func tinyParams() Params {
+	p := DefaultParams()
+	p.Flash.Channels = 2
+	p.Flash.ChipsPerChannel = 2
+	p.Flash.BlocksPerPlane = 16
+	p.Flash.PagesPerBlock = 8
+	p.Flash.OverProvision = 0.25
+	p.Precondition = 0
+	return p
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.Flash.Channels != 8 || p.DRAMAccess <= 0 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if p.Flash.PhysicalBytes() != 128<<30 {
+		t.Fatal("default device is not 128 GiB")
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	p := tinyParams()
+	p.DRAMAccess = -1
+	if _, err := New(p); err == nil {
+		t.Fatal("negative DRAM access accepted")
+	}
+	p = tinyParams()
+	p.Flash.Channels = 0
+	if _, err := New(p); err == nil {
+		t.Fatal("invalid flash accepted")
+	}
+}
+
+func TestCacheAccessTiming(t *testing.T) {
+	d, err := New(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CacheAccess(100, 3); got != 100+3*d.Params().DRAMAccess {
+		t.Fatalf("CacheAccess = %d", got)
+	}
+	if d.CacheAccess(100, 0) != 100 {
+		t.Fatal("zero-page cache access should be free")
+	}
+}
+
+func TestFlushAndReadRoundTrip(t *testing.T) {
+	d, err := New(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpns := []int64{0, 1, 2, 3}
+	bt, err := d.FlushStriped(0, lpns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Transferred <= 0 || bt.Durable <= bt.Transferred {
+		t.Fatalf("flush timing wrong: %+v", bt)
+	}
+	rdone, err := d.ReadPages(bt.Durable, lpns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdone <= bt.Durable {
+		t.Fatal("read took no time")
+	}
+	c := d.Counters()
+	if c.FlashWrites != 4 || c.FlashReads != 4 {
+		t.Fatalf("counters wrong: %+v", c)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBoundSlowerThanStriped(t *testing.T) {
+	ds, _ := New(tinyParams())
+	db, _ := New(tinyParams())
+	lpns := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	sDone, err := ds.FlushStriped(0, lpns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bDone, err := db.FlushBlockBound(0, lpns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bDone.Transferred <= sDone.Transferred {
+		t.Fatalf("block-bound (%+v) not slower than striped (%+v)", bDone, sDone)
+	}
+}
+
+func TestPreconditionAgesDevice(t *testing.T) {
+	p := tinyParams()
+	p.Precondition = 0.5
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preconditioning must not count as host activity.
+	if c := d.Counters(); c.FlashWrites != 0 {
+		t.Fatalf("precondition counted as host writes: %+v", c)
+	}
+	// Overwriting a preconditioned page must invalidate the old copy.
+	if _, err := d.FlushStriped(0, []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAmplification(t *testing.T) {
+	c := Counters{FlashWrites: 100, GCMigrations: 25}
+	if c.WriteAmplification() != 1.25 {
+		t.Fatalf("WA = %v, want 1.25", c.WriteAmplification())
+	}
+	if (Counters{}).WriteAmplification() != 0 {
+		t.Fatal("WA of idle device should be 0")
+	}
+	if c.TotalPrograms() != 125 {
+		t.Fatal("TotalPrograms wrong")
+	}
+}
+
+func TestGCUnderSustainedOverwrite(t *testing.T) {
+	p := tinyParams()
+	p.Precondition = 0.8
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpns := make([]int64, 16)
+	for i := range lpns {
+		lpns[i] = int64(i)
+	}
+	now := int64(0)
+	for round := 0; round < 60; round++ {
+		bt, err := d.FlushStriped(now, lpns)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		now = bt.Durable
+	}
+	c := d.Counters()
+	if c.GCRuns == 0 {
+		t.Fatalf("GC never ran on a preconditioned device: %+v", c)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledParams(t *testing.T) {
+	p := ScaledParams(512)
+	if p.Flash.BlocksPerPlane != flash.DefaultParams().BlocksPerPlane/512 {
+		t.Fatalf("scaling wrong: %d", p.Flash.BlocksPerPlane)
+	}
+	if p.DRAMAccess != DefaultParams().DRAMAccess {
+		t.Fatal("scaling changed DRAM timing")
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import "sort"
+
+// Analysis is the deep per-trace report behind cmd/traceinfo: everything
+// Table 2 reports plus the size distributions and sequentiality measures
+// that the synthetic workload generators are calibrated against.
+type Analysis struct {
+	// Stats is the Table 2 summary.
+	Stats Stats
+	// WriteSizePages / ReadSizePages are request-size histograms keyed in
+	// pages: sorted (size, count) pairs.
+	WriteSizePages, ReadSizePages []SizeBucket
+	// SequentialWriteRatio is the fraction of write requests whose start
+	// immediately follows some recent write's end (a 64-request window) —
+	// the stream-detection view of sequentiality.
+	SequentialWriteRatio float64
+	// MeanWritePages / MeanReadPages are the mean request sizes in pages.
+	MeanWritePages, MeanReadPages float64
+	// DurationNs is the trace's time span.
+	DurationNs int64
+	// MeanGapNs is the mean interarrival gap.
+	MeanGapNs int64
+}
+
+// SizeBucket is one request-size histogram entry.
+type SizeBucket struct {
+	Pages int
+	Count int64
+}
+
+// Analyze computes the full report for a trace at the given page size.
+func Analyze(t *Trace, pageSize int64) Analysis {
+	a := Analysis{Stats: ComputeStats(t, pageSize)}
+	writeSizes := map[int]int64{}
+	readSizes := map[int]int64{}
+	// Recent write ends for sequentiality detection.
+	const window = 64
+	recentEnds := make([]int64, 0, window)
+	var seqWrites, writes int
+	var wPages, rPages int64
+	for _, r := range t.Requests {
+		_, n := r.PageSpan(pageSize)
+		if r.Write {
+			writes++
+			wPages += int64(n)
+			writeSizes[n]++
+			for _, end := range recentEnds {
+				if r.Offset == end {
+					seqWrites++
+					break
+				}
+			}
+			if len(recentEnds) == window {
+				copy(recentEnds, recentEnds[1:])
+				recentEnds = recentEnds[:window-1]
+			}
+			recentEnds = append(recentEnds, r.Offset+r.Size)
+		} else {
+			rPages += int64(n)
+			readSizes[n]++
+		}
+	}
+	a.WriteSizePages = sortBuckets(writeSizes)
+	a.ReadSizePages = sortBuckets(readSizes)
+	if writes > 0 {
+		a.SequentialWriteRatio = float64(seqWrites) / float64(writes)
+		a.MeanWritePages = float64(wPages) / float64(writes)
+	}
+	if reads := len(t.Requests) - writes; reads > 0 {
+		a.MeanReadPages = float64(rPages) / float64(reads)
+	}
+	if n := len(t.Requests); n > 1 {
+		a.DurationNs = t.Requests[n-1].Time - t.Requests[0].Time
+		a.MeanGapNs = a.DurationNs / int64(n-1)
+	}
+	return a
+}
+
+func sortBuckets(m map[int]int64) []SizeBucket {
+	out := make([]SizeBucket, 0, len(m))
+	for pages, count := range m {
+		out = append(out, SizeBucket{Pages: pages, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pages < out[j].Pages })
+	return out
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeSizeHistograms(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 1, Write: true, Offset: 8192, Size: 4096},
+		{Time: 2, Write: true, Offset: 0, Size: 16384},
+		{Time: 3, Write: false, Offset: 0, Size: 8192},
+	}}
+	a := Analyze(tr, 4096)
+	if len(a.WriteSizePages) != 2 {
+		t.Fatalf("write buckets = %v", a.WriteSizePages)
+	}
+	if a.WriteSizePages[0].Pages != 1 || a.WriteSizePages[0].Count != 2 {
+		t.Fatalf("bucket[0] = %+v", a.WriteSizePages[0])
+	}
+	if a.WriteSizePages[1].Pages != 4 || a.WriteSizePages[1].Count != 1 {
+		t.Fatalf("bucket[1] = %+v", a.WriteSizePages[1])
+	}
+	if len(a.ReadSizePages) != 1 || a.ReadSizePages[0].Pages != 2 {
+		t.Fatalf("read buckets = %v", a.ReadSizePages)
+	}
+	if math.Abs(a.MeanWritePages-2.0) > 1e-9 {
+		t.Fatalf("MeanWritePages = %v, want 2", a.MeanWritePages)
+	}
+	if a.MeanReadPages != 2 {
+		t.Fatalf("MeanReadPages = %v", a.MeanReadPages)
+	}
+}
+
+func TestAnalyzeSequentialDetection(t *testing.T) {
+	// Three writes, each continuing the previous one, plus one random.
+	tr := &Trace{Requests: []Request{
+		{Time: 0, Write: true, Offset: 0, Size: 8192},
+		{Time: 1, Write: true, Offset: 8192, Size: 8192},    // sequential
+		{Time: 2, Write: true, Offset: 16384, Size: 4096},   // sequential
+		{Time: 3, Write: true, Offset: 1 << 20, Size: 4096}, // random
+	}}
+	a := Analyze(tr, 4096)
+	if math.Abs(a.SequentialWriteRatio-0.5) > 1e-9 {
+		t.Fatalf("SequentialWriteRatio = %v, want 0.5", a.SequentialWriteRatio)
+	}
+}
+
+func TestAnalyzeSequentialWindow(t *testing.T) {
+	// A continuation arriving more than 64 writes later must not count.
+	tr := &Trace{Requests: []Request{{Time: 0, Write: true, Offset: 0, Size: 4096}}}
+	for i := int64(0); i < 70; i++ {
+		tr.Requests = append(tr.Requests,
+			Request{Time: 1 + i, Write: true, Offset: (100 + i*10) * 4096, Size: 4096})
+	}
+	tr.Requests = append(tr.Requests,
+		Request{Time: 100, Write: true, Offset: 4096, Size: 4096}) // continues request 0
+	a := Analyze(tr, 4096)
+	if a.SequentialWriteRatio != 0 {
+		t.Fatalf("stale continuation counted: %v", a.SequentialWriteRatio)
+	}
+}
+
+func TestAnalyzeTiming(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 1_000_000, Write: true, Offset: 4096, Size: 4096},
+		{Time: 4_000_000, Write: true, Offset: 8192, Size: 4096},
+	}}
+	a := Analyze(tr, 4096)
+	if a.DurationNs != 4_000_000 || a.MeanGapNs != 2_000_000 {
+		t.Fatalf("duration/gap = %d/%d", a.DurationNs, a.MeanGapNs)
+	}
+}
+
+func TestAnalyzeEmptyAndReadOnly(t *testing.T) {
+	a := Analyze(&Trace{}, 4096)
+	if a.MeanWritePages != 0 || a.SequentialWriteRatio != 0 || a.DurationNs != 0 {
+		t.Fatalf("empty analysis not zero: %+v", a)
+	}
+	ro := &Trace{Requests: []Request{{Time: 0, Offset: 0, Size: 4096}}}
+	a = Analyze(ro, 4096)
+	if a.MeanReadPages != 1 || a.MeanWritePages != 0 {
+		t.Fatalf("read-only analysis wrong: %+v", a)
+	}
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMSR drives the parser with arbitrary input: it must never panic,
+// and anything it accepts must round-trip through WriteMSR into a trace
+// with the same requests.
+func FuzzReadMSR(f *testing.F) {
+	f.Add("128166372003061629,hm,1,Read,383496192,32768,4011\n")
+	f.Add("1,h,0,Write,0,4096,0\n2,h,0,Read,4096,512,9\n")
+	f.Add("")
+	f.Add("not,a,trace\n")
+	f.Add("1,h,0,write,0,4096")
+	f.Add("-5,h,0,Read,0,4096,0\n")
+	f.Add("9223372036854775807,h,0,Write,1,1,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadMSR(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for i, r := range tr.Requests {
+			if r.Size <= 0 || r.Offset < 0 {
+				t.Fatalf("accepted malformed request %d: %+v", i, r)
+			}
+			if i > 0 && r.Time < tr.Requests[i-1].Time {
+				t.Fatalf("accepted non-monotone times at %d", i)
+			}
+		}
+		// Round-trip: re-serialize and re-parse.
+		var buf bytes.Buffer
+		if err := WriteMSR(&buf, tr); err != nil {
+			t.Fatalf("WriteMSR of accepted trace failed: %v", err)
+		}
+		tr2, err := ReadMSR(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round-trip length %d != %d", tr2.Len(), tr.Len())
+		}
+		for i := range tr.Requests {
+			a, b := tr.Requests[i], tr2.Requests[i]
+			if a.Write != b.Write || a.Offset != b.Offset || a.Size != b.Size {
+				t.Fatalf("round-trip request %d mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSPCBasic(t *testing.T) {
+	in := `0,100,4096,r,0.000000
+0,108,8192,W,0.015000
+1,0,4096,w,0.030000
+`
+	tr, err := ReadSPC(strings.NewReader(in), "fin1", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Requests[0].Write || !tr.Requests[1].Write || !tr.Requests[2].Write {
+		t.Fatal("opcodes wrong")
+	}
+	if tr.Requests[0].Offset != 100*512 || tr.Requests[0].Size != 4096 {
+		t.Fatalf("request 0: %+v", tr.Requests[0])
+	}
+	// Timestamps: seconds → ns, rebased to 0.
+	if tr.Requests[0].Time != 0 || tr.Requests[1].Time != 15_000_000 {
+		t.Fatalf("times: %d %d", tr.Requests[0].Time, tr.Requests[1].Time)
+	}
+}
+
+func TestReadSPCStacksASUs(t *testing.T) {
+	// ASU 0 spans blocks [0, 124): lba 100 + ceil(8192/512)=16 → 116;
+	// second line pushes it to 124. ASU 1's lba 0 must land at block 124.
+	in := `0,100,4096,r,0
+0,108,8192,w,0.5
+1,0,4096,w,1.0
+`
+	tr, err := ReadSPC(strings.NewReader(in), "x", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(124) * 512
+	if tr.Requests[2].Offset != want {
+		t.Fatalf("ASU 1 base offset = %d, want %d", tr.Requests[2].Offset, want)
+	}
+	// No overlap between ASU address ranges.
+	if tr.Requests[1].Offset+tr.Requests[1].Size > want {
+		t.Fatal("ASU 0 overlaps ASU 1")
+	}
+}
+
+func TestReadSPCRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"0,100,4096,r",          // too few fields
+		"x,100,4096,r,0",        // bad asu
+		"0,-1,4096,r,0",         // negative lba
+		"0,100,0,r,0",           // zero size
+		"0,100,4096,flush,0",    // bad opcode
+		"0,100,4096,r,notatime", // bad timestamp
+		"0,100,4096,r,-1",       // negative timestamp
+	}
+	for _, c := range cases {
+		if _, err := ReadSPC(strings.NewReader(c), "bad", 512); err == nil {
+			t.Errorf("line %q accepted", c)
+		}
+	}
+	if _, err := ReadSPC(strings.NewReader(""), "x", 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestReadSPCClampsOutOfOrder(t *testing.T) {
+	in := "0,0,512,r,1.0\n0,8,512,r,0.5\n"
+	tr, err := ReadSPC(strings.NewReader(in), "x", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Requests[1].Time != tr.Requests[0].Time {
+		t.Fatalf("out-of-order time not clamped: %d", tr.Requests[1].Time)
+	}
+}
+
+func TestReadSPCEmptyAndBlankLines(t *testing.T) {
+	tr, err := ReadSPC(strings.NewReader("\n\n"), "x", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("blank input produced requests")
+	}
+}
+
+func TestSPCRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Requests: []Request{
+		{Time: 0, Write: true, Offset: 512 * 100, Size: 4096},
+		{Time: 1_500_000_000, Write: false, Offset: 512 * 200, Size: 8192},
+	}}
+	var buf strings.Builder
+	if err := WriteSPC(&buf, orig, 512); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSPC(strings.NewReader(buf.String()), "rt", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip length %d != %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Requests {
+		o, g := orig.Requests[i], back.Requests[i]
+		if o.Write != g.Write || o.Offset != g.Offset || o.Size != g.Size {
+			t.Fatalf("request %d: %+v vs %+v", i, o, g)
+		}
+		// Times survive to nanosecond precision (%.9f seconds).
+		if o.Time != g.Time {
+			t.Fatalf("request %d time %d vs %d", i, o.Time, g.Time)
+		}
+	}
+}
+
+func TestWriteSPCRejectsBadBlockSize(t *testing.T) {
+	if err := WriteSPC(&strings.Builder{}, &Trace{}, 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}

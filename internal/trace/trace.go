@@ -1,0 +1,136 @@
+// Package trace models block-level I/O traces: the request type every other
+// package consumes, a reader/writer for the MSR Cambridge CSV format the
+// paper's workloads come in, and the per-trace statistics reported in the
+// paper's Table 2.
+package trace
+
+// Request is one host I/O request as recorded in a block trace.
+//
+// Offsets and sizes are in bytes, as in the raw traces; the cache and FTL
+// operate on logical pages, so PageSpan converts using the device page size.
+type Request struct {
+	// Time is the arrival time in nanoseconds since the start of the trace.
+	Time int64
+	// Write is true for write requests, false for reads.
+	Write bool
+	// Offset is the starting byte address on the device.
+	Offset int64
+	// Size is the length in bytes. Always > 0 for a valid request.
+	Size int64
+}
+
+// PageSpan returns the first logical page touched by the request and the
+// number of pages it spans for the given page size. A request that is not
+// page aligned still touches every page it overlaps, exactly as SSDsim
+// expands sector ranges to flash pages.
+func (r Request) PageSpan(pageSize int64) (first int64, count int) {
+	if pageSize <= 0 {
+		panic("trace: non-positive page size")
+	}
+	first = r.Offset / pageSize
+	if r.Size <= 0 {
+		return first, 0
+	}
+	last := (r.Offset + r.Size - 1) / pageSize
+	return first, int(last - first + 1)
+}
+
+// Trace is an in-memory sequence of requests ordered by arrival time.
+type Trace struct {
+	// Name labels the workload (e.g. "hm_1").
+	Name string
+	// Requests are ordered by non-decreasing Time.
+	Requests []Request
+}
+
+// Len returns the number of requests.
+func (t *Trace) Len() int { return len(t.Requests) }
+
+// Stats summarizes a trace the way the paper's Table 2 does.
+type Stats struct {
+	// Requests is the total number of requests.
+	Requests int
+	// Reads and Writes partition Requests.
+	Reads, Writes int
+	// WriteRatio is Writes / Requests.
+	WriteRatio float64
+	// MeanWriteBytes is the mean size of write requests in bytes.
+	MeanWriteBytes float64
+	// MeanReadBytes is the mean size of read requests in bytes.
+	MeanReadBytes float64
+	// FrequentRatio is the fraction of distinct page addresses that are
+	// requested at least three times ("Frequent R" in Table 2).
+	FrequentRatio float64
+	// FrequentWriteRatio is the frequent ratio computed over written
+	// addresses only: the fraction of distinct written pages requested at
+	// least three times ("(Wr)" in Table 2).
+	FrequentWriteRatio float64
+	// DistinctPages is the footprint in distinct page addresses.
+	DistinctPages int
+	// TotalPages is the total page count across all requests.
+	TotalPages int64
+}
+
+// ComputeStats scans the trace once and derives Table 2-style statistics
+// using the given page size for address granularity.
+func ComputeStats(t *Trace, pageSize int64) Stats {
+	var s Stats
+	s.Requests = len(t.Requests)
+	type pageInfo struct {
+		count   int32
+		written bool
+	}
+	pages := make(map[int64]*pageInfo)
+	var writeBytes, readBytes int64
+	for _, r := range t.Requests {
+		if r.Write {
+			s.Writes++
+			writeBytes += r.Size
+		} else {
+			s.Reads++
+			readBytes += r.Size
+		}
+		first, n := r.PageSpan(pageSize)
+		s.TotalPages += int64(n)
+		for p := first; p < first+int64(n); p++ {
+			info := pages[p]
+			if info == nil {
+				info = &pageInfo{}
+				pages[p] = info
+			}
+			info.count++
+			if r.Write {
+				info.written = true
+			}
+		}
+	}
+	s.DistinctPages = len(pages)
+	if s.Requests > 0 {
+		s.WriteRatio = float64(s.Writes) / float64(s.Requests)
+	}
+	if s.Writes > 0 {
+		s.MeanWriteBytes = float64(writeBytes) / float64(s.Writes)
+	}
+	if s.Reads > 0 {
+		s.MeanReadBytes = float64(readBytes) / float64(s.Reads)
+	}
+	var frequent, written, frequentWritten int
+	for _, info := range pages {
+		if info.written {
+			written++
+		}
+		if info.count >= 3 {
+			frequent++
+			if info.written {
+				frequentWritten++
+			}
+		}
+	}
+	if len(pages) > 0 {
+		s.FrequentRatio = float64(frequent) / float64(len(pages))
+	}
+	if written > 0 {
+		s.FrequentWriteRatio = float64(frequentWritten) / float64(written)
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSpanAligned(t *testing.T) {
+	r := Request{Offset: 8192, Size: 8192}
+	first, n := r.PageSpan(4096)
+	if first != 2 || n != 2 {
+		t.Fatalf("PageSpan = (%d,%d), want (2,2)", first, n)
+	}
+}
+
+func TestPageSpanUnaligned(t *testing.T) {
+	// A 1-byte request crossing nothing touches one page.
+	r := Request{Offset: 4095, Size: 1}
+	if first, n := r.PageSpan(4096); first != 0 || n != 1 {
+		t.Fatalf("PageSpan = (%d,%d), want (0,1)", first, n)
+	}
+	// 2 bytes straddling a boundary touch two pages.
+	r = Request{Offset: 4095, Size: 2}
+	if first, n := r.PageSpan(4096); first != 0 || n != 2 {
+		t.Fatalf("PageSpan = (%d,%d), want (0,2)", first, n)
+	}
+}
+
+func TestPageSpanZeroSize(t *testing.T) {
+	r := Request{Offset: 100, Size: 0}
+	if _, n := r.PageSpan(4096); n != 0 {
+		t.Fatalf("zero-size request spans %d pages, want 0", n)
+	}
+}
+
+func TestPageSpanPanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for page size 0")
+		}
+	}()
+	Request{}.PageSpan(0)
+}
+
+// Property: every page in [first, first+count) overlaps the byte range and
+// the bytes at both ends fall inside the reported span.
+func TestPageSpanCoversRangeProperty(t *testing.T) {
+	f := func(off uint32, size uint16, shift uint8) bool {
+		pageSize := int64(512) << (shift % 5) // 512..8192
+		r := Request{Offset: int64(off), Size: int64(size%4096) + 1}
+		first, n := r.PageSpan(pageSize)
+		lo, hi := r.Offset, r.Offset+r.Size-1
+		return first*pageSize <= lo && (first+int64(n))*pageSize > hi && n >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStatsTable2Style(t *testing.T) {
+	// Page 0 is written 3 times (frequent, written), page 1 read 3 times
+	// (frequent, not written), page 2 touched once.
+	tr := &Trace{Name: "unit", Requests: []Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 1, Write: true, Offset: 0, Size: 4096},
+		{Time: 2, Write: true, Offset: 0, Size: 4096},
+		{Time: 3, Write: false, Offset: 4096, Size: 4096},
+		{Time: 4, Write: false, Offset: 4096, Size: 4096},
+		{Time: 5, Write: false, Offset: 4096, Size: 4096},
+		{Time: 6, Write: false, Offset: 8192, Size: 4096},
+	}}
+	s := ComputeStats(tr, 4096)
+	if s.Requests != 7 || s.Writes != 3 || s.Reads != 4 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if math.Abs(s.WriteRatio-3.0/7.0) > 1e-9 {
+		t.Fatalf("WriteRatio = %v", s.WriteRatio)
+	}
+	if s.MeanWriteBytes != 4096 || s.MeanReadBytes != 4096 {
+		t.Fatalf("mean sizes wrong: %+v", s)
+	}
+	if s.DistinctPages != 3 {
+		t.Fatalf("DistinctPages = %d, want 3", s.DistinctPages)
+	}
+	if math.Abs(s.FrequentRatio-2.0/3.0) > 1e-9 {
+		t.Fatalf("FrequentRatio = %v, want 2/3", s.FrequentRatio)
+	}
+	// One written page (page 0), and it is frequent → ratio 1.
+	if math.Abs(s.FrequentWriteRatio-1.0) > 1e-9 {
+		t.Fatalf("FrequentWriteRatio = %v, want 1.0", s.FrequentWriteRatio)
+	}
+	if s.TotalPages != 7 {
+		t.Fatalf("TotalPages = %d, want 7", s.TotalPages)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(&Trace{}, 4096)
+	if s.Requests != 0 || s.WriteRatio != 0 || s.FrequentRatio != 0 {
+		t.Fatalf("empty stats not zero: %+v", s)
+	}
+}
+
+func TestReadMSRBasic(t *testing.T) {
+	in := `128166372003061629,hm,1,Read,383496192,32768,4011
+128166372016382155,hm,1,Write,2822144,4096,23011
+
+128166372026382245,hm,1,write,2826240,8192,11000
+`
+	tr, err := ReadMSR(strings.NewReader(in), "hm_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (blank line skipped)", tr.Len())
+	}
+	if tr.Requests[0].Time != 0 {
+		t.Fatalf("first request not rebased to 0: %d", tr.Requests[0].Time)
+	}
+	if tr.Requests[0].Write || !tr.Requests[1].Write || !tr.Requests[2].Write {
+		t.Fatal("request types wrong")
+	}
+	wantNS := (int64(128166372016382155) - 128166372003061629) * 100
+	if tr.Requests[1].Time != wantNS {
+		t.Fatalf("rebased time = %d, want %d", tr.Requests[1].Time, wantNS)
+	}
+	if tr.Requests[1].Offset != 2822144 || tr.Requests[1].Size != 4096 {
+		t.Fatal("offset/size wrong")
+	}
+}
+
+func TestReadMSRRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"notanumber,h,0,Read,0,4096,0",
+		"1,h,0,Flush,0,4096,0",
+		"1,h,0,Read,-5,4096,0",
+		"1,h,0,Read,0,0,0",
+		"1,h,0,Read,0",
+	}
+	for _, c := range cases {
+		if _, err := ReadMSR(strings.NewReader(c), "bad"); err == nil {
+			t.Errorf("line %q parsed without error", c)
+		}
+	}
+}
+
+func TestReadMSRClampsOutOfOrderTimestamps(t *testing.T) {
+	in := "1000,h,0,Read,0,4096,0\n900,h,0,Read,4096,4096,0\n"
+	tr, err := ReadMSR(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Requests[1].Time != tr.Requests[0].Time {
+		t.Fatalf("out-of-order time not clamped: %d", tr.Requests[1].Time)
+	}
+}
+
+func TestMSRRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Requests: []Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 1_000_000, Write: false, Offset: 81920, Size: 16384},
+		{Time: 2_000_000, Write: true, Offset: 40960, Size: 512},
+	}}
+	var buf bytes.Buffer
+	if err := WriteMSR(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMSR(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round-trip length %d != %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Requests {
+		o, g := orig.Requests[i], got.Requests[i]
+		if o.Write != g.Write || o.Offset != g.Offset || o.Size != g.Size {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, o, g)
+		}
+		// Times are preserved up to filetime tick resolution (100 ns).
+		if g.Time != o.Time/100*100 {
+			t.Fatalf("request %d time %d, want %d", i, g.Time, o.Time/100*100)
+		}
+	}
+}

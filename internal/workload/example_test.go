@@ -1,0 +1,32 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Generating a Table 2 stand-in and checking its aggregates.
+func ExampleGenerate() {
+	tr, err := workload.Generate(workload.TS0(), workload.Options{Scale: 0.05})
+	if err != nil {
+		panic(err)
+	}
+	s := trace.ComputeStats(tr, 4096)
+	fmt.Printf("requests=%d writeRatio=%.2f meanWriteKB=%.0f\n",
+		s.Requests, s.WriteRatio, s.MeanWriteBytes/1024)
+	// Output: requests=9008 writeRatio=0.82 meanWriteKB=8
+}
+
+// Mixing two tenants into one consolidated trace.
+func ExampleMix() {
+	a, b := workload.TS0(), workload.HM1()
+	tr, err := workload.Mix("pair", workload.Options{Scale: 0.01}, a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tenants share one trace: %d requests over %d pages\n",
+		tr.Len(), workload.TotalFootprintPages(a, b))
+	// Output: tenants share one trace: 3628 requests over 51200 pages
+}

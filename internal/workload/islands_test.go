@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIslandPermIsBijective(t *testing.T) {
+	for _, cfg := range []struct{ span, isl int64 }{
+		{2048, 4}, {2048, 2}, {64, 4}, {100, 3}, {8, 8},
+	} {
+		perm := newIslandPerm(cfg.span, cfg.isl)
+		seen := make(map[int64]bool, cfg.span)
+		for r := int64(0); r < cfg.span; r++ {
+			p := perm.apply(r)
+			if p < 0 || p >= cfg.span {
+				t.Fatalf("span=%d isl=%d: rank %d maps out of range: %d", cfg.span, cfg.isl, r, p)
+			}
+			if seen[p] {
+				t.Fatalf("span=%d isl=%d: collision at %d", cfg.span, cfg.isl, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestIslandPermKeepsIslandsContiguous(t *testing.T) {
+	perm := newIslandPerm(1024, 4)
+	for r := int64(0); r < 1024; r += 4 {
+		base := perm.apply(r)
+		for off := int64(1); off < 4; off++ {
+			if perm.apply(r+off) != base+off {
+				t.Fatalf("island at rank %d not contiguous", r)
+			}
+		}
+	}
+}
+
+func TestIslandPermScattersNeighbors(t *testing.T) {
+	// Adjacent islands (similar Zipf temperature) must not be adjacent
+	// physically — that is the whole point.
+	perm := newIslandPerm(2048, 4)
+	adjacent := 0
+	for r := int64(0); r+8 <= 2048; r += 4 {
+		a, b := perm.apply(r), perm.apply(r+4)
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if d == 4 {
+			adjacent++
+		}
+	}
+	if adjacent > 16 { // 512 island pairs; a scattered layout keeps nearly all apart
+		t.Fatalf("%d of 511 adjacent island pairs stayed adjacent", adjacent)
+	}
+}
+
+func TestIslandPermDegenerateSpans(t *testing.T) {
+	// One island (or none): identity.
+	perm := newIslandPerm(4, 4)
+	for r := int64(0); r < 4; r++ {
+		if perm.apply(r) != r {
+			t.Fatal("single-island span must map identically")
+		}
+	}
+	perm = newIslandPerm(3, 4) // span smaller than island
+	if perm.apply(2) != 2 {
+		t.Fatal("degenerate span must map identically")
+	}
+}
+
+func TestIslandPermPropertyBijection(t *testing.T) {
+	f := func(spanRaw uint16, islRaw uint8) bool {
+		span := int64(spanRaw%4096) + 1
+		isl := int64(islRaw%8) + 1
+		perm := newIslandPerm(span, isl)
+		seen := make(map[int64]bool, span)
+		for r := int64(0); r < span; r++ {
+			p := perm.apply(r)
+			if p < 0 || p >= span || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotScatterPlacesIslandsInStreamRegion(t *testing.T) {
+	p := TS0() // HotScatter 0.8
+	if p.HotScatter == 0 {
+		t.Skip("profile no longer scatters")
+	}
+	tr := MustGenerate(p, Options{Scale: 0.02})
+	streamBase := (p.HotPages + p.WarmPages) * 4096
+	smallBound := int64(p.SmallMaxPages) * 4096
+	var inStream, inHot int
+	for _, r := range tr.Requests {
+		if !r.Write || r.Size > smallBound {
+			continue
+		}
+		switch {
+		case r.Offset >= streamBase:
+			inStream++
+		case r.Offset < p.HotPages*4096:
+			inHot++
+		}
+	}
+	if inStream == 0 {
+		t.Fatal("HotScatter produced no small writes in the stream region")
+	}
+	if inHot == 0 {
+		t.Fatal("some islands must stay in the dense hot zone (scatter < 1)")
+	}
+	// With scatter 0.8, the stream-region share should dominate.
+	if frac := float64(inStream) / float64(inStream+inHot); frac < 0.5 {
+		t.Fatalf("scattered small-write fraction %.2f, want > 0.5 at scatter %.1f", frac, p.HotScatter)
+	}
+}
+
+func TestHotScatterZeroKeepsHotZoneDense(t *testing.T) {
+	p := TS0()
+	p.HotScatter = 0
+	tr := MustGenerate(p, Options{Scale: 0.02})
+	smallBound := int64(p.SmallMaxPages) * 4096
+	hotLimit := p.HotPages * 4096
+	for i, r := range tr.Requests {
+		if r.Write && r.Size <= smallBound && r.Offset >= hotLimit {
+			t.Fatalf("request %d: small write at %d beyond the hot zone with scatter 0", i, r.Offset)
+		}
+	}
+}
+
+func TestHotScatterValidation(t *testing.T) {
+	p := TS0()
+	p.HotScatter = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("HotScatter > 1 accepted")
+	}
+	p = HM1() // StreamInWarm
+	p.HotScatter = 0.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("HotScatter with StreamInWarm accepted")
+	}
+}
+
+func TestStreamSkipsCreateHoles(t *testing.T) {
+	// With skip probability 0.25, consecutive large writes should leave
+	// gaps: the union of stream-region writes must not be a perfect
+	// contiguous run.
+	p := PROJ0()
+	tr := MustGenerate(p, Options{Scale: 0.02})
+	streamBase := p.HotPages + p.WarmPages
+	written := map[int64]bool{}
+	minPage, maxPage := int64(1<<62), int64(0)
+	largeBound := int64(p.LargeMinPages) * 4096
+	for _, r := range tr.Requests {
+		if !r.Write || r.Size < largeBound {
+			continue
+		}
+		first, n := r.PageSpan(4096)
+		if first < streamBase {
+			continue
+		}
+		for pg := first; pg < first+int64(n); pg++ {
+			written[pg] = true
+			if pg < minPage {
+				minPage = pg
+			}
+			if pg > maxPage {
+				maxPage = pg
+			}
+		}
+	}
+	if len(written) == 0 {
+		t.Fatal("no stream writes found")
+	}
+	span := maxPage - minPage + 1
+	if int64(len(written)) == span {
+		t.Fatal("stream writes are perfectly contiguous — skips had no effect")
+	}
+}
+
+func TestHM1StreamsStayInWarm(t *testing.T) {
+	p := HM1()
+	tr := MustGenerate(p, Options{Scale: 0.02})
+	warmEnd := (p.HotPages + p.WarmPages) * 4096
+	largeBound := int64(p.SmallMaxPages) * 4096
+	for i, r := range tr.Requests {
+		if r.Write && r.Size > largeBound && r.Offset+r.Size > warmEnd {
+			t.Fatalf("request %d: StreamInWarm large write beyond warm region", i)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+// The six evaluation workloads of the paper's Table 2, reparameterized as
+// synthetic profiles. Request counts are 1/10 of the original traces at
+// Scale 1.0 (pass Options.Scale to change); write ratios and mean write
+// sizes match Table 2; region sizes are calibrated at Scale 0.2 — the
+// experiment harness's default — so the frequent-address ratios land near
+// the reported bands and a 16 MB cache (4096 pages) feels pressure
+// comparable to the paper's runs. Reuse densities scale with trace length,
+// so other Scale values shift the frequent ratios; EXPERIMENTS.md records
+// the measured values alongside Table 2's.
+//
+// Mean write size arithmetic (pages of 4 KB):
+// mean = p·E[small] + (1−p)·E[large], with E[uniform a..b] = (a+b)/2.
+
+// HM1 models hm_1: an almost purely read workload (4.7% writes) with small
+// 20 KB mean writes and a strongly re-read written set (84% of written
+// addresses are frequent): reads concentrate on the same hot pages the
+// small writes produce (HotWriteFraction 1), and the rare bulk writes land
+// in the warm region where reads revisit them (StreamInWarm). Because
+// writes are so scarce, this profile keeps 3/10 of the original request
+// count (the others keep 1/10) so the write buffer still fills at the
+// evaluated cache sizes.
+func HM1() Profile {
+	return Profile{
+		Name: "hm_1", Requests: 182793, WriteRatio: 0.047,
+		SmallWriteProb: 0.857, SmallMaxPages: 4,
+		LargeMinPages: 8, LargeMaxPages: 32,
+		ReadMaxPages:   8,
+		FootprintPages: 36864, HotPages: 2048, WarmPages: 32768,
+		HotWriteFraction: 1.0, ZipfS: 1.2,
+		ReadHotProb: 0.55, SeqStreams: 4, StreamInWarm: true,
+		MeanGapNs: 1_000_000, Seed: 101,
+	}
+}
+
+// LUN1 models lun_1 (the VDI trace 2016021613-LUN0): a third writes,
+// 18.6 KB mean write size, and very low address reuse (frequent ratio
+// 12.4%, only 12.8% of frequent addresses written): a wide warm region and
+// one-touch streams, with writes confined to a quarter of the hot set.
+func LUN1() Profile {
+	return Profile{
+		Name: "lun_1", Requests: 189439, WriteRatio: 0.332,
+		SmallWriteProb: 0.84, SmallMaxPages: 4,
+		LargeMinPages: 8, LargeMaxPages: 24,
+		ReadMaxPages:   6,
+		FootprintPages: 131072, HotPages: 4096, WarmPages: 65536,
+		HotWriteFraction: 0.25, ZipfS: 1.05,
+		ReadHotProb: 0.15, SeqStreams: 8, HotScatter: 0.3,
+		MeanGapNs: 2_000_000, Seed: 102,
+	}
+}
+
+// USR0 models usr_0: majority writes (59.6%), very small 10.3 KB mean write
+// size, high reuse (52.9%). Streams revisit a compact region roughly twice,
+// putting the frequent ratio between lun_1's and src1_2's.
+func USR0() Profile {
+	return Profile{
+		Name: "usr_0", Requests: 223789, WriteRatio: 0.596,
+		SmallWriteProb: 0.895, SmallMaxPages: 2,
+		LargeMinPages: 8, LargeMaxPages: 16,
+		ReadMaxPages:   4,
+		FootprintPages: 30720, HotPages: 3072, WarmPages: 8192,
+		HotWriteFraction: 0.5, ZipfS: 1.15,
+		ReadHotProb: 0.6, SeqStreams: 4, HotScatter: 0.5,
+		MeanGapNs: 2_000_000, Seed: 103,
+	}
+}
+
+// SRC12 models src1_2: write-heavy (74.6%) with large 32.5 KB writes and
+// the highest reuse of the set (79.6%) — streams rewrite their region
+// several times. This mixed small/large shape is where the paper reports
+// Req-block's biggest wins.
+func SRC12() Profile {
+	return Profile{
+		Name: "src1_2", Requests: 190777, WriteRatio: 0.746,
+		SmallWriteProb: 0.81, SmallMaxPages: 4,
+		LargeMinPages: 16, LargeMaxPages: 48,
+		ReadMaxPages:   6,
+		FootprintPages: 61440, HotPages: 3072, WarmPages: 4096,
+		HotWriteFraction: 0.5, ZipfS: 1.15,
+		ReadHotProb: 0.75, SeqStreams: 4, HotScatter: 0.5,
+		MeanGapNs: 4_000_000, Seed: 104,
+	}
+}
+
+// TS0 models ts_0: write-dominated (82.4%) tiny writes (8 KB mean — the
+// trace BPLRU struggles on because 64-page blocks dwarf its requests),
+// moderate reuse (43.0%).
+func TS0() Profile {
+	return Profile{
+		Name: "ts_0", Requests: 180173, WriteRatio: 0.824,
+		SmallWriteProb: 0.952, SmallMaxPages: 2,
+		LargeMinPages: 8, LargeMaxPages: 16,
+		ReadMaxPages:   4,
+		FootprintPages: 14336, HotPages: 2048, WarmPages: 2048,
+		HotWriteFraction: 1.0, ZipfS: 1.15,
+		ReadHotProb: 0.5, SeqStreams: 4, HotScatter: 0.8,
+		MeanGapNs: 2_000_000, Seed: 105,
+	}
+}
+
+// PROJ0 models proj_0: the most write-intensive trace (87.5%) with the
+// largest writes (40.9 KB mean) plus a hot small-write set — the other
+// workload where the paper reports ~2× hit-ratio gains. Streams sweep a
+// large region between two and three times.
+func PROJ0() Profile {
+	return Profile{
+		Name: "proj_0", Requests: 422452, WriteRatio: 0.875,
+		SmallWriteProb: 0.795, SmallMaxPages: 4,
+		LargeMinPages: 16, LargeMaxPages: 64,
+		ReadMaxPages:   8,
+		FootprintPages: 245760, HotPages: 2048, WarmPages: 8192,
+		HotWriteFraction: 0.75, ZipfS: 1.1,
+		ReadHotProb: 0.6, SeqStreams: 8, HotScatter: 0.6,
+		MeanGapNs: 4_000_000, Seed: 106,
+	}
+}
+
+// All returns the paper's six workloads in Table 2 order (by write ratio).
+func All() []Profile {
+	return []Profile{HM1(), LUN1(), USR0(), SRC12(), TS0(), PROJ0()}
+}
+
+// ByName returns the profile with the given name, or false.
+func ByName(name string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

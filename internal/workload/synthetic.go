@@ -1,0 +1,56 @@
+package workload
+
+// Beyond the six Table 2 stand-ins, three classic microbenchmark shapes
+// are provided for unit experiments and cache-behavior exploration. Each
+// is a degenerate configuration of the same generative model, so all
+// generator invariants (determinism, footprint bounds, monotone times)
+// carry over.
+
+// Sequential returns a pure sequential-write workload: SeqStreams streams
+// append through the footprint, no reuse. Block-granularity policies show
+// their best behavior here (BPLRU's LRU compensation fires constantly).
+func Sequential(requests int, footprintPages int64) Profile {
+	return Profile{
+		Name: "seq", Requests: requests, WriteRatio: 1.0,
+		SmallWriteProb: 0.0, SmallMaxPages: 1,
+		LargeMinPages: 32, LargeMaxPages: 64,
+		ReadMaxPages: 1,
+		// Minimal vestigial hot/warm regions: all traffic is streams.
+		FootprintPages: footprintPages, HotPages: 8, WarmPages: 8,
+		HotWriteFraction: 1.0, ZipfS: 1.5,
+		ReadHotProb: 0, SeqStreams: 4,
+		MeanGapNs: 1_000_000, Seed: 201,
+	}
+}
+
+// UniformRandom returns single-page writes uniformly spread over the
+// footprint: the adversarial case for every locality-exploiting policy —
+// hit ratio collapses to footprint/cache geometry.
+func UniformRandom(requests int, footprintPages int64) Profile {
+	hot := footprintPages - 16 // Zipf ≈ uniform over a huge, flat hot set
+	return Profile{
+		Name: "uniform", Requests: requests, WriteRatio: 1.0,
+		SmallWriteProb: 1.0, SmallMaxPages: 1,
+		LargeMinPages: 1, LargeMaxPages: 1,
+		ReadMaxPages:   1,
+		FootprintPages: footprintPages, HotPages: hot, WarmPages: 8,
+		HotWriteFraction: 1.0, ZipfS: 1.5, UniformHot: true,
+		ReadHotProb: 0, SeqStreams: 1,
+		MeanGapNs: 1_000_000, Seed: 202,
+	}
+}
+
+// ZipfHot returns small writes over a Zipf-skewed hot set with no bulk
+// traffic: the friendliest case, where every recency policy converges.
+func ZipfHot(requests int, hotPages int64, s float64) Profile {
+	return Profile{
+		Name: "zipf", Requests: requests, WriteRatio: 1.0,
+		SmallWriteProb: 1.0, SmallMaxPages: 2,
+		LargeMinPages: 8, LargeMaxPages: 8,
+		ReadMaxPages:   2,
+		FootprintPages: hotPages + 64, HotPages: hotPages, WarmPages: 32,
+		HotWriteFraction: 1.0, ZipfS: s,
+		ReadHotProb: 1.0, SeqStreams: 1,
+		MeanGapNs: 1_000_000, Seed: 203,
+	}
+}

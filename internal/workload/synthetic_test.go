@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSequentialProfile(t *testing.T) {
+	p := Sequential(2000, 1<<20)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := MustGenerate(p, Options{})
+	s := trace.ComputeStats(tr, 4096)
+	if s.WriteRatio != 1.0 {
+		t.Fatalf("write ratio = %v", s.WriteRatio)
+	}
+	// Pure streaming: almost no reuse.
+	if s.FrequentRatio > 0.05 {
+		t.Fatalf("sequential workload shows reuse: %v", s.FrequentRatio)
+	}
+	a := trace.Analyze(tr, 4096)
+	if a.SequentialWriteRatio < 0.5 {
+		t.Fatalf("sequentiality = %v, want mostly sequential", a.SequentialWriteRatio)
+	}
+}
+
+func TestUniformRandomProfile(t *testing.T) {
+	p := UniformRandom(4000, 1<<18)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := MustGenerate(p, Options{})
+	s := trace.ComputeStats(tr, 4096)
+	if s.MeanWriteBytes != 4096 {
+		t.Fatalf("write size = %v, want single pages", s.MeanWriteBytes)
+	}
+	// 4000 single-page writes over 256k pages: collisions are rare.
+	if s.FrequentRatio > 0.02 {
+		t.Fatalf("uniform workload shows reuse: %v", s.FrequentRatio)
+	}
+	if s.DistinctPages < 3800 {
+		t.Fatalf("distinct = %d, want nearly all unique", s.DistinctPages)
+	}
+}
+
+func TestZipfHotProfile(t *testing.T) {
+	p := ZipfHot(20000, 1024, 1.2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := MustGenerate(p, Options{})
+	s := trace.ComputeStats(tr, 4096)
+	// Heavy reuse over a small set.
+	if s.FrequentRatio < 0.5 {
+		t.Fatalf("zipf workload reuse too low: %v", s.FrequentRatio)
+	}
+	if int64(s.DistinctPages) > p.FootprintPages {
+		t.Fatal("escaped the hot set")
+	}
+}
+
+// TestSyntheticShapesSeparatePolicies: the three shapes must rank LRU
+// predictably — near-zero hits on uniform, high on zipf.
+func TestSyntheticShapesSeparatePolicies(t *testing.T) {
+	hit := func(p Profile) float64 {
+		tr := MustGenerate(p, Options{})
+		var hits, total int64
+		pol := newTestLRU(1024)
+		for _, r := range tr.Requests {
+			first, n := r.PageSpan(4096)
+			h := pol.access(r.Write, first, n)
+			hits += int64(h)
+			total += int64(n)
+		}
+		return float64(hits) / float64(total)
+	}
+	uniform := hit(UniformRandom(4000, 1<<18))
+	zipf := hit(ZipfHot(20000, 512, 1.3))
+	if uniform > 0.05 {
+		t.Fatalf("uniform hit ratio %v, want ~0", uniform)
+	}
+	if zipf < 0.5 {
+		t.Fatalf("zipf hit ratio %v, want high", zipf)
+	}
+}
+
+// newTestLRU is a minimal page LRU for this package's tests (the real
+// policies live in internal/cache, which workload must not import).
+type testLRU struct {
+	capacity int
+	pages    map[int64]int64 // lpn -> last use tick
+	tick     int64
+}
+
+func newTestLRU(capacity int) *testLRU {
+	return &testLRU{capacity: capacity, pages: map[int64]int64{}}
+}
+
+func (l *testLRU) access(write bool, first int64, n int) (hits int) {
+	for lpn := first; lpn < first+int64(n); lpn++ {
+		l.tick++
+		if _, ok := l.pages[lpn]; ok {
+			hits++
+			l.pages[lpn] = l.tick
+			continue
+		}
+		if !write {
+			continue
+		}
+		if len(l.pages) >= l.capacity {
+			var victim int64
+			oldest := int64(1 << 62)
+			for p, t := range l.pages {
+				if t < oldest {
+					oldest, victim = t, p
+				}
+			}
+			delete(l.pages, victim)
+		}
+		l.pages[lpn] = l.tick
+	}
+	return hits
+}

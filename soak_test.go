@@ -1,0 +1,59 @@
+package repro
+
+// A longer end-to-end soak: every workload through Req-block at a heavier
+// scale, with full structural validation at the end. Gated behind
+// -short=false because it runs for tens of seconds.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func TestSoakAllWorkloadsReqBlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test runs for tens of seconds")
+	}
+	for _, p := range workload.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := workload.MustGenerate(p, workload.Options{Scale: 0.3})
+			dev, err := ssd.New(ssd.ScaledParams(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol := core.New(32 * 256) // 32 MB
+			m, err := replay.Run(tr, pol, dev, replay.Options{
+				TrackPageFates: true,
+				SeriesInterval: 10000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Requests != tr.Len() {
+				t.Fatalf("processed %d of %d", m.Requests, tr.Len())
+			}
+			if err := pol.CheckInvariants(); err != nil {
+				t.Fatalf("policy invariants after %d requests: %v", m.Requests, err)
+			}
+			if err := dev.CheckInvariants(); err != nil {
+				t.Fatalf("device invariants: %v", err)
+			}
+			if m.PageHits+m.PageMisses == 0 || m.Response.Count() == 0 {
+				t.Fatal("metrics empty")
+			}
+			// Sanity bands: hit ratio in (0,1), responses positive and
+			// below a second.
+			if hr := m.HitRatio(); hr <= 0 || hr >= 1 {
+				t.Fatalf("hit ratio %v out of band", hr)
+			}
+			if m.Response.Max() > 1e9 {
+				t.Fatalf("response max %v ns — runaway queueing", m.Response.Max())
+			}
+		})
+	}
+}
