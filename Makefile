@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench experiments experiments-full lint
+.PHONY: all test race bench bench-smoke bench-json experiments experiments-full lint
 
 all: test
 
@@ -12,6 +12,18 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark for 10 iterations: fast
+# sanity that the bench harness itself still works.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime=10x -benchmem ./...
+
+# bench-json regenerates the checked-in benchmark baseline (see
+# docs/PERFORMANCE.md for the workflow and how to diff against it).
+bench-json:
+	go test -run '^$$' -bench 'BenchmarkPolicy|BenchmarkFigure8ResponseTime' -benchmem . \
+		| go run ./cmd/benchjson > BENCH_PR1.json
+	@echo wrote BENCH_PR1.json
 
 experiments:
 	go run ./cmd/experiments

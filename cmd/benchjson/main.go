@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON, so benchmark baselines can be checked in and diffed across
+// commits (see docs/PERFORMANCE.md and the Makefile's bench-json target).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+//	benchjson -old BENCH_OLD.json < bench.txt
+//
+// Every "Benchmark..." result line becomes one record carrying the metric
+// pairs Go prints (ns/op, B/op, allocs/op, plus any custom b.ReportMetric
+// units). Non-benchmark lines (goos/goarch/pkg headers, PASS, ok) are
+// carried through as context where useful and otherwise ignored. With
+// -old, each record additionally reports the relative change against the
+// matching benchmark in a previous benchjson file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped;
+	// FullName keeps it.
+	Name       string             `json:"name"`
+	FullName   string             `json:"full_name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	// VsOld maps each metric to new/old when -old was given and the old
+	// file has the same benchmark (1.0 = unchanged, 0.5 = halved).
+	VsOld map[string]float64 `json:"vs_old,omitempty"`
+}
+
+// File is the checked-in JSON shape.
+type File struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous benchjson file to compute relative changes against")
+	flag.Parse()
+
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if *oldPath != "" {
+		if err := annotate(out, *oldPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*File, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := &File{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBenchLine(line)
+			if !ok {
+				continue // e.g. a bare "BenchmarkFoo" progress line
+			}
+			r.Package = pkg
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkName-8  100  123 ns/op  4 B/op ..." into
+// a Result.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		FullName:   fields[0],
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	if i := strings.LastIndexByte(fields[0], '-'); i > 0 {
+		r.Name = fields[0][:i]
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// annotate fills VsOld from a previous benchjson file.
+func annotate(out *File, oldPath string) error {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old File
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	byName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	for i := range out.Results {
+		prev, ok := byName[out.Results[i].Name]
+		if !ok {
+			continue
+		}
+		vs := make(map[string]float64)
+		for unit, v := range out.Results[i].Metrics {
+			if pv, ok := prev.Metrics[unit]; ok && pv != 0 {
+				vs[unit] = v / pv
+			}
+		}
+		if len(vs) > 0 {
+			out.Results[i].VsOld = vs
+		}
+	}
+	return nil
+}

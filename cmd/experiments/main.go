@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		qd      = flag.Int("qd", 0, "closed-loop queue depth for the grid (0 = open loop, as the paper)")
 		full    = flag.Bool("full", false, "paper scale: full traces on the 128 GiB device")
 	)
+	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -69,34 +71,57 @@ func main() {
 	}
 	enabled := func(name string) bool { return len(want) == 0 || want[name] }
 
-	if *seeds > 0 {
-		cells, err := experiments.ReplicatedGrid(cfg, *seeds)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Print(experiments.RenderReplicated(cells))
-		return
-	}
-	r := experiments.NewRunner(cfg)
-	if *diffOld != "" {
-		if err := diffAgainst(r, *diffOld, *diffThr); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *jsonOut != "" {
-		if err := writeJSONReport(r, *jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(r, enabled, *csvDir, *plot); err != nil {
+	if err := profiles.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	// Dispatch returns an exit code instead of calling os.Exit directly so
+	// the profiles are flushed on every path.
+	code := dispatch(cfg, enabled, *seeds, *diffOld, *diffThr, *jsonOut, *csvDir, *plot)
+	if err := profiles.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func dispatch(cfg experiments.Config, enabled func(string) bool,
+	seeds int, diffOld string, diffThr float64, jsonOut, csvDir string, plot bool) int {
+	if seeds > 0 {
+		cells, err := experiments.ReplicatedGrid(cfg, seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Print(experiments.RenderReplicated(cells))
+		return 0
+	}
+	r := experiments.NewRunner(cfg)
+	if diffOld != "" {
+		regressed, err := diffAgainst(r, diffOld, diffThr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		if regressed {
+			return 2
+		}
+		return 0
+	}
+	if jsonOut != "" {
+		if err := writeJSONReport(r, jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := run(r, enabled, csvDir, plot); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	return 0
 }
 
 // writeJSONReport runs everything and dumps the structured results.
@@ -251,25 +276,23 @@ func writeFig13CSV(dir string, rows []experiments.Figure13Row) error {
 	return nil
 }
 
-// diffAgainst reruns the experiments and compares against a stored report.
-func diffAgainst(r *experiments.Runner, path string, threshold float64) error {
+// diffAgainst reruns the experiments and compares against a stored report;
+// regressed reports whether any metric moved past the threshold.
+func diffAgainst(r *experiments.Runner, path string, threshold float64) (regressed bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer f.Close()
 	old, err := experiments.ReadReport(f)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fresh, err := r.BuildReport()
 	if err != nil {
-		return err
+		return false, err
 	}
 	deltas := experiments.DiffReports(old, fresh, threshold)
 	fmt.Print(experiments.RenderDiff(deltas))
-	if len(deltas) > 0 {
-		os.Exit(2)
-	}
-	return nil
+	return len(deltas) > 0, nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/replay"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -38,29 +39,38 @@ func main() {
 		divisor   = flag.Int("device-divisor", 16, "flash array size divisor (1 = full 128 GiB)")
 		verbose   = flag.Bool("v", false, "print extended metrics")
 	)
+	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
+		profiles.Stop() // os.Exit skips defers; flush profiles explicitly
+		os.Exit(1)
+	}
 	tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	params := ssd.ScaledParams(*divisor)
 	dev, err := ssd.New(params)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	pol, err := buildPolicy(*policy, *cacheMB*256, params.Flash.PagesPerBlock, params.Flash.Channels, *delta)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *readahead > 0 {
 		pol = cache.NewReadAhead(pol, *readahead, 8)
 	}
+	if err := profiles.Start(); err != nil {
+		fail(err)
+	}
 	m, err := replay.Run(tr, pol, dev, replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000})
 	if err != nil {
+		fail(err)
+	}
+	if err := profiles.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,59 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// steadyStateAllocs drives a policy through a warmup phase (filling it past
+// capacity so evictions and pooling reach steady state), then measures the
+// allocations of one further batch of mixed traffic with AllocsPerRun.
+func steadyStateAllocs(t *testing.T, p Policy) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	step := func() {
+		now += 1000
+		req := Request{
+			Time:  now,
+			Write: rng.Intn(10) < 7,
+			LPN:   int64(rng.Intn(20000)),
+			Pages: 1 + rng.Intn(12),
+		}
+		res := p.Access(req)
+		// Consume the result like the replayer does, within its validity
+		// window (before the next Access).
+		for _, ev := range res.Evictions {
+			_ = ev.LPNs[0]
+		}
+	}
+	// Warm up: enough traffic to fill the cache several times over, so the
+	// node pools and result buffers reach their high-water marks.
+	for i := 0; i < 30000; i++ {
+		step()
+	}
+	return testing.AllocsPerRun(2000, step)
+}
+
+// The request path must not allocate once pools and buffers are warm: page
+// membership lives in reusable bitmaps or pooled nodes, and eviction
+// batches are carved from policy-owned buffers. The budgets below are
+// ceilings for incompressible residue (map-bucket churn on the LPN index),
+// far below the seed's multiple allocations per request.
+func TestLRUSteadyStateAllocs(t *testing.T) {
+	if got := steadyStateAllocs(t, NewLRU(4096)); got > 0.05 {
+		t.Fatalf("LRU steady-state allocs/req = %v, want ~0", got)
+	}
+}
+
+func TestVBBMSSteadyStateAllocs(t *testing.T) {
+	if got := steadyStateAllocs(t, NewVBBMS(4096)); got > 0.05 {
+		t.Fatalf("VBBMS steady-state allocs/req = %v, want ~0", got)
+	}
+}
+
+func TestBPLRUSteadyStateAllocs(t *testing.T) {
+	if got := steadyStateAllocs(t, NewBPLRU(4096, 64)); got > 0.05 {
+		t.Fatalf("BPLRU steady-state allocs/req = %v, want ~0", got)
+	}
+}

@@ -5,7 +5,7 @@ import "repro/internal/list"
 // bplruBlock is one logical-block node in BPLRU's block-level LRU list.
 type bplruBlock struct {
 	blockID int64
-	pages   map[int64]bool // buffered (dirty) lpns of this block
+	pages   pageSet // buffered (dirty) lpns of this block
 	// sequential tracks whether every insert so far continued an in-order
 	// run from in-block page 0; used for LRU compensation.
 	sequential bool
@@ -32,6 +32,8 @@ type BPLRU struct {
 	pageCount     int
 	blocks        map[int64]*list.Node[*bplruBlock]
 	order         list.List[*bplruBlock] // head = most recently written
+	buf           ResultBuffers
+	free          []*list.Node[*bplruBlock] // recycled block nodes
 }
 
 // NewBPLRU returns a BPLRU buffer with logical blocks of pagesPerBlock
@@ -75,12 +77,13 @@ func (c *BPLRU) NodeCount() int { return c.order.Len() }
 // but do not reorder the list: BPLRU manages RAM purely as a write buffer.
 func (c *BPLRU) Access(req Request) Result {
 	CheckRequest(req)
+	c.buf.Reset()
 	var res Result
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
 		blockID := lpn / c.pagesPerBlock
 		n, ok := c.blocks[blockID]
-		if ok && n.Value.pages[lpn] {
+		if ok && n.Value.pages.has(lpn) {
 			res.Hits++
 			if req.Write {
 				c.noteWrite(n, lpn)
@@ -89,29 +92,44 @@ func (c *BPLRU) Access(req Request) Result {
 			res.Misses++
 			if req.Write {
 				for c.pageCount >= c.capacity {
-					res.Evictions = append(res.Evictions, c.evictTail())
+					c.buf.Evictions = append(c.buf.Evictions, c.evictTail())
 				}
 				n, ok = c.blocks[blockID] // may have been evicted making room
 				if !ok {
-					n = &list.Node[*bplruBlock]{Value: &bplruBlock{
-						blockID:    blockID,
-						pages:      make(map[int64]bool, 8),
-						sequential: true,
-					}}
+					n = c.newBlock(blockID)
 					c.order.PushHead(n)
 					c.blocks[blockID] = n
 				}
-				n.Value.pages[lpn] = true
+				n.Value.pages.add(lpn)
 				c.pageCount++
 				res.Inserted++
 				c.noteWrite(n, lpn)
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
+}
+
+// newBlock takes a block node from the free stack (keeping its bitmap
+// storage), or allocates one.
+func (c *BPLRU) newBlock(blockID int64) *list.Node[*bplruBlock] {
+	var n *list.Node[*bplruBlock]
+	if len(c.free) > 0 {
+		n = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		n = &list.Node[*bplruBlock]{Value: &bplruBlock{}}
+	}
+	b := n.Value
+	b.blockID = blockID
+	b.pages.reset(blockID*c.pagesPerBlock, c.pagesPerBlock)
+	b.sequential = true
+	b.nextSeq = 0
+	return n
 }
 
 // noteWrite applies BPLRU's list adjustment after a write touches a block:
@@ -144,26 +162,30 @@ func (c *BPLRU) evictTail() Eviction {
 	}
 	b := n.Value
 	delete(c.blocks, b.blockID)
-	c.pageCount -= len(b.pages)
+	c.pageCount -= b.pages.len()
+	c.free = append(c.free, n)
 
-	resident := make([]int64, 0, len(b.pages))
-	for lpn := range b.pages {
-		resident = append(resident, lpn)
-	}
-	sortLPNs(resident)
 	if !c.padding {
-		return Eviction{LPNs: resident, BlockBound: true}
+		mark := c.buf.Mark()
+		c.buf.LPNs = b.pages.appendLPNs(c.buf.LPNs)
+		return Eviction{LPNs: c.buf.Carve(mark), BlockBound: true}
 	}
 	// Padding: program the whole block; absent pages are first read.
-	all := make([]int64, 0, c.pagesPerBlock)
-	var padReads []int64
 	base := b.blockID * c.pagesPerBlock
+	mark := c.buf.Mark()
 	for off := int64(0); off < c.pagesPerBlock; off++ {
-		lpn := base + off
-		all = append(all, lpn)
-		if !b.pages[lpn] {
-			padReads = append(padReads, lpn)
+		c.buf.LPNs = append(c.buf.LPNs, base+off)
+	}
+	all := c.buf.Carve(mark)
+	mark = c.buf.Mark()
+	for off := int64(0); off < c.pagesPerBlock; off++ {
+		if !b.pages.has(base + off) {
+			c.buf.LPNs = append(c.buf.LPNs, base+off)
 		}
+	}
+	var padReads []int64
+	if w := c.buf.Carve(mark); len(w) > 0 {
+		padReads = w
 	}
 	return Eviction{LPNs: all, BlockBound: true, PaddingReads: padReads}
 }
@@ -171,5 +193,5 @@ func (c *BPLRU) evictTail() Eviction {
 // Contains reports whether a page is buffered (tests).
 func (c *BPLRU) Contains(lpn int64) bool {
 	n, ok := c.blocks[lpn/c.pagesPerBlock]
-	return ok && n.Value.pages[lpn]
+	return ok && n.Value.pages.has(lpn)
 }

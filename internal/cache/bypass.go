@@ -60,7 +60,16 @@ func (c *Bypass) Access(req Request) Result {
 			inner := c.inner.Access(probe)
 			res.Hits += inner.Hits
 			res.Misses += inner.Misses
-			res.Evictions = append(res.Evictions, inner.Evictions...)
+			// The inner Result's eviction batches alias buffers the inner
+			// policy reuses on its next Access; this loop calls it once per
+			// page, so batches accumulated across probes must be copied.
+			for _, ev := range inner.Evictions {
+				ev.LPNs = append([]int64(nil), ev.LPNs...)
+				if len(ev.PaddingReads) > 0 {
+					ev.PaddingReads = append([]int64(nil), ev.PaddingReads...)
+				}
+				res.Evictions = append(res.Evictions, ev)
+			}
 			res.Inserted += inner.Inserted
 		} else {
 			res.Misses++

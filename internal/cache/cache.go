@@ -70,6 +70,12 @@ type DeviceAware interface {
 }
 
 // Result reports what one request did to the cache.
+//
+// Ownership: the slices inside a Result alias buffers owned by the policy
+// (see ResultBuffers) and are only valid until the policy's next Access or
+// EvictIdle call. Callers that retain eviction batches across calls must
+// copy them; the replayer consumes every Result before issuing the next
+// request, so the hot path never copies.
 type Result struct {
 	// Hits and Misses count pages of this request served from / absent
 	// from the buffer. Hits+Misses == Request.Pages.
@@ -126,6 +132,22 @@ type IdleEvictor interface {
 type OccupancyReporter interface {
 	// ListPages returns the page count held by each named internal list.
 	ListPages() map[string]int
+}
+
+// OccupancySampler is the allocation-free companion of OccupancyReporter:
+// the replayer samples list occupancy every few thousand requests, and
+// building a fresh map per sample (ListPages) shows up in profiles. A
+// policy implementing this interface exposes a stable name order plus an
+// append-into-buffer counter path; ListPages stays as the convenient
+// public API.
+type OccupancySampler interface {
+	OccupancyReporter
+	// OccupancyNames returns the list names in a fixed order. The slice is
+	// shared and must not be mutated.
+	OccupancyNames() []string
+	// AppendOccupancy appends the page count of each list to dst in
+	// OccupancyNames order and returns the extended slice.
+	AppendOccupancy(dst []int) []int
 }
 
 // Factory builds a policy instance for a given capacity in pages. The

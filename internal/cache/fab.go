@@ -6,7 +6,7 @@ import "repro/internal/list"
 // block.
 type fabGroup struct {
 	blockID int64
-	pages   map[int64]bool // lpns present
+	pages   pageSet // lpns present
 }
 
 // FAB is the flash-aware buffer of Jo et al. (TCE'06): pages are grouped by
@@ -21,6 +21,8 @@ type FAB struct {
 	pageCount     int
 	groups        map[int64]*list.Node[*fabGroup]
 	order         list.List[*fabGroup] // insertion order; victim search scans
+	buf           ResultBuffers
+	free          []*list.Node[*fabGroup] // recycled group nodes
 }
 
 // NewFAB returns a FAB buffer grouping pages into logical blocks of
@@ -56,39 +58,52 @@ func (c *FAB) NodeCount() int { return c.order.Len() }
 // Access implements Policy.
 func (c *FAB) Access(req Request) Result {
 	CheckRequest(req)
+	c.buf.Reset()
 	var res Result
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
 		blockID := lpn / c.pagesPerBlock
 		g, ok := c.groups[blockID]
-		if ok && g.Value.pages[lpn] {
+		if ok && g.Value.pages.has(lpn) {
 			res.Hits++
 		} else {
 			res.Misses++
 			if req.Write {
 				for c.pageCount >= c.capacity {
-					res.Evictions = append(res.Evictions, c.evictLargest())
+					c.buf.Evictions = append(c.buf.Evictions, c.evictLargest())
 				}
 				// The group may have been evicted while making room.
 				g, ok = c.groups[blockID]
 				if !ok {
-					g = &list.Node[*fabGroup]{Value: &fabGroup{
-						blockID: blockID,
-						pages:   make(map[int64]bool, 8),
-					}}
+					g = c.newGroup(blockID)
 					c.order.PushHead(g)
 					c.groups[blockID] = g
 				}
-				g.Value.pages[lpn] = true
+				g.Value.pages.add(lpn)
 				c.pageCount++
 				res.Inserted++
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
+}
+
+// newGroup takes a group node from the free stack, or allocates one.
+func (c *FAB) newGroup(blockID int64) *list.Node[*fabGroup] {
+	var g *list.Node[*fabGroup]
+	if len(c.free) > 0 {
+		g = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		g = &list.Node[*fabGroup]{Value: &fabGroup{}}
+	}
+	g.Value.blockID = blockID
+	g.Value.pages.reset(blockID*c.pagesPerBlock, c.pagesPerBlock)
+	return g
 }
 
 // evictLargest flushes the group with the most pages, breaking ties in
@@ -97,7 +112,7 @@ func (c *FAB) evictLargest() Eviction {
 	var victim *list.Node[*fabGroup]
 	best := 0
 	for n := c.order.Tail(); n != nil; n = n.Prev() {
-		if l := len(n.Value.pages); l > best {
+		if l := n.Value.pages.len(); l > best {
 			best, victim = l, n
 		}
 	}
@@ -105,27 +120,12 @@ func (c *FAB) evictLargest() Eviction {
 		panic("cache: FAB evict on empty buffer")
 	}
 	g := victim.Value
-	lpns := make([]int64, 0, len(g.pages))
-	for lpn := range g.pages {
-		lpns = append(lpns, lpn)
-	}
-	sortLPNs(lpns)
+	mark := c.buf.Mark()
+	c.buf.LPNs = g.pages.appendLPNs(c.buf.LPNs)
+	lpns := c.buf.Carve(mark)
 	c.order.Remove(victim)
 	delete(c.groups, g.blockID)
 	c.pageCount -= len(lpns)
+	c.free = append(c.free, victim)
 	return Eviction{LPNs: lpns, BlockBound: true}
-}
-
-// sortLPNs orders a small LPN slice ascending (insertion sort: batches are
-// at most one block long).
-func sortLPNs(lpns []int64) {
-	for i := 1; i < len(lpns); i++ {
-		v := lpns[i]
-		j := i - 1
-		for j >= 0 && lpns[j] > v {
-			lpns[j+1] = lpns[j]
-			j--
-		}
-		lpns[j+1] = v
-	}
 }

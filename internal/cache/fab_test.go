@@ -60,14 +60,28 @@ func TestFABReadPath(t *testing.T) {
 	}
 }
 
-func TestSortLPNs(t *testing.T) {
-	lpns := []int64{5, 1, 4, 1, 3}
-	sortLPNs(lpns)
-	want := []int64{1, 1, 3, 4, 5}
+func TestPageSetAscendingEnumeration(t *testing.T) {
+	// Eviction batches must come out in ascending LPN order regardless of
+	// insertion order (the determinism contract the old sort provided).
+	var s pageSet
+	s.reset(64, 128)
+	for _, lpn := range []int64{100, 64, 191, 77, 100} {
+		s.add(lpn)
+	}
+	if s.len() != 4 {
+		t.Fatalf("len = %d, want 4 (add must be idempotent)", s.len())
+	}
+	got := s.appendLPNs(nil)
+	want := []int64{64, 77, 100, 191}
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %v, want %v", got, want)
+	}
 	for i := range want {
-		if lpns[i] != want[i] {
-			t.Fatalf("sorted = %v", lpns)
+		if got[i] != want[i] {
+			t.Fatalf("enumerated %v, want %v", got, want)
 		}
 	}
-	sortLPNs(nil) // must not panic
+	if s.has(65) || !s.has(191) {
+		t.Fatal("membership probe wrong")
+	}
 }

@@ -16,6 +16,8 @@ type LRU struct {
 	order     list.List[lruEntry]
 	moveOnHit bool // false turns this into FIFO
 	name      string
+	buf       ResultBuffers
+	free      []*list.Node[lruEntry] // recycled nodes; steady state allocates none
 }
 
 // NewLRU returns a page-level LRU buffer with the given capacity in pages.
@@ -58,6 +60,7 @@ func (c *LRU) NodeCount() int { return c.order.Len() }
 // the paper's Algorithm 1 main loop.
 func (c *LRU) Access(req Request) Result {
 	CheckRequest(req)
+	c.buf.Reset()
 	var res Result
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
@@ -70,29 +73,44 @@ func (c *LRU) Access(req Request) Result {
 			res.Misses++
 			if req.Write {
 				for len(c.pages) >= c.capacity {
-					res.Evictions = append(res.Evictions, c.evictOne())
+					c.buf.Evictions = append(c.buf.Evictions, c.evictOne())
 				}
-				n := &list.Node[lruEntry]{Value: lruEntry{lpn: lpn}}
+				n := c.newNode(lpn)
 				c.order.PushHead(n)
 				c.pages[lpn] = n
 				res.Inserted++
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
 }
 
-// evictOne flushes the tail page.
+// newNode takes a node from the free stack, or allocates one.
+func (c *LRU) newNode(lpn int64) *list.Node[lruEntry] {
+	if len(c.free) > 0 {
+		n := c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		n.Value.lpn = lpn
+		return n
+	}
+	return &list.Node[lruEntry]{Value: lruEntry{lpn: lpn}}
+}
+
+// evictOne flushes the tail page and recycles its node.
 func (c *LRU) evictOne() Eviction {
 	n := c.order.PopTail()
 	if n == nil {
 		panic("cache: LRU evict on empty list")
 	}
 	delete(c.pages, n.Value.lpn)
-	return Eviction{LPNs: []int64{n.Value.lpn}}
+	mark := c.buf.Mark()
+	c.buf.LPNs = append(c.buf.LPNs, n.Value.lpn)
+	c.free = append(c.free, n)
+	return Eviction{LPNs: c.buf.Carve(mark)}
 }
 
 // Contains reports whether a page is buffered (tests).
@@ -107,5 +125,6 @@ func (c *LRU) EvictIdle(now int64) (Eviction, bool) {
 	if len(c.pages) <= c.capacity/2 {
 		return Eviction{}, false
 	}
+	c.buf.Reset()
 	return c.evictOne(), true
 }

@@ -1,0 +1,67 @@
+package cache
+
+import "math/bits"
+
+// pageSet is a fixed-span bitmap of logical pages starting at base. The
+// block-granularity policies (FAB, BPLRU, PUD-LRU, VBBMS) previously kept a
+// map[int64]bool per block; a block only ever holds pages from one aligned
+// span of pagesPerBlock (or vbSize) pages, so a bitmap answers the same
+// membership questions without hashing and — crucially for the replay hot
+// path — without allocating per insert. Enumeration yields ascending LPNs,
+// which is exactly the order the old code produced by sorting, so eviction
+// transcripts stay bit-identical.
+type pageSet struct {
+	base  int64
+	words []uint64
+	count int
+}
+
+// reset re-targets the set at an aligned span [base, base+span), clearing
+// any previous contents. The word storage is reused across blocks, so a
+// pooled block's set stops allocating once it has grown to the geometry's
+// span.
+func (s *pageSet) reset(base int64, span int64) {
+	s.base = base
+	s.count = 0
+	nw := int((span + 63) / 64)
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+		return
+	}
+	s.words = s.words[:nw]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// len returns the number of member pages.
+func (s *pageSet) len() int { return s.count }
+
+// has reports membership of a page inside the span.
+func (s *pageSet) has(lpn int64) bool {
+	off := uint64(lpn - s.base)
+	return s.words[off>>6]&(1<<(off&63)) != 0
+}
+
+// add inserts a page; adding a member again is a no-op.
+func (s *pageSet) add(lpn int64) {
+	off := uint64(lpn - s.base)
+	bit := uint64(1) << (off & 63)
+	if s.words[off>>6]&bit == 0 {
+		s.words[off>>6] |= bit
+		s.count++
+	}
+}
+
+// appendLPNs appends the member pages to dst in ascending order.
+func (s *pageSet) appendLPNs(dst []int64) []int64 {
+	for wi, w := range s.words {
+		wordBase := s.base + int64(wi)<<6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wordBase+int64(b))
+			w &^= 1 << uint(b)
+		}
+	}
+	return dst
+}

@@ -124,7 +124,7 @@ func has(p Policy, lpn int64) bool {
 		return c.Contains(lpn)
 	case *FAB:
 		g, ok := c.groups[lpn/c.pagesPerBlock]
-		return ok && g.Value.pages[lpn]
+		return ok && g.Value.pages.has(lpn)
 	default:
 		return false
 	}

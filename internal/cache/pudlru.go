@@ -5,7 +5,7 @@ import "repro/internal/list"
 // pudBlock is one logical-block node of PUD-LRU with its update history.
 type pudBlock struct {
 	blockID    int64
-	pages      map[int64]bool
+	pages      pageSet
 	updates    int64 // writes absorbed since insertion
 	insertTime int64
 	lastUpdate int64
@@ -31,6 +31,8 @@ type PUDLRU struct {
 	pageCount     int
 	blocks        map[int64]*list.Node[*pudBlock]
 	order         list.List[*pudBlock] // recency order for tie-breaking
+	buf           ResultBuffers
+	free          []*list.Node[*pudBlock] // recycled block nodes
 }
 
 // NewPUDLRU returns a PUD-LRU buffer with logical blocks of pagesPerBlock
@@ -66,12 +68,13 @@ func (c *PUDLRU) NodeCount() int { return c.order.Len() }
 // Access implements Policy.
 func (c *PUDLRU) Access(req Request) Result {
 	CheckRequest(req)
+	c.buf.Reset()
 	var res Result
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
 		blockID := lpn / c.pagesPerBlock
 		n, ok := c.blocks[blockID]
-		if ok && n.Value.pages[lpn] {
+		if ok && n.Value.pages.has(lpn) {
 			res.Hits++
 			if req.Write {
 				c.noteUpdate(n, req.Time)
@@ -80,30 +83,44 @@ func (c *PUDLRU) Access(req Request) Result {
 			res.Misses++
 			if req.Write {
 				for c.pageCount >= c.capacity {
-					res.Evictions = append(res.Evictions, c.evict(req.Time))
+					c.buf.Evictions = append(c.buf.Evictions, c.evict(req.Time))
 				}
 				n, ok = c.blocks[blockID]
 				if !ok {
-					n = &list.Node[*pudBlock]{Value: &pudBlock{
-						blockID:    blockID,
-						pages:      make(map[int64]bool, 8),
-						insertTime: req.Time,
-						lastUpdate: req.Time,
-					}}
+					n = c.newBlock(blockID, req.Time)
 					c.order.PushHead(n)
 					c.blocks[blockID] = n
 				}
-				n.Value.pages[lpn] = true
+				n.Value.pages.add(lpn)
 				c.pageCount++
 				res.Inserted++
 				c.noteUpdate(n, req.Time)
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
+}
+
+// newBlock takes a block node from the free stack, or allocates one.
+func (c *PUDLRU) newBlock(blockID, now int64) *list.Node[*pudBlock] {
+	var n *list.Node[*pudBlock]
+	if len(c.free) > 0 {
+		n = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		n = &list.Node[*pudBlock]{Value: &pudBlock{}}
+	}
+	b := n.Value
+	b.blockID = blockID
+	b.pages.reset(blockID*c.pagesPerBlock, c.pagesPerBlock)
+	b.updates = 0
+	b.insertTime = now
+	b.lastUpdate = now
+	return n
 }
 
 func (c *PUDLRU) noteUpdate(n *list.Node[*pudBlock], now int64) {
@@ -140,17 +157,16 @@ func (c *PUDLRU) evict(now int64) Eviction {
 	b := victim.Value
 	c.order.Remove(victim)
 	delete(c.blocks, b.blockID)
-	lpns := make([]int64, 0, len(b.pages))
-	for lpn := range b.pages {
-		lpns = append(lpns, lpn)
-	}
-	sortLPNs(lpns)
+	mark := c.buf.Mark()
+	c.buf.LPNs = b.pages.appendLPNs(c.buf.LPNs)
+	lpns := c.buf.Carve(mark)
 	c.pageCount -= len(lpns)
+	c.free = append(c.free, victim)
 	return Eviction{LPNs: lpns, BlockBound: true}
 }
 
 // Contains reports whether a page is buffered (tests).
 func (c *PUDLRU) Contains(lpn int64) bool {
 	n, ok := c.blocks[lpn/c.pagesPerBlock]
-	return ok && n.Value.pages[lpn]
+	return ok && n.Value.pages.has(lpn)
 }

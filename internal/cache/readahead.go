@@ -101,8 +101,11 @@ func (c *ReadAhead) Access(req Request) Result {
 	// Read: write buffer first (per page), then the read region.
 	res := c.inner.Access(req)
 	// The inner policy reported misses for pages it does not hold; the
-	// read region may still satisfy them.
-	var stillMissing []int64
+	// read region may still satisfy them. Filtering in place keeps the
+	// slice aliased to the inner policy's buffer (no allocation) while
+	// preserving its validity contract: it is consumed before the inner
+	// policy's next Access.
+	stillMissing := res.ReadMisses[:0]
 	for _, lpn := range res.ReadMisses {
 		if n, ok := c.pages[lpn]; ok {
 			res.Hits++
@@ -117,6 +120,9 @@ func (c *ReadAhead) Access(req Request) Result {
 			stillMissing = append(stillMissing, lpn)
 			c.insertRead(lpn, false)
 		}
+	}
+	if len(stillMissing) == 0 {
+		stillMissing = nil
 	}
 	res.ReadMisses = stillMissing
 	// Sequential stream detection and readahead.

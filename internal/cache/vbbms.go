@@ -6,7 +6,7 @@ import "repro/internal/list"
 // one of the two regions.
 type vbbmsBlock struct {
 	vbID  int64
-	pages map[int64]bool
+	pages pageSet
 }
 
 // vbbmsRegion is one of VBBMS's two sub-caches.
@@ -17,6 +17,7 @@ type vbbmsRegion struct {
 	pageCount int
 	blocks    map[int64]*list.Node[*vbbmsBlock]
 	order     list.List[*vbbmsBlock]
+	free      []*list.Node[*vbbmsBlock] // recycled virtual-block nodes
 }
 
 // VBBMS is the virtual-block buffer management strategy of Du et al.
@@ -33,6 +34,7 @@ type VBBMS struct {
 	// home remembers which region holds each buffered page, so a page
 	// re-written by a differently classified request still hits.
 	home map[int64]*vbbmsRegion
+	buf  ResultBuffers
 }
 
 // NewVBBMS returns a VBBMS buffer with the paper's configuration: a 3:2
@@ -79,6 +81,11 @@ func NewVBBMSConfig(capacityPages, randomShare, seqShare, randVB, seqVB, seqMin 
 	}
 }
 
+var (
+	_ Policy           = (*VBBMS)(nil)
+	_ OccupancySampler = (*VBBMS)(nil)
+)
+
 // Name implements Policy.
 func (c *VBBMS) Name() string { return "VBBMS" }
 
@@ -103,9 +110,21 @@ func (c *VBBMS) ListPages() map[string]int {
 	}
 }
 
+// vbbmsListNames is the fixed OccupancyNames order, shared by all instances.
+var vbbmsListNames = []string{"random", "sequential"}
+
+// OccupancyNames implements OccupancySampler.
+func (c *VBBMS) OccupancyNames() []string { return vbbmsListNames }
+
+// AppendOccupancy implements OccupancySampler.
+func (c *VBBMS) AppendOccupancy(dst []int) []int {
+	return append(dst, c.random.pageCount, c.sequential.pageCount)
+}
+
 // Access implements Policy.
 func (c *VBBMS) Access(req Request) Result {
 	CheckRequest(req)
+	c.buf.Reset()
 	var res Result
 	target := &c.random
 	if req.Pages >= c.seqMin {
@@ -120,17 +139,18 @@ func (c *VBBMS) Access(req Request) Result {
 			res.Misses++
 			if req.Write {
 				for target.pageCount >= target.capacity {
-					res.Evictions = append(res.Evictions, c.evictFrom(target))
+					c.buf.Evictions = append(c.buf.Evictions, c.evictFrom(target))
 				}
 				target.insert(lpn)
 				c.home[lpn] = target
 				res.Inserted++
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
 }
 
@@ -151,14 +171,18 @@ func (r *vbbmsRegion) insert(lpn int64) {
 	vbID := lpn / r.vbSize
 	n, ok := r.blocks[vbID]
 	if !ok {
-		n = &list.Node[*vbbmsBlock]{Value: &vbbmsBlock{
-			vbID:  vbID,
-			pages: make(map[int64]bool, r.vbSize),
-		}}
+		if len(r.free) > 0 {
+			n = r.free[len(r.free)-1]
+			r.free = r.free[:len(r.free)-1]
+		} else {
+			n = &list.Node[*vbbmsBlock]{Value: &vbbmsBlock{}}
+		}
+		n.Value.vbID = vbID
+		n.Value.pages.reset(vbID*r.vbSize, r.vbSize)
 		r.order.PushHead(n)
 		r.blocks[vbID] = n
 	}
-	n.Value.pages[lpn] = true
+	n.Value.pages.add(lpn)
 	r.pageCount++
 }
 
@@ -171,13 +195,14 @@ func (c *VBBMS) evictFrom(r *vbbmsRegion) Eviction {
 	}
 	vb := n.Value
 	delete(r.blocks, vb.vbID)
-	lpns := make([]int64, 0, len(vb.pages))
-	for lpn := range vb.pages {
-		lpns = append(lpns, lpn)
+	mark := c.buf.Mark()
+	c.buf.LPNs = vb.pages.appendLPNs(c.buf.LPNs)
+	lpns := c.buf.Carve(mark)
+	for _, lpn := range lpns {
 		delete(c.home, lpn)
 	}
-	sortLPNs(lpns)
 	r.pageCount -= len(lpns)
+	r.free = append(r.free, n)
 	return Eviction{LPNs: lpns}
 }
 

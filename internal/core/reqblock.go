@@ -18,11 +18,20 @@
 // lowest. A split victim whose original block still sits in IRL is merged
 // with it and the union is evicted in one batch ("downgraded merging",
 // Fig. 6), recovering spatial locality for the flush.
+//
+// Implementation note: the request path is allocation-free in steady
+// state. Each buffered page is one pageNode — simultaneously the value of
+// the global LPN index and an intrusive member of its block's page list —
+// so hits, splits and evictions relink pointers instead of churning a
+// map[int64]bool per block. Blocks and page nodes are pooled; a
+// generation counter on each block keeps recycled memory from
+// resurrecting stale origin links (downgraded merging must only merge
+// with the *same* original block, not whatever block reuses its storage).
 package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/list"
@@ -53,24 +62,65 @@ func (l listID) String() string {
 	return "?"
 }
 
+// pageNode is one buffered page: the value of the global LPN index and an
+// intrusive node of its block's doubly linked page list.
+type pageNode struct {
+	lpn        int64
+	blk        *reqBlock
+	prev, next *pageNode
+}
+
 // reqBlock is one cached request block. The paper's Fig. 12 charges its
 // list node 32 bytes: forward/backward pointers, page count, access count,
 // insert time and the origin link.
 type reqBlock struct {
-	reqID      uint64         // identity of the originating write request
-	pages      map[int64]bool // lpns currently held
-	accessCnt  int64          // hits since insertion, initialized to 1 (Eq. 1)
-	insertTime int64          // Tinsert of Eq. 1, ns
+	reqID      uint64    // identity of the originating write request
+	pageHead   *pageNode // intrusive list of the pages currently held
+	pageCnt    int
+	accessCnt  int64 // hits since insertion, initialized to 1 (Eq. 1)
+	insertTime int64 // Tinsert of Eq. 1, ns
 	where      listID
 	node       *list.Node[*reqBlock]
 	// origin links a split (DRL) block back to the large block it was
 	// divided from, enabling downgraded merging at eviction. It may go
-	// stale (origin evicted or upgraded); users must re-validate.
-	origin *reqBlock
+	// stale (origin evicted, upgraded, or recycled); users must
+	// re-validate against originGen and the block's current list.
+	origin    *reqBlock
+	originGen uint64
+	// gen is bumped every time the block is returned to the pool, so a
+	// stale origin pointer into recycled storage can be detected.
+	gen      uint64
+	nextFree *reqBlock // pool link
 }
 
 // pageNum returns the block's current page count (PageNum of Eq. 1).
-func (b *reqBlock) pageNum() int { return len(b.pages) }
+func (b *reqBlock) pageNum() int { return b.pageCnt }
+
+// addPage links a detached page node at the head of the block's page list.
+func (b *reqBlock) addPage(pn *pageNode) {
+	pn.blk = b
+	pn.prev = nil
+	pn.next = b.pageHead
+	if b.pageHead != nil {
+		b.pageHead.prev = pn
+	}
+	b.pageHead = pn
+	b.pageCnt++
+}
+
+// removePage unlinks a page node from the block's page list.
+func (b *reqBlock) removePage(pn *pageNode) {
+	if pn.prev != nil {
+		pn.prev.next = pn.next
+	} else {
+		b.pageHead = pn.next
+	}
+	if pn.next != nil {
+		pn.next.prev = pn.prev
+	}
+	pn.prev, pn.next, pn.blk = nil, nil, nil
+	b.pageCnt--
+}
 
 // Config carries Req-block's tunables; the zero value is not valid, use
 // DefaultConfig.
@@ -96,16 +146,23 @@ type ReqBlock struct {
 	capacity  int
 	cfg       Config
 	pageCount int
-	index     map[int64]*reqBlock // lpn -> containing block
+	index     map[int64]*pageNode // lpn -> its page node (node.blk = holder)
 	irl       list.List[*reqBlock]
 	srl       list.List[*reqBlock]
 	drl       list.List[*reqBlock]
 	listPages [3]int // buffered pages per list (Fig. 13 gauge)
 	nextReq   uint64
+
+	buf      cache.ResultBuffers
+	freeBlk  *reqBlock // block pool
+	freePage *pageNode // page-node pool
 }
 
-var _ cache.Policy = (*ReqBlock)(nil)
-var _ cache.OccupancyReporter = (*ReqBlock)(nil)
+var (
+	_ cache.Policy            = (*ReqBlock)(nil)
+	_ cache.OccupancyReporter = (*ReqBlock)(nil)
+	_ cache.OccupancySampler  = (*ReqBlock)(nil)
+)
 
 // New returns a Req-block buffer with the paper's default configuration.
 func New(capacityPages int) *ReqBlock {
@@ -121,7 +178,7 @@ func NewConfig(capacityPages int, cfg Config) *ReqBlock {
 	return &ReqBlock{
 		capacity: capacityPages,
 		cfg:      cfg,
-		index:    make(map[int64]*reqBlock, capacityPages),
+		index:    make(map[int64]*pageNode, capacityPages),
 	}
 }
 
@@ -154,6 +211,18 @@ func (c *ReqBlock) ListPages() map[string]int {
 	}
 }
 
+// reqBlockListNames is the fixed OccupancyNames order, shared by all
+// instances.
+var reqBlockListNames = []string{"IRL", "SRL", "DRL"}
+
+// OccupancyNames implements cache.OccupancySampler.
+func (c *ReqBlock) OccupancyNames() []string { return reqBlockListNames }
+
+// AppendOccupancy implements cache.OccupancySampler.
+func (c *ReqBlock) AppendOccupancy(dst []int) []int {
+	return append(dst, c.listPages[inIRL], c.listPages[inSRL], c.listPages[inDRL])
+}
+
 // listOf returns the list a block currently belongs to.
 func (c *ReqBlock) listOf(id listID) *list.List[*reqBlock] {
 	switch id {
@@ -166,39 +235,94 @@ func (c *ReqBlock) listOf(id listID) *list.List[*reqBlock] {
 	}
 }
 
+// newPageNode takes a page node from the pool, or allocates one.
+func (c *ReqBlock) newPageNode(lpn int64) *pageNode {
+	pn := c.freePage
+	if pn != nil {
+		c.freePage = pn.next
+		pn.next = nil
+	} else {
+		pn = &pageNode{}
+	}
+	pn.lpn = lpn
+	return pn
+}
+
+// freePageNode returns a detached page node to the pool.
+func (c *ReqBlock) freePageNode(pn *pageNode) {
+	pn.blk, pn.prev = nil, nil
+	pn.next = c.freePage
+	c.freePage = pn
+}
+
+// newBlock takes a block from the pool (or allocates one, together with
+// its list node) and initializes it per Algorithm 1's create_req_blk.
+func (c *ReqBlock) newBlock(reqID uint64, now int64, where listID) *reqBlock {
+	blk := c.freeBlk
+	if blk != nil {
+		c.freeBlk = blk.nextFree
+		blk.nextFree = nil
+	} else {
+		blk = &reqBlock{}
+		blk.node = &list.Node[*reqBlock]{Value: blk}
+	}
+	blk.reqID = reqID
+	blk.pageHead = nil
+	blk.pageCnt = 0
+	blk.accessCnt = 1
+	blk.insertTime = now
+	blk.where = where
+	blk.origin = nil
+	blk.originGen = 0
+	return blk
+}
+
+// freeBlock returns a detached, empty block to the pool, bumping its
+// generation so stale origin links to it can never validate again.
+func (c *ReqBlock) freeBlock(blk *reqBlock) {
+	blk.gen++
+	blk.origin = nil
+	blk.pageHead = nil
+	blk.nextFree = c.freeBlk
+	c.freeBlk = blk
+}
+
 // Access implements cache.Policy, following Algorithm 1's main routine
 // page by page.
 func (c *ReqBlock) Access(req cache.Request) cache.Result {
 	cache.CheckRequest(req)
+	c.buf.Reset()
 	c.nextReq++
 	reqID := c.nextReq
 	var res cache.Result
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
-		if blk, ok := c.index[lpn]; ok {
+		if pn, ok := c.index[lpn]; ok {
 			res.Hits++
-			c.onHit(blk, lpn, reqID, req.Time)
+			c.onHit(pn, reqID, req.Time)
 		} else {
 			res.Misses++
 			if req.Write {
 				for c.pageCount >= c.capacity {
-					res.Evictions = append(res.Evictions, c.evict(req.Time))
+					c.buf.Evictions = append(c.buf.Evictions, c.evict(req.Time))
 				}
 				c.insertNew(lpn, reqID, req.Time)
 				res.Inserted++
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
 }
 
 // onHit applies Algorithm 1 lines 19-28: small blocks move to the SRL head;
 // a hit page of a large block is split off into the DRL head block of the
 // current request.
-func (c *ReqBlock) onHit(blk *reqBlock, lpn int64, reqID uint64, now int64) {
+func (c *ReqBlock) onHit(pn *pageNode, reqID uint64, now int64) {
+	blk := pn.blk
 	blk.accessCnt++
 	if blk.pageNum() <= c.cfg.Delta {
 		// Small block (wherever it lives): upgrade to SRL head.
@@ -211,39 +335,29 @@ func (c *ReqBlock) onHit(blk *reqBlock, lpn int64, reqID uint64, now int64) {
 	if dst == blk {
 		return // the page already sits in the current request's DRL block
 	}
-	c.removePageFromBlock(blk, lpn)
-	dst.pages[lpn] = true
+	c.removePageFromBlock(blk, pn)
+	dst.addPage(pn)
 	c.listPages[dst.where]++
-	c.index[lpn] = dst
 }
 
 // drlHeadFor returns the DRL head block if it belongs to the current
 // request, otherwise creates one (Algorithm 1's create_req_blk). The new
-// block records its origin for downgraded merging.
+// block records its origin (plus the origin's generation) for downgraded
+// merging.
 func (c *ReqBlock) drlHeadFor(reqID uint64, now int64, src *reqBlock) *reqBlock {
 	if h := c.drl.Head(); h != nil && h.Value.reqID == reqID {
 		return h.Value
 	}
-	blk := &reqBlock{
-		reqID:      reqID,
-		pages:      make(map[int64]bool, 4),
-		accessCnt:  1,
-		insertTime: now,
-		where:      inDRL,
-		origin:     c.originOf(src),
+	blk := c.newBlock(reqID, now, inDRL)
+	// Resolve the IRL block a split descends from: the source itself when
+	// it lives in IRL, else the source's own origin (splitting a split).
+	if src.where == inIRL {
+		blk.origin, blk.originGen = src, src.gen
+	} else {
+		blk.origin, blk.originGen = src.origin, src.originGen
 	}
-	blk.node = &list.Node[*reqBlock]{Value: blk}
 	c.drl.PushHead(blk.node)
 	return blk
-}
-
-// originOf resolves the IRL block a split descends from: the source itself
-// when it lives in IRL, else the source's own origin (splitting a split).
-func (c *ReqBlock) originOf(src *reqBlock) *reqBlock {
-	if src.where == inIRL {
-		return src
-	}
-	return src.origin
 }
 
 // insertNew adds a missed write page to the IRL head block of the current
@@ -253,18 +367,12 @@ func (c *ReqBlock) insertNew(lpn int64, reqID uint64, now int64) {
 	if h := c.irl.Head(); h != nil && h.Value.reqID == reqID {
 		blk = h.Value
 	} else {
-		blk = &reqBlock{
-			reqID:      reqID,
-			pages:      make(map[int64]bool, 8),
-			accessCnt:  1,
-			insertTime: now,
-			where:      inIRL,
-		}
-		blk.node = &list.Node[*reqBlock]{Value: blk}
+		blk = c.newBlock(reqID, now, inIRL)
 		c.irl.PushHead(blk.node)
 	}
-	blk.pages[lpn] = true
-	c.index[lpn] = blk
+	pn := c.newPageNode(lpn)
+	blk.addPage(pn)
+	c.index[lpn] = pn
 	c.listPages[inIRL]++
 	c.pageCount++
 }
@@ -284,14 +392,15 @@ func (c *ReqBlock) moveBlock(blk *reqBlock, to listID) {
 	c.listPages[to] += blk.pageNum()
 }
 
-// removePageFromBlock detaches one page from a block, dropping the block
-// entirely when it empties. The caller re-homes the page (or deletes it
-// from the index).
-func (c *ReqBlock) removePageFromBlock(blk *reqBlock, lpn int64) {
-	delete(blk.pages, lpn)
+// removePageFromBlock detaches one page from a block, recycling the block
+// when it empties. The caller re-homes the page (or deletes it from the
+// index).
+func (c *ReqBlock) removePageFromBlock(blk *reqBlock, pn *pageNode) {
+	blk.removePage(pn)
 	c.listPages[blk.where]--
 	if blk.pageNum() == 0 {
 		c.listOf(blk.where).Remove(blk.node)
+		c.freeBlock(blk)
 	}
 }
 
@@ -317,13 +426,18 @@ func (c *ReqBlock) evict(now int64) cache.Eviction {
 	if victim == nil {
 		panic("core: evict on empty cache")
 	}
-	lpns := c.detachBlock(victim)
-	if c.cfg.Merge && victim.where == inDRL {
-		if o := victim.origin; o != nil && o.node.Attached() && o.where == inIRL {
-			lpns = append(lpns, c.detachBlock(o)...)
+	// Capture the origin link before the victim's storage is recycled.
+	origin, originGen := victim.origin, victim.originGen
+	fromDRL := victim.where == inDRL
+	mark := c.buf.Mark()
+	c.detachBlock(victim)
+	if c.cfg.Merge && fromDRL {
+		if o := origin; o != nil && o.gen == originGen && o.node.Attached() && o.where == inIRL {
+			c.detachBlock(o)
 		}
 	}
-	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	lpns := c.buf.Carve(mark)
+	slices.Sort(lpns)
 	return cache.Eviction{LPNs: lpns}
 }
 
@@ -333,8 +447,8 @@ func (c *ReqBlock) evict(now int64) cache.Eviction {
 func (c *ReqBlock) pickVictim(now int64) *reqBlock {
 	var victim *reqBlock
 	var victimFreq float64
-	for _, l := range []*list.List[*reqBlock]{&c.irl, &c.drl, &c.srl} {
-		t := l.Tail()
+	tails := [3]*list.Node[*reqBlock]{c.irl.Tail(), c.drl.Tail(), c.srl.Tail()}
+	for _, t := range tails {
 		if t == nil {
 			continue
 		}
@@ -346,19 +460,21 @@ func (c *ReqBlock) pickVictim(now int64) *reqBlock {
 	return victim
 }
 
-// detachBlock unlinks a block and all its pages from the cache, returning
-// the page LPNs.
-func (c *ReqBlock) detachBlock(blk *reqBlock) []int64 {
-	lpns := make([]int64, 0, blk.pageNum())
-	for lpn := range blk.pages {
-		lpns = append(lpns, lpn)
-		delete(c.index, lpn)
+// detachBlock unlinks a block and all its pages from the cache, appending
+// the page LPNs to the shared eviction buffer and recycling both the page
+// nodes and the block itself.
+func (c *ReqBlock) detachBlock(blk *reqBlock) {
+	for pn := blk.pageHead; pn != nil; {
+		next := pn.next
+		c.buf.LPNs = append(c.buf.LPNs, pn.lpn)
+		delete(c.index, pn.lpn)
+		c.freePageNode(pn)
+		pn = next
 	}
 	c.listOf(blk.where).Remove(blk.node)
-	c.listPages[blk.where] -= blk.pageNum()
-	c.pageCount -= blk.pageNum()
-	blk.pages = nil
-	return lpns
+	c.listPages[blk.where] -= blk.pageCnt
+	c.pageCount -= blk.pageCnt
+	c.freeBlock(blk)
 }
 
 // EvictIdle implements cache.IdleEvictor: during idle time the same Eq. 1
@@ -371,6 +487,7 @@ func (c *ReqBlock) EvictIdle(now int64) (cache.Eviction, bool) {
 	if c.pageCount <= c.capacity/2 {
 		return cache.Eviction{}, false
 	}
+	c.buf.Reset()
 	return c.evict(now), true
 }
 
@@ -382,21 +499,21 @@ func (c *ReqBlock) Contains(lpn int64) bool {
 
 // WhereIs returns "IRL", "SRL", "DRL" or "" for a page (tests).
 func (c *ReqBlock) WhereIs(lpn int64) string {
-	blk, ok := c.index[lpn]
+	pn, ok := c.index[lpn]
 	if !ok {
 		return ""
 	}
-	return blk.where.String()
+	return pn.blk.where.String()
 }
 
 // BlockOf returns the page count and access count of the block holding a
 // page (tests); ok is false when the page is absent.
 func (c *ReqBlock) BlockOf(lpn int64) (pages int, accessCnt int64, ok bool) {
-	blk, found := c.index[lpn]
+	pn, found := c.index[lpn]
 	if !found {
 		return 0, 0, false
 	}
-	return blk.pageNum(), blk.accessCnt, true
+	return pn.blk.pageNum(), pn.blk.accessCnt, true
 }
 
 // CheckInvariants validates the cross-structure bookkeeping: every indexed
@@ -422,14 +539,30 @@ func (c *ReqBlock) CheckInvariants() error {
 			if blk.node != n {
 				return fmt.Errorf("core: block node back-pointer broken")
 			}
-			for lpn := range blk.pages {
-				if seen[lpn] {
-					return fmt.Errorf("core: lpn %d in two blocks", lpn)
+			count := 0
+			var prev *pageNode
+			for pn := blk.pageHead; pn != nil; pn = pn.next {
+				if pn.blk != blk {
+					return fmt.Errorf("core: page %d back-pointer does not name its block", pn.lpn)
 				}
-				seen[lpn] = true
-				if c.index[lpn] != blk {
-					return fmt.Errorf("core: index[%d] does not point at holder", lpn)
+				if pn.prev != prev {
+					return fmt.Errorf("core: page list prev/next asymmetry at lpn %d", pn.lpn)
 				}
+				if seen[pn.lpn] {
+					return fmt.Errorf("core: lpn %d in two blocks", pn.lpn)
+				}
+				seen[pn.lpn] = true
+				if c.index[pn.lpn] != pn {
+					return fmt.Errorf("core: index[%d] does not point at holder", pn.lpn)
+				}
+				prev = pn
+				count++
+				if count > blk.pageCnt {
+					return fmt.Errorf("core: page list longer than pageCnt in %v", id)
+				}
+			}
+			if count != blk.pageCnt {
+				return fmt.Errorf("core: block pageCnt %d, recounted %d", blk.pageCnt, count)
 			}
 			gauge[id] += blk.pageNum()
 			total += blk.pageNum()

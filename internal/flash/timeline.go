@@ -33,13 +33,6 @@ func NewTimeline(p Params) *Timeline {
 	}
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Program schedules a page program: the channel carries the data into the
 // chip's cache register (transfer time), then the die programs it. Modern
 // NAND's cache-program mode lets the next page's data transfer while the
@@ -48,9 +41,9 @@ func max64(a, b int64) int64 {
 // end (when the controller's buffer frame is free) and the completion time
 // (when the data is durable in the cell).
 func (t *Timeline) Program(now int64, channel, chip int) (transferEnd, done int64) {
-	start := max64(now, t.chanFree[channel])
+	start := max(now, t.chanFree[channel])
 	transferEnd = start + t.p.PageTransferTime()
-	progStart := max64(transferEnd, t.chipFree[chip])
+	progStart := max(transferEnd, t.chipFree[chip])
 	done = progStart + t.p.ProgramLatency
 	t.chanFree[channel] = transferEnd
 	t.chipFree[chip] = done
@@ -69,9 +62,9 @@ func (t *Timeline) Program(now int64, channel, chip int) (transferEnd, done int6
 // back by the read's cell time. Reads still serialize with other reads on
 // the same die.
 func (t *Timeline) Read(now int64, channel, chip int) int64 {
-	cellStart := max64(now, t.readFree[chip])
+	cellStart := max(now, t.readFree[chip])
 	ready := cellStart + t.p.ReadLatency
-	transferStart := max64(ready, t.chanFree[channel])
+	transferStart := max(ready, t.chanFree[channel])
 	done := transferStart + t.p.PageTransferTime()
 	t.chanFree[channel] = done
 	t.readFree[chip] = ready
@@ -86,7 +79,7 @@ func (t *Timeline) Read(now int64, channel, chip int) int64 {
 
 // Erase schedules a block erase; only the die is occupied.
 func (t *Timeline) Erase(now int64, chip int) int64 {
-	start := max64(now, t.chipFree[chip])
+	start := max(now, t.chipFree[chip])
 	done := start + t.p.EraseLatency
 	t.chipFree[chip] = done
 	t.chipBusy[chip] += t.p.EraseLatency
@@ -96,7 +89,7 @@ func (t *Timeline) Erase(now int64, chip int) int64 {
 // Copyback schedules an in-chip valid-page migration (GC): cell read
 // followed by program with no channel traffic.
 func (t *Timeline) Copyback(now int64, chip int) int64 {
-	start := max64(now, t.chipFree[chip])
+	start := max(now, t.chipFree[chip])
 	done := start + t.p.ReadLatency + t.p.ProgramLatency
 	t.chipFree[chip] = done
 	t.chipBusy[chip] += t.p.ReadLatency + t.p.ProgramLatency

@@ -332,12 +332,8 @@ func (f *FTL) WriteStriped(now int64, lpns []int64) (BatchTiming, error) {
 		if err != nil {
 			return BatchTiming{}, err
 		}
-		if xfer > t.Transferred {
-			t.Transferred = xfer
-		}
-		if done > t.Durable {
-			t.Durable = done
-		}
+		t.Transferred = max(t.Transferred, xfer)
+		t.Durable = max(t.Durable, done)
 	}
 	return t, nil
 }
@@ -358,12 +354,8 @@ func (f *FTL) WriteBlockBound(now int64, lpns []int64) (BatchTiming, error) {
 		if err != nil {
 			return BatchTiming{}, err
 		}
-		if xfer > t.Transferred {
-			t.Transferred = xfer
-		}
-		if done > t.Durable {
-			t.Durable = done
-		}
+		t.Transferred = max(t.Transferred, xfer)
+		t.Durable = max(t.Durable, done)
 	}
 	return t, nil
 }
@@ -383,12 +375,8 @@ func (f *FTL) WriteOnChannel(now int64, lpns []int64, channel int) (BatchTiming,
 		if err != nil {
 			return BatchTiming{}, err
 		}
-		if xfer > t.Transferred {
-			t.Transferred = xfer
-		}
-		if done > t.Durable {
-			t.Durable = done
-		}
+		t.Transferred = max(t.Transferred, xfer)
+		t.Durable = max(t.Durable, done)
 	}
 	f.chanCursor[channel] = (f.chanCursor[channel] + len(lpns)) % planesPerChannel
 	return t, nil
@@ -418,9 +406,7 @@ func (f *FTL) Read(now int64, lpns []int64) (int64, error) {
 		}
 		done := f.tl.Read(now, f.p.ChannelOfBlock(block), f.p.ChipOfBlock(block))
 		f.stats.HostReads++
-		if done > last {
-			last = done
-		}
+		last = max(last, done)
 	}
 	return last, nil
 }

@@ -215,17 +215,35 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 		m.SmallThresholdPages = meanRequestPages(tr, dev.PageSize())
 	}
 
+	// Occupancy sampling: OccupancySampler policies expose a fixed name
+	// order and append into a reusable buffer, so per-sample cost is an
+	// indexed loop instead of a freshly allocated map (ListPages stays the
+	// fallback for reporter-only policies).
 	occupancy, _ := pol.(cache.OccupancyReporter)
+	sampler, _ := pol.(cache.OccupancySampler)
+	var seriesSlots []*metrics.Series
+	var occBuf []int
 	if opts.SeriesInterval > 0 && occupancy != nil {
 		m.ListSeries = make(map[string]*metrics.Series)
-		for name := range occupancy.ListPages() {
-			m.ListSeries[name] = metrics.NewSeries(opts.SeriesInterval)
+		if sampler != nil {
+			names := sampler.OccupancyNames()
+			seriesSlots = make([]*metrics.Series, len(names))
+			occBuf = make([]int, 0, len(names))
+			for i, name := range names {
+				s := metrics.NewSeries(opts.SeriesInterval)
+				m.ListSeries[name] = s
+				seriesSlots[i] = s
+			}
+		} else {
+			for name := range occupancy.ListPages() {
+				m.ListSeries[name] = metrics.NewSeries(opts.SeriesInterval)
+			}
 		}
 	}
 
-	var fates map[int64]*pageFate
+	var fates map[int64]pageFate
 	if opts.TrackPageFates {
-		fates = make(map[int64]*pageFate, pol.CapacityPages())
+		fates = make(map[int64]pageFate, pol.CapacityPages())
 	}
 
 	idler, _ := pol.(cache.IdleEvictor)
@@ -450,18 +468,26 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 		nodeSum += float64(nodes)
 		m.Requests++
 		if m.ListSeries != nil {
-			for name, pagesHeld := range occupancy.ListPages() {
-				m.ListSeries[name].Tick(int64(m.Requests), float64(pagesHeld))
+			if seriesSlots != nil {
+				occBuf = sampler.AppendOccupancy(occBuf[:0])
+				for s, slot := range seriesSlots {
+					slot.Tick(int64(m.Requests), float64(occBuf[s]))
+				}
+			} else {
+				for name, pagesHeld := range occupancy.ListPages() {
+					m.ListSeries[name].Tick(int64(m.Requests), float64(pagesHeld))
+				}
 			}
 		}
 	}
 	// Pages still resident at the end never got evicted; their fates count.
-	if fates != nil {
-		remaining := make([]int64, 0, len(fates))
-		for lpn := range fates {
-			remaining = append(remaining, lpn)
+	for _, f := range fates {
+		if f.large {
+			m.LargeInserted++
+			if f.hit {
+				m.LargeHitBeforeEviction++
+			}
 		}
-		finalizeFates(m, fates, remaining)
 	}
 	if m.Requests > 0 {
 		m.MeanNodes = nodeSum / float64(m.Requests)
@@ -485,16 +511,19 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 // the map is a fresh insertion. The shadow model can diverge from the
 // policy by at most the pages a request evicts of itself (requests larger
 // than the whole buffer), which the experiments never produce.
-func recordFates(m *Metrics, fates map[int64]*pageFate, req cache.Request, res cache.Result) {
+func recordFates(m *Metrics, fates map[int64]pageFate, req cache.Request, res cache.Result) {
 	_ = res
 	large := req.Pages > m.SmallThresholdPages
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
 		if f, ok := fates[lpn]; ok {
-			f.hit = true
+			if !f.hit {
+				f.hit = true
+				fates[lpn] = f
+			}
 			m.HitBySize.Observe(int(f.insertReqPages))
 		} else if req.Write {
-			fates[lpn] = &pageFate{insertReqPages: int32(req.Pages), large: large}
+			fates[lpn] = pageFate{insertReqPages: int32(req.Pages), large: large}
 			m.InsertBySize.Observe(req.Pages)
 		}
 		lpn++
@@ -502,7 +531,7 @@ func recordFates(m *Metrics, fates map[int64]*pageFate, req cache.Request, res c
 }
 
 // finalizeFates closes the lifetime of evicted pages, feeding Fig. 3.
-func finalizeFates(m *Metrics, fates map[int64]*pageFate, lpns []int64) {
+func finalizeFates(m *Metrics, fates map[int64]pageFate, lpns []int64) {
 	for _, lpn := range lpns {
 		f, ok := fates[lpn]
 		if !ok {
