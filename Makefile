@@ -1,14 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench bench-smoke bench-json experiments experiments-full lint
+.PHONY: all check test race test-race fuzz-smoke bench bench-smoke bench-json experiments experiments-full lint
 
 all: test
+
+# check is the full pre-merge gate: build + vet + tests, then the race
+# detector over the whole tree.
+check: test test-race
 
 test:
 	go build ./... && go vet ./... && go test ./...
 
 race:
 	go test -race ./...
+
+test-race: race
+
+# fuzz-smoke runs each trace-parser fuzz target briefly: not a soak, just
+# proof that the targets still build and survive a short adversarial pass.
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzParseTrace$$' -fuzztime 10s ./internal/trace
+	go test -run '^$$' -fuzz '^FuzzReadMSR$$' -fuzztime 10s ./internal/trace
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 )
@@ -38,6 +39,7 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "replicate the grid over N workload seeds and report mean ± std")
 		plot    = flag.Bool("plot", false, "render Figs. 8-9 as ASCII bar charts too")
 		qd      = flag.Int("qd", 0, "closed-loop queue depth for the grid (0 = open loop, as the paper)")
+		faults  = flag.String("faults", "", "fault injection spec applied to every grid device (see docs/FAULTS.md)")
 		full    = flag.Bool("full", false, "paper scale: full traces on the 128 GiB device")
 	)
 	profiles := prof.Register(flag.CommandLine)
@@ -62,6 +64,14 @@ func main() {
 	}
 	cfg.IncludeExtras = *extras
 	cfg.QueueDepth = *qd
+	if *faults != "" {
+		fcfg, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = fcfg
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/prof"
 	"repro/internal/replay"
 	"repro/internal/ssd"
@@ -37,6 +38,8 @@ func main() {
 		delta     = flag.Int("delta", core.DefaultDelta, "Req-block δ")
 		readahead = flag.Int("readahead", 0, "wrap the policy with an N-page readahead read cache (0 = off)")
 		divisor   = flag.Int("device-divisor", 16, "flash array size divisor (1 = full 128 GiB)")
+		faults    = flag.String("faults", "", "fault injection spec, comma-separated key=value: seed, pfail, efail, grown, pfail-at, efail-at, retries, reserve, crash-at, destage-ms, check (see docs/FAULTS.md)")
+		maxSkip   = flag.Int("max-skipped", 0, "malformed trace lines skipped before aborting (0 = strict, -1 = unlimited)")
 		verbose   = flag.Bool("v", false, "print extended metrics")
 	)
 	profiles := prof.Register(flag.CommandLine)
@@ -47,11 +50,16 @@ func main() {
 		profiles.Stop() // os.Exit skips defers; flush profiles explicitly
 		os.Exit(1)
 	}
-	tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale)
+	fcfg, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale, *maxSkip)
 	if err != nil {
 		fail(err)
 	}
 	params := ssd.ScaledParams(*divisor)
+	params.Faults = fcfg
 	dev, err := ssd.New(params)
 	if err != nil {
 		fail(err)
@@ -66,7 +74,9 @@ func main() {
 	if err := profiles.Start(); err != nil {
 		fail(err)
 	}
-	m, err := replay.Run(tr, pol, dev, replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000})
+	opts := replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000}
+	opts.ApplyFaults(fcfg)
+	m, err := replay.Run(tr, pol, dev, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -75,9 +85,15 @@ func main() {
 		os.Exit(1)
 	}
 	report(m, *verbose)
+	if tr.SkippedLines > 0 {
+		fmt.Printf("skipped lines   %d malformed (budget %d)\n", tr.SkippedLines, *maxSkip)
+	}
+	if fcfg.Enabled() {
+		reportFaults(m, dev)
+	}
 }
 
-func loadTrace(file, format string, blockSize int64, wl string, scale float64) (*trace.Trace, error) {
+func loadTrace(file, format string, blockSize int64, wl string, scale float64, maxSkip int) (*trace.Trace, error) {
 	switch {
 	case file != "" && wl != "":
 		return nil, fmt.Errorf("use either -trace or -workload, not both")
@@ -89,7 +105,7 @@ func loadTrace(file, format string, blockSize int64, wl string, scale float64) (
 		defer f.Close()
 		switch format {
 		case "msr":
-			return trace.ReadMSR(f, file)
+			return trace.ReadMSRWith(f, file, trace.MSROptions{MaxSkipped: maxSkip})
 		case "spc":
 			return trace.ReadSPC(f, file, blockSize)
 		default:
@@ -169,5 +185,26 @@ func report(m *replay.Metrics, verbose bool) {
 			}
 			fmt.Printf("list %-4s       %d samples, last %.0f pages\n", name, s.Len(), last)
 		}
+	}
+}
+
+// reportFaults prints the fault-injection outcome block (-faults runs).
+func reportFaults(m *replay.Metrics, dev *ssd.Device) {
+	c := m.Device
+	fs := dev.FaultStats()
+	fmt.Printf("faults          pfail %d, efail %d, grown-bad %d (over %d programs, %d erases)\n",
+		c.InjectedProgramFails, c.InjectedEraseFails, c.GrownBadBlocks, fs.ProgramOps, fs.EraseOps)
+	fmt.Printf("recovery        %d retries, %d blocks retired, %d invariant checks\n",
+		c.ProgramRetries, c.RetiredBlocks, c.InvariantChecks)
+	if m.DestagedPages > 0 {
+		fmt.Printf("destaged        %d pages\n", m.DestagedPages)
+	}
+	if m.Crashed {
+		fmt.Printf("crash           after request %d: %d dirty pages lost\n",
+			m.CrashedAtRequest, m.LostDirtyPages)
+	}
+	if m.Degraded {
+		fmt.Printf("degraded        read-only after request %d (%d entries)\n",
+			m.DegradedAtRequest, c.DegradedEntries)
 	}
 }

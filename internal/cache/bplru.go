@@ -195,3 +195,14 @@ func (c *BPLRU) Contains(lpn int64) bool {
 	n, ok := c.blocks[lpn/c.pagesPerBlock]
 	return ok && n.Value.pages.has(lpn)
 }
+
+// EvictIdle implements cache.IdleEvictor: during idle time (or a periodic
+// destage tick) the least recently written block is flushed, as long as
+// the buffer is more than half full — the same threshold LRU uses.
+func (c *BPLRU) EvictIdle(now int64) (Eviction, bool) {
+	if c.pageCount <= c.capacity/2 {
+		return Eviction{}, false
+	}
+	c.buf.Reset()
+	return c.evictTail(), true
+}

@@ -126,6 +126,17 @@ type IdleEvictor interface {
 	EvictIdle(now int64) (Eviction, bool)
 }
 
+// DirtyPager is implemented by policies that can distinguish dirty from
+// clean buffered pages. The crash/power-loss harness uses it to count the
+// dirty pages a DRAM power loss would destroy; policies that buffer only
+// write data need not implement it — every buffered page is dirty and
+// Len() is the loss.
+type DirtyPager interface {
+	// DirtyPages returns the number of buffered pages whose loss would
+	// lose host data (written but not yet flushed to flash).
+	DirtyPages() int
+}
+
 // OccupancyReporter is implemented by policies with multiple internal lists
 // whose sizes are worth tracking over time (Req-block's IRL/SRL/DRL for the
 // paper's Fig. 13).

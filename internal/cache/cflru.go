@@ -136,6 +136,18 @@ func (c *CFLRU) evictOne() Eviction {
 	return Eviction{LPNs: []int64{n.Value.lpn}}
 }
 
+// DirtyPages implements cache.DirtyPager: CFLRU is the one baseline that
+// buffers clean read data, so its crash loss is smaller than Len().
+func (c *CFLRU) DirtyPages() int {
+	dirty := 0
+	for n := c.order.Head(); n != nil; n = n.Next() {
+		if n.Value.dirty {
+			dirty++
+		}
+	}
+	return dirty
+}
+
 // Dirty reports whether a buffered page is dirty (tests).
 func (c *CFLRU) Dirty(lpn int64) bool {
 	n, ok := c.pages[lpn]

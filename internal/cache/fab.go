@@ -129,3 +129,14 @@ func (c *FAB) evictLargest() Eviction {
 	c.free = append(c.free, victim)
 	return Eviction{LPNs: lpns, BlockBound: true}
 }
+
+// EvictIdle implements cache.IdleEvictor: during idle time (or a periodic
+// destage tick) the fullest group is flushed — FAB's own victim rule — as
+// long as the buffer is more than half full.
+func (c *FAB) EvictIdle(now int64) (Eviction, bool) {
+	if c.pageCount <= c.capacity/2 {
+		return Eviction{}, false
+	}
+	c.buf.Reset()
+	return c.evictLargest(), true
+}

@@ -1,0 +1,69 @@
+package cache
+
+import "testing"
+
+func wr(tm int64, lpn int64, pages int) Request {
+	return Request{Time: tm, Write: true, LPN: lpn, Pages: pages}
+}
+
+func rd(tm int64, lpn int64, pages int) Request {
+	return Request{Time: tm, Write: false, LPN: lpn, Pages: pages}
+}
+
+func TestBPLRUEvictIdle(t *testing.T) {
+	c := NewBPLRU(8, 4)
+	c.Access(wr(0, 0, 3)) // block 0: 3 pages
+	c.Access(wr(1, 4, 3)) // block 1: 3 pages, more recent
+	if c.Len() != 6 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	ev, ok := c.EvictIdle(2)
+	if !ok || !ev.BlockBound {
+		t.Fatalf("EvictIdle = %+v, %v; want a block-bound batch", ev, ok)
+	}
+	// The least recently written block (block 0) goes first.
+	if len(ev.LPNs) != 3 || ev.LPNs[0]/4 != 0 {
+		t.Fatalf("victim batch %v, want block 0's pages", ev.LPNs)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len after idle eviction = %d", c.Len())
+	}
+	// At or below half capacity the policy keeps the rest.
+	if _, ok := c.EvictIdle(3); ok {
+		t.Fatal("EvictIdle flushed a half-empty buffer")
+	}
+}
+
+func TestFABEvictIdle(t *testing.T) {
+	c := NewFAB(8, 4)
+	c.Access(wr(0, 0, 2)) // block 0: 2 pages
+	c.Access(wr(1, 4, 4)) // block 1: 4 pages — FAB's victim
+	ev, ok := c.EvictIdle(2)
+	if !ok || !ev.BlockBound {
+		t.Fatalf("EvictIdle = %+v, %v", ev, ok)
+	}
+	if len(ev.LPNs) != 4 || ev.LPNs[0]/4 != 1 {
+		t.Fatalf("victim batch %v, want the fullest group (block 1)", ev.LPNs)
+	}
+	if _, ok := c.EvictIdle(3); ok {
+		t.Fatal("EvictIdle flushed a half-empty buffer")
+	}
+}
+
+func TestCFLRUDirtyPages(t *testing.T) {
+	c := NewCFLRU(16)
+	c.Access(wr(0, 0, 3)) // 3 dirty
+	c.Access(rd(1, 10, 4))
+	c.Access(rd(2, 20, 2)) // 6 clean
+	if got := c.DirtyPages(); got != 3 {
+		t.Fatalf("DirtyPages = %d, want 3", got)
+	}
+	if c.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", c.Len())
+	}
+	// A write hit on a clean page dirties it.
+	c.Access(wr(3, 10, 1))
+	if got := c.DirtyPages(); got != 4 {
+		t.Fatalf("DirtyPages after write hit = %d, want 4", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/replay"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -51,6 +52,10 @@ type Config struct {
 	// QueueDepth switches the grid to closed-loop replay (see
 	// replay.Options.QueueDepth). Zero keeps the paper's open loop.
 	QueueDepth int
+	// Faults enables deterministic fault injection on every device the
+	// grid builds (see internal/fault). The zero value keeps the grid
+	// fault-free and bit-identical to earlier revisions.
+	Faults fault.Config
 }
 
 // DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
@@ -149,12 +154,15 @@ func (r *Runner) TraceStats(name string) (trace.Stats, error) {
 	return s, nil
 }
 
-// Device builds a fresh simulated SSD for one replay.
+// Device builds a fresh simulated SSD for one replay. Every device gets the
+// same fault configuration (and so the same injected-fault sequence for the
+// same operation stream), keeping grid cells comparable.
 func (r *Runner) Device() (*ssd.Device, error) {
 	p := ssd.ScaledParams(r.cfg.DeviceDivisor)
 	if r.cfg.DevicePrecondition > 0 {
 		p.Precondition = r.cfg.DevicePrecondition
 	}
+	p.Faults = r.cfg.Faults
 	return ssd.New(p)
 }
 
@@ -200,6 +208,7 @@ func (r *Runner) Replay(traceName string, factory cache.Factory, cacheMB int, op
 		return nil, err
 	}
 	pol := factory.New(cacheMB * PagesPerMB)
+	opts.ApplyFaults(r.cfg.Faults)
 	return replay.Run(t, pol, dev, opts)
 }
 

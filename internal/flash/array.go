@@ -1,6 +1,10 @@
 package flash
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
 
 // PageState is the physical state of one flash page.
 type PageState uint8
@@ -28,6 +32,11 @@ type Array struct {
 	nextPage   []int32     // per block: next programmable in-block page
 	validCount []int32     // per block: count of PageValid pages
 	eraseCount []int32     // per block: erases performed (wear)
+	progFails  []int32     // per block: program failures since last erase
+	bad        []bool      // per block: permanently retired (grown bad)
+	badCount   int
+
+	inj *fault.Injector // nil = fault-free (the default)
 
 	// Operation counters.
 	programs int64
@@ -47,7 +56,28 @@ func NewArray(p Params) (*Array, error) {
 		nextPage:   make([]int32, blocks),
 		validCount: make([]int32, blocks),
 		eraseCount: make([]int32, blocks),
+		progFails:  make([]int32, blocks),
+		bad:        make([]bool, blocks),
 	}, nil
+}
+
+// SetInjector attaches a fault injector; nil detaches it. With no injector
+// the array behaves exactly as a fault-free device.
+func (a *Array) SetInjector(inj *fault.Injector) { a.inj = inj }
+
+// IsBad reports whether a block has been retired (grown bad).
+func (a *Array) IsBad(block int) bool { return a.bad[block] }
+
+// BadBlocks returns the number of retired blocks.
+func (a *Array) BadBlocks() int { return a.badCount }
+
+// markBad retires a block permanently; it can no longer be programmed or
+// erased.
+func (a *Array) markBad(block int) {
+	if !a.bad[block] {
+		a.bad[block] = true
+		a.badCount++
+	}
 }
 
 // Params returns the geometry the array was built with.
@@ -73,8 +103,17 @@ func (a *Array) FreePagesInBlock(block int) int {
 }
 
 // Program programs the next sequential page of the given block, returning
-// its PPN. It fails if the block is full.
+// its PPN. It fails if the block is full or retired.
+//
+// With a fault injector attached, the program may fail with an error
+// wrapping fault.ErrProgramFail. The failed page is consumed: NAND cannot
+// re-program a page before an erase, so it is marked invalid (wasted) and
+// the in-block frontier advances. The caller must write the data to a
+// freshly allocated page.
 func (a *Array) Program(block int) (int64, error) {
+	if a.bad[block] {
+		return 0, fmt.Errorf("flash: program on retired block %d", block)
+	}
 	np := a.nextPage[block]
 	if int(np) >= a.p.PagesPerBlock {
 		return 0, fmt.Errorf("flash: program on full block %d", block)
@@ -82,6 +121,12 @@ func (a *Array) Program(block int) (int64, error) {
 	ppn := a.p.PPN(block, int(np))
 	if a.pages[ppn] != PageFree {
 		return 0, fmt.Errorf("flash: page %d of block %d not free", np, block)
+	}
+	if a.inj != nil && a.inj.ProgramFails(a.p.ChipOfBlock(block)) {
+		a.pages[ppn] = PageInvalid
+		a.nextPage[block] = np + 1
+		a.progFails[block]++
+		return 0, fmt.Errorf("flash: block %d page %d: %w", block, np, fault.ErrProgramFail)
 	}
 	a.pages[ppn] = PageValid
 	a.nextPage[block] = np + 1
@@ -113,9 +158,27 @@ func (a *Array) Invalidate(ppn int64) error {
 // Erase erases a block, returning its pages to the free state. Erasing a
 // block that still holds valid pages is refused: the FTL must migrate them
 // first.
+//
+// With a fault injector attached, two failure modes exist, both terminal
+// for the block (it is marked bad and must be retired by the FTL):
+//
+//   - fault.ErrEraseFail: the erase itself failed; the pages keep their
+//     stale contents.
+//   - fault.ErrGrownBad: the erase completed but the block is retired by
+//     wear detection — either an injected grown-bad draw or deterministic
+//     retirement of a block that suffered a program failure since its last
+//     erase (industry practice: program-fail blocks are retired once their
+//     data has been moved off).
 func (a *Array) Erase(block int) error {
+	if a.bad[block] {
+		return fmt.Errorf("flash: erase of retired block %d", block)
+	}
 	if a.validCount[block] > 0 {
 		return fmt.Errorf("flash: erase of block %d with %d valid pages", block, a.validCount[block])
+	}
+	if a.inj != nil && a.inj.EraseFails(a.p.ChipOfBlock(block)) {
+		a.markBad(block)
+		return fmt.Errorf("flash: block %d: %w", block, fault.ErrEraseFail)
 	}
 	base := a.p.PPN(block, 0)
 	for i := 0; i < a.p.PagesPerBlock; i++ {
@@ -124,6 +187,17 @@ func (a *Array) Erase(block int) error {
 	a.nextPage[block] = 0
 	a.eraseCount[block]++
 	a.erases++
+	if a.inj != nil {
+		hadProgFail := a.progFails[block] > 0
+		a.progFails[block] = 0
+		// Draw unconditionally so the grown-bad stream advances once per
+		// successful erase regardless of the block's program-fail history.
+		grown := a.inj.GrownBad(a.p.ChipOfBlock(block))
+		if hadProgFail || grown {
+			a.markBad(block)
+			return fmt.Errorf("flash: block %d: %w", block, fault.ErrGrownBad)
+		}
+	}
 	return nil
 }
 
@@ -137,9 +211,17 @@ func (a *Array) Reads() int64 { return a.reads }
 func (a *Array) Erases() int64 { return a.erases }
 
 // CheckInvariants verifies the per-block valid counts and sequential-program
-// frontier against the raw page states. Intended for tests.
+// frontier against the raw page states, and that retired blocks hold no
+// valid data. Intended for tests and the fault checker.
 func (a *Array) CheckInvariants() error {
+	badSeen := 0
 	for b := 0; b < a.p.Blocks(); b++ {
+		if a.bad[b] {
+			badSeen++
+			if a.validCount[b] != 0 {
+				return fmt.Errorf("flash: retired block %d still has %d valid pages", b, a.validCount[b])
+			}
+		}
 		base := a.p.PPN(b, 0)
 		valid := int32(0)
 		frontier := int32(0)
@@ -167,6 +249,9 @@ func (a *Array) CheckInvariants() error {
 		if frontier != a.nextPage[b] {
 			return fmt.Errorf("flash: block %d nextPage %d, recounted %d", b, a.nextPage[b], frontier)
 		}
+	}
+	if badSeen != a.badCount {
+		return fmt.Errorf("flash: badCount %d, recounted %d", a.badCount, badSeen)
 	}
 	return nil
 }

@@ -17,8 +17,10 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/flash"
 )
 
@@ -39,6 +41,15 @@ type Stats struct {
 	Erases int64
 	// Trims counts logical pages discarded via Trim.
 	Trims int64
+	// ProgramRetries counts page programs re-issued to a freshly allocated
+	// page after an injected program failure.
+	ProgramRetries int64
+	// RetiredBlocks counts blocks permanently removed from circulation
+	// (erase failures, grown bad blocks).
+	RetiredBlocks int64
+	// DegradedEntries counts transitions into read-only degraded mode
+	// (0 or 1; a counter for symmetry with the other metrics).
+	DegradedEntries int64
 }
 
 // FTL is a page-level flash translation layer bound to one flash array and
@@ -63,6 +74,14 @@ type FTL struct {
 	gcLow      int  // free-block count per plane that triggers GC
 	wearLevel  bool // pick least-erased free blocks (dynamic wear leveling)
 	separateGC bool // keep GC migrations out of the host write blocks
+
+	// Fault plane (all zero/nil on a fault-free device).
+	retryLimit    int            // program retries per logical page write
+	reserveBudget int            // retirements tolerated before read-only
+	retired       int            // blocks retired so far
+	degraded      bool           // read-only mode
+	checker       *fault.Checker // invariant checker, run after recoveries
+	pendingCheck  bool           // a recovery happened in the current op
 
 	stats Stats
 }
@@ -158,6 +177,69 @@ func (f *FTL) Stats() Stats {
 	return s
 }
 
+// EnableFaults attaches a fault injector to the flash array and arms the
+// FTL's recovery paths: bounded write retry, bad-block retirement against
+// the reserved-block budget, and read-only degradation when the budget is
+// exhausted. Limits come from the injector's config; zeros select defaults
+// (8 retries, 1/64 of physical blocks reserved, at least 4).
+func (f *FTL) EnableFaults(inj *fault.Injector) {
+	f.arr.SetInjector(inj)
+	cfg := inj.Config()
+	f.retryLimit = cfg.RetryLimit
+	if f.retryLimit <= 0 {
+		f.retryLimit = 8
+	}
+	f.reserveBudget = cfg.ReserveBlocks
+	if f.reserveBudget <= 0 {
+		f.reserveBudget = f.p.Blocks() / 64
+		if f.reserveBudget < 4 {
+			f.reserveBudget = 4
+		}
+	}
+}
+
+// SetChecker attaches an invariant checker that runs after every operation
+// in which a fault recovery occurred. A violation fails the write that
+// surfaced it; the checker also retains the first failure for end-of-run
+// reporting.
+func (f *FTL) SetChecker(c *fault.Checker) { f.checker = c }
+
+// Degraded reports whether the device has entered read-only mode.
+func (f *FTL) Degraded() bool { return f.degraded }
+
+// RetiredBlocks returns how many blocks have been retired.
+func (f *FTL) RetiredBlocks() int { return f.retired }
+
+// retireBlock accounts a block permanently removed from circulation (the
+// array has already marked it bad) and degrades to read-only mode when the
+// reserve budget is exhausted.
+func (f *FTL) retireBlock(block int) {
+	_ = block
+	f.stats.RetiredBlocks++
+	f.retired++
+	f.pendingCheck = true
+	if !f.degraded && f.retired > f.reserveBudget {
+		f.degraded = true
+		f.stats.DegradedEntries++
+	}
+}
+
+// flushCheck runs the invariant checker if a recovery happened during the
+// operation that is about to return.
+func (f *FTL) flushCheck() error {
+	if !f.pendingCheck {
+		return nil
+	}
+	f.pendingCheck = false
+	if f.checker == nil {
+		return nil
+	}
+	if err := f.checker.Check(); err != nil {
+		return fmt.Errorf("ftl: post-recovery invariant violation: %w", err)
+	}
+	return nil
+}
+
 // Mapped reports whether an LPN currently has a physical translation.
 func (f *FTL) Mapped(lpn int64) bool {
 	return f.mapping[lpn] != unmapped
@@ -202,6 +284,9 @@ func (f *FTL) allocPage(now int64, plane int, gcAllowed bool) (int64, int64, err
 		}
 		ppn, ok = f.allocOnPlane(fallback, stream)
 		if !ok {
+			if f.degraded {
+				return 0, now, fmt.Errorf("ftl: %w", fault.ErrReadOnly)
+			}
 			return 0, now, fmt.Errorf("ftl: planes %d and %d out of free blocks", plane, fallback)
 		}
 	}
@@ -221,43 +306,56 @@ const (
 // Opening a new block applies dynamic wear leveling: the least-erased free
 // block is chosen, so erase cycles spread evenly instead of recycling the
 // same few blocks (NewConfig can disable this for the ablation bench).
+//
+// An injected program failure consumes the failed page; the write is
+// retried on the next freshly allocated page (possibly in a new block), up
+// to the configured retry limit. On a fault-free device the loop body runs
+// exactly once, preserving bit-identical behavior.
 func (f *FTL) allocOnPlane(plane, stream int) (int64, bool) {
-	slot := &f.activeBlock[plane]
-	if stream == streamGC {
-		slot = &f.gcActive[plane]
-		// Graceful degradation: holding a second frontier block per plane
-		// is a luxury small or nearly-full planes cannot afford. If the GC
-		// stream would need a fresh block while at most one remains, merge
-		// into the host stream instead of deadlocking the plane.
-		if a := *slot; (a < 0 || f.arr.BlockFull(int(a))) && len(f.freeBlocks[plane]) <= 1 {
-			slot = &f.activeBlock[plane]
-		}
-	}
-	active := *slot
-	if active < 0 || f.arr.BlockFull(int(active)) {
-		fb := f.freeBlocks[plane]
-		if len(fb) == 0 {
-			return 0, false
-		}
-		pick := len(fb) - 1
-		if f.wearLevel {
-			best := f.arr.EraseCount(int(fb[pick]))
-			for i, b := range fb[:len(fb)-1] {
-				if e := f.arr.EraseCount(int(b)); e < best {
-					best, pick = e, i
-				}
+	for attempt := 0; ; {
+		slot := &f.activeBlock[plane]
+		if stream == streamGC {
+			slot = &f.gcActive[plane]
+			// Graceful degradation: holding a second frontier block per plane
+			// is a luxury small or nearly-full planes cannot afford. If the GC
+			// stream would need a fresh block while at most one remains, merge
+			// into the host stream instead of deadlocking the plane.
+			if a := *slot; (a < 0 || f.arr.BlockFull(int(a))) && len(f.freeBlocks[plane]) <= 1 {
+				slot = &f.activeBlock[plane]
 			}
 		}
-		active = fb[pick]
-		fb[pick] = fb[len(fb)-1]
-		f.freeBlocks[plane] = fb[:len(fb)-1]
-		*slot = active
-	}
-	ppn, err := f.arr.Program(int(active))
-	if err != nil {
+		active := *slot
+		if active < 0 || f.arr.BlockFull(int(active)) {
+			fb := f.freeBlocks[plane]
+			if len(fb) == 0 {
+				return 0, false
+			}
+			pick := len(fb) - 1
+			if f.wearLevel {
+				best := f.arr.EraseCount(int(fb[pick]))
+				for i, b := range fb[:len(fb)-1] {
+					if e := f.arr.EraseCount(int(b)); e < best {
+						best, pick = e, i
+					}
+				}
+			}
+			active = fb[pick]
+			fb[pick] = fb[len(fb)-1]
+			f.freeBlocks[plane] = fb[:len(fb)-1]
+			*slot = active
+		}
+		ppn, err := f.arr.Program(int(active))
+		if err == nil {
+			return ppn, true
+		}
+		if errors.Is(err, fault.ErrProgramFail) && attempt < f.retryLimit {
+			attempt++
+			f.stats.ProgramRetries++
+			f.pendingCheck = true
+			continue
+		}
 		return 0, false
 	}
-	return ppn, true
 }
 
 // richestPlane returns the plane with the most free blocks, counting a
@@ -324,6 +422,9 @@ func (f *FTL) writeOne(now int64, lpn int64, plane int) (int64, int64, error) {
 // page i of the batch goes to stripe plane (cursor+i), so an 8-channel
 // device programs 8 pages concurrently.
 func (f *FTL) WriteStriped(now int64, lpns []int64) (BatchTiming, error) {
+	if f.degraded {
+		return BatchTiming{}, fmt.Errorf("ftl: %w", fault.ErrReadOnly)
+	}
 	t := BatchTiming{Transferred: now, Durable: now}
 	for _, lpn := range lpns {
 		plane := int(f.stripeOrder[f.stripeNext])
@@ -335,6 +436,9 @@ func (f *FTL) WriteStriped(now int64, lpns []int64) (BatchTiming, error) {
 		t.Transferred = max(t.Transferred, xfer)
 		t.Durable = max(t.Durable, done)
 	}
+	if err := f.flushCheck(); err != nil {
+		return BatchTiming{}, err
+	}
 	return t, nil
 }
 
@@ -343,6 +447,9 @@ func (f *FTL) WriteStriped(now int64, lpns []int64) (BatchTiming, error) {
 // block". Each call advances to the next plane so successive block flushes
 // still spread wear, but pages within one call share a channel.
 func (f *FTL) WriteBlockBound(now int64, lpns []int64) (BatchTiming, error) {
+	if f.degraded {
+		return BatchTiming{}, fmt.Errorf("ftl: %w", fault.ErrReadOnly)
+	}
 	t := BatchTiming{Transferred: now, Durable: now}
 	if len(lpns) == 0 {
 		return t, nil
@@ -357,6 +464,9 @@ func (f *FTL) WriteBlockBound(now int64, lpns []int64) (BatchTiming, error) {
 		t.Transferred = max(t.Transferred, xfer)
 		t.Durable = max(t.Durable, done)
 	}
+	if err := f.flushCheck(); err != nil {
+		return BatchTiming{}, err
+	}
 	return t, nil
 }
 
@@ -364,6 +474,9 @@ func (f *FTL) WriteBlockBound(now int64, lpns []int64) (BatchTiming, error) {
 // among that channel's chips. ECR's eviction decisions assume page→channel
 // affinity, so its flushes are pinned here instead of striping everywhere.
 func (f *FTL) WriteOnChannel(now int64, lpns []int64, channel int) (BatchTiming, error) {
+	if f.degraded {
+		return BatchTiming{}, fmt.Errorf("ftl: %w", fault.ErrReadOnly)
+	}
 	t := BatchTiming{Transferred: now, Durable: now}
 	if channel < 0 || channel >= f.p.Channels {
 		return BatchTiming{}, fmt.Errorf("ftl: channel %d out of range", channel)
@@ -379,6 +492,9 @@ func (f *FTL) WriteOnChannel(now int64, lpns []int64, channel int) (BatchTiming,
 		t.Durable = max(t.Durable, done)
 	}
 	f.chanCursor[channel] = (f.chanCursor[channel] + len(lpns)) % planesPerChannel
+	if err := f.flushCheck(); err != nil {
+		return BatchTiming{}, err
+	}
 	return t, nil
 }
 
@@ -476,7 +592,12 @@ func (f *FTL) maybeGC(now int64, plane int) int64 {
 	// or no victim with invalid pages remains and gcOnce reports failure.
 	// A single round may be block-neutral (migrations filled the active
 	// block), which is why we do not demand per-round free-count growth.
+	// Rounds that retire a failing victim shrink the candidate pool, so
+	// they too make progress toward termination.
 	for len(f.freeBlocks[plane]) < f.gcLow {
+		if f.degraded {
+			break // read-only mode: stop burning the remaining blocks
+		}
 		if !f.gcOnce(now, plane) {
 			break // nothing reclaimable; let allocation fail upstream
 		}
@@ -487,6 +608,11 @@ func (f *FTL) maybeGC(now int64, plane int) int64 {
 // gcOnce selects the victim block with the fewest valid pages on the plane
 // (greedy policy), migrates its valid pages via in-chip copyback into the
 // plane's active block, erases it, and returns it to the free list.
+//
+// When the victim's erase fails (injected erase failure or grown-bad
+// detection), the block is retired instead of freed and gcOnce still
+// reports progress: the caller's loop re-selects the next-best victim —
+// the paper-stack equivalent of GC victim re-selection under erase faults.
 func (f *FTL) gcOnce(now int64, plane int) bool {
 	first := f.p.FirstBlockOfPlane(plane)
 	victim := -1
@@ -494,6 +620,9 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 	for b := first; b < first+f.p.BlocksPerPlane; b++ {
 		if int32(b) == f.activeBlock[plane] || int32(b) == f.gcActive[plane] || !f.arr.BlockFull(b) {
 			continue // skip the active frontier and still-open blocks
+		}
+		if f.arr.IsBad(b) {
+			continue // retired blocks are out of circulation
 		}
 		if v := f.arr.ValidCount(b); v < best {
 			best, victim = v, b
@@ -534,6 +663,14 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 		f.stats.GCMigrations++
 	}
 	if err := f.arr.Erase(victim); err != nil {
+		if errors.Is(err, fault.ErrEraseFail) || errors.Is(err, fault.ErrGrownBad) {
+			// The attempt occupied the die either way; the block is bad and
+			// never returns to the free list. Valid pages were migrated
+			// before the erase, so no data is at risk.
+			f.tl.Erase(now, chip)
+			f.retireBlock(victim)
+			return true // progress: candidate pool shrank, caller re-selects
+		}
 		panic(fmt.Sprintf("ftl: gc erase: %v", err))
 	}
 	f.tl.Erase(now, chip)
@@ -549,6 +686,9 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 // of victims collected; the erases and migrations occupy the dies through
 // the timeline exactly like foreground GC.
 func (f *FTL) BackgroundGC(now int64, maxVictims, softLow int) int {
+	if f.degraded {
+		return 0 // read-only mode: preserve what is left
+	}
 	if softLow <= f.gcLow {
 		softLow = f.gcLow * 2
 	}
@@ -570,8 +710,11 @@ func (f *FTL) BackgroundGC(now int64, maxVictims, softLow int) int {
 // FreeBlocks returns the current free-block count of a plane (tests).
 func (f *FTL) FreeBlocks(plane int) int { return len(f.freeBlocks[plane]) }
 
-// CheckInvariants validates mapping/reverse consistency and the array's
-// physical invariants. Intended for tests.
+// CheckInvariants validates mapping/reverse consistency, the array's
+// physical invariants, the retirement rules (no LPN maps into a retired
+// block, the free lists hold only healthy erased blocks), and the
+// free-page accounting per plane. Run by tests and, via fault.Checker,
+// after every fault recovery.
 func (f *FTL) CheckInvariants() error {
 	if err := f.arr.CheckInvariants(); err != nil {
 		return err
@@ -582,6 +725,9 @@ func (f *FTL) CheckInvariants() error {
 		}
 		if f.arr.State(int64(ppn)) != flash.PageValid {
 			return fmt.Errorf("ftl: lpn %d maps to non-valid ppn %d", lpn, ppn)
+		}
+		if f.arr.IsBad(f.p.BlockOfPPN(int64(ppn))) {
+			return fmt.Errorf("ftl: lpn %d maps into retired block %d", lpn, f.p.BlockOfPPN(int64(ppn)))
 		}
 		if f.reverse[ppn] != int32(lpn) {
 			return fmt.Errorf("ftl: reverse[%d] = %d, want %d", ppn, f.reverse[ppn], lpn)
@@ -605,6 +751,46 @@ func (f *FTL) CheckInvariants() error {
 	}
 	if mapped != valid {
 		return fmt.Errorf("ftl: %d mapped lpns but %d reverse entries", mapped, valid)
+	}
+	// Free-page accounting: per plane, the pages reachable through the
+	// allocator (free-listed blocks plus the open frontiers) must equal the
+	// physically free pages outside retired blocks — every block that is
+	// neither free-listed, active, nor retired must be full.
+	for pl := range f.freeBlocks {
+		var reachable int64
+		for _, b := range f.freeBlocks[pl] {
+			if f.arr.IsBad(int(b)) {
+				return fmt.Errorf("ftl: plane %d free list holds retired block %d", pl, b)
+			}
+			if f.p.PlaneOfBlock(int(b)) != pl {
+				return fmt.Errorf("ftl: plane %d free list holds foreign block %d", pl, b)
+			}
+			if free := f.arr.FreePagesInBlock(int(b)); free != f.p.PagesPerBlock {
+				return fmt.Errorf("ftl: plane %d free list holds non-erased block %d (%d free pages)", pl, b, free)
+			}
+			reachable += int64(f.p.PagesPerBlock)
+		}
+		if a := f.activeBlock[pl]; a >= 0 {
+			reachable += int64(f.arr.FreePagesInBlock(int(a)))
+		}
+		if g := f.gcActive[pl]; g >= 0 {
+			reachable += int64(f.arr.FreePagesInBlock(int(g)))
+		}
+		var physical int64
+		first := f.p.FirstBlockOfPlane(pl)
+		for b := first; b < first+f.p.BlocksPerPlane; b++ {
+			if f.arr.IsBad(b) {
+				continue
+			}
+			physical += int64(f.arr.FreePagesInBlock(b))
+		}
+		if physical != reachable {
+			return fmt.Errorf("ftl: plane %d has %d physically free pages but %d reachable by the allocator",
+				pl, physical, reachable)
+		}
+	}
+	if f.arr.BadBlocks() != f.retired {
+		return fmt.Errorf("ftl: array reports %d retired blocks, ftl accounted %d", f.arr.BadBlocks(), f.retired)
 	}
 	return nil
 }

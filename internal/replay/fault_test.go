@@ -1,0 +1,258 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// faultDevice builds a small device (4 planes × 16 blocks × 8 pages, 384
+// logical pages) with a fault configuration attached.
+func faultDevice(t *testing.T, cfg fault.Config) *ssd.Device {
+	t.Helper()
+	p := ssd.DefaultParams()
+	p.Flash.Channels = 2
+	p.Flash.ChipsPerChannel = 2
+	p.Flash.BlocksPerPlane = 16
+	p.Flash.PagesPerBlock = 8
+	p.Flash.OverProvision = 0.25
+	p.Flash.GCThreshold = 0.25
+	p.Precondition = 0
+	p.Faults = cfg
+	d, err := ssd.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// churnTrace writes 8-page requests cycling over a 256-page footprint, one
+// per millisecond — enough churn to keep a 64-page buffer evicting and the
+// device garbage-collecting.
+func churnTrace(n int) *trace.Trace {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		page := int64(i*8) % 256
+		reqs[i] = trace.Request{Time: int64(i) * 1_000_000, Write: true, Offset: page * 4096, Size: 8 * 4096}
+	}
+	return &trace.Trace{Name: "churn", Requests: reqs}
+}
+
+// countersEqualIgnoringChecks compares two device counter snapshots minus
+// InvariantChecks (the harness-only run performs checks, by design).
+func countersEqualIgnoringChecks(a, b ssd.Counters) bool {
+	a.InvariantChecks, b.InvariantChecks = 0, 0
+	return a == b
+}
+
+func TestFaultFreeHarnessBitIdentical(t *testing.T) {
+	// A fault config with no fault sources (only the invariant checker)
+	// must reproduce the plain run bit for bit: same hits, same flushes,
+	// same response times, same device counters.
+	run := func(cfg fault.Config) *Metrics {
+		dev := faultDevice(t, cfg)
+		var opts Options
+		opts.ApplyFaults(cfg)
+		m, err := Run(churnTrace(300), cache.NewLRU(64), dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain := run(fault.Config{})
+	checked := run(fault.Config{CheckInvariants: true})
+	if plain.PageHits != checked.PageHits || plain.PageMisses != checked.PageMisses {
+		t.Fatalf("hit accounting diverged: %d/%d vs %d/%d",
+			plain.PageHits, plain.PageMisses, checked.PageHits, checked.PageMisses)
+	}
+	if plain.FlushedPages != checked.FlushedPages || plain.EvictionBatch.Total() != checked.EvictionBatch.Total() {
+		t.Fatal("flush accounting diverged")
+	}
+	if plain.Response.Mean() != checked.Response.Mean() || plain.ResponseP99.Value() != checked.ResponseP99.Value() {
+		t.Fatal("response times diverged")
+	}
+	if !countersEqualIgnoringChecks(plain.Device, checked.Device) {
+		t.Fatalf("device counters diverged:\n%+v\n%+v", plain.Device, checked.Device)
+	}
+	if checked.Device.InvariantChecks == 0 {
+		t.Fatal("checker enabled but never ran")
+	}
+}
+
+func TestSeededFaultReplayReproducible(t *testing.T) {
+	cfg := fault.Config{
+		Seed:            3,
+		ProgramFailProb: 0.002,
+		GrownBadProb:    0.01,
+		ReserveBlocks:   1000,
+		CheckInvariants: true,
+	}
+	run := func() *Metrics {
+		dev := faultDevice(t, cfg)
+		var opts Options
+		opts.ApplyFaults(cfg)
+		m, err := Run(churnTrace(400), cache.NewLRU(64), dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.Device != b.Device {
+		t.Fatalf("two seeded runs diverged:\n%+v\n%+v", a.Device, b.Device)
+	}
+	if a.Requests != b.Requests || a.FlushedPages != b.FlushedPages ||
+		a.Response.Mean() != b.Response.Mean() {
+		t.Fatal("replay metrics diverged between seeded runs")
+	}
+	if a.Device.InjectedProgramFails == 0 && a.Device.GrownBadBlocks == 0 {
+		t.Fatal("workload injected no faults; reproducibility untested")
+	}
+}
+
+func TestCrashHarnessCountsLostDirtyPages(t *testing.T) {
+	cfg := fault.Config{CrashAtRequest: 10}
+	dev := faultDevice(t, cfg)
+	pol := cache.NewLRU(64)
+	var opts Options
+	opts.ApplyFaults(cfg)
+	m, err := Run(churnTrace(100), pol, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Crashed || m.CrashedAtRequest != 10 || m.Requests != 10 {
+		t.Fatalf("crash bookkeeping wrong: %+v", m)
+	}
+	// LRU buffers only write data: the loss is the whole population.
+	if m.LostDirtyPages == 0 || m.LostDirtyPages != int64(pol.Len()) {
+		t.Fatalf("LostDirtyPages = %d, buffer holds %d", m.LostDirtyPages, pol.Len())
+	}
+}
+
+func TestCrashLossUsesDirtyPagerWhenAvailable(t *testing.T) {
+	// CFLRU buffers clean read data too; its crash loss must count only
+	// dirty pages, not Len().
+	reqs := make([]trace.Request, 40)
+	for i := range reqs {
+		page := int64(i * 4)
+		reqs[i] = trace.Request{
+			Time:   int64(i) * 1_000_000,
+			Write:  i%2 == 0, // alternate writes and reads
+			Offset: page * 4096, Size: 4 * 4096,
+		}
+	}
+	tr := &trace.Trace{Name: "mixed", Requests: reqs}
+	cfg := fault.Config{CrashAtRequest: 30}
+	dev := faultDevice(t, cfg)
+	pol := cache.NewCFLRU(64)
+	var opts Options
+	opts.ApplyFaults(cfg)
+	m, err := Run(tr, pol, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LostDirtyPages != int64(pol.DirtyPages()) {
+		t.Fatalf("LostDirtyPages = %d, DirtyPages = %d", m.LostDirtyPages, pol.DirtyPages())
+	}
+	if m.LostDirtyPages >= int64(pol.Len()) {
+		t.Fatalf("loss %d should be below population %d (clean pages present)",
+			m.LostDirtyPages, pol.Len())
+	}
+}
+
+func TestPeriodicDestageReducesCrashLoss(t *testing.T) {
+	crash := func(destageNs int64) *Metrics {
+		cfg := fault.Config{CrashAtRequest: 50, DestageNs: destageNs}
+		dev := faultDevice(t, cfg)
+		var opts Options
+		opts.ApplyFaults(cfg)
+		m, err := Run(churnTrace(100), cache.NewLRU(64), dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	without := crash(0)
+	with := crash(2_000_000) // a destage tick every two requests
+	if with.DestagedPages == 0 {
+		t.Fatal("destager never flushed")
+	}
+	if with.LostDirtyPages >= without.LostDirtyPages {
+		t.Fatalf("destage did not reduce loss: %d vs %d",
+			with.LostDirtyPages, without.LostDirtyPages)
+	}
+}
+
+func TestProgramFailMidEvictionLeavesPolicyStateUnaffected(t *testing.T) {
+	// Scripted program failures hit the first two pages flushed by an
+	// eviction batch. The device retries below the cache; every policy-side
+	// decision — hits, eviction batches, node counts — must be identical to
+	// the fault-free run. Table-driven over the policy shapes: page-striped
+	// (LRU), block-bound (BPLRU), and grouped (FAB) flushes.
+	policies := []struct {
+		name string
+		mk   func() cache.Policy
+	}{
+		{"LRU", func() cache.Policy { return cache.NewLRU(64) }},
+		{"BPLRU", func() cache.Policy { return cache.NewBPLRU(64, 8) }},
+		{"FAB", func() cache.Policy { return cache.NewFAB(64, 8) }},
+	}
+	for _, tc := range policies {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(cfg fault.Config) *Metrics {
+				dev := faultDevice(t, cfg)
+				var opts Options
+				opts.ApplyFaults(cfg)
+				m, err := Run(churnTrace(200), tc.mk(), dev, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			plain := run(fault.Config{})
+			faulted := run(fault.Config{FailProgramOps: []int64{1, 2}, CheckInvariants: true})
+			if faulted.Device.ProgramRetries != 2 {
+				t.Fatalf("ProgramRetries = %d, want 2", faulted.Device.ProgramRetries)
+			}
+			if plain.PageHits != faulted.PageHits || plain.PageMisses != faulted.PageMisses {
+				t.Fatal("cache hit decisions changed under device faults")
+			}
+			if plain.FlushedPages != faulted.FlushedPages ||
+				plain.EvictionBatch.Total() != faulted.EvictionBatch.Total() {
+				t.Fatal("eviction batching changed under device faults")
+			}
+			if plain.MaxNodes != faulted.MaxNodes || plain.Requests != faulted.Requests {
+				t.Fatal("policy structure changed under device faults")
+			}
+			if faulted.Device.InvariantChecks == 0 {
+				t.Fatal("no invariant check ran after recovery")
+			}
+		})
+	}
+}
+
+func TestDegradedModeStopsReplayGracefully(t *testing.T) {
+	cfg := fault.Config{EraseFailProb: 1, ReserveBlocks: 1, CheckInvariants: true}
+	dev := faultDevice(t, cfg)
+	var opts Options
+	opts.ApplyFaults(cfg)
+	m, err := Run(churnTrace(400), cache.NewLRU(64), dev, opts)
+	if err != nil {
+		t.Fatalf("degradation must stop the run, not fail it: %v", err)
+	}
+	if !m.Degraded {
+		t.Fatal("device never degraded with efail=1")
+	}
+	if m.Requests >= 400 {
+		t.Fatal("replay ran to completion despite read-only mode")
+	}
+	if m.Device.DegradedEntries != 1 || m.Device.RetiredBlocks != 2 {
+		t.Fatalf("degradation counters wrong: %+v", m.Device)
+	}
+	if !dev.Degraded() {
+		t.Fatal("device not reporting degraded")
+	}
+}

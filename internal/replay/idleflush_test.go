@@ -70,8 +70,8 @@ func TestIdleFlushRespectsShortGaps(t *testing.T) {
 
 func TestIdleFlushSkipsNonEvictorPolicies(t *testing.T) {
 	dev := testDevice(t)
-	pol := cache.NewFAB(8, 4) // FAB does not implement IdleEvictor
-	tr := &trace.Trace{Name: "fab", Requests: []trace.Request{
+	pol := cache.NewLFU(8) // LFU does not implement IdleEvictor
+	tr := &trace.Trace{Name: "lfu", Requests: []trace.Request{
 		{Time: 0, Write: true, Offset: 0, Size: 8 * 4096},
 		{Time: 1_000_000_000, Write: true, Offset: 100 * 4096, Size: 4096},
 	}}

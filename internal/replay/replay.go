@@ -16,9 +16,11 @@
 package replay
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/metrics"
@@ -69,6 +71,27 @@ type Options struct {
 	// leading 0. A request belongs to the tenant holding its first page.
 	// Empty disables per-tenant accounting.
 	TenantBoundaries []int64
+	// CrashAtRequest simulates a DRAM power loss: the replay stops after
+	// that many processed requests and the dirty pages still buffered are
+	// counted as lost (Metrics.LostDirtyPages). Zero disables.
+	CrashAtRequest int
+	// DestageNs enables periodic destaging: every DestageNs of simulated
+	// time the replayer drains victim batches from the write buffer
+	// (policies implementing cache.IdleEvictor), bounding the dirty data a
+	// crash can lose. Zero disables.
+	DestageNs int64
+}
+
+// ApplyFaults copies the replay-level fields of a fault configuration
+// (crash point, destage interval) into the options; the flash-level fields
+// are consumed by ssd.New.
+func (o *Options) ApplyFaults(cfg fault.Config) {
+	if cfg.CrashAtRequest > 0 {
+		o.CrashAtRequest = cfg.CrashAtRequest
+	}
+	if cfg.DestageNs > 0 {
+		o.DestageNs = cfg.DestageNs
+	}
 }
 
 // TenantMetrics is the per-tenant slice of a mixed-workload run.
@@ -118,6 +141,20 @@ type Metrics struct {
 	// IdleFlushedPages counts pages proactively flushed during idle gaps
 	// (Options.IdleFlushNs); they are part of FlushedPages too.
 	IdleFlushedPages int64
+	// DestagedPages counts pages flushed by the periodic destager
+	// (Options.DestageNs); they are part of FlushedPages too.
+	DestagedPages int64
+	// Crashed is true when Options.CrashAtRequest stopped the run;
+	// CrashedAtRequest records where and LostDirtyPages how many dirty
+	// pages the simulated power loss destroyed.
+	Crashed          bool
+	CrashedAtRequest int
+	LostDirtyPages   int64
+	// Degraded is true when the device entered read-only mode (reserve
+	// blocks exhausted) and the replay stopped; DegradedAtRequest records
+	// the request count at that point.
+	Degraded          bool
+	DegradedAtRequest int
 	// IdleGCRuns counts background GC victim collections (Options.IdleGC).
 	IdleGCRuns int64
 	// PrefetchedPages counts background readahead pages fetched from
@@ -282,6 +319,21 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 	var nodeSum float64
 	var prevArrival int64
 	var dramPages int64
+	var nextDestage int64
+	stopped := false
+	// degradedStop records a read-only-mode stop; callers break the replay
+	// loop instead of failing the run (degradation is an outcome the fault
+	// experiments report, not an error).
+	degradedStop := func(err error) bool {
+		if !errors.Is(err, fault.ErrReadOnly) {
+			return false
+		}
+		if !m.Degraded {
+			m.Degraded = true
+			m.DegradedAtRequest = m.Requests
+		}
+		return true
+	}
 	logical := dev.LogicalPages()
 	for i := range tr.Requests {
 		req := tr.Requests[i]
@@ -303,6 +355,10 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 				}
 				bt, err := dev.FlushStriped(idleAt, ev.LPNs)
 				if err != nil {
+					if degradedStop(err) {
+						stopped = true
+						break
+					}
 					return nil, fmt.Errorf("replay: %s idle flush: %w", tr.Name, err)
 				}
 				m.EvictionBatch.Observe(len(ev.LPNs))
@@ -313,6 +369,40 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 				}
 				idleAt = bt.Transferred
 			}
+		}
+		// Periodic destage: at every DestageNs tick up to this arrival,
+		// drain victim batches (the policy's own idle-victim rule) so a
+		// crash loses less dirty data.
+		if opts.DestageNs > 0 && idler != nil && !stopped {
+			if nextDestage == 0 {
+				nextDestage = req.Time + opts.DestageNs
+			}
+			for req.Time >= nextDestage && !stopped {
+				tick := nextDestage
+				nextDestage += opts.DestageNs
+				for {
+					ev, ok := idler.EvictIdle(tick)
+					if !ok || len(ev.LPNs) == 0 {
+						break
+					}
+					if _, err := dev.FlushStriped(tick, ev.LPNs); err != nil {
+						if degradedStop(err) {
+							stopped = true
+							break
+						}
+						return nil, fmt.Errorf("replay: %s destage: %w", tr.Name, err)
+					}
+					m.EvictionBatch.Observe(len(ev.LPNs))
+					m.FlushedPages += int64(len(ev.LPNs))
+					m.DestagedPages += int64(len(ev.LPNs))
+					if fates != nil {
+						finalizeFates(m, fates, ev.LPNs)
+					}
+				}
+			}
+		}
+		if stopped {
+			break
 		}
 		prevArrival = req.Time
 
@@ -384,6 +474,10 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 				bt, err = dev.FlushStriped(flushAt, ev.LPNs)
 			}
 			if err != nil {
+				if degradedStop(err) {
+					stopped = true
+					break
+				}
 				return nil, fmt.Errorf("replay: %s flush: %w", tr.Name, err)
 			}
 			// The request waits until the victims' frames are free (their
@@ -396,12 +490,18 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 				finalizeFates(m, fates, ev.LPNs)
 			}
 		}
+		if stopped {
+			break
+		}
 
 		// Bypassed large-write pages stream straight to flash; the request
 		// blocks on their transfers like an eviction flush.
 		if len(res.Bypass) > 0 {
 			bt, err := dev.FlushStriped(now, res.Bypass)
 			if err != nil {
+				if degradedStop(err) {
+					break
+				}
 				return nil, fmt.Errorf("replay: %s bypass: %w", tr.Name, err)
 			}
 			if bt.Transferred > completion {
@@ -479,6 +579,19 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 				}
 			}
 		}
+
+		// Simulated DRAM power loss: stop here and count the dirty pages
+		// still buffered as lost host data.
+		if opts.CrashAtRequest > 0 && m.Requests >= opts.CrashAtRequest {
+			m.Crashed = true
+			m.CrashedAtRequest = m.Requests
+			lost := pol.Len()
+			if dp, ok := pol.(cache.DirtyPager); ok {
+				lost = dp.DirtyPages()
+			}
+			m.LostDirtyPages = int64(lost)
+			break
+		}
 	}
 	// Pages still resident at the end never got evicted; their fates count.
 	for _, f := range fates {
@@ -491,6 +604,19 @@ func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Met
 	}
 	if m.Requests > 0 {
 		m.MeanNodes = nodeSum / float64(m.Requests)
+	}
+	// A device that entered read-only mode during background work (idle GC)
+	// without a subsequent write failing still reports as degraded.
+	if dev.Degraded() && !m.Degraded {
+		m.Degraded = true
+		m.DegradedAtRequest = m.Requests
+	}
+	// End-of-replay invariant sweep (fault.Config.CheckInvariants); runs
+	// before the counter snapshot so the final check is counted.
+	if c := dev.InvariantChecker(); c != nil {
+		if err := c.Check(); err != nil {
+			return nil, fmt.Errorf("replay: %s end-of-replay invariants: %w", tr.Name, err)
+		}
 	}
 	m.Device = dev.Counters()
 	m.Endurance = dev.Endurance(0)

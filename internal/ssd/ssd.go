@@ -8,6 +8,7 @@ package ssd
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/ftl"
 )
@@ -22,6 +23,11 @@ type Params struct {
 	// Precondition is the fraction of the logical space pre-mapped before
 	// the trace starts, so GC sees an aged device.
 	Precondition float64
+	// Faults configures deterministic fault injection (internal/fault).
+	// The zero value disables it and leaves the device bit-identical to a
+	// fault-free build. The injector attaches after preconditioning, so
+	// scripted operation ordinals count replay operations only.
+	Faults fault.Config
 }
 
 // DefaultParams mirrors the paper's setup: Table 1 flash parameters, a
@@ -55,6 +61,23 @@ type Counters struct {
 	GCRuns int64
 	// Erases counts block erases.
 	Erases int64
+
+	// Fault-plane counters; all zero on a fault-free device.
+
+	// ProgramRetries counts writes re-issued after injected program
+	// failures.
+	ProgramRetries int64
+	// RetiredBlocks counts blocks permanently retired.
+	RetiredBlocks int64
+	// InjectedProgramFails / InjectedEraseFails / GrownBadBlocks count the
+	// faults the injector fired.
+	InjectedProgramFails int64
+	InjectedEraseFails   int64
+	GrownBadBlocks       int64
+	// DegradedEntries counts transitions into read-only mode.
+	DegradedEntries int64
+	// InvariantChecks counts post-recovery invariant suite runs.
+	InvariantChecks int64
 }
 
 // TotalPrograms is every page program the flash saw (host + GC).
@@ -72,11 +95,14 @@ func (c Counters) WriteAmplification() float64 {
 // Device is one simulated SSD. Not safe for concurrent use: trace replay is
 // deterministic and single-threaded.
 type Device struct {
-	p Params
-	f *ftl.FTL
+	p       Params
+	f       *ftl.FTL
+	inj     *fault.Injector // nil on a fault-free device
+	checker *fault.Checker  // nil unless Faults.CheckInvariants
 }
 
-// New builds a device, preconditioning it per the params.
+// New builds a device, preconditioning it per the params and attaching the
+// fault plane (if configured) once the device is aged.
 func New(p Params) (*Device, error) {
 	if p.DRAMAccess < 0 {
 		return nil, fmt.Errorf("ssd: negative DRAM access time")
@@ -90,8 +116,38 @@ func New(p Params) (*Device, error) {
 			return nil, err
 		}
 	}
-	return &Device{p: p, f: f}, nil
+	d := &Device{p: p, f: f}
+	if p.Faults.Enabled() {
+		inj, err := fault.NewInjector(p.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("ssd: %w", err)
+		}
+		d.inj = inj
+		f.EnableFaults(inj)
+		if p.Faults.CheckInvariants {
+			d.checker = fault.NewChecker(f)
+			f.SetChecker(d.checker)
+		}
+	}
+	return d, nil
 }
+
+// FaultsEnabled reports whether a fault injector is attached.
+func (d *Device) FaultsEnabled() bool { return d.inj != nil }
+
+// Degraded reports whether the device has entered read-only mode.
+func (d *Device) Degraded() bool { return d.f.Degraded() }
+
+// FaultStats returns the injector's fault counters (zero without faults).
+func (d *Device) FaultStats() fault.Stats {
+	if d.inj == nil {
+		return fault.Stats{}
+	}
+	return d.inj.Stats()
+}
+
+// InvariantChecker returns the attached checker, or nil.
+func (d *Device) InvariantChecker() *fault.Checker { return d.checker }
 
 // Params returns the device configuration.
 func (d *Device) Params() Params { return d.p }
@@ -144,13 +200,26 @@ func (d *Device) ReadPages(now int64, lpns []int64) (int64, error) {
 // Counters snapshots the device activity.
 func (d *Device) Counters() Counters {
 	s := d.f.Stats()
-	return Counters{
-		FlashWrites:  s.HostPrograms,
-		FlashReads:   s.HostReads,
-		GCMigrations: s.GCMigrations,
-		GCRuns:       s.GCRuns,
-		Erases:       s.Erases,
+	c := Counters{
+		FlashWrites:     s.HostPrograms,
+		FlashReads:      s.HostReads,
+		GCMigrations:    s.GCMigrations,
+		GCRuns:          s.GCRuns,
+		Erases:          s.Erases,
+		ProgramRetries:  s.ProgramRetries,
+		RetiredBlocks:   s.RetiredBlocks,
+		DegradedEntries: s.DegradedEntries,
 	}
+	if d.inj != nil {
+		fs := d.inj.Stats()
+		c.InjectedProgramFails = fs.ProgramFails
+		c.InjectedEraseFails = fs.EraseFails
+		c.GrownBadBlocks = fs.GrownBad
+	}
+	if d.checker != nil {
+		c.InvariantChecks = d.checker.Checks()
+	}
+	return c
 }
 
 // BackgroundGC runs opportunistic garbage collection during an idle

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace drives the lenient MSR parser (ReadMSRWith) with arbitrary
+// input and skip budgets. Properties:
+//
+//   - it never panics;
+//   - with a zero budget it behaves exactly like the strict ReadMSR;
+//   - whenever the strict parse succeeds, every budget yields the same
+//     requests and zero skipped lines (leniency must not change the parse
+//     of well-formed input);
+//   - with an unlimited budget a returned trace never contains a malformed
+//     request, and the parse only fails on scanner-level errors (a line
+//     longer than the buffer), never on field content.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("128166372003061629,hm,1,Read,383496192,32768,4011\n", 0)
+	f.Add("1,h,0,Write,0,4096,0\n2,h,0,Read,4096,512,9\n", 4)
+	f.Add("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n1,h,0,Write,0,4096,0\n", 1)
+	f.Add("1,h,0,Write,0,4096,0\nnot,a,trace\n2,h,0,Read,0,512,0\n", -1)
+	f.Add("1,h,0,Write,0,4096,0\n3,h,0,trim,0,512,0\n", 1)
+	f.Add("1,h,0,Write,-4,4096,0\n", -1)
+	f.Add("1,h,0,Write,0,0,0\n", 2)
+	f.Add("garbage\x00line\n9,h,0,Read,8192,512,0\n", -1)
+	f.Add("", 0)
+	f.Fuzz(func(t *testing.T, input string, budget int) {
+		if budget > 1<<20 {
+			budget = 1 << 20 // keep the loop bound sane; semantics unchanged
+		}
+		strict, strictErr := ReadMSR(strings.NewReader(input), "strict")
+		lenient, lenientErr := ReadMSRWith(strings.NewReader(input), "lenient",
+			MSROptions{MaxSkipped: budget})
+
+		if budget == 0 {
+			if (strictErr == nil) != (lenientErr == nil) {
+				t.Fatalf("zero budget diverged from strict: %v vs %v", strictErr, lenientErr)
+			}
+		}
+		if strictErr == nil && lenientErr == nil {
+			if lenient.SkippedLines != 0 {
+				t.Fatalf("skipped %d lines of input the strict parser accepts", lenient.SkippedLines)
+			}
+			if len(lenient.Requests) != len(strict.Requests) {
+				t.Fatalf("lenient parsed %d requests, strict %d", len(lenient.Requests), len(strict.Requests))
+			}
+			for i := range strict.Requests {
+				if strict.Requests[i] != lenient.Requests[i] {
+					t.Fatalf("request %d differs: %+v vs %+v", i, strict.Requests[i], lenient.Requests[i])
+				}
+			}
+		}
+		if lenientErr == nil {
+			for i, r := range lenient.Requests {
+				if r.Size <= 0 || r.Offset < 0 {
+					t.Fatalf("accepted malformed request %d: %+v", i, r)
+				}
+				if i > 0 && r.Time < lenient.Requests[i-1].Time {
+					t.Fatalf("accepted non-monotone times at %d", i)
+				}
+			}
+		}
+		// Unlimited budget: only scanner errors (oversized lines) may
+		// surface; any content-level failure must have been skipped.
+		if budget < 0 && lenientErr != nil && !strings.Contains(lenientErr.Error(), "token too long") {
+			t.Fatalf("unlimited budget still failed on content: %v", lenientErr)
+		}
+	})
+}

@@ -18,10 +18,27 @@ import (
 
 const filetimeTick = 100 // nanoseconds per Windows filetime tick
 
-// ReadMSR parses an MSR Cambridge format trace. Timestamps are rebased so
-// the first request arrives at time 0. Malformed lines yield an error with
-// the line number. Empty lines are skipped.
+// MSROptions tune ReadMSRWith's tolerance for malformed input.
+type MSROptions struct {
+	// MaxSkipped is the malformed-line budget: up to that many bad lines
+	// are skipped and counted (Trace.SkippedLines) instead of aborting the
+	// parse. Zero is strict — the first bad line is an error, ReadMSR's
+	// historical behavior. Negative is unlimited. Real trace archives
+	// routinely carry a truncated last line or a stray header; a bounded
+	// budget tolerates those without silently accepting a file in the
+	// wrong format.
+	MaxSkipped int
+}
+
+// ReadMSR parses an MSR Cambridge format trace strictly: timestamps are
+// rebased so the first request arrives at time 0, malformed lines yield an
+// error with the line number, empty lines are skipped.
 func ReadMSR(r io.Reader, name string) (*Trace, error) {
+	return ReadMSRWith(r, name, MSROptions{})
+}
+
+// ReadMSRWith is ReadMSR with an error budget for malformed lines.
+func ReadMSRWith(r io.Reader, name string, opt MSROptions) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	t := &Trace{Name: name}
@@ -35,6 +52,14 @@ func ReadMSR(r io.Reader, name string) (*Trace, error) {
 		}
 		req, ts, err := parseMSRLine(line)
 		if err != nil {
+			if opt.MaxSkipped != 0 && (opt.MaxSkipped < 0 || t.SkippedLines < opt.MaxSkipped) {
+				t.SkippedLines++
+				continue
+			}
+			if opt.MaxSkipped != 0 {
+				return nil, fmt.Errorf("trace: %s line %d: %w (%d malformed lines skipped, budget %d exhausted)",
+					name, lineNo, err, t.SkippedLines, opt.MaxSkipped)
+			}
 			return nil, fmt.Errorf("trace: %s line %d: %w", name, lineNo, err)
 		}
 		if len(t.Requests) == 0 {

@@ -41,6 +41,10 @@ type Trace struct {
 	Name string
 	// Requests are ordered by non-decreasing Time.
 	Requests []Request
+	// SkippedLines counts malformed input lines dropped by a lenient
+	// parse (ReadMSRWith with a skip budget); zero for strict parses and
+	// synthetic traces.
+	SkippedLines int
 }
 
 // Len returns the number of requests.
