@@ -1,12 +1,20 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test race test-race fuzz-smoke bench bench-smoke bench-json experiments experiments-full lint
+.PHONY: all check fmt-check test race test-race fuzz-smoke bench bench-smoke bench-json experiments experiments-full lint
 
 all: test
 
-# check is the full pre-merge gate: build + vet + tests, then the race
-# detector over the whole tree.
-check: test test-race
+# check is the full pre-merge gate: formatting, build + vet + tests, the
+# race detector over the whole tree, then a short fuzz pass over the trace
+# parsers.
+check: fmt-check test test-race fuzz-smoke
+
+# fmt-check fails (listing the offenders) when any file needs gofmt;
+# `gofmt -l` alone exits 0 even with findings, so wrap it.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -31,11 +39,12 @@ bench-smoke:
 	go test -run '^$$' -bench . -benchtime=10x -benchmem ./...
 
 # bench-json regenerates the checked-in benchmark baseline (see
-# docs/PERFORMANCE.md for the workflow and how to diff against it).
+# docs/PERFORMANCE.md for the workflow and how to diff against it). Each
+# PR's baseline diffs against the previous one via benchjson -old.
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkPolicy|BenchmarkFigure8ResponseTime' -benchmem . \
-		| go run ./cmd/benchjson > BENCH_PR1.json
-	@echo wrote BENCH_PR1.json
+	go test -run '^$$' -bench 'BenchmarkPolicy|BenchmarkFigure8ResponseTime|BenchmarkStreamingReplay|BenchmarkMSRScan' -benchmem . \
+		| go run ./cmd/benchjson -old BENCH_PR1.json > BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 experiments:
 	go run ./cmd/experiments
@@ -43,5 +52,5 @@ experiments:
 experiments-full:
 	go run ./cmd/experiments -full
 
-lint:
-	gofmt -l . && go vet ./...
+lint: fmt-check
+	go vet ./...

@@ -695,3 +695,62 @@ func BenchmarkMSRParse(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMSRScan measures the streaming parser over the same bytes as
+// BenchmarkMSRParse, without materializing the requests.
+func BenchmarkMSRScan(b *testing.B) {
+	tr := workload.MustGenerate(workload.TS0(), workload.Options{Scale: 0.02})
+	var buf bytes.Buffer
+	if err := trace.WriteMSR(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := trace.Scan(bytes.NewReader(data), "bench")
+		n := 0
+		for {
+			if _, ok := sc.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != tr.Len() {
+			b.Fatalf("scanned %d of %d", n, tr.Len())
+		}
+	}
+}
+
+// BenchmarkStreamingReplay times the constant-memory replay path end to
+// end: parse an MSR stream and drive it through the sim engine without
+// ever materializing the trace. The engine is the same one behind
+// replay.Run, so ns/op tracks the classic path; memory stays O(cache)
+// regardless of trace length.
+func BenchmarkStreamingReplay(b *testing.B) {
+	tr := workload.MustGenerate(workload.SRC12(), workload.Options{Scale: 0.05})
+	var buf bytes.Buffer
+	if err := trace.WriteMSR(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	text := buf.Bytes()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev, err := ssd.New(ssd.ScaledParams(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol := core.New(16 * 256)
+		m, err := replay.RunSource(trace.Scan(bytes.NewReader(text), "src1_2"), pol, dev, replay.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(m.HitRatio(), "hit-ratio")
+		}
+	}
+}

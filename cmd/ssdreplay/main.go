@@ -54,10 +54,6 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale, *maxSkip)
-	if err != nil {
-		fail(err)
-	}
 	params := ssd.ScaledParams(*divisor)
 	params.Faults = fcfg
 	dev, err := ssd.New(params)
@@ -71,22 +67,53 @@ func main() {
 	if *readahead > 0 {
 		pol = cache.NewReadAhead(pol, *readahead, 8)
 	}
-	if err := profiles.Start(); err != nil {
-		fail(err)
-	}
 	opts := replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000}
 	opts.ApplyFaults(fcfg)
-	m, err := replay.Run(tr, pol, dev, opts)
-	if err != nil {
-		fail(err)
+
+	var (
+		m       *replay.Metrics
+		skipped int
+	)
+	// An MSR trace file streams through the replay in constant memory: the
+	// scanner hands requests to the engine one at a time, so trace size no
+	// longer bounds what this command can replay. -v falls back to the
+	// materialized path because the Fig. 2/3 small/large threshold derives
+	// from the whole trace; SPC files and built-in workloads are
+	// materialized by construction.
+	if *traceFile != "" && *wl == "" && *format == "msr" && !*verbose {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := profiles.Start(); err != nil {
+			fail(err)
+		}
+		sc := trace.ScanMSRWith(f, *traceFile, trace.MSROptions{MaxSkipped: *maxSkip})
+		if m, err = replay.RunSource(sc, pol, dev, opts); err != nil {
+			fail(err)
+		}
+		skipped = sc.SkippedLines()
+	} else {
+		tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale, *maxSkip)
+		if err != nil {
+			fail(err)
+		}
+		if err := profiles.Start(); err != nil {
+			fail(err)
+		}
+		if m, err = replay.Run(tr, pol, dev, opts); err != nil {
+			fail(err)
+		}
+		skipped = tr.SkippedLines
 	}
 	if err := profiles.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
 		os.Exit(1)
 	}
 	report(m, *verbose)
-	if tr.SkippedLines > 0 {
-		fmt.Printf("skipped lines   %d malformed (budget %d)\n", tr.SkippedLines, *maxSkip)
+	if skipped > 0 {
+		fmt.Printf("skipped lines   %d malformed (budget %d)\n", skipped, *maxSkip)
 	}
 	if fcfg.Enabled() {
 		reportFaults(m, dev)

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,14 +36,38 @@ func main() {
 	)
 	flag.Parse()
 
-	tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "traceinfo:", err)
 		os.Exit(1)
 	}
-	a := trace.Analyze(tr, 4096)
+	var (
+		a    trace.Analysis
+		name string
+		tr   *trace.Trace // nil when the trace was streamed, not materialized
+	)
+	// An MSR file summarizes in one streaming pass and O(footprint) memory
+	// unless the miss-ratio curve was requested: Mattson's stack algorithm
+	// needs the materialized trace (two passes over reuse distances).
+	if *traceFile != "" && *wl == "" && *format == "msr" && *mrcSizes == "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if a, err = analyzeMSRStream(f, *traceFile); err != nil {
+			fail(err)
+		}
+		name = *traceFile
+	} else {
+		var err error
+		if tr, err = loadTrace(*traceFile, *format, *blockSize, *wl, *scale); err != nil {
+			fail(err)
+		}
+		a = trace.Analyze(tr, 4096)
+		name = tr.Name
+	}
 	s := a.Stats
-	fmt.Printf("trace            %s\n", tr.Name)
+	fmt.Printf("trace            %s\n", name)
 	fmt.Printf("requests         %d (%d writes, %d reads)\n", s.Requests, s.Writes, s.Reads)
 	fmt.Printf("write ratio      %.1f%%\n", s.WriteRatio*100)
 	fmt.Printf("mean write size  %.1f KB (%.1f pages)\n", s.MeanWriteBytes/1024, a.MeanWritePages)
@@ -89,6 +114,14 @@ func main() {
 			fmt.Print(metrics.PlotXY(xs, ys, 56, 12, "LRU hit ratio vs cache size (MB)"))
 		}
 	}
+}
+
+// analyzeMSRStream computes the Table 2 analysis over an MSR CSV stream in
+// a single pass: the scanner parses one line at a time and the accumulator
+// keeps O(footprint) state, so a multi-hundred-MB trace file summarizes
+// without ever being held in memory.
+func analyzeMSRStream(r io.Reader, name string) (trace.Analysis, error) {
+	return trace.AnalyzeSource(trace.Scan(r, name), 4096)
 }
 
 func printBuckets(bs []trace.SizeBucket) {

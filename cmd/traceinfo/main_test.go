@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAnalyzeMSRStreamMatchesMaterialized(t *testing.T) {
+	input := strings.Join([]string{
+		"128166372003061629,hm,0,Write,0,4096,0",
+		"128166372013061629,hm,0,Write,4096,8192,0", // sequential continuation
+		"128166372023061629,hm,0,Read,0,4096,0",
+		"128166372033061629,hm,0,Write,1048576,16384,0",
+	}, "\n")
+	tr, err := trace.ReadMSR(strings.NewReader(input), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Analyze(tr, 4096)
+	got, err := analyzeMSRStream(strings.NewReader(input), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats || got.SequentialWriteRatio != want.SequentialWriteRatio ||
+		got.DurationNs != want.DurationNs || got.MeanGapNs != want.MeanGapNs {
+		t.Fatalf("streamed analysis diverged:\n%+v\n%+v", got, want)
+	}
+}
+
+// msrGen lazily synthesizes an MSR CSV stream: totalLines requests padded
+// with a long hostname field, so the logical input is hundreds of MB while
+// the test never materializes more than one read chunk.
+type msrGen struct {
+	totalLines int
+	emitted    int
+	buf        bytes.Buffer
+	pad        string
+}
+
+func (g *msrGen) Read(p []byte) (int, error) {
+	for g.buf.Len() < len(p) && g.emitted < g.totalLines {
+		i := g.emitted
+		op := "Read"
+		if i%2 == 0 {
+			op = "Write"
+		}
+		// 4 KB requests walking a 1024-page footprint, one per 100 µs.
+		fmt.Fprintf(&g.buf, "%d,%s,0,%s,%d,4096,0\n",
+			128166372003061629+int64(i)*1000, g.pad, op, int64(i%1024)*4096)
+		g.emitted++
+	}
+	if g.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return g.buf.Read(p)
+}
+
+// TestAnalyzeMSRStreamHugeInput summarizes a ~160 MB-equivalent stream
+// (500k ~330-byte lines) through the command's streaming path: constant
+// memory, no materialized trace, exact aggregates.
+func TestAnalyzeMSRStreamHugeInput(t *testing.T) {
+	const lines = 500_000
+	gen := &msrGen{totalLines: lines, pad: strings.Repeat("h", 300)}
+	a, err := analyzeMSRStream(gen, "huge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats
+	if s.Requests != lines || s.Writes != lines/2 || s.Reads != lines/2 {
+		t.Fatalf("counts = %d (%dw/%dr), want %d split evenly", s.Requests, s.Writes, s.Reads, lines)
+	}
+	if s.MeanWriteBytes != 4096 || s.MeanReadBytes != 4096 {
+		t.Fatalf("mean sizes = %v/%v, want 4096", s.MeanWriteBytes, s.MeanReadBytes)
+	}
+	if s.DistinctPages != 1024 || s.TotalPages != lines {
+		t.Fatalf("footprint = %d pages, %d total; want 1024/%d", s.DistinctPages, s.TotalPages, lines)
+	}
+	// Every page is hit ~488 times: fully frequent.
+	if s.FrequentRatio != 1 || s.FrequentWriteRatio != 1 {
+		t.Fatalf("frequent ratios = %v/%v, want 1/1", s.FrequentRatio, s.FrequentWriteRatio)
+	}
+	// Arrivals are 100 µs apart.
+	if a.MeanGapNs != 100_000 {
+		t.Fatalf("MeanGapNs = %d, want 100000", a.MeanGapNs)
+	}
+}

@@ -1,8 +1,10 @@
 package replay
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -57,5 +59,68 @@ func TestAllOptionsTogether(t *testing.T) {
 	}
 	if err := dev.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOptionsValidate is the table over the option surface: every invalid
+// configuration must be rejected up front with a specific error, and the
+// boundary-legal ones must pass.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr string // substring; empty means valid
+	}{
+		{"zero-value", Options{}, ""},
+		{"full-valid", Options{
+			SmallThresholdPages: 8, SeriesInterval: 500, TrackPageFates: true,
+			WarmupRequests: 100, IdleFlushNs: 1_000_000, IdleGC: true,
+			QueueDepth: 16, TenantBoundaries: []int64{10, 20}, CrashAtRequest: 5,
+			DestageNs: 1_000_000,
+		}, ""},
+		{"negative-threshold", Options{SmallThresholdPages: -1}, "SmallThresholdPages"},
+		{"negative-series-interval", Options{SeriesInterval: -10}, "SeriesInterval"},
+		{"negative-warmup", Options{WarmupRequests: -1}, "WarmupRequests"},
+		{"negative-idle-flush", Options{IdleFlushNs: -1}, "IdleFlushNs"},
+		{"idle-gc-without-flush", Options{IdleGC: true}, "IdleGC requires IdleFlushNs"},
+		{"negative-queue-depth", Options{QueueDepth: -2}, "QueueDepth"},
+		{"negative-crash-point", Options{CrashAtRequest: -1}, "CrashAtRequest"},
+		{"negative-destage", Options{DestageNs: -1}, "DestageNs"},
+		{"tenant-boundary-zero", Options{TenantBoundaries: []int64{0, 10}}, "tenant boundaries"},
+		{"tenant-boundary-negative", Options{TenantBoundaries: []int64{-5, 10}}, "tenant boundaries"},
+		{"tenant-boundary-not-increasing", Options{TenantBoundaries: []int64{10, 10}}, "tenant boundaries"},
+		{"tenant-boundary-decreasing", Options{TenantBoundaries: []int64{20, 10}}, "tenant boundaries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidOptions checks the validation actually gates the
+// replay entry points, not just the standalone method.
+func TestRunRejectsInvalidOptions(t *testing.T) {
+	dev := testDevice(t)
+	if _, err := Run(microTrace(), cache.NewLRU(64), dev, Options{QueueDepth: -1}); err == nil {
+		t.Fatal("Run accepted a negative queue depth")
+	}
+	if _, err := RunSource(microTrace().Source(), cache.NewLRU(64), dev, Options{SeriesInterval: -1}); err == nil {
+		t.Fatal("RunSource accepted a negative series interval")
+	}
+	// Streaming + fates without an explicit threshold cannot work: the
+	// auto-derivation needs the whole trace.
+	if _, err := RunSource(microTrace().Source(), cache.NewLRU(64), dev, Options{TrackPageFates: true}); err == nil ||
+		!strings.Contains(err.Error(), "SmallThresholdPages") {
+		t.Fatalf("RunSource fates without threshold: err = %v", err)
 	}
 }

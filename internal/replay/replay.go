@@ -5,6 +5,14 @@
 // (Fig. 12), list occupancy series (Fig. 13), and the motivation
 // statistics (Figs. 2 and 3).
 //
+// The simulation itself lives in internal/sim: a streaming engine that
+// pulls requests from a trace.Source and emits observer events. This
+// package assembles the paper's metric set as sim.Observer implementations
+// (see observers.go) and exposes two entry points: Run replays a
+// materialized *trace.Trace, RunSource replays any trace.Source — e.g. a
+// trace.Scanner reading an MSR CSV file — in constant memory, never
+// holding the trace.
+//
 // The replay is open-loop and deterministic: requests enter at their trace
 // timestamps, the cache decides hits/evictions instantly (DRAM time), and
 // flash work is scheduled on the device's channel/chip timeline. A write
@@ -16,14 +24,13 @@
 package replay
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/flash"
-	"repro/internal/ftl"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -32,7 +39,9 @@ import (
 type Options struct {
 	// SmallThresholdPages separates small from large requests for the
 	// Fig. 2/3 motivation statistics. Zero derives it from the trace's
-	// mean request size, as the paper's footnote 1 specifies.
+	// mean request size, as the paper's footnote 1 specifies (Run only:
+	// the derivation needs the whole trace, so RunSource requires an
+	// explicit threshold when TrackPageFates is set).
 	SmallThresholdPages int
 	// SeriesInterval is the request interval for occupancy sampling
 	// (Fig. 13 logs every 10,000 requests). Zero disables the series.
@@ -80,6 +89,44 @@ type Options struct {
 	// (policies implementing cache.IdleEvictor), bounding the dirty data a
 	// crash can lose. Zero disables.
 	DestageNs int64
+}
+
+// Validate rejects option combinations the replay cannot honor. Run and
+// RunSource call it first, so a bad configuration fails loudly up front
+// instead of silently skewing a long run.
+func (o *Options) Validate() error {
+	if o.SmallThresholdPages < 0 {
+		return fmt.Errorf("replay: SmallThresholdPages %d is negative (0 means auto-derive)", o.SmallThresholdPages)
+	}
+	if o.SeriesInterval < 0 {
+		return fmt.Errorf("replay: SeriesInterval %d is negative (0 disables the series)", o.SeriesInterval)
+	}
+	if o.WarmupRequests < 0 {
+		return fmt.Errorf("replay: WarmupRequests %d is negative", o.WarmupRequests)
+	}
+	if o.IdleFlushNs < 0 {
+		return fmt.Errorf("replay: IdleFlushNs %d is negative (0 disables idle flushing)", o.IdleFlushNs)
+	}
+	if o.IdleGC && o.IdleFlushNs == 0 {
+		return fmt.Errorf("replay: IdleGC requires IdleFlushNs > 0 (idle windows are defined by the flush threshold)")
+	}
+	if o.QueueDepth < 0 {
+		return fmt.Errorf("replay: QueueDepth %d is negative (0 keeps the open loop)", o.QueueDepth)
+	}
+	if o.CrashAtRequest < 0 {
+		return fmt.Errorf("replay: CrashAtRequest %d is negative (0 disables the crash)", o.CrashAtRequest)
+	}
+	if o.DestageNs < 0 {
+		return fmt.Errorf("replay: DestageNs %d is negative (0 disables destaging)", o.DestageNs)
+	}
+	var prev int64
+	for i, b := range o.TenantBoundaries {
+		if b <= prev {
+			return fmt.Errorf("replay: tenant boundaries must be increasing: boundary %d is %d after %d", i, b, prev)
+		}
+		prev = b
+	}
+	return nil
 }
 
 // ApplyFaults copies the replay-level fields of a fault configuration
@@ -226,451 +273,80 @@ func (m *Metrics) SpaceOverheadBytes() int64 {
 	return int64(m.NodeBytes) * int64(m.MaxNodes)
 }
 
-// pageFate tracks one resident page for the Fig. 2/3 statistics.
-type pageFate struct {
-	insertReqPages int32 // size (pages) of the write request that inserted it
-	large          bool
-	hit            bool
+// Run replays a materialized trace against a policy and device. It is a
+// thin wrapper over RunSource: the only thing it adds is the auto-derived
+// small/large threshold, which needs the whole trace (footnote 1's mean
+// request size).
+func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Metrics, error) {
+	if opts.SmallThresholdPages == 0 {
+		opts.SmallThresholdPages = meanRequestPages(tr, dev.PageSize())
+	}
+	return RunSource(tr.Source(), pol, dev, opts)
 }
 
-// Run replays a trace against a policy and device.
-func Run(tr *trace.Trace, pol cache.Policy, dev *ssd.Device, opts Options) (*Metrics, error) {
-	m := &Metrics{
-		Trace:         tr.Name,
-		Policy:        pol.Name(),
-		EvictionBatch: metrics.NewHist(512),
-		NodeBytes:     pol.NodeBytes(),
-		ResponseP50:   metrics.NewQuantile(0.5),
-		ResponseP99:   metrics.NewQuantile(0.99),
+// RunSource replays a streaming source against a policy and device in
+// O(cache) memory: requests are consumed one at a time and never retained,
+// so a multi-hundred-MB trace file replays without being materialized.
+// Metrics are bit-identical to Run over the same request sequence.
+func RunSource(src trace.Source, pol cache.Policy, dev *ssd.Device, opts Options) (*Metrics, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
+	if ps := dev.PageSize(); ps <= 0 {
+		return nil, fmt.Errorf("replay: device page size %d must be positive", ps)
+	}
+	if opts.TrackPageFates && opts.SmallThresholdPages == 0 {
+		return nil, fmt.Errorf("replay: TrackPageFates on a streaming source needs an explicit SmallThresholdPages (Run derives it from the materialized trace)")
+	}
+
+	m := &Metrics{
+		Trace:               src.Name(),
+		Policy:              pol.Name(),
+		EvictionBatch:       metrics.NewHist(512),
+		NodeBytes:           pol.NodeBytes(),
+		ResponseP50:         metrics.NewQuantile(0.5),
+		ResponseP99:         metrics.NewQuantile(0.99),
+		SmallThresholdPages: opts.SmallThresholdPages,
+	}
+	eng := sim.New(src, pol, dev, sim.Config{
+		WarmupRequests: opts.WarmupRequests,
+		IdleFlushNs:    opts.IdleFlushNs,
+		IdleGC:         opts.IdleGC,
+		QueueDepth:     opts.QueueDepth,
+		DestageNs:      opts.DestageNs,
+	})
+
+	// The measurement plane: the core metrics observer always runs; the
+	// specialized observers attach only when their option asks for them,
+	// so the hot path never pays for bookkeeping nobody requested.
+	eng.Observe(&coreObserver{m: m})
 	if opts.TrackPageFates {
 		m.InsertBySize = metrics.NewHist(256)
 		m.HitBySize = metrics.NewHist(256)
+		eng.Observe(&fateObserver{m: m, fates: make(map[int64]pageFate, pol.CapacityPages())})
 	}
-	m.SmallThresholdPages = opts.SmallThresholdPages
-	if m.SmallThresholdPages <= 0 {
-		m.SmallThresholdPages = meanRequestPages(tr, dev.PageSize())
-	}
-
-	// Occupancy sampling: OccupancySampler policies expose a fixed name
-	// order and append into a reusable buffer, so per-sample cost is an
-	// indexed loop instead of a freshly allocated map (ListPages stays the
-	// fallback for reporter-only policies).
-	occupancy, _ := pol.(cache.OccupancyReporter)
-	sampler, _ := pol.(cache.OccupancySampler)
-	var seriesSlots []*metrics.Series
-	var occBuf []int
-	if opts.SeriesInterval > 0 && occupancy != nil {
-		m.ListSeries = make(map[string]*metrics.Series)
-		if sampler != nil {
-			names := sampler.OccupancyNames()
-			seriesSlots = make([]*metrics.Series, len(names))
-			occBuf = make([]int, 0, len(names))
-			for i, name := range names {
-				s := metrics.NewSeries(opts.SeriesInterval)
-				m.ListSeries[name] = s
-				seriesSlots[i] = s
-			}
-		} else {
-			for name := range occupancy.ListPages() {
-				m.ListSeries[name] = metrics.NewSeries(opts.SeriesInterval)
-			}
-		}
-	}
-
-	var fates map[int64]pageFate
-	if opts.TrackPageFates {
-		fates = make(map[int64]pageFate, pol.CapacityPages())
-	}
-
-	idler, _ := pol.(cache.IdleEvictor)
-	if da, ok := pol.(cache.DeviceAware); ok {
-		da.AttachDevice(dev)
-	}
-
-	// Per-tenant accounting.
 	if n := len(opts.TenantBoundaries); n > 0 {
 		m.Tenants = make([]TenantMetrics, n)
 		var prev int64
 		for i, b := range opts.TenantBoundaries {
-			if b <= prev {
-				return nil, fmt.Errorf("replay: tenant boundaries must be increasing")
-			}
 			m.Tenants[i] = TenantMetrics{FirstPage: prev, LastPage: b}
 			prev = b
 		}
+		eng.Observe(&tenantObserver{m: m})
 	}
-	tenantOf := func(page int64) *TenantMetrics {
-		for i := range m.Tenants {
-			if page < m.Tenants[i].LastPage {
-				return &m.Tenants[i]
-			}
-		}
-		return nil
-	}
-
-	// Closed-loop state: completions of the last QueueDepth requests.
-	var window []int64
-	var windowPos int
-	if opts.QueueDepth > 0 {
-		window = make([]int64, opts.QueueDepth)
-	}
-
-	var nodeSum float64
-	var prevArrival int64
-	var dramPages int64
-	var nextDestage int64
-	stopped := false
-	// degradedStop records a read-only-mode stop; callers break the replay
-	// loop instead of failing the run (degradation is an outcome the fault
-	// experiments report, not an error).
-	degradedStop := func(err error) bool {
-		if !errors.Is(err, fault.ErrReadOnly) {
-			return false
-		}
-		if !m.Degraded {
-			m.Degraded = true
-			m.DegradedAtRequest = m.Requests
-		}
-		return true
-	}
-	logical := dev.LogicalPages()
-	for i := range tr.Requests {
-		req := tr.Requests[i]
-		// Proactive eviction during the idle gap before this request.
-		if opts.IdleFlushNs > 0 && opts.IdleGC && i > 0 &&
-			req.Time-prevArrival >= opts.IdleFlushNs {
-			// One block collection per idle window keeps background GC
-			// from monopolizing the dies right before the next burst.
-			if n := dev.BackgroundGC(prevArrival, 1); n > 0 {
-				m.IdleGCRuns += int64(n)
-			}
-		}
-		if opts.IdleFlushNs > 0 && idler != nil && i > 0 {
-			idleAt := prevArrival
-			for req.Time-idleAt >= opts.IdleFlushNs {
-				ev, ok := idler.EvictIdle(idleAt)
-				if !ok || len(ev.LPNs) == 0 {
-					break
-				}
-				bt, err := dev.FlushStriped(idleAt, ev.LPNs)
-				if err != nil {
-					if degradedStop(err) {
-						stopped = true
-						break
-					}
-					return nil, fmt.Errorf("replay: %s idle flush: %w", tr.Name, err)
-				}
-				m.EvictionBatch.Observe(len(ev.LPNs))
-				m.FlushedPages += int64(len(ev.LPNs))
-				m.IdleFlushedPages += int64(len(ev.LPNs))
-				if fates != nil {
-					finalizeFates(m, fates, ev.LPNs)
-				}
-				idleAt = bt.Transferred
-			}
-		}
-		// Periodic destage: at every DestageNs tick up to this arrival,
-		// drain victim batches (the policy's own idle-victim rule) so a
-		// crash loses less dirty data.
-		if opts.DestageNs > 0 && idler != nil && !stopped {
-			if nextDestage == 0 {
-				nextDestage = req.Time + opts.DestageNs
-			}
-			for req.Time >= nextDestage && !stopped {
-				tick := nextDestage
-				nextDestage += opts.DestageNs
-				for {
-					ev, ok := idler.EvictIdle(tick)
-					if !ok || len(ev.LPNs) == 0 {
-						break
-					}
-					if _, err := dev.FlushStriped(tick, ev.LPNs); err != nil {
-						if degradedStop(err) {
-							stopped = true
-							break
-						}
-						return nil, fmt.Errorf("replay: %s destage: %w", tr.Name, err)
-					}
-					m.EvictionBatch.Observe(len(ev.LPNs))
-					m.FlushedPages += int64(len(ev.LPNs))
-					m.DestagedPages += int64(len(ev.LPNs))
-					if fates != nil {
-						finalizeFates(m, fates, ev.LPNs)
-					}
-				}
-			}
-		}
-		if stopped {
-			break
-		}
-		prevArrival = req.Time
-
-		first, pages := req.PageSpan(dev.PageSize())
-		if pages == 0 {
-			continue
-		}
-		if first+int64(pages) > logical {
-			return nil, fmt.Errorf("replay: %s request %d beyond device: lpn %d+%d > %d",
-				tr.Name, i, first, pages, logical)
-		}
-		// Issue time: the trace arrival, or — in closed-loop mode — when a
-		// queue slot frees up (the completion of the request QueueDepth
-		// places back), whichever is later.
-		now := req.Time
-		if window != nil {
-			if freeAt := window[windowPos]; freeAt > now {
-				now = freeAt
-			}
-		}
-		creq := cache.Request{Time: now, Write: req.Write, LPN: first, Pages: pages}
-		res := pol.Access(creq)
-
-		completion := dev.CacheAccess(now, res.Hits+res.Inserted)
-		dramPages += int64(res.Hits + res.Inserted)
-		warm := i >= opts.WarmupRequests
-
-		// Account hits/misses and page fates.
-		if warm {
-			m.PageHits += int64(res.Hits)
-			m.PageMisses += int64(res.Misses)
-			if req.Write {
-				m.WritePageHits += int64(res.Hits)
-			} else {
-				m.ReadPageHits += int64(res.Hits)
-			}
-		}
-		if fates != nil {
-			recordFates(m, fates, creq, res)
-		}
-
-		// Evictions: flush victims; the request waits for durability.
-		for _, ev := range res.Evictions {
-			if ev.CleanDrop {
-				m.CleanDrops += int64(len(ev.LPNs))
-				if fates != nil {
-					finalizeFates(m, fates, ev.LPNs)
-				}
-				continue
-			}
-			m.EvictionBatch.Observe(len(ev.LPNs))
-			m.FlushedPages += int64(len(ev.LPNs))
-			flushAt := now
-			if len(ev.PaddingReads) > 0 {
-				padDone, err := dev.ReadPages(now, ev.PaddingReads)
-				if err != nil {
-					return nil, fmt.Errorf("replay: %s padding: %w", tr.Name, err)
-				}
-				flushAt = padDone
-			}
-			var bt ftl.BatchTiming
-			var err error
-			switch {
-			case ev.BlockBound:
-				bt, err = dev.FlushBlockBound(flushAt, ev.LPNs)
-			case ev.HasChannelHint:
-				bt, err = dev.FlushOnChannel(flushAt, ev.LPNs, ev.Channel)
-			default:
-				bt, err = dev.FlushStriped(flushAt, ev.LPNs)
-			}
-			if err != nil {
-				if degradedStop(err) {
-					stopped = true
-					break
-				}
-				return nil, fmt.Errorf("replay: %s flush: %w", tr.Name, err)
-			}
-			// The request waits until the victims' frames are free (their
-			// transfers finish); the programs continue on the dies and
-			// delay later operations through the timeline.
-			if bt.Transferred > completion {
-				completion = bt.Transferred
-			}
-			if fates != nil {
-				finalizeFates(m, fates, ev.LPNs)
-			}
-		}
-		if stopped {
-			break
-		}
-
-		// Bypassed large-write pages stream straight to flash; the request
-		// blocks on their transfers like an eviction flush.
-		if len(res.Bypass) > 0 {
-			bt, err := dev.FlushStriped(now, res.Bypass)
-			if err != nil {
-				if degradedStop(err) {
-					break
-				}
-				return nil, fmt.Errorf("replay: %s bypass: %w", tr.Name, err)
-			}
-			if bt.Transferred > completion {
-				completion = bt.Transferred
-			}
-			m.BypassedPages += int64(len(res.Bypass))
-		}
-
-		// Read misses fetch from flash.
-		if len(res.ReadMisses) > 0 {
-			done, err := dev.ReadPages(now, res.ReadMisses)
-			if err != nil {
-				return nil, fmt.Errorf("replay: %s read: %w", tr.Name, err)
-			}
-			if done > completion {
-				completion = done
-			}
-		}
-
-		// Background prefetches load the device but never block the
-		// triggering request. Readahead past the end of the logical space
-		// is clipped (the policy cannot know the device size).
-		if len(res.Prefetches) > 0 {
-			pf := res.Prefetches[:0]
-			for _, lpn := range res.Prefetches {
-				if lpn < logical {
-					pf = append(pf, lpn)
-				}
-			}
-			if len(pf) > 0 {
-				if _, err := dev.ReadPages(now, pf); err != nil {
-					return nil, fmt.Errorf("replay: %s prefetch: %w", tr.Name, err)
-				}
-				m.PrefetchedPages += int64(len(pf))
-			}
-		}
-
-		if window != nil {
-			window[windowPos] = completion
-			windowPos = (windowPos + 1) % len(window)
-		}
-		if warm {
-			resp := float64(completion - now)
-			m.Response.Observe(resp)
-			m.ResponseP50.Observe(resp)
-			m.ResponseP99.Observe(resp)
-			if req.Write {
-				m.WriteResponse.Observe(resp)
-			} else {
-				m.ReadResponse.Observe(resp)
-			}
-			if tm := tenantOf(first); tm != nil {
-				tm.PageHits += int64(res.Hits)
-				tm.PageMisses += int64(res.Misses)
-				tm.Response.Observe(resp)
-			}
-		}
-
-		// Structural gauges.
-		nodes := pol.NodeCount()
-		if nodes > m.MaxNodes {
-			m.MaxNodes = nodes
-		}
-		nodeSum += float64(nodes)
-		m.Requests++
-		if m.ListSeries != nil {
-			if seriesSlots != nil {
-				occBuf = sampler.AppendOccupancy(occBuf[:0])
-				for s, slot := range seriesSlots {
-					slot.Tick(int64(m.Requests), float64(occBuf[s]))
-				}
-			} else {
-				for name, pagesHeld := range occupancy.ListPages() {
-					m.ListSeries[name].Tick(int64(m.Requests), float64(pagesHeld))
-				}
-			}
-		}
-
-		// Simulated DRAM power loss: stop here and count the dirty pages
-		// still buffered as lost host data.
-		if opts.CrashAtRequest > 0 && m.Requests >= opts.CrashAtRequest {
-			m.Crashed = true
-			m.CrashedAtRequest = m.Requests
-			lost := pol.Len()
-			if dp, ok := pol.(cache.DirtyPager); ok {
-				lost = dp.DirtyPages()
-			}
-			m.LostDirtyPages = int64(lost)
-			break
+	if opts.SeriesInterval > 0 {
+		if obs := newOccupancyObserver(m, pol, opts.SeriesInterval); obs != nil {
+			eng.Observe(obs)
 		}
 	}
-	// Pages still resident at the end never got evicted; their fates count.
-	for _, f := range fates {
-		if f.large {
-			m.LargeInserted++
-			if f.hit {
-				m.LargeHitBeforeEviction++
-			}
-		}
+	if opts.CrashAtRequest > 0 {
+		eng.Observe(&crashObserver{m: m, at: opts.CrashAtRequest})
 	}
-	if m.Requests > 0 {
-		m.MeanNodes = nodeSum / float64(m.Requests)
-	}
-	// A device that entered read-only mode during background work (idle GC)
-	// without a subsequent write failing still reports as degraded.
-	if dev.Degraded() && !m.Degraded {
-		m.Degraded = true
-		m.DegradedAtRequest = m.Requests
-	}
-	// End-of-replay invariant sweep (fault.Config.CheckInvariants); runs
-	// before the counter snapshot so the final check is counted.
-	if c := dev.InvariantChecker(); c != nil {
-		if err := c.Check(); err != nil {
-			return nil, fmt.Errorf("replay: %s end-of-replay invariants: %w", tr.Name, err)
-		}
-	}
-	m.Device = dev.Counters()
-	m.Endurance = dev.Endurance(0)
-	ep := ssd.DefaultEnergyParams()
-	m.Energy = dev.Energy(ep)
-	m.DRAMEnergyUJ = float64(dramPages) * ep.DRAMAccessUJ
-	if n := len(tr.Requests); n > 0 {
-		horizon := tr.Requests[n-1].Time - tr.Requests[0].Time
-		m.Utilization = dev.Utilization(horizon)
+
+	if _, err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
 	}
 	return m, nil
-}
-
-// recordFates updates the per-page bookkeeping for one request. A page
-// found in the fate map was resident when the request arrived, so touching
-// it is a hit attributed to the size of the write request that inserted it
-// (Fig. 2 keys both CDFs by inserting-request size); a written page not in
-// the map is a fresh insertion. The shadow model can diverge from the
-// policy by at most the pages a request evicts of itself (requests larger
-// than the whole buffer), which the experiments never produce.
-func recordFates(m *Metrics, fates map[int64]pageFate, req cache.Request, res cache.Result) {
-	_ = res
-	large := req.Pages > m.SmallThresholdPages
-	lpn := req.LPN
-	for i := 0; i < req.Pages; i++ {
-		if f, ok := fates[lpn]; ok {
-			if !f.hit {
-				f.hit = true
-				fates[lpn] = f
-			}
-			m.HitBySize.Observe(int(f.insertReqPages))
-		} else if req.Write {
-			fates[lpn] = pageFate{insertReqPages: int32(req.Pages), large: large}
-			m.InsertBySize.Observe(req.Pages)
-		}
-		lpn++
-	}
-}
-
-// finalizeFates closes the lifetime of evicted pages, feeding Fig. 3.
-func finalizeFates(m *Metrics, fates map[int64]pageFate, lpns []int64) {
-	for _, lpn := range lpns {
-		f, ok := fates[lpn]
-		if !ok {
-			continue
-		}
-		if f.large {
-			m.LargeInserted++
-			if f.hit {
-				m.LargeHitBeforeEviction++
-			}
-		}
-		delete(fates, lpn)
-	}
 }
 
 // meanRequestPages computes the trace's mean request size in pages, the

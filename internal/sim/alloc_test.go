@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// The engine's per-request step must not allocate once the policy's pools
+// and the device timeline are warm: events are reused structs, eviction
+// dispatch consumes policy-owned buffers, and observer emission is an
+// interface loop. This guards the zero-alloc replay guarantee (PR 1) at
+// the engine layer — the budget is a ceiling for incompressible map-bucket
+// churn in the policy's LPN index, far below one allocation per request.
+func TestEngineStepSteadyStateAllocs(t *testing.T) {
+	eng := New(nil, cache.NewLRU(4096), testDevice(t), Config{QueueDepth: 16})
+	eng.Observe(NopObserver{}, NopObserver{})
+	eng.begin()
+
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	i := 0
+	step := func() {
+		now += 1000
+		r := trace.Request{
+			Time:   now,
+			Write:  rng.Intn(10) < 7,
+			Offset: int64(rng.Intn(20000)) * 4096,
+			Size:   int64(1+rng.Intn(12)) * 4096,
+		}
+		if err := eng.processRequest(i, r, 4096); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	// Warm up: fill the cache several times over so the node pools and
+	// result buffers reach their high-water marks.
+	for n := 0; n < 30000; n++ {
+		step()
+	}
+	if got := testing.AllocsPerRun(2000, step); got > 0.05 {
+		t.Fatalf("engine steady-state allocs/req = %v, want ~0", got)
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// testDevice builds a small but realistic device for engine tests.
+func testDevice(t *testing.T) *ssd.Device {
+	t.Helper()
+	p := ssd.DefaultParams()
+	p.Flash.BlocksPerPlane = 512 // 114688 logical pages
+	p.Flash.PagesPerBlock = 16
+	p.Precondition = 0
+	d, err := ssd.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func req(tm int64, wr bool, page, pages int64) trace.Request {
+	return trace.Request{Time: tm, Write: wr, Offset: page * 4096, Size: pages * 4096}
+}
+
+// recorder copies every event it sees (events are reused across calls).
+type recorder struct {
+	requests  []RequestEvent
+	results   []ResultEvent
+	evictions []EvictionEvent
+	done      DoneEvent
+	doneCalls int
+	stopAt    int // processed count to stop the engine at; 0 disables
+}
+
+func (r *recorder) OnRequest(_ *Engine, ev *RequestEvent) {
+	r.requests = append(r.requests, *ev)
+}
+
+func (r *recorder) OnEviction(_ *Engine, ev *EvictionEvent) {
+	cp := *ev
+	cp.LPNs = append([]int64(nil), ev.LPNs...)
+	r.evictions = append(r.evictions, cp)
+}
+
+func (r *recorder) OnResult(e *Engine, ev *ResultEvent) {
+	r.results = append(r.results, *ev)
+	if r.stopAt > 0 && ev.Processed >= r.stopAt {
+		e.Stop()
+	}
+}
+
+func (r *recorder) OnDone(_ *Engine, ev *DoneEvent) {
+	r.done = *ev
+	r.doneCalls++
+}
+
+func TestEngineEventStream(t *testing.T) {
+	tr := &trace.Trace{Name: "ev", Requests: []trace.Request{
+		req(0, true, 0, 2),
+		req(1_000_000, true, 0, 2),   // hit
+		req(2_000_000, false, 50, 1), // read miss
+		req(3_000_000, true, 100, 4),
+	}}
+	rec := &recorder{}
+	eng := New(tr.Source(), cache.NewLRU(4096), testDevice(t), Config{WarmupRequests: 1})
+	eng.Observe(rec)
+	done, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Processed != 4 || !done.HasRequests {
+		t.Fatalf("done = %+v", done)
+	}
+	if done.FirstArrival != 0 || done.LastArrival != 3_000_000 {
+		t.Fatalf("arrival span = [%d, %d]", done.FirstArrival, done.LastArrival)
+	}
+	if len(rec.requests) != 4 || len(rec.results) != 4 {
+		t.Fatalf("saw %d requests, %d results", len(rec.requests), len(rec.results))
+	}
+	if rec.doneCalls != 1 {
+		t.Fatalf("OnDone fired %d times", rec.doneCalls)
+	}
+	// Warmup marking: request 0 cold, the rest warm.
+	if rec.requests[0].Warm || !rec.requests[1].Warm {
+		t.Fatal("warmup marking wrong")
+	}
+	// Field plumbing on the read miss.
+	r2 := rec.requests[2]
+	if r2.Index != 2 || r2.Write || r2.LPN != 50 || r2.Pages != 1 || r2.Arrival != 2_000_000 {
+		t.Fatalf("request 2 = %+v", r2)
+	}
+	for i, res := range rec.results {
+		if res.Processed != i+1 {
+			t.Fatalf("result %d Processed = %d", i, res.Processed)
+		}
+		if res.Completion < rec.requests[i].Issue {
+			t.Fatalf("result %d completes before issue", i)
+		}
+	}
+}
+
+func TestEngineEmitsEvictions(t *testing.T) {
+	// A 64-page cache fed 32 8-page writes must evict.
+	reqs := make([]trace.Request, 32)
+	for i := range reqs {
+		reqs[i] = req(int64(i)*1_000_000, true, int64(i*8), 8)
+	}
+	tr := &trace.Trace{Name: "evict", Requests: reqs}
+	rec := &recorder{}
+	eng := New(tr.Source(), cache.NewLRU(64), testDevice(t), Config{})
+	eng.Observe(rec)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.evictions) == 0 {
+		t.Fatal("no eviction events from an overflowing cache")
+	}
+	var pages int
+	for _, ev := range rec.evictions {
+		if ev.Kind != EvictRequest {
+			t.Fatalf("unexpected eviction kind %d", ev.Kind)
+		}
+		pages += len(ev.LPNs)
+	}
+	if pages < 32*8-64 {
+		t.Fatalf("evicted %d pages, want at least %d", pages, 32*8-64)
+	}
+}
+
+func TestEngineObserverStopDrainsHorizon(t *testing.T) {
+	reqs := make([]trace.Request, 10)
+	for i := range reqs {
+		reqs[i] = req(int64(i)*1_000_000, true, int64(i), 1)
+	}
+	tr := &trace.Trace{Name: "stop", Requests: reqs}
+	rec := &recorder{stopAt: 3}
+	eng := New(tr.Source(), cache.NewLRU(4096), testDevice(t), Config{})
+	eng.Observe(rec)
+	done, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.Stopped || done.Processed != 3 {
+		t.Fatalf("done = %+v, want stopped at 3", done)
+	}
+	// The horizon still spans the whole source: the engine drains the
+	// remaining requests (parse-only) after the stop.
+	if done.LastArrival != 9_000_000 {
+		t.Fatalf("LastArrival = %d, want 9000000 (full-source horizon)", done.LastArrival)
+	}
+	if len(rec.results) != 3 {
+		t.Fatalf("results after stop: %d", len(rec.results))
+	}
+}
+
+func TestEngineSkipsZeroPageRequests(t *testing.T) {
+	tr := &trace.Trace{Name: "zero", Requests: []trace.Request{
+		req(0, true, 0, 1),
+		{Time: 1_000_000, Write: true, Offset: 4096, Size: 0}, // zero pages
+		req(2_000_000, true, 2, 1),
+	}}
+	rec := &recorder{}
+	eng := New(tr.Source(), cache.NewLRU(4096), testDevice(t), Config{})
+	eng.Observe(rec)
+	done, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Processed != 2 || len(rec.requests) != 2 {
+		t.Fatalf("processed %d, saw %d request events; want 2/2", done.Processed, len(rec.requests))
+	}
+	// The skipped entry still consumes a source ordinal.
+	if rec.requests[1].Index != 2 {
+		t.Fatalf("second request Index = %d, want 2", rec.requests[1].Index)
+	}
+}
+
+func TestEngineRejectsOutOfRangeRequest(t *testing.T) {
+	tr := &trace.Trace{Name: "oob", Requests: []trace.Request{
+		req(0, true, 1<<40, 1),
+	}}
+	eng := New(tr.Source(), cache.NewLRU(4096), testDevice(t), Config{})
+	if _, err := eng.Run(); err == nil || !strings.Contains(err.Error(), "beyond device") {
+		t.Fatalf("err = %v, want beyond-device error", err)
+	}
+}
+
+func TestEnginePropagatesSourceError(t *testing.T) {
+	input := "128166372003061629,hm,0,Write,0,4096,0\nnot a line\n"
+	eng := New(trace.Scan(strings.NewReader(input), "bad"), cache.NewLRU(4096), testDevice(t), Config{})
+	rec := &recorder{}
+	eng.Observe(rec)
+	if _, err := eng.Run(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want scanner parse error", err)
+	}
+}

@@ -31,48 +31,101 @@ type SizeBucket struct {
 
 // Analyze computes the full report for a trace at the given page size.
 func Analyze(t *Trace, pageSize int64) Analysis {
-	a := Analysis{Stats: ComputeStats(t, pageSize)}
-	writeSizes := map[int]int64{}
-	readSizes := map[int]int64{}
-	// Recent write ends for sequentiality detection.
-	const window = 64
-	recentEnds := make([]int64, 0, window)
-	var seqWrites, writes int
-	var wPages, rPages int64
+	an := newAnalyzer(pageSize)
 	for _, r := range t.Requests {
-		_, n := r.PageSpan(pageSize)
-		if r.Write {
-			writes++
-			wPages += int64(n)
-			writeSizes[n]++
-			for _, end := range recentEnds {
-				if r.Offset == end {
-					seqWrites++
-					break
-				}
-			}
-			if len(recentEnds) == window {
-				copy(recentEnds, recentEnds[1:])
-				recentEnds = recentEnds[:window-1]
-			}
-			recentEnds = append(recentEnds, r.Offset+r.Size)
-		} else {
-			rPages += int64(n)
-			readSizes[n]++
+		an.add(r)
+	}
+	return an.finish()
+}
+
+// AnalyzeSource is Analyze over a streaming Source: a single pass whose
+// memory is bounded by the footprint and the size-histogram support, never
+// the trace length.
+func AnalyzeSource(src Source, pageSize int64) (Analysis, error) {
+	an := newAnalyzer(pageSize)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
 		}
+		an.add(r)
 	}
-	a.WriteSizePages = sortBuckets(writeSizes)
-	a.ReadSizePages = sortBuckets(readSizes)
-	if writes > 0 {
-		a.SequentialWriteRatio = float64(seqWrites) / float64(writes)
-		a.MeanWritePages = float64(wPages) / float64(writes)
+	if err := src.Err(); err != nil {
+		return Analysis{}, err
 	}
-	if reads := len(t.Requests) - writes; reads > 0 {
-		a.MeanReadPages = float64(rPages) / float64(reads)
+	return an.finish(), nil
+}
+
+// analyzer folds requests into an Analysis one at a time, sharing the
+// statsAccum so the Table 2 numbers come from the same single pass.
+type analyzer struct {
+	pageSize   int64
+	stats      *statsAccum
+	writeSizes map[int]int64
+	readSizes  map[int]int64
+	// Recent write ends for sequentiality detection (a 64-request window).
+	recentEnds          []int64
+	seqWrites, writes   int
+	wPages, rPages      int64
+	total               int
+	firstTime, lastTime int64
+}
+
+const seqWindow = 64
+
+func newAnalyzer(pageSize int64) *analyzer {
+	return &analyzer{
+		pageSize:   pageSize,
+		stats:      newStatsAccum(pageSize),
+		writeSizes: map[int]int64{},
+		readSizes:  map[int]int64{},
+		recentEnds: make([]int64, 0, seqWindow),
 	}
-	if n := len(t.Requests); n > 1 {
-		a.DurationNs = t.Requests[n-1].Time - t.Requests[0].Time
-		a.MeanGapNs = a.DurationNs / int64(n-1)
+}
+
+func (an *analyzer) add(r Request) {
+	an.stats.add(r)
+	if an.total == 0 {
+		an.firstTime = r.Time
+	}
+	an.lastTime = r.Time
+	an.total++
+	_, n := r.PageSpan(an.pageSize)
+	if r.Write {
+		an.writes++
+		an.wPages += int64(n)
+		an.writeSizes[n]++
+		for _, end := range an.recentEnds {
+			if r.Offset == end {
+				an.seqWrites++
+				break
+			}
+		}
+		if len(an.recentEnds) == seqWindow {
+			copy(an.recentEnds, an.recentEnds[1:])
+			an.recentEnds = an.recentEnds[:seqWindow-1]
+		}
+		an.recentEnds = append(an.recentEnds, r.Offset+r.Size)
+	} else {
+		an.rPages += int64(n)
+		an.readSizes[n]++
+	}
+}
+
+func (an *analyzer) finish() Analysis {
+	a := Analysis{Stats: an.stats.finish()}
+	a.WriteSizePages = sortBuckets(an.writeSizes)
+	a.ReadSizePages = sortBuckets(an.readSizes)
+	if an.writes > 0 {
+		a.SequentialWriteRatio = float64(an.seqWrites) / float64(an.writes)
+		a.MeanWritePages = float64(an.wPages) / float64(an.writes)
+	}
+	if reads := an.total - an.writes; reads > 0 {
+		a.MeanReadPages = float64(an.rPages) / float64(reads)
+	}
+	if an.total > 1 {
+		a.DurationNs = an.lastTime - an.firstTime
+		a.MeanGapNs = a.DurationNs / int64(an.total-1)
 	}
 	return a
 }

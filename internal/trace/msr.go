@@ -37,64 +37,47 @@ func ReadMSR(r io.Reader, name string) (*Trace, error) {
 	return ReadMSRWith(r, name, MSROptions{})
 }
 
-// ReadMSRWith is ReadMSR with an error budget for malformed lines.
+// ReadMSRWith is ReadMSR with an error budget for malformed lines. It
+// materializes the whole trace; Scan/ScanMSRWith stream the same parse in
+// constant memory for the replay engine's Source path.
 func ReadMSRWith(r io.Reader, name string, opt MSROptions) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	t := &Trace{Name: name}
-	var base int64
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		req, ts, err := parseMSRLine(line)
-		if err != nil {
-			if opt.MaxSkipped != 0 && (opt.MaxSkipped < 0 || t.SkippedLines < opt.MaxSkipped) {
-				t.SkippedLines++
-				continue
-			}
-			if opt.MaxSkipped != 0 {
-				return nil, fmt.Errorf("trace: %s line %d: %w (%d malformed lines skipped, budget %d exhausted)",
-					name, lineNo, err, t.SkippedLines, opt.MaxSkipped)
-			}
-			return nil, fmt.Errorf("trace: %s line %d: %w", name, lineNo, err)
-		}
-		if len(t.Requests) == 0 {
-			base = ts
-		}
-		req.Time = (ts - base) * filetimeTick
-		if req.Time < 0 {
-			// Out-of-order timestamp: clamp to the previous arrival so the
-			// replayer's monotonic-arrival invariant holds.
-			req.Time = t.Requests[len(t.Requests)-1].Time
-		} else if n := len(t.Requests); n > 0 && req.Time < t.Requests[n-1].Time {
-			req.Time = t.Requests[n-1].Time
-		}
-		t.Requests = append(t.Requests, req)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %s: %w", name, err)
-	}
-	return t, nil
+	return Collect(ScanMSRWith(r, name, opt))
 }
 
 func parseMSRLine(line string) (Request, int64, error) {
-	fields := strings.Split(line, ",")
-	if len(fields) < 6 {
-		return Request{}, 0, fmt.Errorf("expected at least 6 fields, got %d", len(fields))
+	// Cut the first six fields by hand: the parser sits on the streaming
+	// replay hot path, and strings.Split would allocate a slice per line.
+	var fields [6]string
+	rest := line
+	n := 0
+	for n < 5 {
+		i := strings.IndexByte(rest, ',')
+		if i < 0 {
+			break
+		}
+		fields[n] = rest[:i]
+		rest = rest[i+1:]
+		n++
+	}
+	if n < 5 {
+		return Request{}, 0, fmt.Errorf("expected at least 6 fields, got %d", n+1)
+	}
+	// The sixth field ends at the next comma (trailing fields like the
+	// response time are ignored) or at the end of the line.
+	if i := strings.IndexByte(rest, ','); i >= 0 {
+		fields[5] = rest[:i]
+	} else {
+		fields[5] = rest
 	}
 	ts, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
 	if err != nil {
 		return Request{}, 0, fmt.Errorf("bad timestamp %q: %w", fields[0], err)
 	}
 	var write bool
-	switch op := strings.ToLower(strings.TrimSpace(fields[3])); op {
-	case "write", "w":
+	switch op := strings.TrimSpace(fields[3]); {
+	case strings.EqualFold(op, "write"), strings.EqualFold(op, "w"):
 		write = true
-	case "read", "r":
+	case strings.EqualFold(op, "read"), strings.EqualFold(op, "r"):
 		write = false
 	default:
 		return Request{}, 0, fmt.Errorf("bad request type %q", fields[3])

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scanner streams an MSR Cambridge CSV trace one request at a time,
+// holding O(1) state: the bufio window, the timestamp base, and the
+// previous arrival for the monotonicity clamp. It implements Source, so a
+// replay can consume a trace file of any length in constant memory.
+//
+// The parse semantics are exactly ReadMSRWith's — same rebasing to time
+// zero, same out-of-order clamping, same malformed-line budget, same
+// error text — and ReadMSRWith is implemented on top of Scanner, so the
+// two can never drift apart.
+type Scanner struct {
+	name    string
+	sc      *bufio.Scanner
+	opt     MSROptions
+	base    int64
+	started bool  // first request seen: base is set
+	prev    int64 // previous request's rebased time (monotonic clamp)
+	lineNo  int
+	skipped int
+	err     error
+	done    bool
+}
+
+// Scan returns a strict streaming scanner over an MSR Cambridge CSV
+// stream: the streaming counterpart of ReadMSR.
+func Scan(r io.Reader, name string) *Scanner {
+	return ScanMSRWith(r, name, MSROptions{})
+}
+
+// ScanMSRWith is Scan with an error budget for malformed lines: the
+// streaming counterpart of ReadMSRWith.
+func ScanMSRWith(r io.Reader, name string, opt MSROptions) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Scanner{name: name, sc: sc, opt: opt}
+}
+
+// Name returns the trace name the scanner was built with.
+func (s *Scanner) Name() string { return s.name }
+
+// SkippedLines returns the malformed lines dropped so far under the
+// MaxSkipped budget.
+func (s *Scanner) SkippedLines() int { return s.skipped }
+
+// Err returns the first parse or read error, or nil on clean EOF.
+func (s *Scanner) Err() error { return s.err }
+
+// Next parses lines until it produces the next request. It returns false
+// at end of input or on the first error (see Err).
+func (s *Scanner) Next() (Request, bool) {
+	if s.done {
+		return Request{}, false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		req, ts, err := parseMSRLine(line)
+		if err != nil {
+			if s.opt.MaxSkipped != 0 && (s.opt.MaxSkipped < 0 || s.skipped < s.opt.MaxSkipped) {
+				s.skipped++
+				continue
+			}
+			if s.opt.MaxSkipped != 0 {
+				s.err = fmt.Errorf("trace: %s line %d: %w (%d malformed lines skipped, budget %d exhausted)",
+					s.name, s.lineNo, err, s.skipped, s.opt.MaxSkipped)
+			} else {
+				s.err = fmt.Errorf("trace: %s line %d: %w", s.name, s.lineNo, err)
+			}
+			s.done = true
+			return Request{}, false
+		}
+		if !s.started {
+			s.started = true
+			s.base = ts
+		}
+		req.Time = (ts - s.base) * filetimeTick
+		if req.Time < s.prev {
+			// Out-of-order (or pre-base) timestamp: clamp to the previous
+			// arrival so the replayer's monotonic-arrival invariant holds.
+			req.Time = s.prev
+		}
+		s.prev = req.Time
+		return req, true
+	}
+	s.done = true
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("trace: %s: %w", s.name, err)
+	}
+	return Request{}, false
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestScannerMatchesReadMSR drives the scanner and the materializing
+// reader over the same input — including blank lines, out-of-order
+// timestamps and both op spellings — and demands identical requests.
+func TestScannerMatchesReadMSR(t *testing.T) {
+	input := strings.Join([]string{
+		"128166372003061629,hm,0,Read,383496192,32768,313",
+		"",
+		"128166372016382155,hm,0,Write,2822144,4096,1138",
+		"128166372005061629,hm,0,w,4096,8192,0", // out of order: clamped
+		"  128166372026382155,hm,0,r,0,512,9  ",
+		"128166372036382155,hm,0,Write,1048576,65536,3",
+	}, "\n")
+
+	want, err := ReadMSR(strings.NewReader(input), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scan(strings.NewReader(input), "t")
+	var got []Request
+	for {
+		r, ok := sc.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Requests) {
+		t.Fatalf("scanner yielded %d requests, reader %d", len(got), len(want.Requests))
+	}
+	for i := range got {
+		if got[i] != want.Requests[i] {
+			t.Fatalf("request %d: scanner %+v, reader %+v", i, got[i], want.Requests[i])
+		}
+	}
+	// The clamp must have fired: request 2 arrived before request 1.
+	if got[2].Time != got[1].Time {
+		t.Fatalf("out-of-order request not clamped: %d vs %d", got[2].Time, got[1].Time)
+	}
+}
+
+func TestScannerStrictStopsOnBadLine(t *testing.T) {
+	input := "128166372003061629,hm,0,Read,0,4096,0\nnot,a,valid,line,at,all\n"
+	sc := Scan(strings.NewReader(input), "bad")
+	if _, ok := sc.Next(); !ok {
+		t.Fatal("first (valid) line rejected")
+	}
+	if _, ok := sc.Next(); ok {
+		t.Fatal("malformed line accepted in strict mode")
+	}
+	if err := sc.Err(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("Err = %v, want line-2 parse error", err)
+	}
+	// Exhausted scanners stay exhausted.
+	if _, ok := sc.Next(); ok {
+		t.Fatal("Next returned a request after an error")
+	}
+}
+
+func TestScannerSkipBudget(t *testing.T) {
+	input := "garbage\n128166372003061629,hm,0,Read,0,4096,0\nmore garbage\n" +
+		"128166372013061629,hm,0,Write,4096,4096,0\n"
+	sc := ScanMSRWith(strings.NewReader(input), "lenient", MSROptions{MaxSkipped: 2})
+	n := 0
+	for {
+		if _, ok := sc.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || sc.SkippedLines() != 2 {
+		t.Fatalf("parsed %d requests, skipped %d; want 2/2", n, sc.SkippedLines())
+	}
+}
+
+func TestScannerSkipBudgetExhausted(t *testing.T) {
+	input := "garbage\nworse garbage\n128166372003061629,hm,0,Read,0,4096,0\n"
+	sc := ScanMSRWith(strings.NewReader(input), "lenient", MSROptions{MaxSkipped: 1})
+	if _, ok := sc.Next(); ok {
+		t.Fatal("budget-exhausted scanner yielded a request")
+	}
+	if err := sc.Err(); err == nil || !strings.Contains(err.Error(), "budget 1 exhausted") {
+		t.Fatalf("Err = %v, want budget-exhausted error", err)
+	}
+}
+
+// lineGen is an io.Reader that synthesizes an MSR CSV stream on the fly:
+// totalLines requests, each padded with a long hostname field so the
+// stream is hundreds of MB "on the wire" while the test never holds more
+// than one chunk of it in memory.
+type lineGen struct {
+	totalLines int
+	emitted    int
+	buf        bytes.Buffer
+	pad        string
+}
+
+func (g *lineGen) Read(p []byte) (int, error) {
+	for g.buf.Len() < len(p) && g.emitted < g.totalLines {
+		i := g.emitted
+		op := "Read"
+		if i%4 != 0 { // 75% writes
+			op = "Write"
+		}
+		// 8 KB requests walking a 4096-page footprint, one per 100 µs.
+		offset := int64(i%4096) * 4096
+		fmt.Fprintf(&g.buf, "%d,%s,0,%s,%d,8192,0\n",
+			128166372003061629+int64(i)*1000, g.pad, op, offset)
+		g.emitted++
+	}
+	if g.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return g.buf.Read(p)
+}
+
+// TestScannerHugeSyntheticInput streams a ~320 MB-equivalent trace (one
+// million ~330-byte lines) through the scanner-based stats path and checks
+// the aggregates. The input is generated lazily by lineGen, so neither the
+// CSV text nor the parsed requests are ever materialized: the test's
+// memory stays O(footprint) while the logical input is multi-hundred-MB.
+func TestScannerHugeSyntheticInput(t *testing.T) {
+	const lines = 1_000_000
+	gen := &lineGen{totalLines: lines, pad: strings.Repeat("h", 300)}
+	sc := Scan(gen, "huge")
+	s, err := ComputeStatsSource(sc, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != lines {
+		t.Fatalf("Requests = %d, want %d", s.Requests, lines)
+	}
+	if s.Writes != lines*3/4 || s.Reads != lines/4 {
+		t.Fatalf("split = %d writes / %d reads", s.Writes, s.Reads)
+	}
+	if s.MeanWriteBytes != 8192 || s.MeanReadBytes != 8192 {
+		t.Fatalf("mean sizes = %v/%v, want 8192", s.MeanWriteBytes, s.MeanReadBytes)
+	}
+	// 8 KB requests at 4 KB pages touch 2 pages each over a 4096-page walk;
+	// the last request at offset 4095*4096 spans pages 4095 and 4096.
+	if s.DistinctPages != 4097 {
+		t.Fatalf("DistinctPages = %d, want 4097", s.DistinctPages)
+	}
+	if s.TotalPages != lines*2 {
+		t.Fatalf("TotalPages = %d, want %d", s.TotalPages, int64(lines)*2)
+	}
+	// Every page is touched far more than 3 times: fully frequent.
+	if s.FrequentRatio != 1 || s.FrequentWriteRatio != 1 {
+		t.Fatalf("frequent ratios = %v/%v, want 1/1", s.FrequentRatio, s.FrequentWriteRatio)
+	}
+}

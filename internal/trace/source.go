@@ -1,0 +1,82 @@
+package trace
+
+// Source is a pull iterator over trace requests: the streaming input the
+// replay engine (internal/sim) consumes. A Source yields requests in
+// non-decreasing Time order and is exhausted after Next first returns
+// false; it is not resettable unless the concrete type says otherwise.
+//
+// Two families implement it: SliceSource wraps an already-materialized
+// *Trace, and Scanner parses an MSR Cambridge CSV incrementally so a
+// replay never holds more than one request in memory.
+type Source interface {
+	// Name labels the workload (Trace.Name for materialized traces, the
+	// file name for scanned ones).
+	Name() string
+	// Next returns the next request. ok is false when the stream is
+	// exhausted or failed; Err distinguishes the two.
+	Next() (req Request, ok bool)
+	// Err returns the first error the source hit, or nil on clean EOF.
+	// Only meaningful after Next has returned ok=false.
+	Err() error
+}
+
+// SkipCounter is implemented by lenient sources (a Scanner with a
+// malformed-line budget) that drop input lines instead of failing.
+type SkipCounter interface {
+	// SkippedLines returns the number of malformed lines dropped so far.
+	SkippedLines() int
+}
+
+// SliceSource adapts a materialized *Trace to the Source interface.
+type SliceSource struct {
+	t *Trace
+	i int
+}
+
+// Source returns a fresh pull iterator over the trace. The iterator
+// shares the trace's storage; the trace must not be mutated mid-iteration.
+func (t *Trace) Source() *SliceSource { return &SliceSource{t: t} }
+
+// Name returns the trace name.
+func (s *SliceSource) Name() string { return s.t.Name }
+
+// Next returns the next request in trace order.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.i >= len(s.t.Requests) {
+		return Request{}, false
+	}
+	r := s.t.Requests[s.i]
+	s.i++
+	return r, true
+}
+
+// Err always returns nil: a materialized trace cannot fail mid-iteration.
+func (s *SliceSource) Err() error { return nil }
+
+// SkippedLines reports the lenient-parse skip count recorded when the
+// trace was materialized.
+func (s *SliceSource) SkippedLines() int { return s.t.SkippedLines }
+
+// Reset rewinds the iterator to the first request.
+func (s *SliceSource) Reset() { s.i = 0 }
+
+// Collect drains a source into a materialized Trace — the inverse of
+// (*Trace).Source, useful when an algorithm genuinely needs random access
+// (e.g. Mattson's stack algorithm sizes its tree from a first pass).
+func Collect(src Source) (*Trace, error) {
+	t := &Trace{Name: src.Name()}
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.Requests = append(t.Requests, req)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if sk, ok := src.(SkipCounter); ok {
+		t.SkippedLines = sk.SkippedLines()
+	}
+	return t, nil
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSliceSourceRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "rt", Requests: []Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 100, Write: false, Offset: 8192, Size: 8192},
+	}, SkippedLines: 3}
+	src := tr.Source()
+	if src.Name() != "rt" {
+		t.Fatalf("Name = %q", src.Name())
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Requests) != 2 || got.SkippedLines != 3 {
+		t.Fatalf("Collect round trip lost data: %+v", got)
+	}
+	for i := range got.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d diverged", i)
+		}
+	}
+	// Exhausted; Reset rewinds.
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded a request")
+	}
+	src.Reset()
+	if r, ok := src.Next(); !ok || r != tr.Requests[0] {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestCollectPropagatesScannerError(t *testing.T) {
+	sc := Scan(strings.NewReader("bogus line\n"), "bad")
+	if _, err := Collect(sc); err == nil {
+		t.Fatal("Collect swallowed the scanner error")
+	}
+}
+
+func TestAnalyzeSourceMatchesAnalyze(t *testing.T) {
+	tr := &Trace{Name: "a", Requests: []Request{
+		{Time: 0, Write: true, Offset: 0, Size: 4096},
+		{Time: 1000, Write: true, Offset: 4096, Size: 8192}, // sequential
+		{Time: 2000, Write: false, Offset: 0, Size: 4096},
+		{Time: 5000, Write: true, Offset: 1 << 20, Size: 16384},
+	}}
+	want := Analyze(tr, 4096)
+	got, err := AnalyzeSource(tr.Source(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("stats diverged:\n%+v\n%+v", got.Stats, want.Stats)
+	}
+	if got.SequentialWriteRatio != want.SequentialWriteRatio ||
+		got.MeanWritePages != want.MeanWritePages ||
+		got.MeanReadPages != want.MeanReadPages ||
+		got.DurationNs != want.DurationNs || got.MeanGapNs != want.MeanGapNs {
+		t.Fatalf("analysis diverged:\n%+v\n%+v", got, want)
+	}
+	if len(got.WriteSizePages) != len(want.WriteSizePages) {
+		t.Fatal("size histograms diverged")
+	}
+}

@@ -78,48 +78,86 @@ type Stats struct {
 // ComputeStats scans the trace once and derives Table 2-style statistics
 // using the given page size for address granularity.
 func ComputeStats(t *Trace, pageSize int64) Stats {
-	var s Stats
-	s.Requests = len(t.Requests)
-	type pageInfo struct {
-		count   int32
-		written bool
-	}
-	pages := make(map[int64]*pageInfo)
-	var writeBytes, readBytes int64
+	acc := newStatsAccum(pageSize)
 	for _, r := range t.Requests {
-		if r.Write {
-			s.Writes++
-			writeBytes += r.Size
-		} else {
-			s.Reads++
-			readBytes += r.Size
-		}
-		first, n := r.PageSpan(pageSize)
-		s.TotalPages += int64(n)
-		for p := first; p < first+int64(n); p++ {
-			info := pages[p]
-			if info == nil {
-				info = &pageInfo{}
-				pages[p] = info
-			}
-			info.count++
-			if r.Write {
-				info.written = true
-			}
-		}
+		acc.add(r)
 	}
-	s.DistinctPages = len(pages)
+	return acc.finish()
+}
+
+// ComputeStatsSource is ComputeStats over a streaming Source: one pass,
+// O(distinct pages) memory, never the whole trace. cmd/traceinfo uses it
+// to summarize multi-hundred-MB trace files without materializing them.
+func ComputeStatsSource(src Source, pageSize int64) (Stats, error) {
+	acc := newStatsAccum(pageSize)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		acc.add(r)
+	}
+	if err := src.Err(); err != nil {
+		return Stats{}, err
+	}
+	return acc.finish(), nil
+}
+
+// pageInfo is the per-distinct-page state behind the frequent-address
+// ratios: an access count and a written flag packed into one map value.
+type pageInfo struct {
+	count   int32
+	written bool
+}
+
+// statsAccum folds requests into Stats one at a time. Memory is bounded by
+// the footprint (one pageInfo per distinct page), not the trace length.
+type statsAccum struct {
+	pageSize              int64
+	s                     Stats
+	pages                 map[int64]pageInfo
+	writeBytes, readBytes int64
+}
+
+func newStatsAccum(pageSize int64) *statsAccum {
+	return &statsAccum{pageSize: pageSize, pages: make(map[int64]pageInfo)}
+}
+
+func (a *statsAccum) add(r Request) {
+	a.s.Requests++
+	if r.Write {
+		a.s.Writes++
+		a.writeBytes += r.Size
+	} else {
+		a.s.Reads++
+		a.readBytes += r.Size
+	}
+	first, n := r.PageSpan(a.pageSize)
+	a.s.TotalPages += int64(n)
+	for p := first; p < first+int64(n); p++ {
+		info := a.pages[p]
+		info.count++
+		if r.Write {
+			info.written = true
+		}
+		a.pages[p] = info
+	}
+}
+
+func (a *statsAccum) finish() Stats {
+	s := a.s
+	s.DistinctPages = len(a.pages)
 	if s.Requests > 0 {
 		s.WriteRatio = float64(s.Writes) / float64(s.Requests)
 	}
 	if s.Writes > 0 {
-		s.MeanWriteBytes = float64(writeBytes) / float64(s.Writes)
+		s.MeanWriteBytes = float64(a.writeBytes) / float64(s.Writes)
 	}
 	if s.Reads > 0 {
-		s.MeanReadBytes = float64(readBytes) / float64(s.Reads)
+		s.MeanReadBytes = float64(a.readBytes) / float64(s.Reads)
 	}
 	var frequent, written, frequentWritten int
-	for _, info := range pages {
+	for _, info := range a.pages {
 		if info.written {
 			written++
 		}
@@ -130,8 +168,8 @@ func ComputeStats(t *Trace, pageSize int64) Stats {
 			}
 		}
 	}
-	if len(pages) > 0 {
-		s.FrequentRatio = float64(frequent) / float64(len(pages))
+	if len(a.pages) > 0 {
+		s.FrequentRatio = float64(frequent) / float64(len(a.pages))
 	}
 	if written > 0 {
 		s.FrequentWriteRatio = float64(frequentWritten) / float64(written)
