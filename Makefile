@@ -43,8 +43,8 @@ bench-smoke:
 # PR's baseline diffs against the previous one via benchjson -old.
 bench-json:
 	go test -run '^$$' -bench 'BenchmarkPolicy|BenchmarkFigure8ResponseTime|BenchmarkStreamingReplay|BenchmarkMSRScan' -benchmem . \
-		| go run ./cmd/benchjson -old BENCH_PR1.json > BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+		| go run ./cmd/benchjson -old BENCH_PR3.json > BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
 
 experiments:
 	go run ./cmd/experiments

@@ -10,6 +10,7 @@ package repro
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"repro/internal/cache"
@@ -18,7 +19,9 @@ import (
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/mrc"
+	"repro/internal/obs"
 	"repro/internal/replay"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -129,6 +132,39 @@ func BenchmarkFigure8ResponseTime(b *testing.B) {
 		}
 		b.ReportMetric(sum/float64(n), "reqblock-resp-vs-LRU")
 	})
+}
+
+// BenchmarkFigure8ResponseTimeTelemetry reruns the Fig. 8 grid with the
+// full telemetry plane attached — instrument observer, flash timing tap,
+// an actively sampling 1/1024 tracer and a progress reporter — so the
+// delta against BenchmarkFigure8ResponseTime is the telemetry cost on
+// the acceptance workload (the issue's bar: ≤ 5% with sampling on).
+func BenchmarkFigure8ResponseTimeTelemetry(b *testing.B) {
+	cfg := benchConfig("src1_2", "ts_0", "proj_0")
+	cfg.CacheSizesMB = []int{16, 32}
+	tel := obs.New()
+	cfg.Tap = tel
+	cfg.Observers = []sim.Observer{
+		tel.Observer(),
+		obs.NewTracer(io.Discard, 1024, 1),
+		obs.NewProgress(io.Discard, 0),
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(cfg)
+		g, err := r.RunGrid()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var sum float64
+			var n int
+			for _, row := range g.Figure8() {
+				sum += row.Normalized["Req-block"]
+				n++
+			}
+			b.ReportMetric(sum/float64(n), "reqblock-resp-vs-LRU")
+		}
+	}
 }
 
 // BenchmarkFigure9HitRatio regenerates the normalized hit ratios.
@@ -746,6 +782,43 @@ func BenchmarkStreamingReplay(b *testing.B) {
 		}
 		pol := core.New(16 * 256)
 		m, err := replay.RunSource(trace.Scan(bytes.NewReader(text), "src1_2"), pol, dev, replay.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(m.HitRatio(), "hit-ratio")
+		}
+	}
+}
+
+// BenchmarkStreamingReplayTelemetry is BenchmarkStreamingReplay with the
+// full telemetry plane attached — histogram/counter observer, flash
+// timing tap, an actively sampling tracer and a progress reporter — so the
+// delta between the two benches IS the telemetry overhead the issue asks
+// docs/PERFORMANCE.md to record. Allocations must stay at the baseline:
+// the instruments are atomics and the span writer is buffered.
+func BenchmarkStreamingReplayTelemetry(b *testing.B) {
+	tr := workload.MustGenerate(workload.SRC12(), workload.Options{Scale: 0.05})
+	var buf bytes.Buffer
+	if err := trace.WriteMSR(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	text := buf.Bytes()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev, err := ssd.New(ssd.ScaledParams(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tel := obs.New()
+		dev.SetTap(tel)
+		tracer := obs.NewTracer(io.Discard, 1024, 1)
+		progress := obs.NewProgress(io.Discard, 0)
+		pol := core.New(16 * 256)
+		pol.SetTransitionSink(tracer)
+		opts := replay.Options{Observers: []sim.Observer{tel.Observer(), tracer, progress}}
+		m, err := replay.RunSource(trace.Scan(bytes.NewReader(text), "src1_2"), pol, dev, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

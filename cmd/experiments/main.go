@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prof"
 )
 
@@ -41,6 +42,9 @@ func main() {
 		qd      = flag.Int("qd", 0, "closed-loop queue depth for the grid (0 = open loop, as the paper)")
 		faults  = flag.String("faults", "", "fault injection spec applied to every grid device (see docs/FAULTS.md)")
 		full    = flag.Bool("full", false, "paper scale: full traces on the 128 GiB device")
+
+		listen    = flag.String("listen", "", "serve live /metrics, /healthz and /debug/pprof across the whole run (e.g. 127.0.0.1:9090; empty = off)")
+		progressN = flag.Int("progress", 0, "emit an NDJSON progress snapshot to stderr every N processed requests (0 = off)")
 	)
 	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -71,6 +75,25 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Faults = fcfg
+	}
+
+	// Telemetry accumulates across every replay the run performs: the grid
+	// is a sequence of cells, and /metrics shows the live aggregate
+	// (docs/OBSERVABILITY.md).
+	if *listen != "" {
+		tel := obs.New()
+		cfg.Tap = tel
+		cfg.Observers = append(cfg.Observers, tel.Observer())
+		srv, err := obs.Serve(*listen, tel.Handler())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s\n", srv.Addr())
+	}
+	if *progressN > 0 {
+		cfg.Observers = append(cfg.Observers, obs.NewProgress(os.Stderr, *progressN))
 	}
 
 	want := map[string]bool{}

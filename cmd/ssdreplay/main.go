@@ -9,6 +9,12 @@
 //
 // Policies: lru, fifo, lfu, cflru, fab, bplru, bplru-pad, vbbms, pudlru,
 // ecr, reqblock.
+//
+// Observability (docs/OBSERVABILITY.md):
+//
+//	-listen 127.0.0.1:9090      live /metrics, /healthz, /debug/pprof
+//	-progress 10000             NDJSON snapshot to stderr every N requests
+//	-trace-out spans.ndjson     sampled request spans (with -trace-sample)
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/replay"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -41,6 +49,12 @@ func main() {
 		faults    = flag.String("faults", "", "fault injection spec, comma-separated key=value: seed, pfail, efail, grown, pfail-at, efail-at, retries, reserve, crash-at, destage-ms, check (see docs/FAULTS.md)")
 		maxSkip   = flag.Int("max-skipped", 0, "malformed trace lines skipped before aborting (0 = strict, -1 = unlimited)")
 		verbose   = flag.Bool("v", false, "print extended metrics")
+
+		listen      = flag.String("listen", "", "serve live /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
+		progressN   = flag.Int("progress", 0, "emit an NDJSON progress snapshot to stderr every N processed requests (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write sampled request spans (NDJSON) to this file (- = stdout)")
+		traceSample = flag.Int("trace-sample", 1024, "sample 1 in N requests for -trace-out")
+		traceSeed   = flag.Uint64("trace-seed", 1, "sampler seed for -trace-out (same seed + rate = same sample)")
 	)
 	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -64,11 +78,47 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	basePol := pol // transition sinks attach to the unwrapped policy
 	if *readahead > 0 {
 		pol = cache.NewReadAhead(pol, *readahead, 8)
 	}
 	opts := replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000}
 	opts.ApplyFaults(fcfg)
+
+	// Telemetry plane (all optional, all passive; docs/OBSERVABILITY.md).
+	var observers []sim.Observer
+	if *listen != "" {
+		tel := obs.New()
+		dev.SetTap(tel)
+		observers = append(observers, tel.Observer())
+		srv, err := obs.Serve(*listen, tel.Handler())
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ssdreplay: telemetry on http://%s\n", srv.Addr())
+	}
+	if *progressN > 0 {
+		observers = append(observers, obs.NewProgress(os.Stderr, *progressN))
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		w := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = obs.NewTracer(w, *traceSample, *traceSeed)
+		if src, ok := basePol.(cache.TransitionSource); ok {
+			src.SetTransitionSink(tracer)
+		}
+		observers = append(observers, tracer)
+	}
+	opts.Observers = observers
 
 	var (
 		m       *replay.Metrics
@@ -110,6 +160,11 @@ func main() {
 	if err := profiles.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
 		os.Exit(1)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fail(fmt.Errorf("trace-out: %w", err))
+		}
 	}
 	report(m, *verbose)
 	if skipped > 0 {

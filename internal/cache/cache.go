@@ -161,6 +161,38 @@ type OccupancySampler interface {
 	AppendOccupancy(dst []int) []int
 }
 
+// ListTransition is one annotation of policy-internal list movement: a
+// block (or a single split page) changing lists inside a multi-list policy.
+// The telemetry tracer uses these to record *why* a policy kept or evicted
+// data — e.g. Req-block's IRL→SRL upgrades and large-block splits into the
+// DRL.
+type ListTransition struct {
+	// LPN is the first page involved: the hit page for a split, the
+	// block's head page for a whole-block move.
+	LPN int64
+	// Pages is how many pages moved together.
+	Pages int
+	// From and To name the lists involved. Policies use fixed constant
+	// strings ("IRL", "SRL", "DRL", ...) so annotating never allocates.
+	// To == "merge" marks a victim merged into an eviction batch
+	// (Req-block's downgraded merging).
+	From, To string
+}
+
+// TransitionSink receives list-transition annotations during Access or
+// EvictIdle. Implementations must be cheap when idle (the tracer checks a
+// sampled flag and returns) and must not call back into the policy.
+type TransitionSink interface {
+	OnListTransition(tr ListTransition)
+}
+
+// TransitionSource is implemented by policies that can annotate their
+// internal list transitions. A nil sink (the default) disables annotation
+// at the cost of one branch per transition.
+type TransitionSource interface {
+	SetTransitionSink(TransitionSink)
+}
+
 // Factory builds a policy instance for a given capacity in pages. The
 // experiment grid uses factories so each (trace, cache size) cell gets a
 // fresh policy.

@@ -156,12 +156,15 @@ type ReqBlock struct {
 	buf      cache.ResultBuffers
 	freeBlk  *reqBlock // block pool
 	freePage *pageNode // page-node pool
+
+	sink cache.TransitionSink // list-transition annotations, nil = off
 }
 
 var (
 	_ cache.Policy            = (*ReqBlock)(nil)
 	_ cache.OccupancyReporter = (*ReqBlock)(nil)
 	_ cache.OccupancySampler  = (*ReqBlock)(nil)
+	_ cache.TransitionSource  = (*ReqBlock)(nil)
 )
 
 // New returns a Req-block buffer with the paper's default configuration.
@@ -222,6 +225,12 @@ func (c *ReqBlock) OccupancyNames() []string { return reqBlockListNames }
 func (c *ReqBlock) AppendOccupancy(dst []int) []int {
 	return append(dst, c.listPages[inIRL], c.listPages[inSRL], c.listPages[inDRL])
 }
+
+// SetTransitionSink implements cache.TransitionSource: the sink receives
+// one annotation per list transition (IRL→SRL upgrade, large-block split
+// into the DRL, downgraded merge at eviction). All names are constant
+// strings, so annotating stays allocation-free.
+func (c *ReqBlock) SetTransitionSink(s cache.TransitionSink) { c.sink = s }
 
 // listOf returns the list a block currently belongs to.
 func (c *ReqBlock) listOf(id listID) *list.List[*reqBlock] {
@@ -335,6 +344,11 @@ func (c *ReqBlock) onHit(pn *pageNode, reqID uint64, now int64) {
 	if dst == blk {
 		return // the page already sits in the current request's DRL block
 	}
+	if c.sink != nil {
+		c.sink.OnListTransition(cache.ListTransition{
+			LPN: pn.lpn, Pages: 1, From: blk.where.String(), To: dst.where.String(),
+		})
+	}
 	c.removePageFromBlock(blk, pn)
 	dst.addPage(pn)
 	c.listPages[dst.where]++
@@ -385,6 +399,11 @@ func (c *ReqBlock) moveBlock(blk *reqBlock, to listID) {
 		c.listOf(to).MoveToHead(blk.node)
 		return
 	}
+	if c.sink != nil && blk.pageHead != nil {
+		c.sink.OnListTransition(cache.ListTransition{
+			LPN: blk.pageHead.lpn, Pages: blk.pageNum(), From: from.String(), To: to.String(),
+		})
+	}
 	c.listOf(from).Remove(blk.node)
 	c.listPages[from] -= blk.pageNum()
 	blk.where = to
@@ -433,6 +452,11 @@ func (c *ReqBlock) evict(now int64) cache.Eviction {
 	c.detachBlock(victim)
 	if c.cfg.Merge && fromDRL {
 		if o := origin; o != nil && o.gen == originGen && o.node.Attached() && o.where == inIRL {
+			if c.sink != nil && o.pageHead != nil {
+				c.sink.OnListTransition(cache.ListTransition{
+					LPN: o.pageHead.lpn, Pages: o.pageNum(), From: o.where.String(), To: "merge",
+				})
+			}
 			c.detachBlock(o)
 		}
 	}

@@ -18,7 +18,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/ftl"
 	"repro/internal/replay"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -56,6 +58,14 @@ type Config struct {
 	// grid builds (see internal/fault). The zero value keeps the grid
 	// fault-free and bit-identical to earlier revisions.
 	Faults fault.Config
+	// Observers attaches extra measurement observers to every replay the
+	// runner performs (telemetry, progress — see replay.Options.Observers).
+	// Observers accumulate across the whole grid: cmd/experiments uses this
+	// to serve live /metrics over a multi-cell run.
+	Observers []sim.Observer
+	// Tap attaches a flash timing tap to every device the runner builds
+	// (GC pause and program/read/erase histograms — see ftl.Tap).
+	Tap ftl.Tap
 }
 
 // DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
@@ -163,7 +173,14 @@ func (r *Runner) Device() (*ssd.Device, error) {
 		p.Precondition = r.cfg.DevicePrecondition
 	}
 	p.Faults = r.cfg.Faults
-	return ssd.New(p)
+	dev, err := ssd.New(p)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Tap != nil {
+		dev.SetTap(r.cfg.Tap)
+	}
+	return dev, nil
 }
 
 // PaperPolicies returns the paper's four-policy comparison set, ordered as
@@ -209,6 +226,7 @@ func (r *Runner) Replay(traceName string, factory cache.Factory, cacheMB int, op
 	}
 	pol := factory.New(cacheMB * PagesPerMB)
 	opts.ApplyFaults(r.cfg.Faults)
+	opts.Observers = append(opts.Observers, r.cfg.Observers...)
 	return replay.Run(t, pol, dev, opts)
 }
 

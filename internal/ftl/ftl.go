@@ -52,6 +52,33 @@ type Stats struct {
 	DegradedEntries int64
 }
 
+// Tap receives timing observations from the FTL's operation paths. It is
+// the telemetry plane's window into per-phase flash behavior: host page
+// programs and reads, block erases, and whole GC victim collections. All
+// times are simulated nanoseconds; latencies include die/channel queueing,
+// which is exactly what tail-latency distributions care about.
+//
+// A nil tap is the default and costs one predictable branch per operation;
+// tap implementations must not mutate FTL state (they observe a
+// deterministic simulation and must not perturb it) and must not retain
+// references past the call.
+type Tap interface {
+	// TapProgram reports one host page program: issued at `issue`, durable
+	// at `done`.
+	TapProgram(issue, done int64)
+	// TapRead reports one host page read: issued at `issue`, data at the
+	// controller at `done`.
+	TapRead(issue, done int64)
+	// TapErase reports one block erase: issued at `issue`, complete at
+	// `done`.
+	TapErase(issue, done int64)
+	// TapGC reports one GC victim collection: `pause` is the die-busy time
+	// the collection added to the victim's chip (migrations plus erase,
+	// beyond any backlog already queued there) and `pagesMoved` the valid
+	// pages migrated.
+	TapGC(pause int64, pagesMoved int)
+}
+
 // FTL is a page-level flash translation layer bound to one flash array and
 // timeline. It is not safe for concurrent use; the simulator is
 // single-threaded by design (deterministic replay).
@@ -82,6 +109,8 @@ type FTL struct {
 	degraded      bool           // read-only mode
 	checker       *fault.Checker // invariant checker, run after recoveries
 	pendingCheck  bool           // a recovery happened in the current op
+
+	tap Tap // timing observations, nil unless telemetry is attached
 
 	stats Stats
 }
@@ -197,6 +226,10 @@ func (f *FTL) EnableFaults(inj *fault.Injector) {
 		}
 	}
 }
+
+// SetTap attaches a timing tap (nil detaches). Taps observe; they cannot
+// alter the simulation, so attaching one keeps every metric bit-identical.
+func (f *FTL) SetTap(t Tap) { f.tap = t }
 
 // SetChecker attaches an invariant checker that runs after every operation
 // in which a fault recovery occurred. A violation fails the write that
@@ -415,6 +448,9 @@ func (f *FTL) writeOne(now int64, lpn int64, plane int) (int64, int64, error) {
 	block := f.p.BlockOfPPN(ppn)
 	xfer, done := f.tl.Program(now, f.p.ChannelOfBlock(block), f.p.ChipOfBlock(block))
 	f.stats.HostPrograms++
+	if f.tap != nil {
+		f.tap.TapProgram(now, done)
+	}
 	return xfer, done, nil
 }
 
@@ -522,6 +558,9 @@ func (f *FTL) Read(now int64, lpns []int64) (int64, error) {
 		}
 		done := f.tl.Read(now, f.p.ChannelOfBlock(block), f.p.ChipOfBlock(block))
 		f.stats.HostReads++
+		if f.tap != nil {
+			f.tap.TapRead(now, done)
+		}
 		last = max(last, done)
 	}
 	return last, nil
@@ -633,6 +672,15 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 		return false
 	}
 	chip := f.p.ChipOfBlock(victim)
+	// GC pause accounting: the collection's cost to foreground work is the
+	// die-busy time it adds to the victim's chip beyond the backlog already
+	// queued there (cross-plane migrations touch other chips too; the
+	// victim's chip dominates and keeps the tap allocation-free).
+	var gcStart int64
+	if f.tap != nil {
+		gcStart = max(now, f.tl.ChipFree(chip))
+	}
+	moved := 0
 	// Migrate valid pages.
 	base := f.p.PPN(victim, 0)
 	for i := 0; i < f.p.PagesPerBlock; i++ {
@@ -661,21 +709,30 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 			f.tl.Program(now, f.p.ChannelOfBlock(tgtBlock), tgtChip)
 		}
 		f.stats.GCMigrations++
+		moved++
 	}
 	if err := f.arr.Erase(victim); err != nil {
 		if errors.Is(err, fault.ErrEraseFail) || errors.Is(err, fault.ErrGrownBad) {
 			// The attempt occupied the die either way; the block is bad and
 			// never returns to the free list. Valid pages were migrated
 			// before the erase, so no data is at risk.
-			f.tl.Erase(now, chip)
+			eraseDone := f.tl.Erase(now, chip)
 			f.retireBlock(victim)
+			if f.tap != nil {
+				f.tap.TapErase(now, eraseDone)
+				f.tap.TapGC(f.tl.ChipFree(chip)-gcStart, moved)
+			}
 			return true // progress: candidate pool shrank, caller re-selects
 		}
 		panic(fmt.Sprintf("ftl: gc erase: %v", err))
 	}
-	f.tl.Erase(now, chip)
+	eraseDone := f.tl.Erase(now, chip)
 	f.freeBlocks[plane] = append(f.freeBlocks[plane], int32(victim))
 	f.stats.GCRuns++
+	if f.tap != nil {
+		f.tap.TapErase(now, eraseDone)
+		f.tap.TapGC(f.tl.ChipFree(chip)-gcStart, moved)
+	}
 	return true
 }
 

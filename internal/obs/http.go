@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live exposition mux for this Telemetry:
+//
+//	/metrics       Prometheus text exposition of the whole catalog
+//	/healthz       200 {"status":"ok"} while healthy,
+//	               503 {"status":"degraded"} once the device goes read-only
+//	/debug/pprof/  the standard Go profiling endpoints
+//	/              a plain-text index of the above
+//
+// The handler is safe to serve while the engine runs: every instrument is
+// atomic and the registry is immutable after New.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Registry().WritePrometheus(w) // write errors mean the scraper hung up
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if t.Healthy() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, `{"status":"ok"}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"degraded"}`)
+	})
+	// net/http/pprof registers on DefaultServeMux at import; wire its
+	// handlers onto this mux explicitly so the default mux stays clean.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "ssdsim telemetry\n\n/metrics\n/healthz\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a live telemetry listener with its bound address.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
+// and serves h on it in a background goroutine. The returned Server
+// reports the actual bound address and shuts the listener down on Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // always ErrServerClosed after Close
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	tel := New()
+	tel.Requests.Set(42)
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"ssdsim_requests_total 42",
+		"# TYPE ssdsim_request_latency_ns histogram",
+		"# TYPE ssdsim_gc_pause_ns histogram",
+		"# TYPE ssdsim_hit_ratio gauge",
+		"ssdsim_degraded 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz healthy = %d %q", code, body)
+	}
+	tel.Degraded.Set(1)
+	code, body = get(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("/healthz degraded = %d %q", code, body)
+	}
+
+	if code, _ = get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, body = get(t, srv.URL+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ = get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d", code)
+	}
+}
+
+// hookObserver runs fn once, when the processed count reaches at.
+type hookObserver struct {
+	sim.NopObserver
+	at    int
+	fn    func(processed int)
+	fired bool
+}
+
+func (h *hookObserver) OnResult(_ *sim.Engine, ev *sim.ResultEvent) {
+	if !h.fired && ev.Processed >= h.at {
+		h.fired = true
+		h.fn(ev.Processed)
+	}
+}
+
+// The issue's integration criterion: scrape /metrics while a replay is in
+// flight and see live counts, then watch /healthz flip to degraded on an
+// injected-fault run.
+func TestLiveExpositionDuringReplay(t *testing.T) {
+	tel := New()
+	srv, err := Serve("127.0.0.1:0", tel.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Phase 1: healthy run, scraped mid-flight at request 100. The
+	// telemetry observer is registered before the hook, so by the time the
+	// hook fires the catalog already reflects this request.
+	var midBody string
+	var midAt int
+	hook := &hookObserver{at: 100, fn: func(processed int) {
+		midAt = processed
+		_, midBody = get(t, base+"/metrics")
+		if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+			t.Errorf("healthz not ok mid-run: %d", code)
+		}
+	}}
+	dev := testDevice(t)
+	dev.SetTap(tel)
+	_, err = replay.Run(testTrace(t), cache.NewLRU(1024), dev, replay.Options{
+		Observers: []sim.Observer{tel.Observer(), hook},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hook.fired {
+		t.Fatal("mid-run scrape never fired")
+	}
+	if want := fmt.Sprintf("ssdsim_requests_total %d", midAt); !strings.Contains(midBody, want) {
+		t.Fatalf("mid-run scrape missing %q", want)
+	}
+	for _, want := range []string{
+		"ssdsim_cache_occupancy_pages",
+		"ssdsim_flash_program_ns_count",
+		"ssdsim_request_latency_ns_bucket",
+	} {
+		if !strings.Contains(midBody, want) {
+			t.Errorf("mid-run scrape missing %q", want)
+		}
+	}
+
+	// Phase 2: a degrading run under the same telemetry flips /healthz.
+	cfg := fault.Config{EraseFailProb: 1, ReserveBlocks: 1, CheckInvariants: true}
+	ddev := degradingDevice(t, cfg)
+	ddev.SetTap(tel)
+	var opts replay.Options
+	opts.ApplyFaults(cfg)
+	opts.Observers = []sim.Observer{tel.Observer()}
+	m, err := replay.Run(churnTrace(400), cache.NewLRU(64), ddev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Degraded {
+		t.Fatal("fault run never degraded")
+	}
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("healthz after degradation = %d %q", code, body)
+	}
+	_, metrics := get(t, base+"/metrics")
+	if !strings.Contains(metrics, "ssdsim_degraded 1") {
+		t.Fatal("degraded gauge not exposed")
+	}
+}

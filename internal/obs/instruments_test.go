@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Every instrument must be a safe no-op on a nil receiver: the disabled
+// telemetry path relies on it.
+func TestInstrumentsNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	c.Set(9)
+	if c.Value() != 0 {
+		t.Fatal("nil Counter.Value != 0")
+	}
+	var g *Gauge
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatal("nil Gauge.Value != 0")
+	}
+	var f *FGauge
+	f.Set(0.5)
+	if f.Value() != 0 {
+		t.Fatal("nil FGauge.Value != 0")
+	}
+	var h *Hist
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Bucket(0) != 0 {
+		t.Fatal("nil Hist is not a zero no-op")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := &Counter{}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d, want 5", c.Value())
+	}
+	c.Set(100)
+	if c.Value() != 100 {
+		t.Fatalf("Counter after Set = %d", c.Value())
+	}
+	g := &Gauge{}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("Gauge = %d", g.Value())
+	}
+	f := &FGauge{}
+	f.Set(0.25)
+	if f.Value() != 0.25 {
+		t.Fatalf("FGauge = %v", f.Value())
+	}
+}
+
+// bucketOf must place v in the smallest bucket whose upper edge 2^i
+// satisfies v <= 2^i.
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {1024, 10}, {1025, 11},
+		{math.MaxInt64, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestHistObserveAndStats(t *testing.T) {
+	h := &Hist{}
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 1106 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+	if got := h.Mean(); got != 1106.0/5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if h.Bucket(0) != 1 || h.Bucket(1) != 1 || h.Bucket(2) != 1 {
+		t.Fatal("small buckets misplaced")
+	}
+	// Median of {1,2,3,100,1000}: rank 2 lands on value 3, bucket edge 4.
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("Quantile(0.5) = %d, want 4", got)
+	}
+	if got := h.Quantile(1.0); got != 1024 {
+		t.Fatalf("Quantile(1.0) = %d, want 1024", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %d, want 1", got)
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	h := &Hist{}
+	h.Observe(math.MaxInt64)
+	if h.Bucket(histBuckets-1) != 1 {
+		t.Fatal("MaxInt64 not in overflow bucket")
+	}
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		t.Fatalf("overflow quantile = %d", got)
+	}
+}
+
+// Instrument updates are the per-event hot path; none may allocate.
+func TestInstrumentAllocs(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	f := &FGauge{}
+	h := &Hist{}
+	if got := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(2)
+		f.Set(0.5)
+		h.Observe(12345)
+	}); got > 0 {
+		t.Fatalf("instrument update allocs = %v, want 0", got)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Progress is a sim.Observer that emits one NDJSON snapshot line every
+// Every processed requests (and a final "done" line), giving headless and
+// batch runs a cheap live pulse: throughput, hit ratio, occupancy, GC
+// activity, degraded state. Lines are self-contained JSON objects, one per
+// line, so they survive interleaving with other stderr output and feed
+// straight into jq or a log shipper.
+//
+// Progress reads wall-clock time for the reqs/s rate, so its output is
+// not run-deterministic — which is fine, because it never feeds back into
+// the simulation and is not part of any replay metric.
+type Progress struct {
+	sim.NopObserver
+	w     io.Writer
+	every int
+
+	now          func() time.Time // injectable for tests
+	start        time.Time
+	lastWall     time.Time
+	lastEmitted  int
+	hits, misses int64
+}
+
+var _ sim.Observer = (*Progress)(nil)
+
+// NewProgress builds a Progress writing to w every n processed requests.
+// n <= 0 disables periodic lines; the final "done" line is always written.
+func NewProgress(w io.Writer, n int) *Progress {
+	return &Progress{w: w, every: n, now: time.Now}
+}
+
+// OnResult implements sim.Observer.
+func (p *Progress) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
+	if p.start.IsZero() {
+		p.start = p.now()
+		p.lastWall = p.start
+	}
+	if ev.Req.Warm {
+		p.hits += int64(ev.Res.Hits)
+		p.misses += int64(ev.Res.Misses)
+	}
+	if p.every <= 0 || ev.Processed%p.every != 0 {
+		return
+	}
+	wall := p.now()
+	var rate float64
+	if dt := wall.Sub(p.lastWall).Seconds(); dt > 0 {
+		rate = float64(ev.Processed-p.lastEmitted) / dt
+	}
+	p.lastWall = wall
+	p.lastEmitted = ev.Processed
+	p.emit(e, "progress", ev.Processed, ev.Completion, rate, false)
+}
+
+// OnDone implements sim.Observer. It also rewinds the reporter's clock
+// state so one Progress can be reused across a sequence of replays (the
+// experiments grid shares a single reporter over every cell).
+func (p *Progress) OnDone(e *sim.Engine, ev *sim.DoneEvent) {
+	if p.start.IsZero() {
+		p.start = p.now()
+	}
+	var rate float64
+	if dt := p.now().Sub(p.start).Seconds(); dt > 0 {
+		rate = float64(ev.Processed) / dt
+	}
+	var horizon int64
+	if ev.HasRequests {
+		horizon = ev.LastArrival
+	}
+	p.emit(e, "done", ev.Processed, horizon, rate, ev.Degraded)
+	p.start = time.Time{}
+	p.lastWall = time.Time{}
+	p.lastEmitted = 0
+}
+
+// emit writes one snapshot line. Allocation here is fine: emission is
+// periodic (every N requests), not per-request.
+func (p *Progress) emit(e *sim.Engine, event string, processed int, simNs int64, rate float64, degraded bool) {
+	hitRatio := 0.0
+	if p.hits+p.misses > 0 {
+		hitRatio = float64(p.hits) / float64(p.hits+p.misses)
+	}
+	var occ, capacity, nodes int64
+	if pol := e.Policy(); pol != nil {
+		occ, capacity, nodes = int64(pol.Len()), int64(pol.CapacityPages()), int64(pol.NodeCount())
+	}
+	var gcRuns, gcMigrations, flashWrites int64
+	if dev := e.Device(); dev != nil {
+		c := dev.Counters()
+		gcRuns, gcMigrations, flashWrites = c.GCRuns, c.GCMigrations, c.FlashWrites
+		degraded = degraded || dev.Degraded()
+	}
+	fmt.Fprintf(p.w,
+		`{"event":%q,"processed":%d,"sim_ns":%d,"reqs_per_sec":%.1f,"hit_ratio":%.4f,`+
+			`"occupancy_pages":%d,"capacity_pages":%d,"policy_nodes":%d,`+
+			`"gc_runs":%d,"gc_migrations":%d,"flash_writes":%d,"degraded":%t}`+"\n",
+		event, processed, simNs, rate, hitRatio,
+		occ, capacity, nodes, gcRuns, gcMigrations, flashWrites, degraded)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+func TestProgressEmitsSnapshots(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 100)
+	// Deterministic fake clock: one millisecond per call.
+	var ticks int64
+	p.now = func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	}
+	m, err := replay.Run(testTrace(t), cache.NewLRU(1024), testDevice(t), replay.Options{
+		Observers: []sim.Observer{p},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if want := m.Requests/100 + 1; len(lines) != want {
+		t.Fatalf("lines = %d, want %d (%d requests / every 100, plus done)", len(lines), want, m.Requests)
+	}
+	var last struct {
+		Event       string  `json:"event"`
+		Processed   int     `json:"processed"`
+		HitRatio    float64 `json:"hit_ratio"`
+		ReqsPerSec  float64 `json:"reqs_per_sec"`
+		Occupancy   int64   `json:"occupancy_pages"`
+		FlashWrites int64   `json:"flash_writes"`
+		Degraded    bool    `json:"degraded"`
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("invalid JSON line %d: %q", i, line)
+		}
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != "done" || last.Processed != m.Requests {
+		t.Fatalf("final line = %+v, want done/%d", last, m.Requests)
+	}
+	if last.FlashWrites != m.Device.FlashWrites {
+		t.Fatalf("flash_writes = %d, metrics say %d", last.FlashWrites, m.Device.FlashWrites)
+	}
+	if last.ReqsPerSec <= 0 {
+		t.Fatal("done line has no throughput")
+	}
+	if last.Degraded {
+		t.Fatal("healthy run reported degraded")
+	}
+
+	var first struct {
+		Event     string `json:"event"`
+		Processed int    `json:"processed"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Event != "progress" || first.Processed != 100 {
+		t.Fatalf("first line = %+v, want progress/100", first)
+	}
+}
+
+func TestProgressDisabledPeriodics(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 0)
+	_, err := replay.Run(testTrace(t), cache.NewLRU(1024), testDevice(t), replay.Options{
+		Observers: []sim.Observer{p},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimRight(buf.String(), "\n")
+	if strings.Count(out, "\n") != 0 || !strings.Contains(out, `"event":"done"`) {
+		t.Fatalf("every=0 must emit only the done line, got %q", out)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := &Registry{}
+	c := r.Counter("z_requests_total", "Requests.")
+	g := r.Gauge("a_depth", "Depth.")
+	f := r.FGauge("m_ratio", "Ratio.")
+	h := r.Hist("h_latency_ns", "Latency.")
+
+	c.Add(7)
+	g.Set(-2)
+	f.Set(0.5)
+	h.Observe(1) // bucket 0
+	h.Observe(3) // bucket 2
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP z_requests_total Requests.\n# TYPE z_requests_total counter\nz_requests_total 7\n",
+		"# TYPE a_depth gauge\na_depth -2\n",
+		"# TYPE m_ratio gauge\nm_ratio 0.5\n",
+		"# TYPE h_latency_ns histogram\n",
+		`h_latency_ns_bucket{le="1"} 1` + "\n",
+		`h_latency_ns_bucket{le="2"} 1` + "\n",
+		`h_latency_ns_bucket{le="4"} 3` + "\n",
+		`h_latency_ns_bucket{le="+Inf"} 3` + "\n",
+		"h_latency_ns_sum 7\n",
+		"h_latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+
+	// Families render sorted by name regardless of registration order.
+	if ia, iz := strings.Index(out, "a_depth"), strings.Index(out, "z_requests_total"); ia > iz {
+		t.Fatal("families not sorted by name")
+	}
+	// Buckets past the highest populated one are elided.
+	if strings.Contains(out, `le="8"`) {
+		t.Fatal("empty trailing bucket rendered")
+	}
+}
+
+func TestRegistryEmptyHist(t *testing.T) {
+	r := &Registry{}
+	r.Hist("empty_ns", "Never observed.")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `empty_ns_bucket{le="1"} 0`) ||
+		!strings.Contains(out, `empty_ns_bucket{le="+Inf"} 0`) ||
+		!strings.Contains(out, "empty_ns_count 0") {
+		t.Fatalf("empty histogram exposition wrong:\n%s", out)
+	}
+}
+
+func TestRegistryNil(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatal("nil registry must write nothing")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := &Registry{}
+	r.Counter("dup", "x")
+	r.Counter("dup", "y")
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// Tracer samples 1-in-Rate requests deterministically and writes one
+// NDJSON span line per lifecycle step of each sampled request:
+//
+//	admit     the request enters the cache stage
+//	list      a cache list transition it caused (IRL/SRL/DRL moves,
+//	          downgraded-merge absorptions) — requires a policy that
+//	          implements cache.TransitionSource
+//	evict     a victim batch flushed (or dropped) on its request path
+//	done      the cache decision and completion time
+//	run_done  one footer line with run totals
+//
+// Sampling is a pure function of (Seed, request index) — splitmix64 over
+// the index, keep when the hash is divisible by Rate — so two runs of the
+// same trace with the same seed and rate sample the same requests, and all
+// timestamps are simulated nanoseconds. The output is therefore
+// byte-identical across runs: diffable, cacheable, assertable in tests.
+//
+// The unsampled path costs one hash and one branch per request and never
+// allocates, preserving the engine's zero-alloc guarantee.
+type Tracer struct {
+	w    *bufio.Writer
+	seed uint64
+	rate uint64
+
+	sampled  bool
+	reqIndex int
+	nSampled int64
+	err      error
+}
+
+var (
+	_ sim.Observer         = (*Tracer)(nil)
+	_ cache.TransitionSink = (*Tracer)(nil)
+)
+
+// NewTracer builds a Tracer writing spans to w, keeping one request in
+// Rate (rate <= 0 disables sampling entirely; rate 1 keeps every request).
+func NewTracer(w io.Writer, rate int, seed uint64) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), seed: seed}
+	if rate > 0 {
+		t.rate = uint64(rate)
+	}
+	return t
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mix with no state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sampled reports whether request index i is in the sample.
+func (t *Tracer) Sampled(i int) bool {
+	return t.rate > 0 && splitmix64(t.seed^uint64(i))%t.rate == 0
+}
+
+// SampledCount returns how many requests were sampled so far.
+func (t *Tracer) SampledCount() int64 { return t.nSampled }
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error { return t.err }
+
+// Close flushes buffered spans and returns the first write error.
+func (t *Tracer) Close() error {
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// printf appends one span line, latching the first write error.
+func (t *Tracer) printf(format string, args ...any) {
+	if _, err := fmt.Fprintf(t.w, format, args...); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// OnRequest implements sim.Observer: decides the sample and opens the span.
+func (t *Tracer) OnRequest(e *sim.Engine, ev *sim.RequestEvent) {
+	t.sampled = t.Sampled(ev.Index)
+	if !t.sampled {
+		return
+	}
+	t.nSampled++
+	t.reqIndex = ev.Index
+	kind := "read"
+	if ev.Write {
+		kind = "write"
+	}
+	t.printf(`{"ev":"admit","req":%d,"t":%d,"arrival":%d,"op":%q,"lpn":%d,"pages":%d,"warm":%t}`+"\n",
+		ev.Index, ev.Issue, ev.Arrival, kind, ev.LPN, ev.Pages, ev.Warm)
+}
+
+// OnListTransition implements cache.TransitionSink: list moves the policy
+// reports while the sampled request is being served. Transitions caused by
+// idle flushing or destaging between requests are skipped (no open span).
+func (t *Tracer) OnListTransition(tr cache.ListTransition) {
+	if !t.sampled {
+		return
+	}
+	t.printf(`{"ev":"list","req":%d,"lpn":%d,"pages":%d,"from":%q,"to":%q}`+"\n",
+		t.reqIndex, tr.LPN, tr.Pages, tr.From, tr.To)
+}
+
+// OnEviction implements sim.Observer: victim batches dispatched while the
+// sampled request's span is open (i.e. on its request path).
+func (t *Tracer) OnEviction(e *sim.Engine, ev *sim.EvictionEvent) {
+	if !t.sampled || len(ev.LPNs) == 0 {
+		return
+	}
+	lo, hi := ev.LPNs[0], ev.LPNs[0]
+	for _, lpn := range ev.LPNs[1:] {
+		if lpn < lo {
+			lo = lpn
+		}
+		if lpn > hi {
+			hi = lpn
+		}
+	}
+	t.printf(`{"ev":"evict","req":%d,"t":%d,"kind":%q,"pages":%d,"lpn_min":%d,"lpn_max":%d}`+"\n",
+		t.reqIndex, ev.Time, ev.Kind, len(ev.LPNs), lo, hi)
+}
+
+// OnResult implements sim.Observer: closes the span with the cache
+// decision and the flash dispatch outcome.
+func (t *Tracer) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
+	if !t.sampled {
+		return
+	}
+	t.sampled = false
+	res := ev.Res
+	t.printf(`{"ev":"done","req":%d,"t":%d,"latency_ns":%d,"hits":%d,"misses":%d,"inserted":%d,`+
+		`"read_miss_pages":%d,"evict_batches":%d,"bypass_pages":%d,"prefetched_pages":%d,"nodes":%d}`+"\n",
+		ev.Req.Index, ev.Completion, ev.Completion-ev.Req.Issue,
+		res.Hits, res.Misses, res.Inserted,
+		len(res.ReadMisses), len(res.Evictions), len(res.Bypass), ev.Prefetched, ev.NodeCount)
+}
+
+// OnDone implements sim.Observer: writes the footer and flushes.
+func (t *Tracer) OnDone(e *sim.Engine, ev *sim.DoneEvent) {
+	t.printf(`{"ev":"run_done","processed":%d,"sampled":%d,"degraded":%t}`+"\n",
+		ev.Processed, t.nSampled, ev.Degraded)
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+}

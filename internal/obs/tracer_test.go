@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+// runTraced replays the test workload with a fresh tracer and returns the
+// NDJSON it produced.
+func runTraced(t *testing.T, rate int, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tracer := NewTracer(&buf, rate, seed)
+	pol := core.New(1024)
+	pol.SetTransitionSink(tracer)
+	_, err := replay.Run(testTrace(t), pol, testDevice(t), replay.Options{
+		Observers: []sim.Observer{tracer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Two runs with the same trace, seed and rate must produce byte-identical
+// span streams (issue acceptance criterion), and every line must be valid
+// JSON.
+func TestTracerDeterministic(t *testing.T) {
+	a := runTraced(t, 64, 7)
+	b := runTraced(t, 64, 7)
+	if len(a) == 0 {
+		t.Fatal("tracer produced no output at rate 64")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed and rate produced different span streams")
+	}
+	other := runTraced(t, 64, 8)
+	if bytes.Equal(a, other) {
+		t.Fatal("different seed produced an identical sample — sampler ignores the seed")
+	}
+
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	kinds := map[string]int{}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("invalid JSON line: %q", line)
+		}
+		var span struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatal(err)
+		}
+		kinds[span.Ev]++
+	}
+	if kinds["admit"] == 0 || kinds["done"] == 0 {
+		t.Fatalf("span stream missing lifecycle events: %v", kinds)
+	}
+	if kinds["admit"] != kinds["done"] {
+		t.Fatalf("unbalanced spans: %d admits, %d dones", kinds["admit"], kinds["done"])
+	}
+	if kinds["list"] == 0 {
+		t.Fatalf("no list transitions recorded through the req-block sink: %v", kinds)
+	}
+	if kinds["run_done"] != 1 {
+		t.Fatalf("footer lines = %d", kinds["run_done"])
+	}
+	if lines[len(lines)-1][:len(`{"ev":"run_done"`)] != `{"ev":"run_done"` {
+		t.Fatal("footer is not the last line")
+	}
+}
+
+// Rate 1 samples every request; rate 0 disables sampling but still writes
+// the footer.
+func TestTracerRateEdges(t *testing.T) {
+	all := runTraced(t, 1, 3)
+	admits := bytes.Count(all, []byte(`{"ev":"admit"`))
+	var footer struct {
+		Processed int64 `json:"processed"`
+		Sampled   int64 `json:"sampled"`
+	}
+	lines := strings.Split(strings.TrimRight(string(all), "\n"), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &footer); err != nil {
+		t.Fatal(err)
+	}
+	if int64(admits) != footer.Sampled || footer.Sampled != footer.Processed {
+		t.Fatalf("rate 1: admits=%d sampled=%d processed=%d", admits, footer.Sampled, footer.Processed)
+	}
+
+	off := runTraced(t, 0, 3)
+	if got := strings.TrimRight(string(off), "\n"); strings.Count(got, "\n") != 0 || !strings.Contains(got, `"run_done"`) {
+		t.Fatalf("rate 0 must emit only the footer, got %q", got)
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestTracerLatchesWriteError(t *testing.T) {
+	tr := NewTracer(errWriter{}, 1, 0)
+	tr.OnRequest(nil, &sim.RequestEvent{Index: 0})
+	tr.OnDone(nil, &sim.DoneEvent{})
+	if tr.Err() == nil || tr.Close() == nil {
+		t.Fatal("write error not latched")
+	}
+}
+
+func TestSamplerIsPureFunction(t *testing.T) {
+	tr1 := NewTracer(bytes.NewBuffer(nil), 128, 99)
+	tr2 := NewTracer(bytes.NewBuffer(nil), 128, 99)
+	n := 0
+	for i := 0; i < 100000; i++ {
+		if tr1.Sampled(i) != tr2.Sampled(i) {
+			t.Fatal("sampler not deterministic")
+		}
+		if tr1.Sampled(i) {
+			n++
+		}
+	}
+	// 1-in-128 over 100k indices: expect ~781, allow a wide band.
+	if n < 500 || n > 1100 {
+		t.Fatalf("sample count %d implausible for rate 128", n)
+	}
+}

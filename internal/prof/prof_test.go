@@ -1,0 +1,109 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// register builds a fresh flag set with the profile flags parsed to the
+// given values.
+func register(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegisterAddsFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Register(fs)
+	for _, name := range []string{"cpuprofile", "memprofile"} {
+		if fs.Lookup(name) == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+	}
+}
+
+// With no flags set, Start and Stop are no-ops and must not error.
+func TestDisabledIsNoop(t *testing.T) {
+	f := register(t)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUAndHeapProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	f := register(t, "-cpuprofile", cpu, "-memprofile", mem)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+	// Stop again: the CPU profile is already finished; only the heap
+	// profile is rewritten. Must not error or double-stop.
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapProfileOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.out")
+	f := register(t, "-memprofile", mem)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+func TestStartErrorOnUnwritablePath(t *testing.T) {
+	f := register(t, "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"))
+	if err := f.Start(); err == nil {
+		t.Fatal("Start succeeded with an unwritable path")
+	}
+	// A failed Start leaves no profile running: Stop is still safe.
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopErrorOnUnwritableHeapPath(t *testing.T) {
+	f := register(t, "-memprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.out"))
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err == nil {
+		t.Fatal("Stop succeeded with an unwritable heap path")
+	}
+}

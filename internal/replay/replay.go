@@ -89,6 +89,11 @@ type Options struct {
 	// (policies implementing cache.IdleEvictor), bounding the dirty data a
 	// crash can lose. Zero disables.
 	DestageNs int64
+	// Observers attach additional measurement observers to the engine,
+	// after the replay's own (telemetry, progress reporting, request
+	// tracing — see internal/obs). Observers measure; they cannot change
+	// the simulation, so attaching any leaves Metrics bit-identical.
+	Observers []sim.Observer
 }
 
 // Validate rejects option combinations the replay cannot honor. Run and
@@ -342,6 +347,9 @@ func RunSource(src trace.Source, pol cache.Policy, dev *ssd.Device, opts Options
 	if opts.CrashAtRequest > 0 {
 		eng.Observe(&crashObserver{m: m, at: opts.CrashAtRequest})
 	}
+	// Caller-supplied observers run last, after the metric plane has folded
+	// each event in, so anything they read through the engine is current.
+	eng.Observe(opts.Observers...)
 
 	if _, err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("replay: %w", err)

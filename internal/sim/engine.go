@@ -125,10 +125,30 @@ func (e *Engine) degrade(err error) bool {
 }
 
 func (e *Engine) emitEviction(kind EvictionKind, at int64, lpns []int64) {
-	e.evEv = EvictionEvent{Kind: kind, Time: at, LPNs: lpns}
+	e.emitEvictionTimed(kind, at, lpns, 0, 0)
+}
+
+// emitEvictionTimed additionally reports the batch's device timing for
+// stages that flush before emitting (idle and destage drains).
+func (e *Engine) emitEvictionTimed(kind EvictionKind, at int64, lpns []int64, transferred, durable int64) {
+	e.evEv = EvictionEvent{Kind: kind, Time: at, LPNs: lpns, Transferred: transferred, Durable: durable}
 	for _, o := range e.obs {
 		o.OnEviction(e, &e.evEv)
 	}
+}
+
+// Inflight returns how many closed-loop window slots hold completions
+// later than t — the outstanding request count at time t. Always 0 in
+// open-loop mode (no window is kept). Observers use it as a live queue
+// depth gauge.
+func (e *Engine) Inflight(t int64) int {
+	n := 0
+	for _, freeAt := range e.window {
+		if freeAt > t {
+			n++
+		}
+	}
+	return n
 }
 
 // Run consumes the source and returns the run summary. It may be called
@@ -256,7 +276,7 @@ func (e *Engine) idleFlush(prevArrival, arrival int64) error {
 			}
 			return fmt.Errorf("sim: %s idle flush: %w", e.src.Name(), err)
 		}
-		e.emitEviction(EvictIdle, idleAt, ev.LPNs)
+		e.emitEvictionTimed(EvictIdle, idleAt, ev.LPNs, bt.Transferred, bt.Durable)
 		idleAt = bt.Transferred
 	}
 	return nil
@@ -276,14 +296,15 @@ func (e *Engine) destage(arrival int64) error {
 			if !ok || len(ev.LPNs) == 0 {
 				break
 			}
-			if _, err := e.dev.FlushStriped(tick, ev.LPNs); err != nil {
+			bt, err := e.dev.FlushStriped(tick, ev.LPNs)
+			if err != nil {
 				if e.degrade(err) {
 					e.stopped = true
 					break
 				}
 				return fmt.Errorf("sim: %s destage: %w", e.src.Name(), err)
 			}
-			e.emitEviction(EvictDestage, tick, ev.LPNs)
+			e.emitEvictionTimed(EvictDestage, tick, ev.LPNs, bt.Transferred, bt.Durable)
 		}
 	}
 	return nil

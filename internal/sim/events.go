@@ -59,6 +59,21 @@ const (
 	EvictDestage
 )
 
+// String names the stage for logs and trace spans.
+func (k EvictionKind) String() string {
+	switch k {
+	case EvictRequest:
+		return "request"
+	case EvictClean:
+		return "clean"
+	case EvictIdle:
+		return "idle"
+	case EvictDestage:
+		return "destage"
+	}
+	return "unknown"
+}
+
 // EvictionEvent describes one victim batch leaving the cache. For
 // EvictClean nothing was written to flash.
 type EvictionEvent struct {
@@ -69,6 +84,12 @@ type EvictionEvent struct {
 	// LPNs are the victim pages. The slice aliases a policy-owned buffer
 	// and is only valid during the observer call.
 	LPNs []int64
+	// Transferred and Durable carry the batch's device timing when it is
+	// known at emission: idle flushes and destage drains report when their
+	// frames freed and when the data became durable. Request-path batches
+	// are emitted before the flush (fate accounting needs the pre-flush
+	// order) and clean drops never touch flash — both leave these zero.
+	Transferred, Durable int64
 }
 
 // DoneEvent summarizes a finished run.

@@ -1,0 +1,16 @@
+package sim
+
+import "repro/internal/trace"
+
+// Test-only hooks. External test packages (package sim_test) can import
+// instrument packages such as internal/obs without an import cycle, and
+// these let them drive the engine's per-request step directly — the
+// telemetry-enabled allocation guard needs exactly that.
+
+// Begin exposes begin for step-driven tests.
+func (e *Engine) Begin() { e.begin() }
+
+// Step exposes processRequest for step-driven tests.
+func (e *Engine) Step(i int, req trace.Request, pageSize int64) error {
+	return e.processRequest(i, req, pageSize)
+}

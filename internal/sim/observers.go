@@ -1,0 +1,40 @@
+package sim
+
+// Observers fans every engine event out to each element in order. It lets
+// callers compose observer stacks — replay's metric observers plus a
+// command's telemetry observers — as one value instead of hand-rolled
+// chaining, and it is itself an Observer, so stacks nest.
+//
+// The fan-out loop allocates nothing; a nil or empty Observers is a valid
+// no-op observer.
+type Observers []Observer
+
+var _ Observer = Observers(nil)
+
+// OnRequest implements Observer.
+func (os Observers) OnRequest(e *Engine, ev *RequestEvent) {
+	for _, o := range os {
+		o.OnRequest(e, ev)
+	}
+}
+
+// OnEviction implements Observer.
+func (os Observers) OnEviction(e *Engine, ev *EvictionEvent) {
+	for _, o := range os {
+		o.OnEviction(e, ev)
+	}
+}
+
+// OnResult implements Observer.
+func (os Observers) OnResult(e *Engine, ev *ResultEvent) {
+	for _, o := range os {
+		o.OnResult(e, ev)
+	}
+}
+
+// OnDone implements Observer.
+func (os Observers) OnDone(e *Engine, ev *DoneEvent) {
+	for _, o := range os {
+		o.OnDone(e, ev)
+	}
+}

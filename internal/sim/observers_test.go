@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// recordingObserver logs every hook call with its own tag.
+type recordingObserver struct {
+	tag string
+	log *[]string
+}
+
+func (r recordingObserver) OnRequest(*Engine, *RequestEvent) {
+	*r.log = append(*r.log, r.tag+":request")
+}
+func (r recordingObserver) OnEviction(*Engine, *EvictionEvent) {
+	*r.log = append(*r.log, r.tag+":eviction")
+}
+func (r recordingObserver) OnResult(*Engine, *ResultEvent) {
+	*r.log = append(*r.log, r.tag+":result")
+}
+func (r recordingObserver) OnDone(*Engine, *DoneEvent) {
+	*r.log = append(*r.log, r.tag+":done")
+}
+
+// Observers must deliver every event to every element in registration
+// order, including through nesting.
+func TestObserversFanOut(t *testing.T) {
+	var log []string
+	inner := Observers{recordingObserver{"b", &log}, recordingObserver{"c", &log}}
+	os := Observers{recordingObserver{"a", &log}, inner}
+
+	os.OnRequest(nil, &RequestEvent{})
+	os.OnEviction(nil, &EvictionEvent{})
+	os.OnResult(nil, &ResultEvent{})
+	os.OnDone(nil, &DoneEvent{})
+
+	want := []string{
+		"a:request", "b:request", "c:request",
+		"a:eviction", "b:eviction", "c:eviction",
+		"a:result", "b:result", "c:result",
+		"a:done", "b:done", "c:done",
+	}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("fan-out order:\ngot  %v\nwant %v", log, want)
+	}
+}
+
+// A nil Observers value must be a usable no-op observer.
+func TestObserversNilSafe(t *testing.T) {
+	var os Observers
+	os.OnRequest(nil, &RequestEvent{})
+	os.OnEviction(nil, &EvictionEvent{})
+	os.OnResult(nil, &ResultEvent{})
+	os.OnDone(nil, &DoneEvent{})
+}
+
+// countingObserver only increments a counter — the fan-out loop's own cost
+// is what the alloc guard below measures.
+type countingObserver struct{ n *int }
+
+func (c countingObserver) OnRequest(*Engine, *RequestEvent)   { *c.n++ }
+func (c countingObserver) OnEviction(*Engine, *EvictionEvent) { *c.n++ }
+func (c countingObserver) OnResult(*Engine, *ResultEvent)     { *c.n++ }
+func (c countingObserver) OnDone(*Engine, *DoneEvent)         { *c.n++ }
+
+// The fan-out loop itself must not allocate: the engine's zero-alloc
+// guarantee extends through composed observer stacks.
+func TestObserversFanOutAllocs(t *testing.T) {
+	n := 0
+	os := Observers{countingObserver{&n}, countingObserver{&n}}
+	ev := &RequestEvent{}
+	if got := testing.AllocsPerRun(1000, func() {
+		os.OnRequest(nil, ev)
+	}); got > 0 {
+		t.Fatalf("Observers fan-out allocs/event = %v, want 0", got)
+	}
+	if n == 0 {
+		t.Fatal("observers never ran")
+	}
+}

@@ -132,6 +132,12 @@ func New(p Params) (*Device, error) {
 	return d, nil
 }
 
+// SetTap attaches a timing tap to the FTL's operation paths (nil
+// detaches): page programs, reads, erases and GC collections report their
+// simulated timings to it. Taps observe only — attaching one never changes
+// a replay's metrics. The telemetry plane (internal/obs) implements it.
+func (d *Device) SetTap(t ftl.Tap) { d.f.SetTap(t) }
+
 // FaultsEnabled reports whether a fault injector is attached.
 func (d *Device) FaultsEnabled() bool { return d.inj != nil }
 
