@@ -1,13 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check fmt-check test race test-race fuzz-smoke bench bench-smoke bench-json experiments experiments-full lint
+.PHONY: all check fmt-check test race test-race fuzz-smoke ssdcheck-quick ssdcheck-nightly bench bench-smoke bench-json experiments experiments-full lint
 
 all: test
 
 # check is the full pre-merge gate: formatting, build + vet + tests, the
-# race detector over the whole tree, then a short fuzz pass over the trace
-# parsers.
-check: fmt-check test test-race fuzz-smoke
+# race detector over the whole tree, a short fuzz pass over the trace
+# parsers and differential targets, then the quick model-based
+# differential campaign (fast implementations vs paper-literal oracles;
+# see docs/TESTING.md).
+check: fmt-check test test-race fuzz-smoke ssdcheck-quick
 
 # fmt-check fails (listing the offenders) when any file needs gofmt;
 # `gofmt -l` alone exits 0 even with findings, so wrap it.
@@ -24,11 +26,26 @@ race:
 
 test-race: race
 
-# fuzz-smoke runs each trace-parser fuzz target briefly: not a soak, just
-# proof that the targets still build and survive a short adversarial pass.
+# fuzz-smoke runs each fuzz target briefly: not a soak, just proof that
+# the targets still build and survive a short adversarial pass.
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzParseTrace$$' -fuzztime 10s ./internal/trace
 	go test -run '^$$' -fuzz '^FuzzReadMSR$$' -fuzztime 10s ./internal/trace
+	go test -run '^$$' -fuzz '^FuzzPageSet$$' -fuzztime 10s ./internal/cache
+	go test -run '^$$' -fuzz '^FuzzReqBlockOps$$' -fuzztime 10s ./internal/core
+
+# ssdcheck-quick is the CI differential gate: 64 seeds × 4 policies of
+# randomized workloads replayed through the fast implementations and the
+# internal/oracle reference models in lockstep; any divergence is
+# delta-debugged to a minimal repro before being reported.
+ssdcheck-quick:
+	go run ./cmd/ssdcheck -quick -repro-dir internal/oracle/testdata/failures
+
+# ssdcheck-nightly is the scheduled randomized campaign: fresh seed
+# ranges for a fixed wall-clock budget, minimized repros saved for upload.
+ssdcheck-nightly:
+	go run ./cmd/ssdcheck -duration 10m -seeds 512 -requests 384 -v \
+		-repro-dir internal/oracle/testdata/failures
 
 bench:
 	go test -bench=. -benchmem ./...

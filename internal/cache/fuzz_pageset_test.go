@@ -1,0 +1,69 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzPageSet drives the block-policy page bitmap against a map model:
+// arbitrary interleavings of reset/add/has/len/appendLPNs must behave
+// exactly like a set, with enumeration in ascending order. The bitmap
+// under-pins every block-granularity eviction transcript, so a missed
+// bit or a mis-ordered enumeration would silently corrupt FAB/BPLRU
+// victim batches.
+func FuzzPageSet(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0x80, 5})
+	f.Add([]byte{0x90, 0x01, 0x02, 0x90})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const span = 64 + 7 // straddles a word boundary on purpose
+		var s pageSet
+		base := int64(128)
+		s.reset(base, span)
+		model := make(map[int64]bool)
+		for _, op := range ops {
+			switch {
+			case op&0x80 != 0:
+				// Re-target the set at a new aligned base; the model resets
+				// with it. Exercises word-storage reuse.
+				base = int64(op&0x7f) * span
+				s.reset(base, span)
+				model = make(map[int64]bool)
+			default:
+				lpn := base + int64(op)%span
+				s.add(lpn)
+				model[lpn] = true
+			}
+			// Full cross-check after every op: len, membership, order.
+			if s.len() != len(model) {
+				t.Fatalf("len = %d, model has %d", s.len(), len(model))
+			}
+			for off := int64(0); off < span; off++ {
+				lpn := base + off
+				if s.has(lpn) != model[lpn] {
+					t.Fatalf("has(%d) = %v, model says %v", lpn, s.has(lpn), model[lpn])
+				}
+			}
+			got := s.appendLPNs(nil)
+			want := make([]int64, 0, len(model))
+			for lpn := range model {
+				want = append(want, lpn)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("appendLPNs = %v, want %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("appendLPNs = %v, want %v (ascending)", got, want)
+				}
+			}
+		}
+		// appendLPNs must append, not clobber.
+		prefix := []int64{-1, -2}
+		out := s.appendLPNs(prefix)
+		if out[0] != -1 || out[1] != -2 || len(out) != 2+s.len() {
+			t.Fatalf("appendLPNs clobbered its destination: %v", out)
+		}
+	})
+}

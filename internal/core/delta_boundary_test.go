@@ -1,0 +1,196 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// δ-boundary edge cases, table-driven: each scenario scripts a few
+// requests around the small-request bound and pins the exact list
+// placements, transition annotations and eviction batches Algorithm 1
+// requires. These are the cases a differential campaign hits only by
+// luck; here they are deterministic.
+
+// sinkRec records transition annotations for comparison.
+type sinkRec struct {
+	trs []cache.ListTransition
+}
+
+func (s *sinkRec) OnListTransition(tr cache.ListTransition) { s.trs = append(s.trs, tr) }
+
+func TestDeltaBoundaryCases(t *testing.T) {
+	type step struct {
+		req cache.Request
+		// wantEvict, when non-nil, is the concatenated eviction LPNs this
+		// step must flush (empty slice = must not evict).
+		wantEvict []int64
+	}
+	cases := []struct {
+		name     string
+		delta    int
+		capacity int
+		steps    []step
+		// where maps LPN → expected list after all steps ("" = not cached).
+		where map[int64]string
+		// wantTrs is the exact transition stream across all steps.
+		wantTrs []cache.ListTransition
+	}{
+		{
+			// A block of exactly δ pages is small: a hit promotes the whole
+			// block to the SRL. (The delta-off-by-one mutation breaks
+			// precisely this case.)
+			name:     "request exactly delta",
+			delta:    3,
+			capacity: 16,
+			steps: []step{
+				{req: cache.Request{Time: 1, Write: true, LPN: 0, Pages: 3}, wantEvict: []int64{}},
+				{req: cache.Request{Time: 2, Write: true, LPN: 1, Pages: 1}, wantEvict: []int64{}},
+			},
+			where: map[int64]string{0: "SRL", 1: "SRL", 2: "SRL", 3: ""},
+			// The head page (most recently inserted, LPN 2) labels the
+			// whole-block move.
+			wantTrs: []cache.ListTransition{{LPN: 2, Pages: 3, From: "IRL", To: "SRL"}},
+		},
+		{
+			// One page over δ is large: the hit page splits into the DRL,
+			// the remainder stays in the IRL.
+			name:     "request one over delta",
+			delta:    3,
+			capacity: 16,
+			steps: []step{
+				{req: cache.Request{Time: 1, Write: true, LPN: 0, Pages: 4}, wantEvict: []int64{}},
+				{req: cache.Request{Time: 2, Write: true, LPN: 1, Pages: 1}, wantEvict: []int64{}},
+			},
+			where:   map[int64]string{0: "IRL", 1: "DRL", 2: "IRL", 3: "IRL"},
+			wantTrs: []cache.ListTransition{{LPN: 1, Pages: 1, From: "IRL", To: "DRL"}},
+		},
+		{
+			// Single-page requests sit at the extreme small end: first hit
+			// promotes to SRL, further hits reorder silently within it.
+			name:     "one-page requests",
+			delta:    1,
+			capacity: 16,
+			steps: []step{
+				{req: cache.Request{Time: 1, Write: true, LPN: 7, Pages: 1}, wantEvict: []int64{}},
+				{req: cache.Request{Time: 2, Write: true, LPN: 7, Pages: 1}, wantEvict: []int64{}},
+				{req: cache.Request{Time: 3, Write: true, LPN: 7, Pages: 1}, wantEvict: []int64{}},
+			},
+			where:   map[int64]string{7: "SRL"},
+			wantTrs: []cache.ListTransition{{LPN: 7, Pages: 1, From: "IRL", To: "SRL"}},
+		},
+		{
+			// Re-hitting pages that already split into a DRL block: the DRL
+			// block shrank below δ, so the re-hit upgrades it to the SRL;
+			// a further hit inside the SRL stays silent.
+			name:     "re-hit of split DRL block",
+			delta:    3,
+			capacity: 16,
+			steps: []step{
+				{req: cache.Request{Time: 1, Write: true, LPN: 0, Pages: 5}, wantEvict: []int64{}},
+				{req: cache.Request{Time: 2, Write: true, LPN: 0, Pages: 2}, wantEvict: []int64{}}, // splits 0,1 → DRL
+				{req: cache.Request{Time: 3, Write: true, LPN: 0, Pages: 1}, wantEvict: []int64{}}, // DRL block (2 pages ≤ δ) → SRL
+				{req: cache.Request{Time: 4, Write: true, LPN: 1, Pages: 1}, wantEvict: []int64{}}, // SRL-internal, silent
+			},
+			where: map[int64]string{0: "SRL", 1: "SRL", 2: "IRL", 3: "IRL", 4: "IRL"},
+			wantTrs: []cache.ListTransition{
+				{LPN: 0, Pages: 1, From: "IRL", To: "DRL"},
+				{LPN: 1, Pages: 1, From: "IRL", To: "DRL"},
+				{LPN: 1, Pages: 2, From: "DRL", To: "SRL"}, // head of the DRL block is LPN 1
+			},
+		},
+		{
+			// Downgraded merging fires when the split victim's origin still
+			// sits in IRL: evicting the DRL block {0,1} flushes the IRL
+			// remainder {2,3} with it as one batch.
+			name:     "merge eviction with live origin",
+			delta:    2,
+			capacity: 4,
+			steps: []step{
+				{req: cache.Request{Time: 1, Write: true, LPN: 0, Pages: 4}, wantEvict: []int64{}},
+				{req: cache.Request{Time: 2, Write: true, LPN: 0, Pages: 2}, wantEvict: []int64{}}, // splits 0,1 → DRL
+				// t=4: freq(DRL {1,0}) = 1/(2·2) < freq(IRL {2,3}) = 3/(2·3):
+				// the DRL block is the victim and merges with its origin.
+				{req: cache.Request{Time: 4, Write: true, LPN: 10, Pages: 1}, wantEvict: []int64{0, 1, 2, 3}},
+			},
+			where: map[int64]string{0: "", 1: "", 2: "", 3: "", 10: "IRL"},
+			wantTrs: []cache.ListTransition{
+				{LPN: 0, Pages: 1, From: "IRL", To: "DRL"},
+				{LPN: 1, Pages: 1, From: "IRL", To: "DRL"},
+				{LPN: 3, Pages: 2, From: "IRL", To: "merge"}, // origin {3,2}, head LPN 3
+			},
+		},
+		{
+			// No merge when the IRL remainder was evicted first: the origin
+			// link is stale (the block was recycled), so evicting the split
+			// block flushes it alone.
+			name:     "merge skipped after origin evicted",
+			delta:    2,
+			capacity: 6,
+			steps: []step{
+				{req: cache.Request{Time: 1, Write: true, LPN: 0, Pages: 6}, wantEvict: []int64{}},
+				{req: cache.Request{Time: 2, Write: true, LPN: 0, Pages: 1}, wantEvict: []int64{}}, // splits 0 → DRL
+				// t=4: freq(IRL {1..5}) = 2/(5·3) < freq(DRL {0}) = 1/(1·2):
+				// the IRL remainder is evicted first, origin gone.
+				{req: cache.Request{Time: 4, Write: true, LPN: 10, Pages: 1}, wantEvict: []int64{1, 2, 3, 4, 5}},
+				{req: cache.Request{Time: 5, Write: true, LPN: 11, Pages: 4}, wantEvict: []int64{}},
+				// t=6: tails are IRL {11..14} (4/…), DRL {0} (oldest, lowest
+				// freq): the split block is the victim, and it must flush
+				// alone — its origin was recycled at t=4.
+				{req: cache.Request{Time: 6, Write: true, LPN: 20, Pages: 1}, wantEvict: []int64{0}},
+			},
+			where: map[int64]string{0: "", 10: "IRL", 20: "IRL"},
+			wantTrs: []cache.ListTransition{
+				{LPN: 0, Pages: 1, From: "IRL", To: "DRL"},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := core.NewConfig(tc.capacity, core.Config{Delta: tc.delta, Merge: true, Recency: true})
+			sink := &sinkRec{}
+			c.SetTransitionSink(sink)
+			for si, st := range tc.steps {
+				res := c.Access(st.req)
+				var got []int64
+				for _, ev := range res.Evictions {
+					got = append(got, ev.LPNs...)
+				}
+				if st.wantEvict != nil && !equalLPNs(got, st.wantEvict) {
+					t.Fatalf("step %d: evicted %v, want %v", si, got, st.wantEvict)
+				}
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", si, err)
+				}
+			}
+			for lpn, want := range tc.where {
+				if got := c.WhereIs(lpn); got != want {
+					t.Errorf("WhereIs(%d) = %q, want %q", lpn, got, want)
+				}
+			}
+			if len(sink.trs) != len(tc.wantTrs) {
+				t.Fatalf("transitions = %+v, want %+v", sink.trs, tc.wantTrs)
+			}
+			for i := range sink.trs {
+				if sink.trs[i] != tc.wantTrs[i] {
+					t.Errorf("transition %d = %+v, want %+v", i, sink.trs[i], tc.wantTrs[i])
+				}
+			}
+		})
+	}
+}
+
+func equalLPNs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

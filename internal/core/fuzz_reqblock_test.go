@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/oracle"
+)
+
+// FuzzReqBlockOps feeds fuzzer-shaped request streams through the fast
+// Req-block implementation and the paper-literal oracle in lockstep —
+// the differential checker with the fuzzer, rather than a seeded PRNG,
+// choosing the workload. The fuzzer gets to pick δ, the merge/recency
+// ablations, capacity and every request, so it can steer straight at
+// boundary conditions (δ-sized blocks, re-split chains, merge-after-
+// recycle) that random campaigns only sample.
+func FuzzReqBlockOps(f *testing.F) {
+	f.Add(uint8(3), uint8(16), true, true, []byte{0x12, 0x34, 0x56, 0x78})
+	f.Add(uint8(1), uint8(4), false, false, []byte{0xff, 0x00, 0xff, 0x00, 0x81})
+	f.Add(uint8(7), uint8(60), true, false, []byte{})
+	f.Fuzz(func(t *testing.T, deltaB, capB uint8, merge, recency bool, ops []byte) {
+		delta := 1 + int(deltaB)%8
+		capacity := 2 + int(capB)%63
+		spec := oracle.Spec{
+			Policy:        "req-block",
+			CapacityPages: capacity,
+			Delta:         delta,
+			Merge:         merge,
+			Recency:       recency,
+		}
+		// Two bytes per request: flags+pages, then the LPN. Times advance
+		// by a flag-controlled stride so the recency term gets exercised
+		// with both dense and sparse arrivals.
+		now := int64(0)
+		for i := 0; i+1 < len(ops); i += 2 {
+			a, b := ops[i], ops[i+1]
+			if a&0x40 != 0 {
+				now += 1000
+			} else {
+				now++
+			}
+			spec.Requests = append(spec.Requests, cache.Request{
+				Time:  now,
+				Write: a&0x80 == 0, // bias toward writes
+				LPN:   int64(b) % 80,
+				Pages: 1 + int(a&0x0f),
+			})
+		}
+		if d := oracle.Run(spec); d != nil {
+			t.Fatalf("fast/oracle divergence: %v", d)
+		}
+	})
+}

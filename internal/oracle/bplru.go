@@ -1,0 +1,195 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+)
+
+// obBlock is one logical block in the BPLRU oracle's block-level LRU.
+type obBlock struct {
+	blockID int64
+	pages   []int64 // buffered lpns, kept sorted ascending
+	// sequential/nextSeq implement LRU compensation: a block written
+	// fully in order from in-block page 0 moves to the tail.
+	sequential bool
+	nextSeq    int
+}
+
+func (b *obBlock) has(lpn int64) bool {
+	for _, p := range b.pages {
+		if p == lpn {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *obBlock) add(lpn int64) {
+	b.pages = append(b.pages, lpn)
+	sort.Slice(b.pages, func(i, j int) bool { return b.pages[i] < b.pages[j] })
+}
+
+// BPLRU is the paper-literal block-padding LRU of Kim & Ahn (FAST'08):
+// an LRU list of logical blocks (head = most recently written), whole-tail
+// eviction onto one physical block, LRU compensation for sequential
+// streams, and optional page padding.
+type BPLRU struct {
+	capacity      int
+	pagesPerBlock int64
+	padding       bool
+	order         []*obBlock // index 0 = most recently written
+}
+
+// NewBPLRU builds the oracle; padding mirrors NewBPLRUWithPadding.
+func NewBPLRU(capacityPages, pagesPerBlock int, padding bool) *BPLRU {
+	cache.ValidateCapacity(capacityPages)
+	if pagesPerBlock < 1 {
+		panic("oracle: BPLRU pagesPerBlock must be >= 1")
+	}
+	return &BPLRU{capacity: capacityPages, pagesPerBlock: int64(pagesPerBlock), padding: padding}
+}
+
+// Name implements Policy.
+func (c *BPLRU) Name() string { return "BPLRU" }
+
+// Len implements Policy.
+func (c *BPLRU) Len() int {
+	n := 0
+	for _, b := range c.order {
+		n += len(b.pages)
+	}
+	return n
+}
+
+// NodeCount implements Policy: one node per block.
+func (c *BPLRU) NodeCount() int { return len(c.order) }
+
+// findBlock returns the block with the given ID and its position, or
+// (nil, -1).
+func (c *BPLRU) findBlock(blockID int64) (*obBlock, int) {
+	for i, b := range c.order {
+		if b.blockID == blockID {
+			return b, i
+		}
+	}
+	return nil, -1
+}
+
+// Access implements Policy. Reads are served when present but never
+// reorder the list: BPLRU manages RAM purely as a write buffer.
+func (c *BPLRU) Access(req cache.Request) Result {
+	cache.CheckRequest(req)
+	var res Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		blockID := lpn / c.pagesPerBlock
+		b, _ := c.findBlock(blockID)
+		if b != nil && b.has(lpn) {
+			res.Hits++
+			if req.Write {
+				c.noteWrite(b, lpn)
+			}
+		} else {
+			res.Misses++
+			if req.Write {
+				for c.Len() >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evictTail())
+				}
+				// The block may have been evicted while making room.
+				b, _ = c.findBlock(blockID)
+				if b == nil {
+					b = &obBlock{blockID: blockID, sequential: true}
+					c.order = append([]*obBlock{b}, c.order...)
+				}
+				b.add(lpn)
+				res.Inserted++
+				c.noteWrite(b, lpn)
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// noteWrite applies BPLRU's list adjustment after a write: to the head
+// normally, to the tail once the block has been written fully
+// sequentially (LRU compensation).
+func (c *BPLRU) noteWrite(b *obBlock, lpn int64) {
+	idx := int(lpn % c.pagesPerBlock)
+	if b.sequential {
+		if idx == b.nextSeq {
+			b.nextSeq++
+		} else {
+			b.sequential = false
+		}
+	}
+	_, at := c.findBlock(b.blockID)
+	c.order = append(c.order[:at], c.order[at+1:]...)
+	if b.sequential && b.nextSeq == int(c.pagesPerBlock) {
+		c.order = append(c.order, b) // fully sequential: prefer for eviction
+		return
+	}
+	c.order = append([]*obBlock{b}, c.order...)
+}
+
+// evictTail flushes the least recently written block onto one physical
+// block, optionally padded to a full block with flash reads first.
+func (c *BPLRU) evictTail() Eviction {
+	last := len(c.order) - 1
+	if last < 0 {
+		panic("oracle: BPLRU evict on empty buffer")
+	}
+	b := c.order[last]
+	c.order = c.order[:last]
+	if !c.padding {
+		return Eviction{LPNs: append([]int64(nil), b.pages...), BlockBound: true}
+	}
+	base := b.blockID * c.pagesPerBlock
+	all := make([]int64, 0, c.pagesPerBlock)
+	var padReads []int64
+	for off := int64(0); off < c.pagesPerBlock; off++ {
+		all = append(all, base+off)
+		if !b.has(base + off) {
+			padReads = append(padReads, base+off)
+		}
+	}
+	return Eviction{LPNs: all, BlockBound: true, PaddingReads: padReads}
+}
+
+// EvictIdle implements Policy with the fast implementation's gating.
+func (c *BPLRU) EvictIdle(now int64) (Eviction, bool) {
+	if c.Len() <= c.capacity/2 {
+		return Eviction{}, false
+	}
+	return c.evictTail(), true
+}
+
+// CheckInvariants validates occupancy, block-local page alignment and
+// uniqueness.
+func (c *BPLRU) CheckInvariants() error {
+	if n := c.Len(); n > c.capacity {
+		return fmt.Errorf("oracle: BPLRU holds %d pages, capacity %d", n, c.capacity)
+	}
+	seenBlock := make(map[int64]bool, len(c.order))
+	for _, b := range c.order {
+		if seenBlock[b.blockID] {
+			return fmt.Errorf("oracle: BPLRU block %d listed twice", b.blockID)
+		}
+		seenBlock[b.blockID] = true
+		seen := make(map[int64]bool, len(b.pages))
+		for _, p := range b.pages {
+			if p/c.pagesPerBlock != b.blockID {
+				return fmt.Errorf("oracle: BPLRU lpn %d in block %d", p, b.blockID)
+			}
+			if seen[p] {
+				return fmt.Errorf("oracle: BPLRU lpn %d buffered twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	return nil
+}

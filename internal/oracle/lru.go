@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// LRU is the paper-literal page-granularity least-recently-used write
+// buffer: a single slice ordered most-recent-first, one page per entry.
+// Hits move the page to the front; eviction flushes the last page, one
+// single-page batch per victim, exactly as the fast implementation
+// reports them.
+type LRU struct {
+	capacity int
+	order    []int64 // index 0 = most recently used
+}
+
+// NewLRU builds the oracle.
+func NewLRU(capacityPages int) *LRU {
+	cache.ValidateCapacity(capacityPages)
+	return &LRU{capacity: capacityPages}
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "LRU" }
+
+// Len implements Policy.
+func (c *LRU) Len() int { return len(c.order) }
+
+// NodeCount implements Policy: one node per page.
+func (c *LRU) NodeCount() int { return len(c.order) }
+
+// indexOf returns the position of a page, or -1.
+func (c *LRU) indexOf(lpn int64) int {
+	for i, p := range c.order {
+		if p == lpn {
+			return i
+		}
+	}
+	return -1
+}
+
+// Access implements Policy, walking the request page by page.
+func (c *LRU) Access(req cache.Request) Result {
+	cache.CheckRequest(req)
+	var res Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if at := c.indexOf(lpn); at >= 0 {
+			res.Hits++
+			// Move to front (reads reorder too, matching the fast LRU).
+			c.order = append(c.order[:at], c.order[at+1:]...)
+			c.order = append([]int64{lpn}, c.order...)
+		} else {
+			res.Misses++
+			if req.Write {
+				for len(c.order) >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evictTail())
+				}
+				c.order = append([]int64{lpn}, c.order...)
+				res.Inserted++
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// evictTail flushes the least recently used page as its own batch.
+func (c *LRU) evictTail() Eviction {
+	last := len(c.order) - 1
+	victim := c.order[last]
+	c.order = c.order[:last]
+	return Eviction{LPNs: []int64{victim}}
+}
+
+// EvictIdle implements Policy with the fast implementation's gating.
+func (c *LRU) EvictIdle(now int64) (Eviction, bool) {
+	if len(c.order) <= c.capacity/2 {
+		return Eviction{}, false
+	}
+	return c.evictTail(), true
+}
+
+// CheckInvariants validates occupancy and uniqueness.
+func (c *LRU) CheckInvariants() error {
+	if len(c.order) > c.capacity {
+		return fmt.Errorf("oracle: LRU holds %d pages, capacity %d", len(c.order), c.capacity)
+	}
+	seen := make(map[int64]bool, len(c.order))
+	for _, p := range c.order {
+		if seen[p] {
+			return fmt.Errorf("oracle: LRU holds lpn %d twice", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package oracle
+
+import "testing"
+
+// TestMutationsCaughtAndShrunk proves the harness has teeth: each seeded
+// oracle bug must (a) be detected by the differential runner within a
+// small seed scan, and (b) shrink to a repro of at most 20 requests that
+// still diverges. A harness that cannot catch its own planted bugs
+// proves nothing when it reports zero divergences.
+func TestMutationsCaughtAndShrunk(t *testing.T) {
+	const maxSeeds = 64
+	const maxRepro = 20
+	for _, mut := range Mutations {
+		mut := mut
+		t.Run(string(mut), func(t *testing.T) {
+			var failing *Spec
+			for seed := int64(0); seed < maxSeeds; seed++ {
+				spec := Generate(seed, "req-block", 192)
+				spec.Mutation = mut
+				if Run(spec) != nil {
+					failing = &spec
+					break
+				}
+			}
+			if failing == nil {
+				t.Fatalf("mutation %s survived %d seeds of 192 requests — harness has no teeth", mut, maxSeeds)
+			}
+			shrunk, d := Shrink(*failing)
+			if d == nil {
+				t.Fatalf("mutation %s: shrinker lost the failure", mut)
+			}
+			if got := len(shrunk.Requests); got > maxRepro {
+				t.Fatalf("mutation %s: shrunk repro still has %d requests, want <= %d", mut, got, maxRepro)
+			}
+			if Run(shrunk) == nil {
+				t.Fatalf("mutation %s: minimized spec no longer diverges", mut)
+			}
+			t.Logf("mutation %s: caught at seed %d, shrunk %d -> %d requests (%s)",
+				mut, failing.Seed, len(failing.Requests), len(shrunk.Requests), d.Kind)
+		})
+	}
+}
+
+// TestShrinkPreservesPassing pins the shrinker's contract on a green
+// input: returned unchanged with a nil divergence.
+func TestShrinkPreservesPassing(t *testing.T) {
+	spec := Generate(7, "req-block", 64)
+	out, d := Shrink(spec)
+	if d != nil {
+		t.Fatalf("unexpected divergence on clean spec: %v", d)
+	}
+	if len(out.Requests) != len(spec.Requests) {
+		t.Fatalf("shrinker modified a passing spec")
+	}
+}

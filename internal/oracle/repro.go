@@ -1,0 +1,89 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Repro persistence: a minimized failing Spec is saved as pretty-printed
+// JSON under a corpus directory (testdata/repros in this repo). Ordinary
+// `go test` replays every file there through Run, so once a divergence is
+// minimized and committed it is a permanent regression test.
+
+// SaveRepro writes a spec into dir, creating it if needed. The filename
+// is derived from the policy, seed and request count; an existing file
+// with the same name is never overwritten — a numeric suffix is added.
+// It returns the path written.
+func SaveRepro(dir string, spec Spec) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	base := fmt.Sprintf("%s-seed%d-%dreq", spec.Policy, spec.Seed, len(spec.Requests))
+	if spec.Mutation != MutNone {
+		base += "-" + string(spec.Mutation)
+	}
+	for n := 0; ; n++ {
+		name := base + ".json"
+		if n > 0 {
+			name = fmt.Sprintf("%s-%d.json", base, n)
+		}
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		return path, os.WriteFile(path, data, 0o644)
+	}
+}
+
+// LoadRepro reads one saved spec.
+func LoadRepro(path string) (Spec, error) {
+	var spec Spec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// LoadRepros reads every *.json spec in dir, sorted by name. A missing
+// directory is an empty corpus, not an error.
+func LoadRepros(dir string) (map[string]Spec, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Spec)
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec, err := LoadRepro(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out[name] = spec
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReproCorpus replays every minimized spec committed under
+// testdata/repros. Specs with a Mutation set are the mutation smoke
+// corpus and must still diverge (they document what each seeded bug
+// looks like when caught); clean specs are regressions from past
+// campaigns and must pass forever.
+func TestReproCorpus(t *testing.T) {
+	specs, err := LoadRepros(filepath.Join("testdata", "repros"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("testdata/repros is empty; the corpus should ship with the repo")
+	}
+	for name, spec := range specs {
+		name, spec := name, spec
+		t.Run(name, func(t *testing.T) {
+			d := Run(spec)
+			if spec.Mutation != MutNone {
+				if d == nil {
+					t.Fatalf("mutation repro no longer diverges — was the mutation removed?")
+				}
+				return
+			}
+			if d != nil {
+				t.Fatalf("regression: %v", d)
+			}
+		})
+	}
+}
+
+// TestSaveLoadRoundTrip pins the corpus serialization format.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := Generate(3, "bplru", 24)
+	path, err := SaveRepro(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saving the same spec again must not overwrite the first file.
+	path2, err := SaveRepro(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == path2 {
+		t.Fatalf("second save overwrote %s", path)
+	}
+	got, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != spec.Policy || got.CapacityPages != spec.CapacityPages ||
+		len(got.Requests) != len(spec.Requests) {
+		t.Fatalf("round trip mangled the spec: %+v vs %+v", got, spec)
+	}
+	for i := range got.Requests {
+		if got.Requests[i] != spec.Requests[i] {
+			t.Fatalf("request %d mangled: %+v vs %+v", i, got.Requests[i], spec.Requests[i])
+		}
+	}
+	all, err := LoadRepros(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("LoadRepros found %d specs, want 2", len(all))
+	}
+	if _, err := LoadRepros(filepath.Join(dir, "missing")); err != nil {
+		t.Fatalf("missing corpus dir should be empty, got %v", err)
+	}
+	// A malformed file must fail loudly, not silently skip.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRepros(dir); err == nil {
+		t.Fatal("malformed corpus file loaded without error")
+	}
+}

@@ -1,0 +1,375 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+)
+
+// ReqBlockConfig carries the Req-block tunables, mirroring the fast
+// implementation's configuration surface (δ, downgraded merging, the
+// recency term of Eq. 1) plus an optional seeded bug for the mutation
+// smoke test.
+type ReqBlockConfig struct {
+	Delta    int
+	Merge    bool
+	Recency  bool
+	Mutation Mutation
+}
+
+// rbBlock is one request block: the pages of one write request (or the
+// split pages one request hit out of large blocks). Pages are kept
+// head-first — index 0 is the most recently added page — matching the
+// intrusive page list of the fast implementation, whose head page labels
+// whole-block transitions.
+type rbBlock struct {
+	reqID      uint64
+	pages      []int64
+	accessCnt  int64
+	insertTime int64
+	// origin links a split block back to the IRL block it was divided
+	// from; downgraded merging re-unites the two at eviction if the
+	// origin still sits in IRL.
+	origin *rbBlock
+}
+
+// headLPN returns the page-list head (most recently added page).
+func (b *rbBlock) headLPN() int64 { return b.pages[0] }
+
+// removePage deletes one page from the block, keeping order.
+func (b *rbBlock) removePage(lpn int64) {
+	for i, p := range b.pages {
+		if p == lpn {
+			b.pages = append(b.pages[:i], b.pages[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("oracle: removePage(%d) not in block", lpn))
+}
+
+// ReqBlock is the paper-literal Req-block write buffer: Algorithm 1 with
+// plain slices and linear scans. Lists hold their head at index 0.
+type ReqBlock struct {
+	capacity int
+	cfg      ReqBlockConfig
+	irl      []*rbBlock
+	srl      []*rbBlock
+	drl      []*rbBlock
+	nextReq  uint64
+	sink     cache.TransitionSink
+}
+
+var listNames = [3]string{"IRL", "SRL", "DRL"}
+
+// NewReqBlock builds the oracle with an explicit configuration.
+func NewReqBlock(capacityPages int, cfg ReqBlockConfig) *ReqBlock {
+	cache.ValidateCapacity(capacityPages)
+	if cfg.Delta < 1 {
+		panic(fmt.Sprintf("oracle: delta %d, need >= 1", cfg.Delta))
+	}
+	return &ReqBlock{capacity: capacityPages, cfg: cfg}
+}
+
+// Name implements Policy.
+func (c *ReqBlock) Name() string { return "Req-block" }
+
+// SetTransitionSink mirrors cache.TransitionSource: the sink receives one
+// annotation per list transition, in the same order and with the same
+// fields as the fast implementation emits them.
+func (c *ReqBlock) SetTransitionSink(s cache.TransitionSink) { c.sink = s }
+
+// lists returns the three lists in IRL, SRL, DRL order.
+func (c *ReqBlock) lists() [3]*[]*rbBlock {
+	return [3]*[]*rbBlock{&c.irl, &c.srl, &c.drl}
+}
+
+// Len implements Policy by recounting every list.
+func (c *ReqBlock) Len() int {
+	n := 0
+	for _, l := range c.lists() {
+		for _, b := range *l {
+			n += len(b.pages)
+		}
+	}
+	return n
+}
+
+// NodeCount implements Policy.
+func (c *ReqBlock) NodeCount() int {
+	return len(c.irl) + len(c.srl) + len(c.drl)
+}
+
+// find returns the block holding a page and its list index (0 IRL, 1 SRL,
+// 2 DRL), or (nil, -1).
+func (c *ReqBlock) find(lpn int64) (*rbBlock, int) {
+	for li, l := range c.lists() {
+		for _, b := range *l {
+			for _, p := range b.pages {
+				if p == lpn {
+					return b, li
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+// WhereIs returns "IRL", "SRL", "DRL" or "" for a page, diffed against
+// the fast implementation's WhereIs.
+func (c *ReqBlock) WhereIs(lpn int64) string {
+	if _, li := c.find(lpn); li >= 0 {
+		return listNames[li]
+	}
+	return ""
+}
+
+// ListPages returns the buffered pages per list, diffed against the fast
+// implementation's occupancy gauges.
+func (c *ReqBlock) ListPages() map[string]int {
+	out := make(map[string]int, 3)
+	for li, l := range c.lists() {
+		n := 0
+		for _, b := range *l {
+			n += len(b.pages)
+		}
+		out[listNames[li]] = n
+	}
+	return out
+}
+
+// removeBlock deletes a block from a list.
+func removeBlock(l []*rbBlock, b *rbBlock) []*rbBlock {
+	for i, x := range l {
+		if x == b {
+			return append(l[:i], l[i+1:]...)
+		}
+	}
+	panic("oracle: removeBlock: block not in list")
+}
+
+// pushHead prepends a block.
+func pushHead(l []*rbBlock, b *rbBlock) []*rbBlock {
+	return append([]*rbBlock{b}, l...)
+}
+
+// emit sends one transition annotation when a sink is attached.
+func (c *ReqBlock) emit(lpn int64, pages int, from, to string) {
+	if c.sink != nil {
+		c.sink.OnListTransition(cache.ListTransition{LPN: lpn, Pages: pages, From: from, To: to})
+	}
+}
+
+// small applies the δ test (Algorithm 1 line 20), honoring the seeded
+// off-by-one mutation.
+func (c *ReqBlock) small(b *rbBlock) bool {
+	if c.cfg.Mutation == MutDeltaOffByOne {
+		return len(b.pages) < c.cfg.Delta
+	}
+	return len(b.pages) <= c.cfg.Delta
+}
+
+// freq computes Eq. 1: AccessCnt / (PageNum × (Tcur − Tinsert)), with the
+// age clamped to one nanosecond and optionally disabled (ablation),
+// exactly as the fast implementation computes it — identical float
+// expression order, so tie behavior matches bit for bit.
+func (c *ReqBlock) freq(b *rbBlock, now int64) float64 {
+	age := now - b.insertTime
+	if !c.cfg.Recency {
+		age = 1
+	} else if age < 1 {
+		age = 1
+	}
+	if c.cfg.Mutation == MutFreqDenominator {
+		return float64(b.accessCnt) / float64(age)
+	}
+	return float64(b.accessCnt) / (float64(len(b.pages)) * float64(age))
+}
+
+// Access implements Policy, following Algorithm 1's main routine page by
+// page: hits sift blocks (small → SRL head, large → split into the DRL),
+// missed write pages join the request's IRL head block, evicting the
+// minimum-Freq tail block whenever the buffer is full.
+func (c *ReqBlock) Access(req cache.Request) Result {
+	cache.CheckRequest(req)
+	c.nextReq++
+	reqID := c.nextReq
+	var res Result
+	lpn := req.LPN
+	for i := 0; i < req.Pages; i++ {
+		if blk, li := c.find(lpn); blk != nil {
+			res.Hits++
+			c.onHit(blk, li, lpn, reqID, req.Time)
+		} else {
+			res.Misses++
+			if req.Write {
+				for c.Len() >= c.capacity {
+					res.Evictions = append(res.Evictions, c.evict(req.Time))
+				}
+				c.insertNew(lpn, reqID, req.Time)
+				res.Inserted++
+			} else {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+		}
+		lpn++
+	}
+	return res
+}
+
+// onHit applies Algorithm 1 lines 19-28 to one hit page.
+func (c *ReqBlock) onHit(blk *rbBlock, li int, lpn int64, reqID uint64, now int64) {
+	blk.accessCnt++
+	if c.small(blk) {
+		if c.cfg.Mutation == MutSkipSRLPromotion {
+			return
+		}
+		// Small block: upgrade to the SRL head. Moving within the SRL
+		// reorders silently; crossing lists is announced.
+		if li == 1 {
+			c.srl = removeBlock(c.srl, blk)
+			c.srl = pushHead(c.srl, blk)
+			return
+		}
+		c.emit(blk.headLPN(), len(blk.pages), listNames[li], "SRL")
+		if li == 0 {
+			c.irl = removeBlock(c.irl, blk)
+		} else {
+			c.drl = removeBlock(c.drl, blk)
+		}
+		c.srl = pushHead(c.srl, blk)
+		return
+	}
+	// Large block: divide. The hit page moves into the DRL head block of
+	// the current request, created on first use with an origin link back
+	// to the IRL block the data descends from.
+	var dst *rbBlock
+	if len(c.drl) > 0 && c.drl[0].reqID == reqID {
+		dst = c.drl[0]
+	} else {
+		origin := blk
+		if li != 0 {
+			origin = blk.origin
+		}
+		dst = &rbBlock{reqID: reqID, accessCnt: 1, insertTime: now, origin: origin}
+		c.drl = pushHead(c.drl, dst)
+	}
+	if dst == blk {
+		return // the page already sits in the current request's DRL block
+	}
+	c.emit(lpn, 1, listNames[li], "DRL")
+	blk.removePage(lpn)
+	dst.pages = append([]int64{lpn}, dst.pages...)
+	if len(blk.pages) == 0 {
+		switch li {
+		case 0:
+			c.irl = removeBlock(c.irl, blk)
+		case 1:
+			c.srl = removeBlock(c.srl, blk)
+		default:
+			c.drl = removeBlock(c.drl, blk)
+		}
+	}
+}
+
+// insertNew adds a missed write page to the current request's IRL head
+// block, creating the block when the head belongs to another request.
+func (c *ReqBlock) insertNew(lpn int64, reqID uint64, now int64) {
+	var blk *rbBlock
+	if len(c.irl) > 0 && c.irl[0].reqID == reqID {
+		blk = c.irl[0]
+	} else {
+		blk = &rbBlock{reqID: reqID, accessCnt: 1, insertTime: now}
+		c.irl = pushHead(c.irl, blk)
+	}
+	blk.pages = append([]int64{lpn}, blk.pages...)
+}
+
+// evict implements get_victim plus the flush: the minimum-Freq tail block
+// across the three lists is evicted; a split victim is first merged with
+// its original block if that block still sits in IRL (downgraded
+// merging), and the union is flushed as one sorted batch.
+func (c *ReqBlock) evict(now int64) Eviction {
+	// Candidate order matches the fast implementation: IRL, DRL, SRL
+	// tails, strict less-than, so ties keep the earlier candidate.
+	type cand struct {
+		blk *rbBlock
+		li  int
+	}
+	var cands []cand
+	if n := len(c.irl); n > 0 {
+		cands = append(cands, cand{c.irl[n-1], 0})
+	}
+	if n := len(c.drl); n > 0 {
+		cands = append(cands, cand{c.drl[n-1], 2})
+	}
+	if n := len(c.srl); n > 0 {
+		cands = append(cands, cand{c.srl[n-1], 1})
+	}
+	if len(cands) == 0 {
+		panic("oracle: evict on empty cache")
+	}
+	victim := cands[0]
+	best := c.freq(victim.blk, now)
+	for _, cd := range cands[1:] {
+		if f := c.freq(cd.blk, now); f < best {
+			victim, best = cd, f
+		}
+	}
+
+	out := append([]int64(nil), victim.blk.pages...)
+	switch victim.li {
+	case 0:
+		c.irl = removeBlock(c.irl, victim.blk)
+	case 1:
+		c.srl = removeBlock(c.srl, victim.blk)
+	default:
+		c.drl = removeBlock(c.drl, victim.blk)
+	}
+	if c.cfg.Merge && victim.li == 2 && victim.blk.origin != nil {
+		for _, b := range c.irl {
+			if b == victim.blk.origin {
+				c.emit(b.headLPN(), len(b.pages), "IRL", "merge")
+				out = append(out, b.pages...)
+				c.irl = removeBlock(c.irl, b)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return Eviction{LPNs: out}
+}
+
+// EvictIdle implements Policy with the fast implementation's gating: only
+// when the buffer is more than half full.
+func (c *ReqBlock) EvictIdle(now int64) (Eviction, bool) {
+	if c.Len() <= c.capacity/2 {
+		return Eviction{}, false
+	}
+	return c.evict(now), true
+}
+
+// CheckInvariants validates the oracle's own bookkeeping: no page in two
+// blocks, no empty block on any list, occupancy within capacity.
+func (c *ReqBlock) CheckInvariants() error {
+	seen := make(map[int64]bool)
+	total := 0
+	for li, l := range c.lists() {
+		for _, b := range *l {
+			if len(b.pages) == 0 {
+				return fmt.Errorf("oracle: empty block left in %s", listNames[li])
+			}
+			for _, p := range b.pages {
+				if seen[p] {
+					return fmt.Errorf("oracle: lpn %d buffered twice", p)
+				}
+				seen[p] = true
+				total++
+			}
+		}
+	}
+	if total > c.capacity {
+		return fmt.Errorf("oracle: %d pages buffered, capacity %d", total, c.capacity)
+	}
+	return nil
+}

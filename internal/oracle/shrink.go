@@ -1,0 +1,166 @@
+package oracle
+
+import "repro/internal/cache"
+
+// shrinkBudget caps the number of differential runs one Shrink spends.
+// Minimization is best-effort: the result is always a failing spec, just
+// not always a global minimum.
+const shrinkBudget = 4000
+
+// Shrink minimizes a failing Spec by delta debugging: it repeatedly
+// removes request chunks (ddmin-style, halving the chunk size), then
+// simplifies the survivors — shrinking page counts, pulling LPNs toward
+// zero, renumbering times, halving the capacity and dropping the idle
+// probe — keeping every candidate that still diverges. Any divergence
+// counts, not just the original kind: the goal is the smallest workload
+// that tells the two implementations apart.
+//
+// Shrink returns the minimized spec and its divergence. If the input
+// does not fail, it is returned unchanged with a nil divergence.
+func Shrink(spec Spec) (Spec, *Divergence) {
+	bestD := Run(spec)
+	if bestD == nil {
+		return spec, nil
+	}
+	best := spec
+	budget := shrinkBudget
+	try := func(cand Spec) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if d := Run(cand); d != nil {
+			best, bestD = cand, d
+			return true
+		}
+		return false
+	}
+
+	for pass := 0; pass < 8 && budget > 0; pass++ {
+		changed := false
+		if shrinkRequests(&best, try) {
+			changed = true
+		}
+		if shrinkFields(&best, try) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return best, bestD
+}
+
+// shrinkRequests runs the ddmin chunk-removal loop over best.Requests.
+func shrinkRequests(best *Spec, try func(Spec) bool) bool {
+	changed := false
+	chunk := len(best.Requests) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for chunk >= 1 {
+		removed := false
+		for start := 0; start+chunk <= len(best.Requests); {
+			if try(removeRange(*best, start, chunk)) {
+				removed, changed = true, true
+				// best now lacks the chunk; retry the same start index.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		} else if chunk > len(best.Requests) {
+			chunk = len(best.Requests)
+		}
+	}
+	return changed
+}
+
+// shrinkFields simplifies the surviving requests and configuration.
+func shrinkFields(best *Spec, try func(Spec) bool) bool {
+	changed := false
+	// Smaller requests: halve, then decrement, each page count.
+	for i := range best.Requests {
+		for best.Requests[i].Pages > 1 {
+			smaller := best.Requests[i].Pages / 2
+			if !try(withRequest(*best, i, func(r *cache.Request) { r.Pages = smaller })) {
+				break
+			}
+			changed = true
+		}
+		for best.Requests[i].Pages > 1 {
+			if !try(withRequest(*best, i, func(r *cache.Request) { r.Pages-- })) {
+				break
+			}
+			changed = true
+		}
+	}
+	// Smaller addresses: pull each LPN toward zero.
+	for i := range best.Requests {
+		for best.Requests[i].LPN > 0 {
+			half := best.Requests[i].LPN / 2
+			if !try(withRequest(*best, i, func(r *cache.Request) { r.LPN = half })) {
+				break
+			}
+			changed = true
+		}
+		for best.Requests[i].LPN > 0 {
+			if !try(withRequest(*best, i, func(r *cache.Request) { r.LPN-- })) {
+				break
+			}
+			changed = true
+		}
+	}
+	// Canonical times: 1, 2, 3, … keeps the repro readable when timing
+	// does not matter; individual gaps stay only when the bug needs them.
+	renumbered := *best
+	renumbered.Requests = append([]cache.Request(nil), best.Requests...)
+	for i := range renumbered.Requests {
+		renumbered.Requests[i].Time = int64(i + 1)
+	}
+	if try(renumbered) {
+		changed = true
+	}
+	// Simpler configuration: no idle probe, smaller capacity, writes only.
+	if best.IdleEvery != 0 {
+		cand := *best
+		cand.IdleEvery = 0
+		if try(cand) {
+			changed = true
+		}
+	}
+	for best.CapacityPages > 1 {
+		cand := *best
+		cand.CapacityPages = best.CapacityPages / 2
+		if !try(cand) {
+			break
+		}
+		changed = true
+	}
+	for i := range best.Requests {
+		if !best.Requests[i].Write {
+			if try(withRequest(*best, i, func(r *cache.Request) { r.Write = true })) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// removeRange returns a copy of s without requests [start, start+n).
+func removeRange(s Spec, start, n int) Spec {
+	c := s
+	c.Requests = make([]cache.Request, 0, len(s.Requests)-n)
+	c.Requests = append(c.Requests, s.Requests[:start]...)
+	c.Requests = append(c.Requests, s.Requests[start+n:]...)
+	return c
+}
+
+// withRequest returns a copy of s with one request edited.
+func withRequest(s Spec, i int, edit func(*cache.Request)) Spec {
+	c := s
+	c.Requests = append([]cache.Request(nil), s.Requests...)
+	edit(&c.Requests[i])
+	return c
+}
