@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check fmt-check test race test-race fuzz-smoke ssdcheck-quick ssdcheck-nightly bench bench-smoke bench-json experiments experiments-full lint
+.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly bench bench-smoke bench-json bench-sharded experiments experiments-full lint
 
 all: test
 
@@ -9,7 +9,7 @@ all: test
 # parsers and differential targets, then the quick model-based
 # differential campaign (fast implementations vs paper-literal oracles;
 # see docs/TESTING.md).
-check: fmt-check test test-race fuzz-smoke ssdcheck-quick
+check: fmt-check test test-race race-sharded fuzz-smoke ssdcheck-quick
 
 # fmt-check fails (listing the offenders) when any file needs gofmt;
 # `gofmt -l` alone exits 0 even with findings, so wrap it.
@@ -25,6 +25,12 @@ race:
 	go test -race ./...
 
 test-race: race
+
+# race-sharded soaks the sharded engine specifically under the race
+# detector: the splitter/shard/merger pipeline is the only concurrent code
+# in the tree, so it gets its own longer pass beyond `race`.
+race-sharded:
+	go test -race -run 'Sharded|ShardTelemetry' ./internal/replay ./internal/obs .
 
 # fuzz-smoke runs each fuzz target briefly: not a soak, just proof that
 # the targets still build and survive a short adversarial pass.
@@ -62,6 +68,14 @@ bench-json:
 	go test -run '^$$' -bench 'BenchmarkPolicy|BenchmarkFigure8ResponseTime|BenchmarkStreamingReplay|BenchmarkMSRScan' -benchmem . \
 		| go run ./cmd/benchjson -old BENCH_PR3.json > BENCH_PR4.json
 	@echo wrote BENCH_PR4.json
+
+# bench-sharded regenerates the sharded-replay scaling baseline: the
+# shards=1,2,4,8 × shared/equal sweep with benchjson's derived
+# speedup-vs-1shard column (see docs/PERFORMANCE.md).
+bench-sharded:
+	go test -run '^$$' -bench 'BenchmarkShardedReplay' -benchtime 3x -benchmem . \
+		| go run ./cmd/benchjson > BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
 experiments:
 	go run ./cmd/experiments

@@ -10,6 +10,7 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
 
@@ -787,6 +788,82 @@ func BenchmarkStreamingReplay(b *testing.B) {
 		}
 		if i == b.N-1 {
 			b.ReportMetric(m.HitRatio(), "hit-ratio")
+		}
+	}
+}
+
+// shardedBenchTrace builds the multi-tenant benchmark workload: tenants
+// round-robin single-block writes scattered across their own wide regions,
+// so every tenant churns its shard's cache and block-level policies keep a
+// large victim-search population.
+func shardedBenchTrace(tenants, n int) (*trace.Trace, []int64) {
+	const regionPages = 1 << 13 // 32 MiB of logical space per tenant
+	const footprint = 1 << 13   // pages each tenant actually touches
+	boundaries := make([]int64, tenants)
+	for t := range boundaries {
+		boundaries[t] = int64(t+1) * regionPages
+	}
+	tr := &trace.Trace{Name: "multitenant"}
+	rng := newSplitMix(99)
+	for i := 0; i < n; i++ {
+		tenant := i % tenants
+		page := int64(tenant)*regionPages + int64(rng.next()%footprint)
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time:   int64(i) * 200_000,
+			Write:  true,
+			Offset: page * 4096,
+			Size:   4 * 4096,
+		})
+	}
+	return tr, boundaries
+}
+
+// BenchmarkShardedReplay sweeps the sharded engine over shard counts and
+// sharing modes on the multi-tenant workload, with FAB — whose victim
+// search scans every resident block — at a capacity where that scan
+// dominates. EQUAL partitioning shrinks each shard's scan population by N,
+// so pages/s improves even on one core; on multi-core hosts the shard
+// goroutines add parallel speedup on top. cmd/benchjson derives the
+// speedup-vs-1shard column in BENCH_PR6.json from the pages/s metrics.
+func BenchmarkShardedReplay(b *testing.B) {
+	const tenants = 8
+	const totalCapacity = 32 * 1024 // pages
+	tr, boundaries := shardedBenchTrace(tenants, 24_000)
+	var pages int64
+	for _, r := range tr.Requests {
+		_, n := r.PageSpan(4096)
+		pages += int64(n)
+	}
+	params := ssd.DefaultParams()
+	params.Flash.BlocksPerPlane = 512
+	params.Flash.PagesPerBlock = 16
+	params.Precondition = 0
+	pagesPerBlock := params.Flash.PagesPerBlock
+
+	for _, mode := range []sim.SharingMode{sim.SharingEqual, sim.SharingShared} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(b *testing.B) {
+				var m *replay.Metrics
+				for i := 0; i < b.N; i++ {
+					spec := replay.ShardSpec{
+						Shards:             shards,
+						Sharing:            mode,
+						TotalCapacityPages: totalCapacity,
+						NewPolicy: func(_, capPages int) cache.Policy {
+							return cache.NewFAB(capPages, pagesPerBlock)
+						},
+						NewDevice: func(int) (*ssd.Device, error) { return ssd.New(params) },
+					}
+					opts := replay.Options{TenantBoundaries: boundaries}
+					var err error
+					m, err = replay.RunSharded(tr.Source(), spec, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(pages*int64(b.N))/b.Elapsed().Seconds(), "pages/s")
+				b.ReportMetric(m.HitRatio(), "hit-ratio")
+			})
 		}
 	}
 }

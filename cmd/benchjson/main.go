@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -66,6 +67,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	deriveShardSpeedups(out)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -129,6 +131,39 @@ func parseBenchLine(line string) (Result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// deriveShardSpeedups adds a speedup-vs-1shard metric to sharded sweep
+// records: benchmarks whose name contains a "shards=N" component (N > 1)
+// gain pages/s divided by the pages/s of the sibling record with the same
+// name at shards=1. This is how BENCH_PR6.json records the sharded-replay
+// scaling column without hand-editing.
+func deriveShardSpeedups(out *File) {
+	re := regexp.MustCompile(`shards=(\d+)`)
+	baseline := make(map[string]float64)
+	for _, r := range out.Results {
+		m := re.FindStringSubmatch(r.Name)
+		if m == nil || m[1] != "1" {
+			continue
+		}
+		if v, ok := r.Metrics["pages/s"]; ok && v > 0 {
+			baseline[re.ReplaceAllString(r.Name, "shards=*")] = v
+		}
+	}
+	for i := range out.Results {
+		r := &out.Results[i]
+		m := re.FindStringSubmatch(r.Name)
+		if m == nil || m[1] == "1" {
+			continue
+		}
+		base, ok := baseline[re.ReplaceAllString(r.Name, "shards=*")]
+		if !ok {
+			continue
+		}
+		if v, ok := r.Metrics["pages/s"]; ok {
+			r.Metrics["speedup-vs-1shard"] = v / base
+		}
+	}
 }
 
 // annotate fills VsOld from a previous benchjson file.

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -40,6 +42,9 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "replicate the grid over N workload seeds and report mean ± std")
 		plot    = flag.Bool("plot", false, "render Figs. 8-9 as ASCII bar charts too")
 		qd      = flag.Int("qd", 0, "closed-loop queue depth for the grid (0 = open loop, as the paper)")
+		shards  = flag.String("shards", "", "run the sharded-scaling sweep over these comma-separated shard counts (e.g. 1,2,4,8) instead of the figures")
+		sharing = flag.String("sharing", "both", "sharing modes for -shards: shared, equal or both")
+		backpr  = flag.Int("backpressure", 0, "destage-backlog bound applied to every device (0 = off)")
 		faults  = flag.String("faults", "", "fault injection spec applied to every grid device (see docs/FAULTS.md)")
 		full    = flag.Bool("full", false, "paper scale: full traces on the 128 GiB device")
 
@@ -68,6 +73,7 @@ func main() {
 	}
 	cfg.IncludeExtras = *extras
 	cfg.QueueDepth = *qd
+	cfg.BackPressureDepth = *backpr
 	if *faults != "" {
 		fcfg, err := fault.ParseSpec(*faults)
 		if err != nil {
@@ -110,7 +116,12 @@ func main() {
 	}
 	// Dispatch returns an exit code instead of calling os.Exit directly so
 	// the profiles are flushed on every path.
-	code := dispatch(cfg, enabled, *seeds, *diffOld, *diffThr, *jsonOut, *csvDir, *plot)
+	var code int
+	if *shards != "" {
+		code = runSharding(cfg, *shards, *sharing)
+	} else {
+		code = dispatch(cfg, enabled, *seeds, *diffOld, *diffThr, *jsonOut, *csvDir, *plot)
+	}
 	if err := profiles.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		if code == 0 {
@@ -118,6 +129,46 @@ func main() {
 		}
 	}
 	os.Exit(code)
+}
+
+// runSharding runs the sharded-scaling sweep (-shards) across the selected
+// traces at the middle grid cache size.
+func runSharding(cfg experiments.Config, shardList, sharing string) int {
+	var counts []int
+	for _, s := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "experiments: bad -shards entry %q\n", s)
+			return 1
+		}
+		counts = append(counts, n)
+	}
+	var modes []sim.SharingMode
+	switch sharing {
+	case "both":
+		modes = []sim.SharingMode{sim.SharingShared, sim.SharingEqual}
+	default:
+		m, err := sim.ParseSharing(sharing)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		modes = []sim.SharingMode{m}
+	}
+	r := experiments.NewRunner(cfg)
+	sizes := r.Config().CacheSizesMB
+	cacheMB := sizes[len(sizes)/2]
+	var rows []experiments.ShardingRow
+	for _, p := range r.Profiles() {
+		tr, err := r.Sharding(p.Name, cacheMB, counts, modes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		rows = append(rows, tr...)
+	}
+	fmt.Println(experiments.RenderSharding(rows))
+	return 0
 }
 
 func dispatch(cfg experiments.Config, enabled func(string) bool,

@@ -50,6 +50,11 @@ func main() {
 		maxSkip   = flag.Int("max-skipped", 0, "malformed trace lines skipped before aborting (0 = strict, -1 = unlimited)")
 		verbose   = flag.Bool("v", false, "print extended metrics")
 
+		shards       = flag.Int("shards", 1, "partition the cache into N tenant shards replayed in parallel (1 = single engine)")
+		sharing      = flag.String("sharing", "shared", "capacity sharing across shards: shared (soft quotas) or equal (hard partitions)")
+		backpressure = flag.Int("backpressure", 0, "bound the destage backlog to N flush batches; admissions stall past it (0 = off)")
+		tenantRegion = flag.Int64("tenant-region", 0, "pages per hash region for shard routing without tenant boundaries (0 = default 4096)")
+
 		listen      = flag.String("listen", "", "serve live /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 		progressN   = flag.Int("progress", 0, "emit an NDJSON progress snapshot to stderr every N processed requests (0 = off)")
 		traceOut    = flag.String("trace-out", "", "write sampled request spans (NDJSON) to this file (- = stdout)")
@@ -70,26 +75,23 @@ func main() {
 	}
 	params := ssd.ScaledParams(*divisor)
 	params.Faults = fcfg
-	dev, err := ssd.New(params)
+	smode, err := sim.ParseSharing(*sharing)
 	if err != nil {
 		fail(err)
 	}
-	pol, err := buildPolicy(*policy, *cacheMB*256, params.Flash.PagesPerBlock, params.Flash.Channels, *delta)
-	if err != nil {
-		fail(err)
-	}
-	basePol := pol // transition sinks attach to the unwrapped policy
-	if *readahead > 0 {
-		pol = cache.NewReadAhead(pol, *readahead, 8)
+	if *shards < 1 {
+		fail(fmt.Errorf("-shards %d, need >= 1", *shards))
 	}
 	opts := replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000}
 	opts.ApplyFaults(fcfg)
+	opts.BackPressureDepth = *backpressure
 
 	// Telemetry plane (all optional, all passive; docs/OBSERVABILITY.md).
+	// tel stays nil without -listen; every use below is nil-safe.
+	var tel *obs.Telemetry
 	var observers []sim.Observer
 	if *listen != "" {
-		tel := obs.New()
-		dev.SetTap(tel)
+		tel = obs.New()
 		observers = append(observers, tel.Observer())
 		srv, err := obs.Serve(*listen, tel.Handler())
 		if err != nil {
@@ -113,9 +115,6 @@ func main() {
 			w = f
 		}
 		tracer = obs.NewTracer(w, *traceSample, *traceSeed)
-		if src, ok := basePol.(cache.TransitionSource); ok {
-			src.SetTransitionSink(tracer)
-		}
 		observers = append(observers, tracer)
 	}
 	opts.Observers = observers
@@ -123,39 +122,110 @@ func main() {
 	var (
 		m       *replay.Metrics
 		skipped int
+		dev     *ssd.Device
 	)
+	newPolicy := func(capacityPages int) cache.Policy {
+		p, err := buildPolicy(*policy, capacityPages, params.Flash.PagesPerBlock, params.Flash.Channels, *delta)
+		if err != nil {
+			fail(err)
+		}
+		if *readahead > 0 {
+			p = cache.NewReadAhead(p, *readahead, 8)
+		}
+		return p
+	}
 	// An MSR trace file streams through the replay in constant memory: the
 	// scanner hands requests to the engine one at a time, so trace size no
 	// longer bounds what this command can replay. -v falls back to the
 	// materialized path because the Fig. 2/3 small/large threshold derives
 	// from the whole trace; SPC files and built-in workloads are
 	// materialized by construction.
-	if *traceFile != "" && *wl == "" && *format == "msr" && !*verbose {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fail(err)
+	streaming := *traceFile != "" && *wl == "" && *format == "msr" && !*verbose
+	if *shards > 1 {
+		// Sharded replay: each shard owns a policy slice and its own
+		// device; events re-merge deterministically (docs/ARCHITECTURE.md).
+		// Request-span tracing works on the merged stream, but per-policy
+		// transition sinks stay single-engine only.
+		spec := replay.ShardSpec{
+			Shards:             *shards,
+			Sharing:            smode,
+			TotalCapacityPages: *cacheMB * 256,
+			NewPolicy:          func(_, capPages int) cache.Policy { return newPolicy(capPages) },
+			NewDevice: func(int) (*ssd.Device, error) {
+				d, err := ssd.New(params)
+				if err == nil {
+					d.SetTap(tel)
+				}
+				return d, err
+			},
+			TenantRegionPages: *tenantRegion,
+			ShardObservers:    tel.ShardObservers(*shards),
 		}
-		defer f.Close()
-		if err := profiles.Start(); err != nil {
-			fail(err)
+		if streaming {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := profiles.Start(); err != nil {
+				fail(err)
+			}
+			sc := trace.ScanMSRWith(f, *traceFile, trace.MSROptions{MaxSkipped: *maxSkip})
+			if m, err = replay.RunSharded(sc, spec, opts); err != nil {
+				fail(err)
+			}
+			skipped = sc.SkippedLines()
+		} else {
+			tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale, *maxSkip)
+			if err != nil {
+				fail(err)
+			}
+			if err := profiles.Start(); err != nil {
+				fail(err)
+			}
+			if m, err = replay.RunShardedTrace(tr, int64(params.Flash.PageSize), spec, opts); err != nil {
+				fail(err)
+			}
+			skipped = tr.SkippedLines
 		}
-		sc := trace.ScanMSRWith(f, *traceFile, trace.MSROptions{MaxSkipped: *maxSkip})
-		if m, err = replay.RunSource(sc, pol, dev, opts); err != nil {
-			fail(err)
-		}
-		skipped = sc.SkippedLines()
 	} else {
-		tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale, *maxSkip)
-		if err != nil {
+		if dev, err = ssd.New(params); err != nil {
 			fail(err)
 		}
-		if err := profiles.Start(); err != nil {
-			fail(err)
+		dev.SetTap(tel)
+		pol := newPolicy(*cacheMB * 256)
+		if tracer != nil {
+			if src, ok := pol.(cache.TransitionSource); ok {
+				src.SetTransitionSink(tracer)
+			}
 		}
-		if m, err = replay.Run(tr, pol, dev, opts); err != nil {
-			fail(err)
+		if streaming {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := profiles.Start(); err != nil {
+				fail(err)
+			}
+			sc := trace.ScanMSRWith(f, *traceFile, trace.MSROptions{MaxSkipped: *maxSkip})
+			if m, err = replay.RunSource(sc, pol, dev, opts); err != nil {
+				fail(err)
+			}
+			skipped = sc.SkippedLines()
+		} else {
+			tr, err := loadTrace(*traceFile, *format, *blockSize, *wl, *scale, *maxSkip)
+			if err != nil {
+				fail(err)
+			}
+			if err := profiles.Start(); err != nil {
+				fail(err)
+			}
+			if m, err = replay.Run(tr, pol, dev, opts); err != nil {
+				fail(err)
+			}
+			skipped = tr.SkippedLines
 		}
-		skipped = tr.SkippedLines
 	}
 	if err := profiles.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdreplay:", err)
@@ -167,6 +237,13 @@ func main() {
 		}
 	}
 	report(m, *verbose)
+	if *shards > 1 {
+		fmt.Printf("shards          %d (%s sharing)\n", *shards, smode)
+	}
+	if *backpressure > 0 {
+		fmt.Printf("back-pressure   %d stalls, %.3f ms total (depth %d)\n",
+			m.BackPressureStalls, float64(m.BackPressureStallNs)/1e6, *backpressure)
+	}
 	if skipped > 0 {
 		fmt.Printf("skipped lines   %d malformed (budget %d)\n", skipped, *maxSkip)
 	}
@@ -271,11 +348,17 @@ func report(m *replay.Metrics, verbose bool) {
 }
 
 // reportFaults prints the fault-injection outcome block (-faults runs).
+// dev is nil on sharded runs, where per-device op totals are not reported.
 func reportFaults(m *replay.Metrics, dev *ssd.Device) {
 	c := m.Device
-	fs := dev.FaultStats()
-	fmt.Printf("faults          pfail %d, efail %d, grown-bad %d (over %d programs, %d erases)\n",
-		c.InjectedProgramFails, c.InjectedEraseFails, c.GrownBadBlocks, fs.ProgramOps, fs.EraseOps)
+	if dev == nil {
+		fmt.Printf("faults          pfail %d, efail %d, grown-bad %d\n",
+			c.InjectedProgramFails, c.InjectedEraseFails, c.GrownBadBlocks)
+	} else {
+		fs := dev.FaultStats()
+		fmt.Printf("faults          pfail %d, efail %d, grown-bad %d (over %d programs, %d erases)\n",
+			c.InjectedProgramFails, c.InjectedEraseFails, c.GrownBadBlocks, fs.ProgramOps, fs.EraseOps)
+	}
 	fmt.Printf("recovery        %d retries, %d blocks retired, %d invariant checks\n",
 		c.ProgramRetries, c.RetiredBlocks, c.InvariantChecks)
 	if m.DestagedPages > 0 {

@@ -54,6 +54,10 @@ type Config struct {
 	// QueueDepth switches the grid to closed-loop replay (see
 	// replay.Options.QueueDepth). Zero keeps the paper's open loop.
 	QueueDepth int
+	// BackPressureDepth bounds every device's destage backlog (see
+	// replay.Options.BackPressureDepth). Zero keeps admissions unthrottled
+	// and the grid bit-identical to earlier revisions.
+	BackPressureDepth int
 	// Faults enables deterministic fault injection on every device the
 	// grid builds (see internal/fault). The zero value keeps the grid
 	// fault-free and bit-identical to earlier revisions.
@@ -226,6 +230,9 @@ func (r *Runner) Replay(traceName string, factory cache.Factory, cacheMB int, op
 	}
 	pol := factory.New(cacheMB * PagesPerMB)
 	opts.ApplyFaults(r.cfg.Faults)
+	if opts.BackPressureDepth == 0 {
+		opts.BackPressureDepth = r.cfg.BackPressureDepth
+	}
 	opts.Observers = append(opts.Observers, r.cfg.Observers...)
 	return replay.Run(t, pol, dev, opts)
 }

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// ShardingRow is one cell of the sharded-scaling experiment: one shard
+// count under one sharing mode, replayed with the Req-block policy.
+type ShardingRow struct {
+	Trace       string
+	Shards      int
+	Sharing     string
+	HitRatio    float64
+	MeanRespMs  float64
+	FlashWrites int64
+	BPStalls    int64
+	WallMs      float64
+	// PagesPerSec is replay throughput: trace pages over wall-clock time.
+	PagesPerSec float64
+	// Speedup is PagesPerSec over the Shards=1 row of the same mode.
+	Speedup float64
+}
+
+// Sharding sweeps shard counts × sharing modes over one trace with the
+// Req-block policy, reporting behavioral metrics plus wall-clock replay
+// throughput. Simulated results are deterministic per cell; the wall-clock
+// columns measure this host and vary run to run.
+func (r *Runner) Sharding(traceName string, cacheMB int, counts []int, modes []sim.SharingMode) ([]ShardingRow, error) {
+	t, err := r.Trace(traceName)
+	if err != nil {
+		return nil, err
+	}
+	params := ssd.ScaledParams(r.cfg.DeviceDivisor)
+	pageSize := int64(params.Flash.PageSize)
+	var tracePages int64
+	for _, req := range t.Requests {
+		_, n := req.PageSpan(pageSize)
+		tracePages += int64(n)
+	}
+
+	delta := r.cfg.Delta
+	var rows []ShardingRow
+	for _, mode := range modes {
+		base := 0.0
+		for _, n := range counts {
+			spec := replay.ShardSpec{
+				Shards:             n,
+				Sharing:            mode,
+				TotalCapacityPages: cacheMB * PagesPerMB,
+				NewPolicy: func(_, capPages int) cache.Policy {
+					return core.NewConfig(capPages, core.Config{Delta: delta, Merge: true, Recency: true})
+				},
+				NewDevice: func(int) (*ssd.Device, error) { return r.Device() },
+			}
+			opts := replay.Options{
+				QueueDepth:        r.cfg.QueueDepth,
+				BackPressureDepth: r.cfg.BackPressureDepth,
+				Observers:         r.cfg.Observers,
+			}
+			opts.ApplyFaults(r.cfg.Faults)
+			start := time.Now()
+			m, err := replay.RunShardedTrace(t, pageSize, spec, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sharding %s n=%d %s: %w", traceName, n, mode, err)
+			}
+			wall := time.Since(start)
+			row := ShardingRow{
+				Trace:       traceName,
+				Shards:      n,
+				Sharing:     mode.String(),
+				HitRatio:    m.HitRatio(),
+				MeanRespMs:  m.Response.Mean() / 1e6,
+				FlashWrites: m.Device.FlashWrites,
+				BPStalls:    m.BackPressureStalls,
+				WallMs:      float64(wall.Nanoseconds()) / 1e6,
+			}
+			if s := wall.Seconds(); s > 0 {
+				row.PagesPerSec = float64(tracePages) / s
+			}
+			if n == 1 || base == 0 {
+				base = row.PagesPerSec
+			}
+			if base > 0 {
+				row.Speedup = row.PagesPerSec / base
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderSharding renders the sharded-scaling sweep as a text table.
+func RenderSharding(rows []ShardingRow) string {
+	header := []string{"trace", "shards", "sharing", "hit ratio", "mean ms", "flash writes", "bp stalls", "wall ms", "pages/s", "speedup"}
+	body := make([][]string, len(rows))
+	for i, row := range rows {
+		body[i] = []string{
+			row.Trace,
+			fmt.Sprintf("%d", row.Shards),
+			row.Sharing,
+			fmt.Sprintf("%.4f", row.HitRatio),
+			fmt.Sprintf("%.3f", row.MeanRespMs),
+			fmt.Sprintf("%d", row.FlashWrites),
+			fmt.Sprintf("%d", row.BPStalls),
+			fmt.Sprintf("%.1f", row.WallMs),
+			fmt.Sprintf("%.0f", row.PagesPerSec),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		}
+	}
+	return renderTable("Sharded scaling (Req-block; simulated metrics deterministic, wall-clock host-dependent)", header, body)
+}

@@ -72,11 +72,9 @@ type Telemetry struct {
 	Degraded *Gauge
 	RunsDone *Counter
 
-	// tick throttles the derived-gauge refresh and the device-counter
-	// mirror; nodes carries the last NodeCount to the throttled refresh.
-	// Both are touched by the engine goroutine only.
-	tick  uint64
-	nodes int64
+	// Shards holds the per-shard instrument sets after ShardObservers has
+	// been called; nil on unsharded runs.
+	Shards []*ShardSet
 }
 
 var _ ftl.Tap = (*Telemetry)(nil)
@@ -149,7 +147,7 @@ func (t *Telemetry) Observer() sim.Observer {
 	if t == nil {
 		return sim.NopObserver{}
 	}
-	return engineObserver{t}
+	return &engineObserver{t: t}
 }
 
 // TapProgram implements ftl.Tap: one page program, issue to die-free.
@@ -221,16 +219,25 @@ func (t *Telemetry) Healthy() bool {
 // read-only consumer: it copies numbers out of events and device state and
 // never mutates either, so attaching it leaves replay metrics
 // bit-identical. Every update is an atomic store or add — no allocation.
-type engineObserver struct{ t *Telemetry }
+//
+// tick throttles the derived-gauge refresh and the device-counter mirror;
+// nodes carries the last NodeCount to the throttled refresh. They live on
+// the observer (not the Telemetry) so each attachment has its own — the
+// observer itself is single-goroutine (one engine, or the sharded merge).
+type engineObserver struct {
+	t     *Telemetry
+	tick  uint64
+	nodes int64
+}
 
-var _ sim.Observer = engineObserver{}
+var _ sim.Observer = (*engineObserver)(nil)
 
 // OnRequest implements sim.Observer. The request plane is folded in at
 // OnResult, where the outcome is known.
-func (o engineObserver) OnRequest(e *sim.Engine, ev *sim.RequestEvent) {}
+func (o *engineObserver) OnRequest(e *sim.Engine, ev *sim.RequestEvent) {}
 
 // OnEviction implements sim.Observer.
-func (o engineObserver) OnEviction(e *sim.Engine, ev *sim.EvictionEvent) {
+func (o *engineObserver) OnEviction(e *sim.Engine, ev *sim.EvictionEvent) {
 	t := o.t
 	n := int64(len(ev.LPNs))
 	switch ev.Kind {
@@ -252,7 +259,7 @@ func (o engineObserver) OnEviction(e *sim.Engine, ev *sim.EvictionEvent) {
 }
 
 // OnResult implements sim.Observer.
-func (o engineObserver) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
+func (o *engineObserver) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
 	t := o.t
 	res := ev.Res
 	t.Requests.Set(int64(ev.Processed))
@@ -267,14 +274,14 @@ func (o engineObserver) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
 	if dev := e.Device(); dev != nil {
 		t.CacheLookup.Observe(int64(res.Hits+res.Inserted) * dev.Params().DRAMAccess)
 	}
-	t.nodes = int64(ev.NodeCount)
+	o.nodes = int64(ev.NodeCount)
 	// Derived gauges and the mirrored device counters cost extra loads,
 	// divisions and a struct copy, so they refresh every syncEvery-th
 	// request rather than every request — mid-run /metrics may lag by up
 	// to syncEvery-1 requests, and OnDone does a final exact pass.
-	t.tick++
-	if t.tick%syncEvery == 0 {
-		t.refresh(e, ev.Completion)
+	o.tick++
+	if o.tick%syncEvery == 0 {
+		o.refresh(e, ev.Completion)
 		t.syncDevice(e.Device())
 	}
 }
@@ -282,12 +289,16 @@ func (o engineObserver) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
 // syncEvery is the throttle on derived-gauge and device-mirror refreshes.
 const syncEvery = 64
 
-// refresh recomputes the derived gauges from current engine state.
-func (t *Telemetry) refresh(e *sim.Engine, now int64) {
+// refresh recomputes the derived gauges from current engine state. All
+// engine reads are nil-safe: on the merged stream of a sharded run (nil
+// engine) the policy- and device-derived gauges simply keep their last
+// values (per-shard observers own them there).
+func (o *engineObserver) refresh(e *sim.Engine, now int64) {
+	t := o.t
 	if hits, misses := t.PageHits.Value(), t.PageMisses.Value(); hits+misses > 0 {
 		t.HitRatio.Set(float64(hits) / float64(hits+misses))
 	}
-	t.PolicyNodes.Set(t.nodes)
+	t.PolicyNodes.Set(o.nodes)
 	t.SimTime.Set(now)
 	if pol := e.Policy(); pol != nil {
 		occ, capacity := int64(pol.Len()), int64(pol.CapacityPages())
@@ -301,11 +312,11 @@ func (t *Telemetry) refresh(e *sim.Engine, now int64) {
 }
 
 // OnDone implements sim.Observer.
-func (o engineObserver) OnDone(e *sim.Engine, ev *sim.DoneEvent) {
+func (o *engineObserver) OnDone(e *sim.Engine, ev *sim.DoneEvent) {
 	t := o.t
 	t.Requests.Set(int64(ev.Processed))
 	t.RunsDone.Inc()
-	t.refresh(e, ev.LastArrival)
+	o.refresh(e, ev.LastArrival)
 	t.Inflight.Set(0) // the run has drained
 	t.syncDevice(e.Device())
 	if ev.Degraded {

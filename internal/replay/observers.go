@@ -1,6 +1,8 @@
 package replay
 
 import (
+	"sort"
+
 	"repro/internal/cache"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -80,7 +82,13 @@ func (c *coreObserver) OnDone(e *sim.Engine, ev *sim.DoneEvent) {
 	m.DegradedAtRequest = ev.DegradedAtRequest
 	m.IdleGCRuns = ev.IdleGCRuns
 	dev := e.Device()
+	if dev == nil {
+		// Sharded run: no single device exists. RunSharded aggregates the
+		// per-shard device snapshots after the merge instead.
+		return
+	}
 	m.Device = dev.Counters()
+	m.BackPressureStalls, m.BackPressureStallNs = dev.BackPressureStalls()
 	m.Endurance = dev.Endurance(0)
 	ep := ssd.DefaultEnergyParams()
 	m.Energy = dev.Energy(ep)
@@ -177,12 +185,15 @@ type tenantObserver struct {
 }
 
 func (t *tenantObserver) tenantOf(page int64) *TenantMetrics {
-	for i := range t.m.Tenants {
-		if page < t.m.Tenants[i].LastPage {
-			return &t.m.Tenants[i]
-		}
+	// Binary search over the sorted boundaries: tenants are contiguous
+	// ranges, so the owner is the first tenant whose LastPage exceeds the
+	// page. O(log tenants) per result instead of a linear scan.
+	tenants := t.m.Tenants
+	i := sort.Search(len(tenants), func(i int) bool { return page < tenants[i].LastPage })
+	if i == len(tenants) {
+		return nil
 	}
-	return nil
+	return &tenants[i]
 }
 
 func (t *tenantObserver) OnRequest(*sim.Engine, *sim.RequestEvent)   {}

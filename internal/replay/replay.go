@@ -89,6 +89,13 @@ type Options struct {
 	// (policies implementing cache.IdleEvictor), bounding the dirty data a
 	// crash can lose. Zero disables.
 	DestageNs int64
+	// BackPressureDepth bounds the destage backlog between the cache and
+	// the flash backend (MQSim's back_pressure_buffer_max_depth): once
+	// this many flush batches are outstanding, the next request is not
+	// admitted until the oldest becomes durable. Zero disables (the
+	// default; replays are then bit-identical to builds without the
+	// back-pressure plane).
+	BackPressureDepth int
 	// Observers attach additional measurement observers to the engine,
 	// after the replay's own (telemetry, progress reporting, request
 	// tracing — see internal/obs). Observers measure; they cannot change
@@ -123,6 +130,9 @@ func (o *Options) Validate() error {
 	}
 	if o.DestageNs < 0 {
 		return fmt.Errorf("replay: DestageNs %d is negative (0 disables destaging)", o.DestageNs)
+	}
+	if o.BackPressureDepth < 0 {
+		return fmt.Errorf("replay: BackPressureDepth %d is negative (0 disables back-pressure)", o.BackPressureDepth)
 	}
 	var prev int64
 	for i, b := range o.TenantBoundaries {
@@ -209,6 +219,11 @@ type Metrics struct {
 	DegradedAtRequest int
 	// IdleGCRuns counts background GC victim collections (Options.IdleGC).
 	IdleGCRuns int64
+	// BackPressureStalls counts admissions delayed by the destage backlog
+	// bound (Options.BackPressureDepth); BackPressureStallNs is the total
+	// simulated delay. Both zero with back-pressure off.
+	BackPressureStalls  int64
+	BackPressureStallNs int64
 	// PrefetchedPages counts background readahead pages fetched from
 	// flash (prefetching policies only).
 	PrefetchedPages int64
@@ -312,6 +327,9 @@ func RunSource(src trace.Source, pol cache.Policy, dev *ssd.Device, opts Options
 		ResponseP50:         metrics.NewQuantile(0.5),
 		ResponseP99:         metrics.NewQuantile(0.99),
 		SmallThresholdPages: opts.SmallThresholdPages,
+	}
+	if opts.BackPressureDepth > 0 {
+		dev.SetBackPressure(opts.BackPressureDepth)
 	}
 	eng := sim.New(src, pol, dev, sim.Config{
 		WarmupRequests: opts.WarmupRequests,

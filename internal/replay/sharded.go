@@ -1,0 +1,309 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/flash"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// ShardSpec describes the partitioning of a sharded replay: how many
+// shards, how the global capacity divides among them, and how to build
+// each shard's policy and device. Everything measurement-related stays in
+// Options — a sharded run honors the same instrumentation set.
+type ShardSpec struct {
+	// Shards is the partition count, >= 1. One shard reproduces RunSource
+	// bit-identically (the equivalence tests pin this).
+	Shards int
+	// Sharing divides TotalCapacityPages: sim.SharingShared gives every
+	// shard the full capacity with a soft quota of capacity/N,
+	// sim.SharingEqual hard-partitions into N slices.
+	Sharing sim.SharingMode
+	// TotalCapacityPages is the global write-buffer capacity.
+	TotalCapacityPages int
+	// NewPolicy builds shard k's policy with its capacity slice.
+	NewPolicy func(shard, capacityPages int) cache.Policy
+	// NewDevice builds shard k's device.
+	NewDevice func(shard int) (*ssd.Device, error)
+	// TenantRegionPages sizes the hash regions used to route requests
+	// when Options.TenantBoundaries is empty (0 = sim's default).
+	TenantRegionPages int64
+	// ShardObservers optionally attaches extra observers to each shard's
+	// engine (per-shard telemetry); they run on the shard goroutine.
+	ShardObservers func(shard int, eng *sim.Engine) []sim.Observer
+}
+
+// RunSharded replays a streaming source across Spec.Shards parallel shard
+// engines, each owning one policy instance and one device, and folds the
+// deterministically merged event stream into the same Metrics RunSource
+// produces. Requests route to shards by tenant (Options.TenantBoundaries)
+// or by hashed address region; events re-merge in global trace order, so
+// the metrics are deterministic run-to-run regardless of scheduling, and
+// with Shards == 1 they are bit-identical to RunSource.
+//
+// Two observers change shape under sharding: the crash harness becomes a
+// global stream cut (the splitter stops feeding at the crash ordinal and
+// the dirty pages are summed across shards afterwards), and occupancy
+// series require cache.OccupancySampler policies (per-shard samples are
+// captured on the shard goroutine and summed on the merged stream).
+// RunShardedTrace is Run's sharded counterpart: it derives the small/large
+// threshold from the materialized trace (which needs the device page size,
+// so pass it explicitly) and then streams the trace through RunSharded.
+func RunShardedTrace(tr *trace.Trace, pageSize int64, spec ShardSpec, opts Options) (*Metrics, error) {
+	if opts.SmallThresholdPages == 0 {
+		opts.SmallThresholdPages = meanRequestPages(tr, pageSize)
+	}
+	return RunSharded(tr.Source(), spec, opts)
+}
+
+func RunSharded(src trace.Source, spec ShardSpec, opts Options) (*Metrics, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Shards < 1 {
+		return nil, fmt.Errorf("replay: shards %d, need >= 1", spec.Shards)
+	}
+	if opts.TrackPageFates && opts.SmallThresholdPages == 0 {
+		return nil, fmt.Errorf("replay: TrackPageFates on a streaming source needs an explicit SmallThresholdPages (Run derives it from the materialized trace)")
+	}
+
+	eng, err := sim.NewSharded(src, sim.ShardConfig{
+		Shards:             spec.Shards,
+		Sharing:            spec.Sharing,
+		TotalCapacityPages: spec.TotalCapacityPages,
+		NewPolicy:          spec.NewPolicy,
+		NewDevice:          spec.NewDevice,
+		TenantBoundaries:   opts.TenantBoundaries,
+		TenantRegionPages:  spec.TenantRegionPages,
+		BackPressureDepth:  opts.BackPressureDepth,
+		Engine: sim.Config{
+			WarmupRequests: opts.WarmupRequests,
+			IdleFlushNs:    opts.IdleFlushNs,
+			IdleGC:         opts.IdleGC,
+			QueueDepth:     opts.QueueDepth,
+			DestageNs:      opts.DestageNs,
+		},
+		StopAfterRequests: opts.CrashAtRequest,
+		CaptureOccupancy:  opts.SeriesInterval > 0,
+		ShardObservers:    spec.ShardObservers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	pols := eng.ShardPolicies()
+
+	m := &Metrics{
+		Trace:               src.Name(),
+		Policy:              pols[0].Name(),
+		EvictionBatch:       metrics.NewHist(512),
+		NodeBytes:           pols[0].NodeBytes(),
+		ResponseP50:         metrics.NewQuantile(0.5),
+		ResponseP99:         metrics.NewQuantile(0.99),
+		SmallThresholdPages: opts.SmallThresholdPages,
+	}
+
+	// The merged stream carries the same observer plane RunSource builds;
+	// the observers cannot tell they are downstream of a merge (they get a
+	// nil engine, which only the crash observer — replaced here — used).
+	core := &coreObserver{m: m}
+	eng.Observe(core)
+	if opts.TrackPageFates {
+		m.InsertBySize = metrics.NewHist(256)
+		m.HitBySize = metrics.NewHist(256)
+		eng.Observe(&fateObserver{m: m, fates: make(map[int64]pageFate, spec.TotalCapacityPages)})
+	}
+	if n := len(opts.TenantBoundaries); n > 0 {
+		m.Tenants = make([]TenantMetrics, n)
+		var prev int64
+		for i, b := range opts.TenantBoundaries {
+			m.Tenants[i] = TenantMetrics{FirstPage: prev, LastPage: b}
+			prev = b
+		}
+		eng.Observe(&tenantObserver{m: m})
+	}
+	if opts.SeriesInterval > 0 {
+		if obs := newShardedOccupancyObserver(m, pols, opts.SeriesInterval); obs != nil {
+			eng.Observe(obs)
+		}
+	}
+	eng.Observe(opts.Observers...)
+
+	done, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+
+	// Crash accounting: the splitter cut the stream at the crash ordinal;
+	// the dirty pages still buffered anywhere are the simulated loss.
+	if opts.CrashAtRequest > 0 && eng.StoppedFeeding() && done.Processed >= opts.CrashAtRequest {
+		m.Crashed = true
+		m.CrashedAtRequest = done.Processed
+		var lost int64
+		for _, pol := range pols {
+			if dp, ok := pol.(cache.DirtyPager); ok {
+				lost += int64(dp.DirtyPages())
+			} else {
+				lost += int64(pol.Len())
+			}
+		}
+		m.LostDirtyPages = lost
+	}
+
+	aggregateShardDevices(m, eng.ShardDevices(), done, core.dramPages)
+	return m, nil
+}
+
+// aggregateShardDevices folds the per-shard device snapshots into the
+// single-device fields of Metrics: counters and energies sum, wear and
+// utilization merge distributionally. One shard takes the exact
+// single-device path so Shards == 1 stays bit-identical to RunSource.
+func aggregateShardDevices(m *Metrics, devs []*ssd.Device, done sim.DoneEvent, dramPages int64) {
+	ep := ssd.DefaultEnergyParams()
+	horizon := int64(0)
+	if done.HasRequests {
+		horizon = done.LastArrival - done.FirstArrival
+	}
+	if len(devs) == 1 {
+		dev := devs[0]
+		m.Device = dev.Counters()
+		m.BackPressureStalls, m.BackPressureStallNs = dev.BackPressureStalls()
+		m.Endurance = dev.Endurance(0)
+		m.Energy = dev.Energy(ep)
+		m.DRAMEnergyUJ = float64(dramPages) * ep.DRAMAccessUJ
+		if done.HasRequests {
+			m.Utilization = dev.Utilization(horizon)
+		}
+		return
+	}
+
+	var wear flash.Wear
+	var meanErase, variance float64
+	var util flash.Utilization
+	end := ssd.Endurance{PELimit: ssd.DefaultPELimit}
+	n := float64(len(devs))
+	for i, dev := range devs {
+		c := dev.Counters()
+		m.Device.FlashWrites += c.FlashWrites
+		m.Device.FlashReads += c.FlashReads
+		m.Device.GCMigrations += c.GCMigrations
+		m.Device.GCRuns += c.GCRuns
+		m.Device.Erases += c.Erases
+		m.Device.ProgramRetries += c.ProgramRetries
+		m.Device.RetiredBlocks += c.RetiredBlocks
+		m.Device.InjectedProgramFails += c.InjectedProgramFails
+		m.Device.InjectedEraseFails += c.InjectedEraseFails
+		m.Device.GrownBadBlocks += c.GrownBadBlocks
+		m.Device.DegradedEntries += c.DegradedEntries
+		m.Device.InvariantChecks += c.InvariantChecks
+		stalls, stallNs := dev.BackPressureStalls()
+		m.BackPressureStalls += stalls
+		m.BackPressureStallNs += stallNs
+
+		e := dev.Energy(ep)
+		m.Energy.ReadsUJ += e.ReadsUJ
+		m.Energy.ProgramsUJ += e.ProgramsUJ
+		m.Energy.ErasesUJ += e.ErasesUJ
+		m.Energy.GCUJ += e.GCUJ
+		m.Energy.TotalUJ += e.TotalUJ
+
+		ed := dev.Endurance(0)
+		// Worst shard bounds the fleet's life; projections sum (each
+		// shard absorbs its own host stream at its own amplification).
+		if ed.LifeConsumed > end.LifeConsumed {
+			end.LifeConsumed = ed.LifeConsumed
+		}
+		end.ProjectedHostPages += ed.ProjectedHostPages
+		w := ed.Wear
+		if i == 0 || w.MinErase < wear.MinErase {
+			wear.MinErase = w.MinErase
+		}
+		if w.MaxErase > wear.MaxErase {
+			wear.MaxErase = w.MaxErase
+		}
+		wear.TotalErases += w.TotalErases
+		meanErase += w.MeanErase / n
+		variance += (w.StdDev*w.StdDev + w.MeanErase*w.MeanErase) / n
+
+		if done.HasRequests {
+			u := dev.Utilization(horizon)
+			util.MeanChannel += u.MeanChannel / n
+			util.MeanChip += u.MeanChip / n
+			if u.MaxChannel > util.MaxChannel {
+				util.MaxChannel = u.MaxChannel
+			}
+			if u.MaxChip > util.MaxChip {
+				util.MaxChip = u.MaxChip
+			}
+		}
+	}
+	wear.MeanErase = meanErase
+	// Pooled standard deviation over equal-sized shard arrays:
+	// E[x²] − (E[x])², with E[x²] reconstructed from per-shard moments.
+	if v := variance - meanErase*meanErase; v > 0 {
+		wear.StdDev = math.Sqrt(v)
+	}
+	end.Wear = wear
+	end.WriteAmplification = m.Device.WriteAmplification()
+	m.Endurance = end
+	m.DRAMEnergyUJ = float64(dramPages) * ep.DRAMAccessUJ
+	if util.MeanChannel > 0 {
+		util.ChannelImbalance = util.MaxChannel / util.MeanChannel
+	}
+	m.Utilization = util
+}
+
+// shardedOccupancyObserver is the sharded form of occupancyObserver: each
+// shard's relay captures the policy's occupancy sample at every result
+// (cache.OccupancySampler policies only), and this observer sums the
+// latest sample of every shard into the global list series.
+type shardedOccupancyObserver struct {
+	sim.NopObserver
+	slots    []*metrics.Series
+	perShard [][]int // latest sample per shard, indexed by list slot
+}
+
+// newShardedOccupancyObserver returns nil when the policy does not expose
+// sampled occupancy (reporter-only policies are unsupported under
+// sharding: their map-based snapshots cannot be captured race-free).
+func newShardedOccupancyObserver(m *Metrics, pols []cache.Policy, interval int64) *shardedOccupancyObserver {
+	sampler, ok := pols[0].(cache.OccupancySampler)
+	if !ok {
+		return nil
+	}
+	names := sampler.OccupancyNames()
+	m.ListSeries = make(map[string]*metrics.Series)
+	o := &shardedOccupancyObserver{
+		slots:    make([]*metrics.Series, len(names)),
+		perShard: make([][]int, len(pols)),
+	}
+	for i, name := range names {
+		s := metrics.NewSeries(interval)
+		m.ListSeries[name] = s
+		o.slots[i] = s
+	}
+	for k := range o.perShard {
+		o.perShard[k] = make([]int, len(names))
+	}
+	return o
+}
+
+// OnShardResult records the producing shard's fresh sample and ticks the
+// series with the cross-shard sums, exactly once per merged result — the
+// same cadence occupancyObserver has on a single engine.
+func (o *shardedOccupancyObserver) OnShardResult(shard int, occ []int, ev *sim.ResultEvent) {
+	if len(occ) == len(o.perShard[shard]) {
+		copy(o.perShard[shard], occ)
+	}
+	for s, slot := range o.slots {
+		sum := 0
+		for k := range o.perShard {
+			sum += o.perShard[k][s]
+		}
+		slot.Tick(int64(ev.Processed), float64(sum))
+	}
+}

@@ -1,0 +1,331 @@
+package replay
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// shardTestDevice mirrors testDevice for sharded specs: every shard gets
+// an identical fresh device.
+func shardTestDevice(int) (*ssd.Device, error) {
+	p := ssd.DefaultParams()
+	p.Flash.BlocksPerPlane = 512
+	p.Flash.PagesPerBlock = 16
+	p.Precondition = 0
+	return ssd.New(p)
+}
+
+// TestShardedOneShardMatchesRunSource is the sharded engine's anchor
+// gate: with one shard, the splitter/relay/merge pipeline must reproduce
+// RunSource bit for bit — full Metrics struct, histograms, P² quantiles,
+// occupancy series, tenants — for every policy family and both sharing
+// modes (they coincide at N=1 by construction).
+func TestShardedOneShardMatchesRunSource(t *testing.T) {
+	ts0, hm1 := workload.TS0(), workload.HM1()
+	mix, err := workload.Mix("eq", workload.Options{Scale: 0.01}, ts0, hm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := msrText(t, mix)
+	channels := ssd.DefaultParams().Flash.Channels
+	policies := []struct {
+		name string
+		mk   func(capacityPages int) cache.Policy
+	}{
+		{"LRU", func(n int) cache.Policy { return cache.NewLRU(n) }},
+		{"CFLRU", func(n int) cache.Policy { return cache.NewCFLRU(n) }},
+		{"FAB", func(n int) cache.Policy { return cache.NewFAB(n, 16) }},
+		{"BPLRU", func(n int) cache.Policy { return cache.NewBPLRU(n, 16) }},
+		{"VBBMS", func(n int) cache.Policy { return cache.NewVBBMS(n) }},
+		{"PUD-LRU", func(n int) cache.Policy { return cache.NewPUDLRU(n, 16) }},
+		{"ECR", func(n int) cache.Policy { return cache.NewECR(n, channels) }},
+		{"Req-block", func(n int) cache.Policy { return core.New(n) }},
+	}
+	opts := Options{
+		TrackPageFates:      true,
+		SmallThresholdPages: 4,
+		SeriesInterval:      500,
+		WarmupRequests:      100,
+		IdleFlushNs:         2_000_000,
+		QueueDepth:          8,
+		TenantBoundaries: []int64{
+			ts0.FootprintPages,
+			ts0.FootprintPages + hm1.FootprintPages,
+		},
+	}
+	for _, tc := range policies {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := RunSource(trace.Scan(bytes.NewReader(text), "eq"),
+				tc.mk(1024), testDevice(t), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sharing := range []sim.SharingMode{sim.SharingShared, sim.SharingEqual} {
+				got, err := RunSharded(trace.Scan(bytes.NewReader(text), "eq"), ShardSpec{
+					Shards:             1,
+					Sharing:            sharing,
+					TotalCapacityPages: 1024,
+					NewPolicy:          func(_, n int) cache.Policy { return tc.mk(n) },
+					NewDevice:          shardTestDevice,
+				}, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("sharded(1, %v) diverged from RunSource:\nunsharded: %+v\nsharded:   %+v",
+						sharing, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedOneShardMatchesRunSourceWithFaults repeats the one-shard
+// equivalence gate under the fault harness: injected failures with a
+// crash point and periodic destaging, and a degraded (read-only) stop.
+// The crash path is the interesting one — sharding replaces the Stop-based
+// crash observer with a splitter stream cut, and the two must agree on
+// every metric including the lost dirty pages.
+func TestShardedOneShardMatchesRunSourceWithFaults(t *testing.T) {
+	text := msrText(t, churnTrace(400))
+	configs := []struct {
+		name string
+		cfg  fault.Config
+	}{
+		{"seeded-faults-crash-destage", fault.Config{
+			Seed:            3,
+			ProgramFailProb: 0.002,
+			GrownBadProb:    0.01,
+			ReserveBlocks:   1000,
+			CheckInvariants: true,
+			CrashAtRequest:  120,
+			DestageNs:       2_000_000,
+		}},
+		{"degraded-stop", fault.Config{
+			EraseFailProb:   1,
+			ReserveBlocks:   1,
+			CheckInvariants: true,
+		}},
+	}
+	newDev := func(cfg fault.Config) func(int) (*ssd.Device, error) {
+		return func(int) (*ssd.Device, error) {
+			p := ssd.DefaultParams()
+			p.Flash.Channels = 2
+			p.Flash.ChipsPerChannel = 2
+			p.Flash.BlocksPerPlane = 16
+			p.Flash.PagesPerBlock = 8
+			p.Flash.OverProvision = 0.25
+			p.Flash.GCThreshold = 0.25
+			p.Precondition = 0
+			p.Faults = cfg
+			return ssd.New(p)
+		}
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{SmallThresholdPages: 8}
+			opts.ApplyFaults(tc.cfg)
+			want, err := RunSource(trace.Scan(bytes.NewReader(text), "churn"),
+				cache.NewLRU(64), faultDevice(t, tc.cfg), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunSharded(trace.Scan(bytes.NewReader(text), "churn"), ShardSpec{
+				Shards:             1,
+				Sharing:            sim.SharingEqual,
+				TotalCapacityPages: 64,
+				NewPolicy:          func(_, n int) cache.Policy { return cache.NewLRU(n) },
+				NewDevice:          newDev(tc.cfg),
+			}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("faulted sharded(1) diverged:\nunsharded: %+v\nsharded:   %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestShardedDeterministicAcrossRuns pins the sequence-number merge: a
+// multi-shard replay run twice must produce DeepEqual metrics AND a
+// byte-identical trace-span stream, for both sharing modes, with tenant
+// routing and with hash routing. Goroutine scheduling varies between the
+// runs; the merge must hide it completely.
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	ts0, hm1 := workload.TS0(), workload.HM1()
+	mix, err := workload.Mix("eq", workload.Options{Scale: 0.01}, ts0, hm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := msrText(t, mix)
+	boundaries := []int64{ts0.FootprintPages, ts0.FootprintPages + hm1.FootprintPages}
+
+	cases := []struct {
+		name    string
+		shards  int
+		sharing sim.SharingMode
+		tenants []int64
+	}{
+		{"2-shards-shared-tenants", 2, sim.SharingShared, boundaries},
+		{"2-shards-equal-tenants", 2, sim.SharingEqual, boundaries},
+		{"4-shards-shared-hash", 4, sim.SharingShared, nil},
+		{"4-shards-equal-hash", 4, sim.SharingEqual, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (*Metrics, []byte) {
+				var spans bytes.Buffer
+				tracer := obs.NewTracer(&spans, 1, 42)
+				opts := Options{
+					TrackPageFates:      true,
+					SmallThresholdPages: 4,
+					SeriesInterval:      500,
+					WarmupRequests:      100,
+					IdleFlushNs:         2_000_000,
+					QueueDepth:          8,
+					TenantBoundaries:    tc.tenants,
+					Observers:           []sim.Observer{tracer},
+				}
+				m, err := RunSharded(trace.Scan(bytes.NewReader(text), "eq"), ShardSpec{
+					Shards:             tc.shards,
+					Sharing:            tc.sharing,
+					TotalCapacityPages: 1024,
+					NewPolicy:          func(_, n int) cache.Policy { return core.New(n) },
+					NewDevice:          shardTestDevice,
+					TenantRegionPages:  64,
+				}, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tracer.Close(); err != nil {
+					t.Fatal(err)
+				}
+				return m, spans.Bytes()
+			}
+			m1, spans1 := run()
+			m2, spans2 := run()
+			if !reflect.DeepEqual(m1, m2) {
+				t.Fatalf("sharded replay not deterministic:\nrun1: %+v\nrun2: %+v", m1, m2)
+			}
+			if !bytes.Equal(spans1, spans2) {
+				t.Fatalf("trace-span streams differ between runs (%d vs %d bytes)",
+					len(spans1), len(spans2))
+			}
+			if m1.Requests == 0 {
+				t.Fatal("sharded replay processed no requests")
+			}
+		})
+	}
+}
+
+// TestShardedCrashDeterministic pins the splitter's global stream cut: a
+// multi-shard crash run is deterministic and loses the dirty pages still
+// buffered across all shards.
+func TestShardedCrashDeterministic(t *testing.T) {
+	text := msrText(t, churnTrace(400))
+	run := func() *Metrics {
+		m, err := RunSharded(trace.Scan(bytes.NewReader(text), "churn"), ShardSpec{
+			Shards:             4,
+			Sharing:            sim.SharingEqual,
+			TotalCapacityPages: 256,
+			NewPolicy:          func(_, n int) cache.Policy { return cache.NewLRU(n) },
+			NewDevice:          shardTestDevice,
+			TenantRegionPages:  16,
+		}, Options{CrashAtRequest: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m2 := run(), run()
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("crash run not deterministic:\nrun1: %+v\nrun2: %+v", m1, m2)
+	}
+	if !m1.Crashed || m1.CrashedAtRequest != 200 {
+		t.Fatalf("Crashed/CrashedAtRequest = %v/%d, want true/200", m1.Crashed, m1.CrashedAtRequest)
+	}
+	if m1.Requests != 200 {
+		t.Fatalf("Requests = %d, want 200 (stream cut at the crash ordinal)", m1.Requests)
+	}
+	if m1.LostDirtyPages == 0 {
+		t.Fatal("LostDirtyPages = 0, want buffered dirty pages summed across shards")
+	}
+}
+
+// TestShardedSharingModesDiffer checks the capacity semantics actually
+// differ: under a skewed workload, SHARED lets the hot shard borrow global
+// capacity (fewer flushed pages) while EQUAL caps it at capacity/N.
+func TestShardedSharingModesDiffer(t *testing.T) {
+	// Heavily skewed: almost all traffic lands in one hash region.
+	reqs := make([]trace.Request, 600)
+	for i := range reqs {
+		page := int64(i*4) % 512 // hot 512-page working set → one region
+		if i%16 == 15 {
+			page = 4096 + int64(i) // occasional cold touch elsewhere
+		}
+		reqs[i] = trace.Request{Time: int64(i) * 1_000_000, Write: true, Offset: page * 4096, Size: 4 * 4096}
+	}
+	text := msrText(t, &trace.Trace{Name: "skew", Requests: reqs})
+	run := func(sharing sim.SharingMode) *Metrics {
+		m, err := RunSharded(trace.Scan(bytes.NewReader(text), "skew"), ShardSpec{
+			Shards:             4,
+			Sharing:            sharing,
+			TotalCapacityPages: 1024,
+			NewPolicy:          func(_, n int) cache.Policy { return cache.NewLRU(n) },
+			NewDevice:          shardTestDevice,
+			TenantRegionPages:  1024,
+		}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	shared, equal := run(sim.SharingShared), run(sim.SharingEqual)
+	if shared.HitRatio() <= equal.HitRatio() {
+		t.Fatalf("SHARED hit ratio %.3f not above EQUAL %.3f on a skewed workload",
+			shared.HitRatio(), equal.HitRatio())
+	}
+}
+
+// TestBackPressureAdmission checks the bounded destage backlog: depth 0
+// leaves the replay bit-identical, a tight depth produces admission stalls
+// that delay response times, and the stall counters report it.
+func TestBackPressureAdmission(t *testing.T) {
+	text := msrText(t, churnTrace(400))
+	run := func(depth int) *Metrics {
+		m, err := RunSource(trace.Scan(bytes.NewReader(text), "churn"),
+			cache.NewLRU(64), testDevice(t), Options{BackPressureDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base := run(0)
+	if base.BackPressureStalls != 0 || base.BackPressureStallNs != 0 {
+		t.Fatalf("depth 0 recorded stalls: %d/%dns", base.BackPressureStalls, base.BackPressureStallNs)
+	}
+	tight := run(1)
+	if tight.BackPressureStalls == 0 || tight.BackPressureStallNs == 0 {
+		t.Fatal("depth 1 recorded no stalls on a churn workload")
+	}
+	if tight.Response.Mean() <= base.Response.Mean() {
+		t.Fatalf("back-pressure did not delay responses: %.0f <= %.0f",
+			tight.Response.Mean(), base.Response.Mean())
+	}
+	// Back-pressure delays admissions; it never changes what gets written.
+	if tight.Device.FlashWrites != base.Device.FlashWrites {
+		t.Fatalf("back-pressure changed flash writes: %d vs %d",
+			tight.Device.FlashWrites, base.Device.FlashWrites)
+	}
+}

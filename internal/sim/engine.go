@@ -55,6 +55,13 @@ type Config struct {
 	// DestageNs drains victim batches every DestageNs of simulated time,
 	// bounding the dirty data a crash can lose. Zero disables.
 	DestageNs int64
+	// SoftQuotaPages, when positive, drains victim batches (IdleEvictor
+	// policies) after any request that leaves more than this many pages
+	// buffered. The sharded engine uses it for SHARED-mode partitions: a
+	// shard may borrow past its slice of the global capacity, but the
+	// overflow is destaged right away, so the borrow stays transient.
+	// Zero disables.
+	SoftQuotaPages int
 }
 
 // Engine replays one source against one policy and device. Build it with
@@ -101,14 +108,32 @@ func (e *Engine) Observe(obs ...Observer) {
 // Stop ends the run after the current request: the engine emits no
 // further request events and proceeds to OnDone. The crash harness calls
 // it from OnResult when the simulated power loss point is reached.
-func (e *Engine) Stop() { e.stop = true }
+// Nil-safe (a no-op on the merged stream of a sharded run, where no
+// single engine is addressable).
+func (e *Engine) Stop() {
+	if e != nil {
+		e.stop = true
+	}
+}
 
 // Policy returns the policy under simulation (for observers that inspect
-// policy state, e.g. the crash harness counting dirty pages).
-func (e *Engine) Policy() cache.Policy { return e.pol }
+// policy state, e.g. the crash harness counting dirty pages). Nil-safe:
+// merged-stream observers in a sharded run receive a nil engine, because
+// no single engine's live state is race-free to read from the merger.
+func (e *Engine) Policy() cache.Policy {
+	if e == nil {
+		return nil
+	}
+	return e.pol
+}
 
-// Device returns the device under simulation.
-func (e *Engine) Device() *ssd.Device { return e.dev }
+// Device returns the device under simulation (nil-safe, see Policy).
+func (e *Engine) Device() *ssd.Device {
+	if e == nil {
+		return nil
+	}
+	return e.dev
+}
 
 // degrade records a read-only-mode stop. The run ends gracefully instead
 // of failing: degradation is an outcome the fault experiments report, not
@@ -142,6 +167,9 @@ func (e *Engine) emitEvictionTimed(kind EvictionKind, at int64, lpns []int64, tr
 // open-loop mode (no window is kept). Observers use it as a live queue
 // depth gauge.
 func (e *Engine) Inflight(t int64) int {
+	if e == nil {
+		return 0
+	}
 	n := 0
 	for _, freeAt := range e.window {
 		if freeAt > t {
@@ -331,8 +359,16 @@ func (e *Engine) processRequest(i int, req trace.Request, pageSize int64) error 
 			now = freeAt
 		}
 	}
+	issue := now
+	// Back-pressure admission: when the device's destage backlog is at its
+	// configured depth, the request waits for the oldest outstanding flush
+	// batch to become durable. The stall happens after issue, so it counts
+	// toward the request's response time (the host already submitted; the
+	// device pushed back). A no-op (returns now) unless the device has
+	// back-pressure configured.
+	now = e.dev.AdmitAt(now)
 	e.reqEv = RequestEvent{
-		Index: i, Arrival: req.Time, Issue: now,
+		Index: i, Arrival: req.Time, Issue: issue,
 		Write: req.Write, LPN: first, Pages: pages,
 		Warm: i >= e.cfg.WarmupRequests,
 	}
@@ -361,6 +397,32 @@ func (e *Engine) processRequest(i int, req trace.Request, pageSize int64) error 
 	}
 	for _, o := range e.obs {
 		o.OnResult(e, &e.resEv)
+	}
+	if e.cfg.SoftQuotaPages > 0 && e.idler != nil && e.pol.Len() > e.cfg.SoftQuotaPages {
+		return e.quotaDrain(completion)
+	}
+	return nil
+}
+
+// quotaDrain destages the pages buffered beyond Config.SoftQuotaPages
+// (SHARED-mode sharding: borrowed capacity is pushed back out right away).
+// The policy keeps victim choice; the drain stops as soon as the quota is
+// met again or the policy declines to nominate a victim.
+func (e *Engine) quotaDrain(now int64) error {
+	for e.pol.Len() > e.cfg.SoftQuotaPages {
+		ev, ok := e.idler.EvictIdle(now)
+		if !ok || len(ev.LPNs) == 0 {
+			break
+		}
+		bt, err := e.dev.FlushStriped(now, ev.LPNs)
+		if err != nil {
+			if e.degrade(err) {
+				e.stopped = true
+				return nil
+			}
+			return fmt.Errorf("sim: %s quota drain: %w", e.src.Name(), err)
+		}
+		e.emitEvictionTimed(EvictQuota, now, ev.LPNs, bt.Transferred, bt.Durable)
 	}
 	return nil
 }

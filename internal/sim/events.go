@@ -57,6 +57,9 @@ const (
 	EvictIdle
 	// EvictDestage is a batch drained by the periodic destager.
 	EvictDestage
+	// EvictQuota is a batch drained because the cache exceeded its soft
+	// quota (Config.SoftQuotaPages — SHARED-mode sharding pushback).
+	EvictQuota
 )
 
 // String names the stage for logs and trace spans.
@@ -70,6 +73,8 @@ func (k EvictionKind) String() string {
 		return "idle"
 	case EvictDestage:
 		return "destage"
+	case EvictQuota:
+		return "quota"
 	}
 	return "unknown"
 }

@@ -1,0 +1,90 @@
+package sim
+
+import "testing"
+
+func TestShardQuota(t *testing.T) {
+	cases := []struct {
+		mode               SharingMode
+		total, shards, k   int
+		wantCap, wantQuota int
+	}{
+		{SharingEqual, 1024, 4, 0, 256, 0},
+		{SharingEqual, 1026, 4, 0, 257, 0}, // remainder goes to low shards
+		{SharingEqual, 1026, 4, 1, 257, 0},
+		{SharingEqual, 1026, 4, 2, 256, 0},
+		{SharingShared, 1024, 4, 0, 1024, 256},
+		{SharingShared, 1024, 1, 0, 1024, 1024},
+		{SharingEqual, 1024, 1, 0, 1024, 0},
+	}
+	for _, tc := range cases {
+		gotCap, gotQuota := ShardQuota(tc.mode, tc.total, tc.shards, tc.k)
+		if gotCap != tc.wantCap || gotQuota != tc.wantQuota {
+			t.Errorf("ShardQuota(%v, %d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.mode, tc.total, tc.shards, tc.k, gotCap, gotQuota, tc.wantCap, tc.wantQuota)
+		}
+	}
+	// EQUAL slices must sum to the total.
+	sum := 0
+	for k := 0; k < 7; k++ {
+		c, _ := ShardQuota(SharingEqual, 1000, 7, k)
+		sum += c
+	}
+	if sum != 1000 {
+		t.Errorf("EQUAL slices sum to %d, want 1000", sum)
+	}
+}
+
+func TestParseSharing(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SharingMode
+	}{{"shared", SharingShared}, {"equal", SharingEqual}} {
+		got, err := ParseSharing(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSharing(%q) = (%v, %v), want (%v, nil)", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSharing("both"); err == nil {
+		t.Error("ParseSharing accepted an unknown mode")
+	}
+}
+
+func TestShardOfRouting(t *testing.T) {
+	// Tenant boundaries: tenant t covers [b_{t-1}, b_t) and maps to
+	// t mod shards; pages past the last boundary take the next index.
+	s := &ShardedEngine{cfg: ShardConfig{
+		Shards:            2,
+		TenantBoundaries:  []int64{100, 200, 300},
+		TenantRegionPages: 64,
+	}}
+	cases := []struct {
+		lpn  int64
+		want int
+	}{{0, 0}, {99, 0}, {100, 1}, {199, 1}, {200, 0}, {299, 0}, {300, 1}, {1000, 1}}
+	for _, tc := range cases {
+		if got := s.shardOf(tc.lpn); got != tc.want {
+			t.Errorf("shardOf(%d) = %d, want %d", tc.lpn, got, tc.want)
+		}
+	}
+
+	// Hash routing: deterministic, and spreads distinct regions across
+	// all shards.
+	h := &ShardedEngine{cfg: ShardConfig{Shards: 4, TenantRegionPages: 64}}
+	seen := map[int]bool{}
+	for region := int64(0); region < 64; region++ {
+		k := h.shardOf(region * 64)
+		if k != h.shardOf(region*64+63) {
+			t.Fatalf("region %d split across shards", region)
+		}
+		if k < 0 || k >= 4 {
+			t.Fatalf("shardOf out of range: %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("hash routing used %d of 4 shards over 64 regions", len(seen))
+	}
+}

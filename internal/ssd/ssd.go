@@ -93,12 +93,22 @@ func (c Counters) WriteAmplification() float64 {
 }
 
 // Device is one simulated SSD. Not safe for concurrent use: trace replay is
-// deterministic and single-threaded.
+// deterministic and single-threaded (the sharded engine gives every shard
+// its own Device).
 type Device struct {
 	p       Params
 	f       *ftl.FTL
 	inj     *fault.Injector // nil on a fault-free device
 	checker *fault.Checker  // nil unless Faults.CheckInvariants
+
+	// Back-pressure plane (SetBackPressure): bpRing holds the durable
+	// times of the last bpDepth flush batches; admission waits until the
+	// batch bpDepth flushes ago is durable, bounding the destage backlog
+	// the cache may pile onto the flash backend.
+	bpRing    []int64
+	bpPos     int
+	bpStalls  int64
+	bpStallNs int64
 }
 
 // New builds a device, preconditioning it per the params and attaching the
@@ -171,6 +181,55 @@ func (d *Device) CacheAccess(now int64, n int) int64 {
 	return now + int64(n)*d.p.DRAMAccess
 }
 
+// SetBackPressure bounds the destage backlog between the cache and the
+// flash backend to depth outstanding flush batches (MQSim's
+// back_pressure_buffer_max_depth): once depth batches are in flight, the
+// next admission (AdmitAt) waits for the oldest to become durable. Zero
+// disables and is the default — a device without back-pressure admits at
+// the caller's time unchanged, so existing replays are bit-identical.
+func (d *Device) SetBackPressure(depth int) {
+	if depth <= 0 {
+		d.bpRing = nil
+		return
+	}
+	d.bpRing = make([]int64, depth)
+	d.bpPos = 0
+}
+
+// BackPressureDepth returns the configured backlog bound (0 = off).
+func (d *Device) BackPressureDepth() int { return len(d.bpRing) }
+
+// AdmitAt returns the earliest time at or after now a new request may be
+// admitted under the back-pressure bound, accounting any wait as a stall.
+// Without back-pressure configured it returns now unchanged.
+func (d *Device) AdmitAt(now int64) int64 {
+	if d.bpRing == nil {
+		return now
+	}
+	if gate := d.bpRing[d.bpPos]; gate > now {
+		d.bpStalls++
+		d.bpStallNs += gate - now
+		return gate
+	}
+	return now
+}
+
+// BackPressureStalls reports how many admissions waited on the backlog
+// bound and for how long in total (simulated ns).
+func (d *Device) BackPressureStalls() (stalls int64, stallNs int64) {
+	return d.bpStalls, d.bpStallNs
+}
+
+// noteFlush records one flush batch's durable time in the back-pressure
+// ring. Every flush path calls it; a nil ring makes it a no-op.
+func (d *Device) noteFlush(durable int64) {
+	if d.bpRing == nil {
+		return
+	}
+	d.bpRing[d.bpPos] = durable
+	d.bpPos = (d.bpPos + 1) % len(d.bpRing)
+}
+
 // FlushStriped writes a batch of evicted pages using dynamic allocation
 // across all channels. The returned timing separates when the buffer
 // frames are free (Transferred — what an evicting host request waits for)
@@ -180,6 +239,7 @@ func (d *Device) FlushStriped(now int64, lpns []int64) (ftl.BatchTiming, error) 
 	if err != nil {
 		return ftl.BatchTiming{}, fmt.Errorf("ssd: striped flush: %w", err)
 	}
+	d.noteFlush(t.Durable)
 	return t, nil
 }
 
@@ -190,6 +250,7 @@ func (d *Device) FlushBlockBound(now int64, lpns []int64) (ftl.BatchTiming, erro
 	if err != nil {
 		return ftl.BatchTiming{}, fmt.Errorf("ssd: block-bound flush: %w", err)
 	}
+	d.noteFlush(t.Durable)
 	return t, nil
 }
 
@@ -244,6 +305,7 @@ func (d *Device) FlushOnChannel(now int64, lpns []int64, channel int) (ftl.Batch
 	if err != nil {
 		return ftl.BatchTiming{}, fmt.Errorf("ssd: channel flush: %w", err)
 	}
+	d.noteFlush(t.Durable)
 	return t, nil
 }
 

@@ -169,3 +169,51 @@ func TestScaledParams(t *testing.T) {
 		t.Fatal("scaling changed DRAM timing")
 	}
 }
+
+func TestBackPressureAdmitAt(t *testing.T) {
+	p := ScaledParams(64)
+	p.Precondition = 0
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconfigured: AdmitAt is the identity and counts nothing.
+	if got := d.AdmitAt(123); got != 123 {
+		t.Fatalf("AdmitAt without back-pressure = %d, want 123", got)
+	}
+	d.SetBackPressure(2)
+	if d.BackPressureDepth() != 2 {
+		t.Fatalf("BackPressureDepth = %d, want 2", d.BackPressureDepth())
+	}
+	// Two outstanding flush batches fill the ring; the next admission
+	// waits for the older one's durable time.
+	bt1, err := d.FlushStriped(0, []int64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FlushStriped(0, []int64{4, 5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.AdmitAt(0); got != bt1.Durable {
+		t.Fatalf("AdmitAt(0) = %d, want first batch durable %d", got, bt1.Durable)
+	}
+	stalls, stallNs := d.BackPressureStalls()
+	if stalls != 1 || stallNs != bt1.Durable {
+		t.Fatalf("stalls = %d/%dns, want 1/%d", stalls, stallNs, bt1.Durable)
+	}
+	// At or past the gate: no stall.
+	if got := d.AdmitAt(bt1.Durable); got != bt1.Durable {
+		t.Fatalf("AdmitAt(gate) = %d, want %d", got, bt1.Durable)
+	}
+	if stalls, _ := d.BackPressureStalls(); stalls != 1 {
+		t.Fatalf("stall count moved to %d on a non-stalling admission", stalls)
+	}
+	// Disabling resets the plane.
+	d.SetBackPressure(0)
+	if d.BackPressureDepth() != 0 {
+		t.Fatal("SetBackPressure(0) left a ring")
+	}
+	if got := d.AdmitAt(1); got != 1 {
+		t.Fatalf("AdmitAt after disable = %d, want 1", got)
+	}
+}

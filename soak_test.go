@@ -5,13 +5,94 @@ package repro
 // -short=false because it runs for tens of seconds.
 
 import (
+	"reflect"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/replay"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
 )
+
+// TestSoakShardedReplay drives the sharded engine (4 shards, both sharing
+// modes) over every workload end to end, checks invariants on every shard,
+// and reruns one configuration to confirm the merged metrics are
+// deterministic. This is the test `make race-sharded` and CI run under the
+// race detector.
+func TestSoakShardedReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test runs for tens of seconds")
+	}
+	const shards = 4
+	// Two workloads bound the soak's race-detector runtime: ts_0 is the
+	// multi-tenant-like mixed stream, src1_2 the write-heavy churn.
+	for _, p := range []workload.Profile{workload.TS0(), workload.SRC12()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := workload.MustGenerate(p, workload.Options{Scale: 0.1})
+			for _, mode := range []sim.SharingMode{sim.SharingShared, sim.SharingEqual} {
+				var pols []cache.Policy
+				var devs []*ssd.Device
+				spec := replay.ShardSpec{
+					Shards:             shards,
+					Sharing:            mode,
+					TotalCapacityPages: 32 * 256,
+					NewPolicy: func(_, capPages int) cache.Policy {
+						pol := core.New(capPages)
+						pols = append(pols, pol)
+						return pol
+					},
+					NewDevice: func(int) (*ssd.Device, error) {
+						dev, err := ssd.New(ssd.ScaledParams(8))
+						if err == nil {
+							devs = append(devs, dev)
+						}
+						return dev, err
+					},
+				}
+				m, err := replay.RunSharded(tr.Source(), spec, replay.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Requests != tr.Len() {
+					t.Fatalf("%s: processed %d of %d", mode, m.Requests, tr.Len())
+				}
+				for k, pol := range pols {
+					if c, ok := pol.(interface{ CheckInvariants() error }); ok {
+						if err := c.CheckInvariants(); err != nil {
+							t.Fatalf("%s: shard %d policy invariants: %v", mode, k, err)
+						}
+					}
+				}
+				for k, dev := range devs {
+					if err := dev.CheckInvariants(); err != nil {
+						t.Fatalf("%s: shard %d device invariants: %v", mode, k, err)
+					}
+				}
+				if hr := m.HitRatio(); hr <= 0 || hr >= 1 {
+					t.Fatalf("%s: hit ratio %v out of band", mode, hr)
+				}
+
+				again, err := replay.RunSharded(tr.Source(), replay.ShardSpec{
+					Shards:             shards,
+					Sharing:            mode,
+					TotalCapacityPages: 32 * 256,
+					NewPolicy:          func(_, capPages int) cache.Policy { return core.New(capPages) },
+					NewDevice:          func(int) (*ssd.Device, error) { return ssd.New(ssd.ScaledParams(8)) },
+				}, replay.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(m, again) {
+					t.Fatalf("%s: sharded replay not deterministic across runs", mode)
+				}
+			}
+		})
+	}
+}
 
 func TestSoakAllWorkloadsReqBlock(t *testing.T) {
 	if testing.Short() {
