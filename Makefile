@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly bench bench-smoke bench-json bench-sharded experiments experiments-full lint
+.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly soak-serve bench bench-smoke bench-json bench-sharded experiments experiments-full lint
 
 all: test
 
@@ -26,11 +26,21 @@ race:
 
 test-race: race
 
-# race-sharded soaks the sharded engine specifically under the race
-# detector: the splitter/shard/merger pipeline is the only concurrent code
-# in the tree, so it gets its own longer pass beyond `race`.
+# race-sharded soaks the concurrent code specifically under the race
+# detector: the splitter/shard/merger pipeline plus the service front-end
+# (admission queues, window waits, drain) get their own longer pass
+# beyond `race`.
 race-sharded:
 	go test -race -run 'Sharded|ShardTelemetry' ./internal/replay ./internal/obs .
+	go test -race -count=1 ./internal/serve ./internal/load
+
+# soak-serve is the CI open-loop saturation soak: ssdload's generator
+# drives an in-process ssdserve through a ramp crossing saturation for
+# ~30s under the race detector, asserting the overload ladder engages,
+# goodput survives, and the drain is clean. The -timeout is the hard
+# wall-clock bound against deadlocks.
+soak-serve:
+	SSDSOAK=1 go test -race -count=1 -run 'TestOpenLoopSoak' -timeout 300s -v ./internal/load
 
 # fuzz-smoke runs each fuzz target briefly: not a soak, just proof that
 # the targets still build and survive a short adversarial pass.

@@ -1,0 +1,167 @@
+// Command ssdserve runs the open-loop service front-end (internal/serve)
+// over the sharded cache simulation and exposes it as an HTTP service on
+// the observability plane:
+//
+//	GET/POST /v1/read?lpn=&pages=&deadline_ns=    serve a read
+//	POST     /v1/write?lpn=&pages=&deadline_ns=   serve a write
+//	GET      /v1/stats                            outcome tallies + shard state
+//	POST     /v1/force-readonly                   admin: trip read-only mode
+//	POST     /v1/drain                            graceful drain (also SIGTERM)
+//	GET      /metrics, /healthz, /debug/pprof/    the obs plane underneath
+//
+// /healthz reports the overload-ladder state and admission queue depth
+// (503 once the service stops accepting writes), so load balancers see
+// saturation without parsing stats. SIGINT/SIGTERM drain gracefully:
+// intake closes, queued work finishes, dirty pages destage, and the
+// drain report prints before exit.
+//
+//	ssdserve -addr 127.0.0.1:9000 -shards 4 -cache-mb 64 -shed -pace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9000", "service listen address")
+		shards  = flag.Int("shards", 2, "cache shards served in parallel")
+		sharing = flag.String("sharing", "shared", "capacity sharing: shared or equal")
+		cacheMB = flag.Int("cache-mb", 16, "total DRAM cache size in MiB")
+		policy  = flag.String("policy", "reqblock", "cache policy (lru, cflru, fab, bplru, vbbms, pudlru, ecr, reqblock, ...)")
+		divisor = flag.Int("device-divisor", 16, "flash array size divisor (1 = full 128 GiB)")
+
+		queueDepth   = flag.Int("queue-depth", 256, "admission queue slots per shard")
+		windowPages  = flag.Int("window-pages", 0, "write window (DRAM free slots) per shard in pages (0 = 1.5x shard capacity)")
+		shed         = flag.Bool("shed", false, "shed writes around the cache when the window is full instead of waiting")
+		deadlineMS   = flag.Int64("deadline-ms", 2000, "default per-request deadline in milliseconds")
+		maxWaitMS    = flag.Int64("max-wait-ms", 0, "cap on the write-window wait in milliseconds (0 = deadline)")
+		backpressure = flag.Int("backpressure", 0, "bound each shard device's destage backlog to N flush batches (0 = off)")
+		tenantBounds = flag.String("tenant-boundaries", "", "comma-separated LPN upper bounds routing tenants to shards (empty = hash routing)")
+		tenantRegion = flag.Int64("tenant-region", 0, "pages per hash region for shard routing (0 = default 4096)")
+		pace         = flag.Bool("pace", true, "throttle to simulated device time so saturation behaves like a real drive")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ssdserve:", err)
+		os.Exit(1)
+	}
+
+	smode, err := sim.ParseSharing(*sharing)
+	if err != nil {
+		fail(err)
+	}
+	boundaries, err := parseBoundaries(*tenantBounds)
+	if err != nil {
+		fail(err)
+	}
+	params := ssd.ScaledParams(*divisor)
+	tel := obs.New()
+
+	srv, err := serve.New(serve.Config{
+		Shards:             *shards,
+		Sharing:            smode,
+		TotalCapacityPages: *cacheMB * 256, // MiB → 4 KiB pages
+		NewPolicy: func(_, capPages int) cache.Policy {
+			p, err := buildPolicy(*policy, capPages, params.Flash.PagesPerBlock, params.Flash.Channels)
+			if err != nil {
+				fail(err)
+			}
+			return p
+		},
+		NewDevice:         func(int) (*ssd.Device, error) { return ssd.New(params) },
+		TenantBoundaries:  boundaries,
+		TenantRegionPages: *tenantRegion,
+		QueueDepth:        *queueDepth,
+		WriteWindowPages:  *windowPages,
+		Shed:              *shed,
+		DefaultDeadlineNs: *deadlineMS * int64(time.Millisecond),
+		MaxWaitNs:         *maxWaitMS * int64(time.Millisecond),
+		BackPressureDepth: *backpressure,
+		Pace:              *pace,
+		Telemetry:         tel,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := obs.Serve(*addr, srv.HTTPHandler(tel.Handler()))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "ssdserve: serving on http://%s (%d shards, %s, %d MiB %s cache, shed=%v, pace=%v)\n",
+		ln.Addr(), *shards, smode, *cacheMB, *policy, *shed, *pace)
+
+	// SIGINT/SIGTERM → graceful drain: stop intake, let queued work
+	// finish, destage dirty pages, report, then release the listener.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "ssdserve: %v — draining\n", s)
+	rep := srv.Drain()
+	fmt.Fprintf(os.Stderr, "ssdserve: drained %d pages, %d dirty pages remain, degraded=%v\n",
+		rep.DrainedPages, rep.RemainingDirtyPages, rep.Degraded)
+	_ = ln.Close()
+	if rep.Degraded {
+		os.Exit(2)
+	}
+}
+
+// parseBoundaries parses the comma-separated tenant boundary list.
+func parseBoundaries(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant boundary %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func buildPolicy(name string, capacityPages, pagesPerBlock, channels int) (cache.Policy, error) {
+	switch name {
+	case "lru":
+		return cache.NewLRU(capacityPages), nil
+	case "fifo":
+		return cache.NewFIFO(capacityPages), nil
+	case "lfu":
+		return cache.NewLFU(capacityPages), nil
+	case "cflru":
+		return cache.NewCFLRU(capacityPages), nil
+	case "fab":
+		return cache.NewFAB(capacityPages, pagesPerBlock), nil
+	case "bplru":
+		return cache.NewBPLRU(capacityPages, pagesPerBlock), nil
+	case "vbbms":
+		return cache.NewVBBMS(capacityPages), nil
+	case "pudlru":
+		return cache.NewPUDLRU(capacityPages, pagesPerBlock), nil
+	case "ecr":
+		return cache.NewECR(capacityPages, channels), nil
+	case "reqblock":
+		return core.New(capacityPages), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -243,6 +243,18 @@ func (f *FTL) Degraded() bool { return f.degraded }
 // RetiredBlocks returns how many blocks have been retired.
 func (f *FTL) RetiredBlocks() int { return f.retired }
 
+// ForceDegrade trips read-only mode directly, without exhausting the
+// reserve budget: every subsequent write path returns fault.ErrReadOnly
+// while reads keep working. The service layer uses it as an operational
+// fuse (admin-triggered read-only drills) and tests use it to reach the
+// degraded state without scripting a precise fault sequence. Idempotent.
+func (f *FTL) ForceDegrade() {
+	if !f.degraded {
+		f.degraded = true
+		f.stats.DegradedEntries++
+	}
+}
+
 // retireBlock accounts a block permanently removed from circulation (the
 // array has already marked it bad) and degrades to read-only mode when the
 // reserve budget is exhausted.

@@ -1,0 +1,52 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOursFindsModuleGoroutine pins the stack filter: a goroutine parked
+// inside this module shows up, and disappears once released.
+func TestOursFindsModuleGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go park(release, done)
+	defer func() { close(release); <-done }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g := ours()
+		if containsPark(g) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked module goroutine never seen:\n%s", Snapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCheckPassesWhenClean runs the guard on a test that leaks nothing.
+func TestCheckPassesWhenClean(t *testing.T) {
+	Check(t)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go park(release, done)
+	close(release)
+	<-done
+}
+
+func park(release, done chan struct{}) {
+	<-release
+	close(done)
+}
+
+func containsPark(gs []string) bool {
+	for _, g := range gs {
+		if strings.Contains(g, "leakcheck.park") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package load_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/leakcheck"
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// testServer builds a small in-process front-end for load runs.
+func testServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.TotalCapacityPages == 0 {
+		cfg.TotalCapacityPages = 512
+	}
+	cfg.Sharing = sim.SharingShared
+	cfg.NewPolicy = func(_, n int) cache.Policy { return cache.NewLRU(n) }
+	cfg.NewDevice = func(int) (*ssd.Device, error) {
+		p := ssd.DefaultParams()
+		p.Flash.BlocksPerPlane = 512
+		p.Flash.PagesPerBlock = 16
+		p.Precondition = 0
+		return ssd.New(p)
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestOpenLoopShort drives a brief Poisson run in-process: every arrival
+// must be accounted for, latencies observed, goodput positive.
+func TestOpenLoopShort(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t, serve.Config{DefaultDeadlineNs: int64(time.Minute)})
+	defer srv.Close()
+
+	res, err := load.Run(srv, load.Profile{
+		Arrival: "poisson", RatePerSec: 2000, ReadFraction: 0.5,
+		Pages: 2, StepNs: int64(200 * time.Millisecond), Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Fatalf("steps %d, want 1", len(res.Steps))
+	}
+	s := res.Steps[0]
+	if s.Sent == 0 || s.OK == 0 {
+		t.Fatalf("sent=%d ok=%d: nothing served", s.Sent, s.OK)
+	}
+	if got := s.OK + s.Shed + s.Rejected + s.Timeout + s.ReadOnly + s.Draining + s.Errors; got != s.Sent {
+		t.Fatalf("outcomes %d do not partition sent %d", got, s.Sent)
+	}
+	if s.P50Ns <= 0 || s.P99Ns < s.P50Ns {
+		t.Fatalf("quantiles p50=%d p99=%d implausible", s.P50Ns, s.P99Ns)
+	}
+	if s.GoodputOps <= 0 {
+		t.Fatalf("goodput %v, want > 0", s.GoodputOps)
+	}
+	if res.Format() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestOpenLoopRampAndBurst covers the multi-step ramp bookkeeping and the
+// bursty arrival process.
+func TestOpenLoopRampAndBurst(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t, serve.Config{DefaultDeadlineNs: int64(time.Minute)})
+	defer srv.Close()
+
+	res, err := load.Run(srv, load.Profile{
+		Arrival: "burst", BurstLen: 16, RatePerSec: 1000, ReadFraction: 0.3,
+		Tenants: 3, StepNs: int64(120 * time.Millisecond),
+		Ramp: []float64{0.5, 2}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("steps %d, want 2", len(res.Steps))
+	}
+	if res.Steps[0].TargetRate != 500 || res.Steps[1].TargetRate != 2000 {
+		t.Fatalf("target rates %v/%v, want 500/2000",
+			res.Steps[0].TargetRate, res.Steps[1].TargetRate)
+	}
+	for i, s := range res.Steps {
+		if s.Sent == 0 || s.OK == 0 {
+			t.Fatalf("step %d: sent=%d ok=%d", i, s.Sent, s.OK)
+		}
+	}
+}
+
+// TestProfileValidation rejects meaningless profiles.
+func TestProfileValidation(t *testing.T) {
+	srv := testServer(t, serve.Config{})
+	defer srv.Close()
+	bad := []load.Profile{
+		{RatePerSec: 0, StepNs: 1},
+		{RatePerSec: 100, StepNs: 0},
+		{RatePerSec: 100, StepNs: 1, Arrival: "warp"},
+		{RatePerSec: 100, StepNs: 1, ReadFraction: 1.5},
+		{RatePerSec: 100, StepNs: 1, Ramp: []float64{1, -2}},
+		{RatePerSec: 100, StepNs: 1, Pages: 64, RegionPages: 32},
+	}
+	for i, p := range bad {
+		if _, err := load.Run(srv, p); err == nil {
+			t.Errorf("profile %d accepted, want error", i)
+		}
+	}
+}
+
+// TestOpenLoopSoak is the CI saturation soak (make soak-serve): a ramp
+// from well under to well past the paced service rate, long enough for
+// the overload ladder to engage, under the race detector, with a hard
+// wall-clock bound from the go test -timeout. Gated behind SSDSOAK so
+// the ordinary tier-1 run stays fast.
+func TestOpenLoopSoak(t *testing.T) {
+	if os.Getenv("SSDSOAK") == "" {
+		t.Skip("set SSDSOAK=1 (make soak-serve) to run the open-loop soak")
+	}
+	leakcheck.Check(t)
+	tel := obs.New()
+	srv := testServer(t, serve.Config{
+		TotalCapacityPages: 256, QueueDepth: 64, Shed: true,
+		DefaultDeadlineNs: int64(250 * time.Millisecond),
+		Pace:              true, Telemetry: tel,
+	})
+
+	res, err := load.Run(srv, load.Profile{
+		Arrival: "poisson", RatePerSec: 3000, ReadFraction: 0.3,
+		Tenants: 2, Pages: 4, StepNs: int64(6 * time.Second),
+		Ramp: []float64{0.25, 1, 4, 16, 64}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak ramp:\n%s", res.Format())
+
+	first, last := res.Steps[0], res.Steps[len(res.Steps)-1]
+	if first.OK == 0 {
+		t.Fatal("under-load step served nothing")
+	}
+	var degradedSum int64
+	for _, s := range res.Steps {
+		degradedSum += s.Shed + s.Rejected + s.Timeout + s.Skipped
+	}
+	if degradedSum == 0 {
+		t.Fatal("ramp never engaged the overload ladder (no shed/reject/timeout)")
+	}
+	if last.OK+last.Shed == 0 {
+		t.Fatal("saturated step collapsed to zero goodput")
+	}
+
+	rep := srv.Drain()
+	if rep.Degraded {
+		t.Fatal("soak drain reports degraded on a healthy device")
+	}
+	if status, _, _ := srv.HealthStatus(); status != serve.StateDraining {
+		t.Fatalf("post-drain health %q, want draining", status)
+	}
+}

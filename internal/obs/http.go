@@ -5,7 +5,47 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
+
+// HealthSource supplies live service state for /healthz beyond the
+// device-degraded bit: the current overload-ladder rung and the admission
+// queue depth. The service front-end (internal/serve) implements it;
+// replay commands leave it unset and keep the plain ok/degraded report.
+type HealthSource interface {
+	// HealthStatus returns the overload state ("ok", "queueing",
+	// "shedding", "rejecting", "read-only", "draining"), whether the
+	// service is still accepting work, and the queued request count.
+	HealthStatus() (status string, serving bool, queueDepth int64)
+}
+
+// healthSources guards the per-Telemetry health source without growing the
+// Telemetry struct's hot fields; /healthz reads are rare.
+var healthSources sync.Map // *Telemetry → HealthSource
+
+// SetHealthSource attaches a HealthSource consulted by /healthz. Safe to
+// call while the handler is serving; a nil source detaches.
+func (t *Telemetry) SetHealthSource(hs HealthSource) {
+	if t == nil {
+		return
+	}
+	if hs == nil {
+		healthSources.Delete(t)
+		return
+	}
+	healthSources.Store(t, hs)
+}
+
+// healthSource returns the attached source, or nil.
+func (t *Telemetry) healthSource() HealthSource {
+	if t == nil {
+		return nil
+	}
+	if hs, ok := healthSources.Load(t); ok {
+		return hs.(HealthSource)
+	}
+	return nil
+}
 
 // Handler returns the live exposition mux for this Telemetry:
 //
@@ -25,6 +65,18 @@ func (t *Telemetry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		// A service front-end reports its overload-ladder state and queue
+		// depth; replay runs keep the plain ok/degraded contract.
+		if hs := t.healthSource(); hs != nil {
+			status, serving, depth := hs.HealthStatus()
+			if serving {
+				w.WriteHeader(http.StatusOK)
+			} else {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			fmt.Fprintf(w, "{\"status\":%q,\"queue_depth\":%d}\n", status, depth)
+			return
+		}
 		if t.Healthy() {
 			w.WriteHeader(http.StatusOK)
 			fmt.Fprintln(w, `{"status":"ok"}`)

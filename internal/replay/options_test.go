@@ -84,6 +84,7 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative-idle-flush", Options{IdleFlushNs: -1}, "IdleFlushNs"},
 		{"idle-gc-without-flush", Options{IdleGC: true}, "IdleGC requires IdleFlushNs"},
 		{"negative-queue-depth", Options{QueueDepth: -2}, "QueueDepth"},
+		{"negative-backpressure", Options{BackPressureDepth: -1}, "BackPressureDepth"},
 		{"negative-crash-point", Options{CrashAtRequest: -1}, "CrashAtRequest"},
 		{"negative-destage", Options{DestageNs: -1}, "DestageNs"},
 		{"tenant-boundary-zero", Options{TenantBoundaries: []int64{0, 10}}, "tenant boundaries"},

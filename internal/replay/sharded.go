@@ -38,6 +38,32 @@ type ShardSpec struct {
 	ShardObservers func(shard int, eng *sim.Engine) []sim.Observer
 }
 
+// Validate rejects shard specs that cannot mean anything, including combos
+// that contradict the replay options (the options route requests when
+// TenantBoundaries is set, making the spec's hash-region size dead
+// configuration). RunSharded calls it first; sim.NewSharded re-checks the
+// engine-level subset as defense in depth.
+func (s *ShardSpec) Validate(opts Options) error {
+	if s.Shards < 1 {
+		return fmt.Errorf("replay: shards %d, need >= 1", s.Shards)
+	}
+	if s.NewPolicy == nil || s.NewDevice == nil {
+		return fmt.Errorf("replay: ShardSpec needs NewPolicy and NewDevice")
+	}
+	if s.TotalCapacityPages < s.Shards {
+		return fmt.Errorf("replay: capacity %d pages across %d shards leaves empty shards",
+			s.TotalCapacityPages, s.Shards)
+	}
+	if s.TenantRegionPages < 0 {
+		return fmt.Errorf("replay: TenantRegionPages %d is negative (0 selects the default)", s.TenantRegionPages)
+	}
+	if s.TenantRegionPages > 0 && len(opts.TenantBoundaries) > 0 {
+		return fmt.Errorf("replay: TenantRegionPages %d conflicts with %d explicit tenant boundaries: boundaries route requests, the hash region size would be ignored",
+			s.TenantRegionPages, len(opts.TenantBoundaries))
+	}
+	return nil
+}
+
 // RunSharded replays a streaming source across Spec.Shards parallel shard
 // engines, each owning one policy instance and one device, and folds the
 // deterministically merged event stream into the same Metrics RunSource
@@ -65,8 +91,8 @@ func RunSharded(src trace.Source, spec ShardSpec, opts Options) (*Metrics, error
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if spec.Shards < 1 {
-		return nil, fmt.Errorf("replay: shards %d, need >= 1", spec.Shards)
+	if err := spec.Validate(opts); err != nil {
+		return nil, err
 	}
 	if opts.TrackPageFates && opts.SmallThresholdPages == 0 {
 		return nil, fmt.Errorf("replay: TrackPageFates on a streaming source needs an explicit SmallThresholdPages (Run derives it from the materialized trace)")

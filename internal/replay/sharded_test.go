@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/leakcheck"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -163,6 +164,7 @@ func TestShardedOneShardMatchesRunSourceWithFaults(t *testing.T) {
 // routing and with hash routing. Goroutine scheduling varies between the
 // runs; the merge must hide it completely.
 func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	leakcheck.Check(t)
 	ts0, hm1 := workload.TS0(), workload.HM1()
 	mix, err := workload.Mix("eq", workload.Options{Scale: 0.01}, ts0, hm1)
 	if err != nil {
@@ -197,13 +199,19 @@ func TestShardedDeterministicAcrossRuns(t *testing.T) {
 					TenantBoundaries:    tc.tenants,
 					Observers:           []sim.Observer{tracer},
 				}
+				// Hash-region size only without explicit boundaries: the
+				// combination is rejected as contradictory (ShardSpec.Validate).
+				regionPages := int64(64)
+				if len(tc.tenants) > 0 {
+					regionPages = 0
+				}
 				m, err := RunSharded(trace.Scan(bytes.NewReader(text), "eq"), ShardSpec{
 					Shards:             tc.shards,
 					Sharing:            tc.sharing,
 					TotalCapacityPages: 1024,
 					NewPolicy:          func(_, n int) cache.Policy { return core.New(n) },
 					NewDevice:          shardTestDevice,
-					TenantRegionPages:  64,
+					TenantRegionPages:  regionPages,
 				}, opts)
 				if err != nil {
 					t.Fatal(err)
@@ -233,6 +241,7 @@ func TestShardedDeterministicAcrossRuns(t *testing.T) {
 // multi-shard crash run is deterministic and loses the dirty pages still
 // buffered across all shards.
 func TestShardedCrashDeterministic(t *testing.T) {
+	leakcheck.Check(t)
 	text := msrText(t, churnTrace(400))
 	run := func() *Metrics {
 		m, err := RunSharded(trace.Scan(bytes.NewReader(text), "churn"), ShardSpec{

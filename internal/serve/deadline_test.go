@@ -1,0 +1,184 @@
+package serve_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/leakcheck"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// fakeClock is the injectable server clock: time moves only when the
+// test says so, which makes deadline expiry fully deterministic.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) Now() int64      { return c.ns.Load() }
+func (c *fakeClock) Advance(d int64) { c.ns.Add(d) }
+
+// TestDeadlineExpiresWhileQueued parks the worker inside a request so a
+// second request's deadline dies in the admission queue: the expiry must
+// be charged to the queued phase — counter and histogram — and the
+// request must never reach the engine.
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	leakcheck.Check(t)
+	clock := &fakeClock{}
+	gate := newGatePolicy(cache.NewLRU(64))
+	tel := obs.New()
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 64,
+		WriteWindowPages: 1024, DefaultDeadlineNs: int64(time.Hour),
+		NewPolicy: func(_, _ int) cache.Policy { return gate },
+		NewDevice: testDevice,
+		Telemetry: tel, Now: clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	respA := make(chan serve.Response, 1)
+	go func() {
+		r, _ := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1})
+		respA <- r
+	}()
+	<-gate.entered // A is in service, holding the worker
+
+	respB := make(chan serve.Response, 1)
+	go func() {
+		r, _ := srv.Submit(serve.Op{Write: true, LPN: 8, Pages: 1, DeadlineNs: 1000})
+		respB <- r
+	}()
+	waitFor(t, func() bool { return srv.Stats().QueueDepth == 1 }, "B never queued")
+
+	clock.Advance(2000) // B's deadline dies while it sits in the queue
+	gate.open()         // A completes; the worker dequeues B expired
+
+	a, b := <-respA, <-respB
+	if a.Outcome != serve.OutcomeOK {
+		t.Fatalf("A outcome %v, want ok", a.Outcome)
+	}
+	if b.Outcome != serve.OutcomeTimeout || b.Phase != serve.PhaseQueued {
+		t.Fatalf("B outcome %v phase %q, want timeout/queued", b.Outcome, b.Phase)
+	}
+	if b.QueueNs < 2000 {
+		t.Fatalf("B queue wait %d, want >= 2000", b.QueueNs)
+	}
+	st := srv.Stats()
+	if st.TimeoutsQueued != 1 || st.TimeoutsService != 0 {
+		t.Fatalf("timeouts queued=%d service=%d, want 1/0", st.TimeoutsQueued, st.TimeoutsService)
+	}
+	assertMetric(t, tel, "ssdserve_timeouts_queued_total 1")
+	assertMetric(t, tel, "ssdserve_timeouts_service_total 0")
+}
+
+// TestDeadlineExpiresInService parks the worker mid-request — the
+// analogue of a long destage stall inside the engine — and lets the
+// deadline die there: the expiry must be charged to the service phase
+// and the stall must land in the service histogram.
+func TestDeadlineExpiresInService(t *testing.T) {
+	leakcheck.Check(t)
+	clock := &fakeClock{}
+	gate := newGatePolicy(cache.NewLRU(64))
+	tel := obs.New()
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 64,
+		WriteWindowPages: 1024, DefaultDeadlineNs: int64(time.Hour),
+		NewPolicy: func(_, _ int) cache.Policy { return gate },
+		NewDevice: testDevice,
+		Telemetry: tel, Now: clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	respC := make(chan serve.Response, 1)
+	go func() {
+		r, _ := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1, DeadlineNs: 1000})
+		respC <- r
+	}()
+	<-gate.entered      // C is in service (stalled in the cache/destage step)
+	clock.Advance(2000) // its deadline dies during the stall
+	gate.open()
+
+	c := <-respC
+	if c.Outcome != serve.OutcomeTimeout || c.Phase != serve.PhaseService {
+		t.Fatalf("C outcome %v phase %q, want timeout/service", c.Outcome, c.Phase)
+	}
+	if c.ServiceNs < 2000 {
+		t.Fatalf("C service time %d, want >= 2000 (the stall)", c.ServiceNs)
+	}
+	st := srv.Stats()
+	if st.TimeoutsService != 1 || st.TimeoutsQueued != 0 {
+		t.Fatalf("timeouts queued=%d service=%d, want 0/1", st.TimeoutsQueued, st.TimeoutsService)
+	}
+	assertMetric(t, tel, "ssdserve_timeouts_service_total 1")
+	assertMetric(t, tel, "ssdserve_timeouts_queued_total 0")
+}
+
+// TestDeadlineExpiresInWindowWait exhausts the DRAM window with shedding
+// off, so a write blocks in the free-slot wait (MQSim's DRAM wait queue)
+// and its deadline dies there: a queued-phase timeout, detected on the
+// next wake-up.
+func TestDeadlineExpiresInWindowWait(t *testing.T) {
+	leakcheck.Check(t)
+	clock := &fakeClock{}
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 8,
+		WriteWindowPages: 4, DefaultDeadlineNs: int64(time.Hour),
+		NewPolicy: lruPolicy, NewDevice: testDevice,
+		Now: clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Fill the window: after this write completes, 4 pages sit cached.
+	if r, err := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 4}); err != nil || r.Outcome != serve.OutcomeOK {
+		t.Fatalf("fill write: %v/%v", r.Outcome, err)
+	}
+
+	respB := make(chan serve.Response, 1)
+	go func() {
+		r, _ := srv.Submit(serve.Op{Write: true, LPN: 8, Pages: 4, DeadlineNs: 1000})
+		respB <- r
+	}()
+	waitFor(t, func() bool { return srv.Stats().WindowWaits == 1 }, "B never hit the window wait")
+
+	clock.Advance(2000)
+	// A read completion is the wake-up that makes B re-check its clock
+	// (the fake clock cannot fire timers).
+	if r, err := srv.Submit(serve.Op{LPN: 0, Pages: 1}); err != nil || r.Outcome != serve.OutcomeOK {
+		t.Fatalf("wake-up read: %v/%v", r.Outcome, err)
+	}
+
+	b := <-respB
+	if b.Outcome != serve.OutcomeTimeout || b.Phase != serve.PhaseQueued {
+		t.Fatalf("B outcome %v phase %q, want timeout/queued", b.Outcome, b.Phase)
+	}
+	if st := srv.Stats(); st.TimeoutsQueued != 1 {
+		t.Fatalf("timeouts queued=%d, want 1", st.TimeoutsQueued)
+	}
+}
+
+// assertMetric renders the telemetry catalog and requires an exact
+// exposition line, anchoring the obs wiring of the serve instruments.
+func assertMetric(t *testing.T, tel *obs.Telemetry, line string) {
+	t.Helper()
+	var sb strings.Builder
+	if err := tel.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range strings.Split(sb.String(), "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("metric line %q not found in exposition", line)
+}

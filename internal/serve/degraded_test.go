@@ -1,0 +1,133 @@
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// faultyDevice builds a small device whose first failing erase retires
+// enough blocks to trip read-only mode (EraseFailProb 1, ReserveBlocks 1
+// — the deterministic degradation recipe the fault tests pin).
+func faultyDevice(int) (*ssd.Device, error) {
+	p := ssd.DefaultParams()
+	p.Flash.Channels = 2
+	p.Flash.ChipsPerChannel = 2
+	p.Flash.BlocksPerPlane = 16
+	p.Flash.PagesPerBlock = 8
+	p.Flash.OverProvision = 0.25
+	p.Flash.GCThreshold = 0.25
+	p.Precondition = 0
+	p.Faults = fault.Config{EraseFailProb: 1, ReserveBlocks: 1, CheckInvariants: true}
+	return ssd.New(p)
+}
+
+// TestServeForceReadOnly drives ladder rung 3 through the admin path:
+// after ForceReadOnly, writes are refused at the front door, reads are
+// still served (directly from flash), health reports read-only, and the
+// drain still completes cleanly.
+func TestServeForceReadOnly(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := serve.New(serve.Config{
+		Shards: 2, Sharing: sim.SharingEqual, TotalCapacityPages: 32,
+		DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy:         lruPolicy, NewDevice: testDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 16; i++ {
+		if r, err := srv.Submit(serve.Op{Write: true, LPN: int64(i * 4), Pages: 4}); err != nil || r.Outcome != serve.OutcomeOK {
+			t.Fatalf("warm write %d: %v/%v", i, r.Outcome, err)
+		}
+	}
+
+	srv.ForceReadOnly()
+
+	if status, serving, _ := srv.HealthStatus(); status != serve.StateReadOnly || serving {
+		t.Fatalf("health %q serving=%v, want read-only/false", status, serving)
+	}
+	if r, _ := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1}); r.Outcome != serve.OutcomeReadOnly {
+		t.Fatalf("write outcome %v, want read-only", r.Outcome)
+	}
+	// Reads keep working: some from LPNs whose data sits in DRAM, some
+	// never written — both must come back, now straight from flash.
+	for _, lpn := range []int64{0, 16, 1000} {
+		r, err := srv.Submit(serve.Op{LPN: lpn, Pages: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Outcome != serve.OutcomeOK || r.SimLatencyNs <= 0 {
+			t.Fatalf("read lpn %d: outcome %v latency %d, want ok/>0", lpn, r.Outcome, r.SimLatencyNs)
+		}
+	}
+	st := srv.Stats()
+	if st.ReadOnly != 1 {
+		t.Fatalf("read-only rejects %d, want 1", st.ReadOnly)
+	}
+
+	rep := srv.Drain()
+	if !rep.Degraded {
+		t.Fatal("drain report not degraded")
+	}
+	// A read-only device cannot accept destage flushes: the dirty buffer
+	// must be reported as remaining, not silently dropped.
+	if rep.RemainingDirtyPages == 0 {
+		t.Fatal("no remaining dirty pages reported despite a read-only drain")
+	}
+}
+
+// TestServeEngineDegradation lets the engine itself discover read-only
+// mode (a write's eviction flush fails on a fault-injected device): the
+// tripping request must still get a response, the shard must fall back to
+// direct-flash reads, and no client may hang.
+func TestServeEngineDegradation(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 16,
+		DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy:         lruPolicy, NewDevice: faultyDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sawReadOnly := false
+	for i := 0; i < 400; i++ {
+		r, err := srv.Submit(serve.Op{Write: true, LPN: int64((i % 64) * 4), Pages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch r.Outcome {
+		case serve.OutcomeOK:
+		case serve.OutcomeReadOnly:
+			sawReadOnly = true
+		default:
+			t.Fatalf("write %d: outcome %v", i, r.Outcome)
+		}
+		if sawReadOnly {
+			break
+		}
+	}
+	if !sawReadOnly {
+		t.Fatal("device never degraded with efail=1")
+	}
+
+	// The shard is now in its degraded loop: reads served, writes refused.
+	if r, _ := srv.Submit(serve.Op{LPN: 0, Pages: 1}); r.Outcome != serve.OutcomeOK {
+		t.Fatalf("degraded read outcome %v, want ok", r.Outcome)
+	}
+	if r, _ := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1}); r.Outcome != serve.OutcomeReadOnly {
+		t.Fatalf("degraded write outcome %v, want read-only", r.Outcome)
+	}
+	if status, serving, _ := srv.HealthStatus(); status != serve.StateReadOnly || serving {
+		t.Fatalf("health %q serving=%v, want read-only/false", status, serving)
+	}
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WireResponse is the JSON encoding of a Response on the service API.
+// Outcome and Phase travel as their String() forms so the payload reads
+// the same as the stats and logs.
+type WireResponse struct {
+	Outcome      string `json:"outcome"`
+	Phase        string `json:"phase,omitempty"`
+	Shard        int    `json:"shard"`
+	QueueNs      int64  `json:"queue_ns"`
+	ServiceNs    int64  `json:"service_ns"`
+	SimLatencyNs int64  `json:"sim_latency_ns"`
+	RetryAfterNs int64  `json:"retry_after_ns,omitempty"`
+	Hits         int    `json:"hits"`
+	Misses       int    `json:"misses"`
+}
+
+func toWire(r Response) WireResponse {
+	return WireResponse{
+		Outcome: r.Outcome.String(), Phase: r.Phase.String(), Shard: r.Shard,
+		QueueNs: r.QueueNs, ServiceNs: r.ServiceNs, SimLatencyNs: r.SimLatencyNs,
+		RetryAfterNs: r.RetryAfterNs, Hits: r.Hits, Misses: r.Misses,
+	}
+}
+
+// parseOutcome inverts Outcome.String for the HTTP client.
+func parseOutcome(s string) (Outcome, error) {
+	for o := OutcomeOK; o <= OutcomeError; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return OutcomeError, fmt.Errorf("serve: unknown outcome %q", s)
+}
+
+// parsePhase inverts Phase.String.
+func parsePhase(s string) Phase {
+	switch s {
+	case "queued":
+		return PhaseQueued
+	case "service":
+		return PhaseService
+	default:
+		return PhaseNone
+	}
+}
+
+// statusFor maps an outcome to its HTTP status: served outcomes are 200,
+// back-pressure outcomes are the matching 4xx/5xx so plain HTTP clients
+// and load balancers see the ladder without parsing the body.
+func statusFor(o Outcome) int {
+	switch o {
+	case OutcomeOK, OutcomeShed:
+		return http.StatusOK
+	case OutcomeRejected:
+		return http.StatusTooManyRequests
+	case OutcomeTimeout:
+		return http.StatusGatewayTimeout
+	case OutcomeReadOnly, OutcomeDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// HTTPHandler exposes the service API on the obs plane:
+//
+//	GET/POST /v1/read?lpn=&pages=&deadline_ns=    serve a read
+//	POST     /v1/write?lpn=&pages=&deadline_ns=   serve a write
+//	GET      /v1/stats                            Stats snapshot (JSON)
+//	POST     /v1/force-readonly                   admin: trip ladder rung 3
+//	POST     /v1/drain                            graceful drain; DrainReport
+//
+// Everything else falls through to next (typically the Telemetry
+// handler carrying /metrics and /healthz); a nil next 404s.
+func (srv *Server) HTTPHandler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/read", func(w http.ResponseWriter, r *http.Request) {
+		srv.serveOp(w, r, false)
+	})
+	mux.HandleFunc("/v1/write", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "write requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		srv.serveOp(w, r, true)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(srv.Stats())
+	})
+	mux.HandleFunc("/v1/force-readonly", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "force-readonly requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		srv.ForceReadOnly()
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"read-only"}`)
+	})
+	mux.HandleFunc("/v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "drain requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		rep := srv.Drain()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"drained_pages":         rep.DrainedPages,
+			"remaining_dirty_pages": rep.RemainingDirtyPages,
+			"degraded":              rep.Degraded,
+		})
+	})
+	if next != nil {
+		mux.Handle("/", next)
+	}
+	return mux
+}
+
+// serveOp parses the query parameters, submits, and writes the wire
+// response with the ladder-mapped status code.
+func (srv *Server) serveOp(w http.ResponseWriter, r *http.Request, write bool) {
+	q := r.URL.Query()
+	lpn, err := strconv.ParseInt(q.Get("lpn"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad lpn: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	pages := 1
+	if v := q.Get("pages"); v != "" {
+		if pages, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad pages: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	var deadline int64
+	if v := q.Get("deadline_ns"); v != "" {
+		if deadline, err = strconv.ParseInt(v, 10, 64); err != nil {
+			http.Error(w, "bad deadline_ns: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	resp, err := srv.Submit(Op{Write: write, LPN: lpn, Pages: pages, DeadlineNs: deadline})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wire := toWire(resp)
+	if resp.RetryAfterNs > 0 {
+		// Whole-second ceiling for standard clients; the body carries the
+		// precise hint.
+		w.Header().Set("Retry-After", strconv.FormatInt((resp.RetryAfterNs+999_999_999)/1_000_000_000, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusFor(resp.Outcome))
+	_ = json.NewEncoder(w).Encode(wire)
+}
+
+// Client submits ops to a remote ssdserve over its HTTP API. It
+// implements the same Submit contract as Server, so the load generator
+// drives either interchangeably.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:9000".
+	Base string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// Submit sends one op and decodes the outcome. Transport failures are
+// errors; ladder refusals (reject, read-only, …) are normal responses.
+func (c *Client) Submit(op Op) (Response, error) {
+	url := fmt.Sprintf("%s/v1/%s?lpn=%d&pages=%d&deadline_ns=%d",
+		c.Base, map[bool]string{true: "write", false: "read"}[op.Write],
+		op.LPN, op.Pages, op.DeadlineNs)
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var (
+		hr  *http.Response
+		err error
+	)
+	if op.Write {
+		hr, err = hc.Post(url, "application/json", nil)
+	} else {
+		hr, err = hc.Get(url)
+	}
+	if err != nil {
+		return Response{Outcome: OutcomeError}, err
+	}
+	defer hr.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hr.Body, 1<<16))
+	if err != nil {
+		return Response{Outcome: OutcomeError}, err
+	}
+	var wire WireResponse
+	if err := json.Unmarshal(body, &wire); err != nil {
+		return Response{Outcome: OutcomeError},
+			fmt.Errorf("serve: %s: %s", hr.Status, string(body))
+	}
+	out, err := parseOutcome(wire.Outcome)
+	if err != nil {
+		return Response{Outcome: OutcomeError}, err
+	}
+	return Response{
+		Outcome: out, Phase: parsePhase(wire.Phase), Shard: wire.Shard,
+		QueueNs: wire.QueueNs, ServiceNs: wire.ServiceNs,
+		SimLatencyNs: wire.SimLatencyNs, RetryAfterNs: wire.RetryAfterNs,
+		Hits: wire.Hits, Misses: wire.Misses,
+	}, nil
+}

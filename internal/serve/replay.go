@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Admission is the simulated-time admission filter for batch (trace
+// replay) runs: a deterministic leaky bucket over the trace's own
+// timestamps. The bucket drains at RateBytesPerSec of simulated time;
+// an arrival that would push the backlog past MaxBacklogBytes is
+// rejected — the batch-mode analogue of the live server's reject rung.
+// (Shedding and read-only are live-mode rungs: they need a device to
+// bypass to or degrade; the filter runs before the engines.)
+type Admission struct {
+	// Enabled turns the filter on. Off, Replay is a plain
+	// replay.RunSharded and its metrics are bit-identical to it (pinned
+	// by TestReplayAdmissionOffBitIdentical).
+	Enabled bool
+	// RateBytesPerSec is the virtual drain rate of the admission queue.
+	RateBytesPerSec float64
+	// MaxBacklogBytes bounds the virtual backlog; arrivals beyond it are
+	// rejected.
+	MaxBacklogBytes int64
+}
+
+// AdmissionReport accounts the filter's decisions.
+type AdmissionReport struct {
+	// Admitted and Rejected partition the trace's requests.
+	Admitted, Rejected int64
+	// PeakBacklogBytes is the largest backlog reached.
+	PeakBacklogBytes int64
+}
+
+// Replay runs a sharded trace replay behind the admission filter. It is
+// fully deterministic: the same source, spec, options and admission
+// config produce byte-identical metrics and report. With the filter
+// disabled it IS replay.RunSharded.
+func Replay(src trace.Source, spec replay.ShardSpec, opts replay.Options, adm Admission) (*replay.Metrics, AdmissionReport, error) {
+	if !adm.Enabled {
+		m, err := replay.RunSharded(src, spec, opts)
+		var rep AdmissionReport
+		if m != nil {
+			rep.Admitted = int64(m.Requests)
+		}
+		return m, rep, err
+	}
+	if adm.RateBytesPerSec <= 0 {
+		return nil, AdmissionReport{}, fmt.Errorf("serve: admission rate %g bytes/s, need > 0", adm.RateBytesPerSec)
+	}
+	if adm.MaxBacklogBytes <= 0 {
+		return nil, AdmissionReport{}, fmt.Errorf("serve: admission backlog %d bytes, need > 0", adm.MaxBacklogBytes)
+	}
+	f := &admissionSource{src: src, adm: adm}
+	m, err := replay.RunSharded(f, spec, opts)
+	return m, f.report, err
+}
+
+// admissionSource filters a trace source through the leaky bucket. It
+// keeps the source's name so downstream metrics label the same workload.
+type admissionSource struct {
+	src     trace.Source
+	adm     Admission
+	started bool
+	prev    int64 // previous arrival time
+	backlog int64 // virtual queued bytes
+	report  AdmissionReport
+}
+
+func (a *admissionSource) Name() string { return a.src.Name() }
+func (a *admissionSource) Err() error   { return a.src.Err() }
+
+func (a *admissionSource) Next() (trace.Request, bool) {
+	for {
+		r, ok := a.src.Next()
+		if !ok {
+			return trace.Request{}, false
+		}
+		if !a.started {
+			a.started = true
+			a.prev = r.Time
+		}
+		// Drain the bucket over the simulated gap since the last arrival.
+		if gap := r.Time - a.prev; gap > 0 {
+			leak := int64(float64(gap) * a.adm.RateBytesPerSec / 1e9)
+			a.backlog -= leak
+			if a.backlog < 0 {
+				a.backlog = 0
+			}
+		}
+		a.prev = r.Time
+		if a.backlog+r.Size > a.adm.MaxBacklogBytes {
+			a.report.Rejected++
+			continue
+		}
+		a.backlog += r.Size
+		a.report.Admitted++
+		if a.backlog > a.report.PeakBacklogBytes {
+			a.report.PeakBacklogBytes = a.backlog
+		}
+		return r, true
+	}
+}

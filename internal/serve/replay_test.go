@@ -1,0 +1,111 @@
+package serve_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/replay"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// burstTrace is a deterministic bursty workload: trains of back-to-back
+// requests separated by long gaps, the shape that makes an admission
+// filter bite.
+func burstTrace(n int) *trace.Trace {
+	reqs := make([]trace.Request, n)
+	t := int64(0)
+	for i := range reqs {
+		if i%50 == 0 {
+			t += 5_000_000 // 5 ms gap between trains
+		} else {
+			t += 1_000 // 1 µs inside a train
+		}
+		reqs[i] = trace.Request{
+			Time: t, Write: i%4 != 0,
+			Offset: int64((i*7)%4096) * 4096, Size: 4 * 4096,
+		}
+	}
+	return &trace.Trace{Name: "burst", Requests: reqs}
+}
+
+func replaySpec() replay.ShardSpec {
+	return replay.ShardSpec{
+		Shards: 3, Sharing: sim.SharingShared, TotalCapacityPages: 96,
+		NewPolicy: func(_, n int) cache.Policy { return cache.NewLRU(n) },
+		NewDevice: testDevice,
+	}
+}
+
+// TestReplayAdmissionOffBitIdentical is the determinism anchor the issue
+// pins: with admission control disabled, serve.Replay IS
+// replay.RunSharded — the full Metrics struct, byte for byte.
+func TestReplayAdmissionOffBitIdentical(t *testing.T) {
+	tr := burstTrace(3000)
+	opts := replay.Options{SeriesInterval: 500}
+
+	want, err := replay.RunSharded(tr.Source(), replaySpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := serve.Replay(tr.Source(), replaySpec(), opts, serve.Admission{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("admission-off metrics diverge from RunSharded:\n got %+v\nwant %+v", got, want)
+	}
+	if rep.Admitted != int64(want.Requests) || rep.Rejected != 0 {
+		t.Fatalf("admission-off report %+v, want all %d admitted", rep, want.Requests)
+	}
+}
+
+// TestReplayAdmissionDeterministicAndRejects runs the leaky-bucket filter
+// twice over the same bursty trace: identical metrics and report both
+// times, with both admissions and rejections actually occurring.
+func TestReplayAdmissionDeterministicAndRejects(t *testing.T) {
+	adm := serve.Admission{
+		Enabled:         true,
+		RateBytesPerSec: 100e6,    // drains a train's backlog across the gap
+		MaxBacklogBytes: 64 << 10, // but a train overflows it quickly
+	}
+	run := func() (*replay.Metrics, serve.AdmissionReport) {
+		m, rep, err := serve.Replay(burstTrace(3000).Source(), replaySpec(), replay.Options{}, adm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rep
+	}
+	m1, r1 := run()
+	m2, r2 := run()
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("admission-on metrics differ across identical runs")
+	}
+	if r1 != r2 {
+		t.Fatalf("admission reports differ: %+v vs %+v", r1, r2)
+	}
+	if r1.Admitted == 0 || r1.Rejected == 0 {
+		t.Fatalf("report %+v: want both admissions and rejections", r1)
+	}
+	if r1.Admitted+r1.Rejected != 3000 {
+		t.Fatalf("report %+v does not partition the trace", r1)
+	}
+	if int64(m1.Requests) != r1.Admitted {
+		t.Fatalf("engine saw %d requests, filter admitted %d", m1.Requests, r1.Admitted)
+	}
+}
+
+// TestReplayAdmissionValidation rejects meaningless filter configs.
+func TestReplayAdmissionValidation(t *testing.T) {
+	for _, adm := range []serve.Admission{
+		{Enabled: true, RateBytesPerSec: 0, MaxBacklogBytes: 1},
+		{Enabled: true, RateBytesPerSec: -1, MaxBacklogBytes: 1},
+		{Enabled: true, RateBytesPerSec: 1, MaxBacklogBytes: 0},
+	} {
+		if _, _, err := serve.Replay(burstTrace(10).Source(), replaySpec(), replay.Options{}, adm); err == nil {
+			t.Errorf("admission %+v accepted, want error", adm)
+		}
+	}
+}

@@ -1,0 +1,653 @@
+// Package serve is the open-loop service front-end over the sharded
+// simulation engine: it accepts individual read/write requests from
+// concurrent clients, routes them to per-shard cache engines, and keeps
+// the system well-behaved past saturation instead of melting down.
+//
+// Admission follows MQSim's DRAM front-end: a write first needs a free
+// slot in the shard's write window (the analogue of MQSim's
+// waiting_user_requests_queue_for_dram_free_slot — the DRAM buffer plus
+// the writes already queued for it), while reads bypass the window and
+// only contend for the bounded admission queue. Past that point the
+// overload ladder degrades in explicit rungs:
+//
+//	rung 0  queue     — wait for a window slot / a queue position
+//	rung 1  shed      — write-around bypass straight to flash (Config.Shed)
+//	rung 2  reject    — queue full: turn away with a backoff hint
+//	rung 3  read-only — device degraded: writes refused, reads served
+//	rung 4  draining  — graceful shutdown: intake closed, queued work
+//	                    finishes, dirty pages destage, telemetry flushes
+//
+// Every request carries a deadline; expiry is charged to the phase where
+// it happened (queued vs in service), so tail-latency diagnoses point at
+// the right stage. The clock is injectable (Config.Now) which makes the
+// deadline machinery deterministic under test; the simulated-time batch
+// path (Replay) is fully deterministic and bit-identical to
+// replay.RunSharded when admission control is off.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Outcome classifies how a submitted request ended.
+type Outcome uint8
+
+const (
+	// OutcomeOK means the request was served through the cache engine
+	// (or, after degradation, a read served directly from flash).
+	OutcomeOK Outcome = iota
+	// OutcomeShed means the write was admitted as a write-around bypass:
+	// it went straight to flash without occupying DRAM (ladder rung 1).
+	OutcomeShed
+	// OutcomeRejected means the shard's admission queue was full; the
+	// response carries a RetryAfterNs backoff hint (ladder rung 2).
+	OutcomeRejected
+	// OutcomeTimeout means the deadline expired; Phase says whether it
+	// expired while queued or while in service.
+	OutcomeTimeout
+	// OutcomeReadOnly means a write was refused because the device is in
+	// degraded read-only mode (ladder rung 3).
+	OutcomeReadOnly
+	// OutcomeDraining means intake was already closed by Drain.
+	OutcomeDraining
+	// OutcomeError means an internal engine or device failure.
+	OutcomeError
+)
+
+// String names the outcome for logs and stats.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeRejected:
+		return "rejected"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeReadOnly:
+		return "read-only"
+	case OutcomeDraining:
+		return "draining"
+	default:
+		return "error"
+	}
+}
+
+// Phase localizes a deadline expiry.
+type Phase uint8
+
+const (
+	// PhaseNone: the request did not time out.
+	PhaseNone Phase = iota
+	// PhaseQueued: the deadline expired while the request waited for
+	// admission (in the queue or in the write-window wait).
+	PhaseQueued
+	// PhaseService: the deadline expired while the engine was serving
+	// the request (e.g. stalled behind a destage flush).
+	PhaseService
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseQueued:
+		return "queued"
+	case PhaseService:
+		return "service"
+	default:
+		return ""
+	}
+}
+
+// Op is one client request.
+type Op struct {
+	// Write selects write (true) or read (false).
+	Write bool
+	// LPN is the first logical page.
+	LPN int64
+	// Pages is the span length in pages, >= 1.
+	Pages int
+	// DeadlineNs is the latency budget relative to submission in server
+	// clock nanoseconds; zero applies Config.DefaultDeadlineNs.
+	DeadlineNs int64
+}
+
+// Response reports how one Op ended. Latency fields are in server-clock
+// nanoseconds except SimLatencyNs, which is simulated device time.
+type Response struct {
+	// Outcome classifies the ending; Phase localizes timeouts.
+	Outcome Outcome
+	Phase   Phase
+	// Shard is the shard that owned the request.
+	Shard int
+	// QueueNs is submission → dequeue; ServiceNs is dequeue → response.
+	QueueNs   int64
+	ServiceNs int64
+	// SimLatencyNs is the simulated device response time (issue to
+	// completion on the device timeline).
+	SimLatencyNs int64
+	// RetryAfterNs is the backoff hint on OutcomeRejected.
+	RetryAfterNs int64
+	// Hits and Misses are the page-level cache outcomes (engine path).
+	Hits, Misses int
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Shards, Sharing, TotalCapacityPages, NewPolicy and NewDevice mirror
+	// replay.ShardSpec: the DRAM capacity is divided per Sharing and each
+	// shard gets its own policy and device.
+	Shards             int
+	Sharing            sim.SharingMode
+	TotalCapacityPages int
+	NewPolicy          func(shard, capacityPages int) cache.Policy
+	NewDevice          func(shard int) (*ssd.Device, error)
+
+	// TenantBoundaries / TenantRegionPages select the LPN routing, with
+	// the same exclusivity rule as the sharded replay: explicit
+	// boundaries route when set, hash regions otherwise.
+	TenantBoundaries  []int64
+	TenantRegionPages int64
+
+	// QueueDepth bounds each shard's admission queue in requests
+	// (default 256). A full queue rejects with a backoff hint.
+	QueueDepth int
+	// WriteWindowPages is the per-shard DRAM free-slot window: a write
+	// is admitted only while buffered pages plus queued write pages fit
+	// under it. Zero derives 1.5x the shard's capacity share. Reads
+	// bypass the window.
+	WriteWindowPages int
+	// Shed enables ladder rung 1: writes that do not fit the window are
+	// admitted as write-around bypasses to flash instead of waiting.
+	Shed bool
+	// DefaultDeadlineNs applies to requests without their own deadline
+	// (default 2s). MaxWaitNs caps the write-window wait regardless of
+	// deadline (default: DefaultDeadlineNs).
+	DefaultDeadlineNs int64
+	MaxWaitNs         int64
+
+	// BackPressureDepth configures each shard device's destage
+	// back-pressure ring (ssd.Device.SetBackPressure). Zero disables.
+	BackPressureDepth int
+	// Engine tunes each shard's simulation engine (idle flush, destage
+	// cadence, closed-loop depth). SoftQuotaPages is overwritten for
+	// SharingShared, exactly as the sharded replay does.
+	Engine sim.Config
+
+	// Pace throttles each shard worker so simulated device time does not
+	// run ahead of the wall clock: the simulated device becomes the real
+	// bottleneck and saturation behaves like a physical drive's. Ignored
+	// when Now is set (a fake clock cannot sleep).
+	Pace bool
+
+	// Telemetry, when set, receives the ssdserve_* instrument catalog,
+	// per-shard engine instruments, and the /healthz health source. One
+	// Server per Telemetry (instrument names collide otherwise).
+	Telemetry *obs.Telemetry
+	// Now is the server clock in nanoseconds; nil uses monotonic wall
+	// time since New. Tests inject a fake clock for deterministic
+	// deadline behavior.
+	Now func() int64
+}
+
+// tally mirrors the outcome counters in plain atomics so Stats works with
+// or without Telemetry attached.
+type tally struct {
+	accepted, shed, rejected           atomic.Int64
+	timeoutsQueued, timeoutsService    atomic.Int64
+	readonly, drainRejected, errs      atomic.Int64
+	windowWaits, shedPages, drainedPgs atomic.Int64
+}
+
+// Server is the live front-end. Build with New, submit with Submit from
+// any number of goroutines, stop with Drain.
+type Server struct {
+	cfg     Config
+	now     func() int64
+	pace    bool
+	logical int64
+	shards  []*shard
+	met     *instruments
+	tally   tally
+
+	// stateMu is the intake barrier: Submit holds RLock from the
+	// draining check through the queue send, Drain takes Lock before
+	// closing the queues, so no send can race a close.
+	stateMu  sync.RWMutex
+	draining atomic.Bool
+	degraded atomic.Bool
+	depth    atomic.Int64
+
+	wg        sync.WaitGroup
+	drainOnce sync.Once
+	report    DrainReport
+}
+
+// Default admission parameters.
+const (
+	defaultQueueDepth = 256
+	defaultDeadlineNs = int64(2 * time.Second)
+	paceSlackNs       = int64(2 * time.Millisecond)
+)
+
+// New validates the config, builds the shards, and starts their workers.
+// The server accepts requests as soon as New returns.
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("serve: shards %d, need >= 1", cfg.Shards)
+	}
+	if cfg.NewPolicy == nil || cfg.NewDevice == nil {
+		return nil, fmt.Errorf("serve: NewPolicy and NewDevice are required")
+	}
+	if cfg.TotalCapacityPages < cfg.Shards {
+		return nil, fmt.Errorf("serve: capacity %d pages below one page per shard (%d)",
+			cfg.TotalCapacityPages, cfg.Shards)
+	}
+	if cfg.TenantRegionPages < 0 {
+		return nil, fmt.Errorf("serve: negative tenant region pages %d", cfg.TenantRegionPages)
+	}
+	if cfg.TenantRegionPages > 0 && len(cfg.TenantBoundaries) > 0 {
+		return nil, fmt.Errorf("serve: explicit tenant boundaries and hash regions are exclusive: boundaries route, regions would be ignored")
+	}
+	if cfg.QueueDepth < 0 || cfg.WriteWindowPages < 0 || cfg.DefaultDeadlineNs < 0 ||
+		cfg.MaxWaitNs < 0 || cfg.BackPressureDepth < 0 {
+		return nil, fmt.Errorf("serve: negative admission parameter")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.DefaultDeadlineNs == 0 {
+		cfg.DefaultDeadlineNs = defaultDeadlineNs
+	}
+	if cfg.MaxWaitNs == 0 {
+		cfg.MaxWaitNs = cfg.DefaultDeadlineNs
+	}
+
+	srv := &Server{cfg: cfg, met: newInstruments(cfg.Telemetry)}
+	if cfg.Now != nil {
+		srv.now = cfg.Now
+	} else {
+		start := time.Now()
+		srv.now = func() int64 { return time.Since(start).Nanoseconds() }
+		srv.pace = cfg.Pace
+	}
+
+	var hook func(int, *sim.Engine) []sim.Observer
+	if cfg.Telemetry != nil {
+		hook = cfg.Telemetry.ShardObservers(cfg.Shards)
+	}
+	for k := 0; k < cfg.Shards; k++ {
+		capPages, quota := sim.ShardQuota(cfg.Sharing, cfg.TotalCapacityPages, cfg.Shards, k)
+		pol := cfg.NewPolicy(k, capPages)
+		dev, err := cfg.NewDevice(k)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d device: %w", k, err)
+		}
+		if cfg.BackPressureDepth > 0 {
+			dev.SetBackPressure(cfg.BackPressureDepth)
+		}
+		if srv.logical == 0 {
+			srv.logical = dev.LogicalPages()
+		} else if dev.LogicalPages() != srv.logical {
+			return nil, fmt.Errorf("serve: shard %d logical size %d differs from shard 0's %d",
+				k, dev.LogicalPages(), srv.logical)
+		}
+		window := int64(cfg.WriteWindowPages)
+		if window == 0 {
+			ref := capPages
+			if quota > 0 {
+				ref = quota
+			}
+			window = int64(ref) + int64(ref)/2
+		}
+		if window < 1 {
+			window = 1
+		}
+		ecfg := cfg.Engine
+		if cfg.Sharing == sim.SharingShared {
+			ecfg.SoftQuotaPages = quota
+		}
+		s := &shard{
+			id:     k,
+			srv:    srv,
+			pol:    pol,
+			dev:    dev,
+			queue:  make(chan *work, cfg.QueueDepth),
+			window: window,
+		}
+		s.cond = sync.NewCond(&s.mu)
+		s.idler, _ = pol.(cache.IdleEvictor)
+		s.eng = sim.New(&liveSource{s: s, name: fmt.Sprintf("serve-shard%d", k)}, pol, dev, ecfg)
+		s.eng.Observe(&shardObserver{s: s})
+		if hook != nil {
+			s.eng.Observe(hook(k, s.eng)...)
+		}
+		srv.shards = append(srv.shards, s)
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.SetHealthSource(srv)
+	}
+	for _, s := range srv.shards {
+		srv.wg.Add(1)
+		go s.run()
+	}
+	return srv, nil
+}
+
+// Submit routes one request through the admission ladder and blocks until
+// its response. It is safe from any number of goroutines. The error
+// return is reserved for malformed requests; overload outcomes are
+// reported in the Response.
+func (srv *Server) Submit(op Op) (Response, error) {
+	if op.Pages < 1 {
+		return Response{}, fmt.Errorf("serve: %d pages, need >= 1", op.Pages)
+	}
+	if op.LPN < 0 || op.LPN+int64(op.Pages) > srv.logical {
+		return Response{}, fmt.Errorf("serve: lpn %d+%d outside logical space %d",
+			op.LPN, op.Pages, srv.logical)
+	}
+	if op.DeadlineNs < 0 {
+		return Response{}, fmt.Errorf("serve: negative deadline %d", op.DeadlineNs)
+	}
+	k := sim.RouteLPN(op.LPN, srv.cfg.TenantBoundaries, srv.cfg.TenantRegionPages, len(srv.shards))
+	s := srv.shards[k]
+	if op.Write && !srv.cfg.Shed && int64(op.Pages) > s.window {
+		return Response{}, fmt.Errorf("serve: write of %d pages exceeds the %d-page window and shedding is off",
+			op.Pages, s.window)
+	}
+	now := srv.now()
+	w := &work{op: op, submitted: now, done: make(chan Response, 1)}
+	if op.DeadlineNs > 0 {
+		w.deadline = now + op.DeadlineNs
+	} else {
+		w.deadline = now + srv.cfg.DefaultDeadlineNs
+	}
+
+	srv.stateMu.RLock()
+	if srv.draining.Load() {
+		srv.stateMu.RUnlock()
+		return srv.count(Response{Outcome: OutcomeDraining, Shard: k}), nil
+	}
+	resp, enqueued := s.admit(w)
+	srv.stateMu.RUnlock()
+	if !enqueued {
+		return resp, nil
+	}
+	return <-w.done, nil
+}
+
+// ForceReadOnly pushes every shard's device into degraded read-only mode
+// through the shard workers (the devices are single-threaded, so the
+// transition must happen on the owning goroutine). It blocks until every
+// live shard has acknowledged. Used by the admin endpoint and by tests.
+func (srv *Server) ForceReadOnly() {
+	for _, s := range srv.shards {
+		w := &work{ctrl: ctrlForceReadOnly, submitted: srv.now(), done: make(chan Response, 1)}
+		srv.stateMu.RLock()
+		if srv.draining.Load() {
+			srv.stateMu.RUnlock()
+			continue
+		}
+		// Control ops skip the ladder: block for a queue slot (the worker
+		// is draining the queue, so the send always completes).
+		s.queue <- w
+		srv.depth.Add(1)
+		srv.met.queueDepth.Set(srv.depth.Load())
+		srv.stateMu.RUnlock()
+		<-w.done
+	}
+}
+
+// setDegraded flips the global read-only bit and wakes window waiters so
+// they fail fast instead of waiting out their deadline.
+func (srv *Server) setDegraded() {
+	if srv.degraded.CompareAndSwap(false, true) {
+		for _, s := range srv.shards {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// count folds a finished response into the tallies and instruments and
+// returns it unchanged (so call sites can count-and-return in one line).
+func (srv *Server) count(resp Response) Response {
+	t, m := &srv.tally, srv.met
+	switch resp.Outcome {
+	case OutcomeOK:
+		t.accepted.Add(1)
+		m.accepted.Inc()
+		m.queueWait.Observe(resp.QueueNs)
+		m.service.Observe(resp.ServiceNs)
+	case OutcomeShed:
+		t.shed.Add(1)
+		m.shed.Inc()
+		m.queueWait.Observe(resp.QueueNs)
+		m.service.Observe(resp.ServiceNs)
+	case OutcomeTimeout:
+		// The expiry is charged to the phase where the deadline died: a
+		// queued expiry never reached service, so only the queue-wait
+		// histogram sees it.
+		if resp.Phase == PhaseService {
+			t.timeoutsService.Add(1)
+			m.timeoutsService.Inc()
+			m.queueWait.Observe(resp.QueueNs)
+			m.service.Observe(resp.ServiceNs)
+		} else {
+			t.timeoutsQueued.Add(1)
+			m.timeoutsQueued.Inc()
+			m.queueWait.Observe(resp.QueueNs)
+		}
+	case OutcomeRejected:
+		t.rejected.Add(1)
+		m.rejected.Inc()
+	case OutcomeReadOnly:
+		t.readonly.Add(1)
+		m.readonly.Inc()
+	case OutcomeDraining:
+		t.drainRejected.Add(1)
+		m.drainRejected.Inc()
+	case OutcomeError:
+		t.errs.Add(1)
+		m.errs.Inc()
+	}
+	return resp
+}
+
+// Overload-ladder state names, in escalation order. HealthStatus returns
+// one of these and /healthz reports it.
+const (
+	StateOK        = "ok"
+	StateQueueing  = "queueing"
+	StateShedding  = "shedding"
+	StateRejecting = "rejecting"
+	StateReadOnly  = "read-only"
+	StateDraining  = "draining"
+)
+
+// stateRung maps a state name to its numeric gauge value.
+func stateRung(state string) int64 {
+	switch state {
+	case StateQueueing:
+		return 1
+	case StateShedding:
+		return 2
+	case StateRejecting:
+		return 3
+	case StateReadOnly:
+		return 4
+	case StateDraining:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// HealthStatus implements obs.HealthSource: the current ladder state,
+// whether the service should receive traffic, and the queued request
+// count. Scrapes also refresh the ssdserve_overload_state gauge.
+func (srv *Server) HealthStatus() (string, bool, int64) {
+	state, serving := srv.state()
+	depth := srv.depth.Load()
+	srv.met.overload.Set(stateRung(state))
+	return state, serving, depth
+}
+
+// state derives the ladder rung from live shard state.
+func (srv *Server) state() (string, bool) {
+	switch {
+	case srv.draining.Load():
+		return StateDraining, false
+	case srv.degraded.Load():
+		return StateReadOnly, false
+	}
+	full, windowed := false, false
+	for _, s := range srv.shards {
+		if len(s.queue) == cap(s.queue) {
+			full = true
+		}
+		s.mu.Lock()
+		if s.cached+s.queuedWrite >= s.window {
+			windowed = true
+		}
+		s.mu.Unlock()
+	}
+	switch {
+	case full:
+		return StateRejecting, false
+	case windowed:
+		return StateShedding, true
+	case srv.depth.Load() > 0:
+		return StateQueueing, true
+	}
+	return StateOK, true
+}
+
+// ShardStats is one shard's live snapshot.
+type ShardStats struct {
+	Shard            int   `json:"shard"`
+	QueueDepth       int   `json:"queue_depth"`
+	CachedPages      int64 `json:"cached_pages"`
+	QueuedWritePages int64 `json:"queued_write_pages"`
+	WindowPages      int64 `json:"window_pages"`
+	SimTimeNs        int64 `json:"sim_time_ns"`
+	Failed           bool  `json:"failed"`
+}
+
+// Stats is the /v1/stats snapshot: outcome tallies plus per-shard state.
+type Stats struct {
+	State           string       `json:"state"`
+	QueueDepth      int64        `json:"queue_depth"`
+	Accepted        int64        `json:"accepted"`
+	Shed            int64        `json:"shed"`
+	Rejected        int64        `json:"rejected"`
+	TimeoutsQueued  int64        `json:"timeouts_queued"`
+	TimeoutsService int64        `json:"timeouts_service"`
+	ReadOnly        int64        `json:"read_only_rejected"`
+	DrainRejected   int64        `json:"drain_rejected"`
+	Errors          int64        `json:"errors"`
+	WindowWaits     int64        `json:"window_waits"`
+	ShedPages       int64        `json:"shed_pages"`
+	DrainedPages    int64        `json:"drained_pages"`
+	Shards          []ShardStats `json:"shards"`
+}
+
+// Stats snapshots the server. Safe while serving.
+func (srv *Server) Stats() Stats {
+	state, _ := srv.state()
+	st := Stats{
+		State:           state,
+		QueueDepth:      srv.depth.Load(),
+		Accepted:        srv.tally.accepted.Load(),
+		Shed:            srv.tally.shed.Load(),
+		Rejected:        srv.tally.rejected.Load(),
+		TimeoutsQueued:  srv.tally.timeoutsQueued.Load(),
+		TimeoutsService: srv.tally.timeoutsService.Load(),
+		ReadOnly:        srv.tally.readonly.Load(),
+		DrainRejected:   srv.tally.drainRejected.Load(),
+		Errors:          srv.tally.errs.Load(),
+		WindowWaits:     srv.tally.windowWaits.Load(),
+		ShedPages:       srv.tally.shedPages.Load(),
+		DrainedPages:    srv.tally.drainedPgs.Load(),
+	}
+	for _, s := range srv.shards {
+		s.mu.Lock()
+		ss := ShardStats{
+			Shard:            s.id,
+			QueueDepth:       len(s.queue),
+			CachedPages:      s.cached,
+			QueuedWritePages: s.queuedWrite,
+			WindowPages:      s.window,
+		}
+		s.mu.Unlock()
+		ss.SimTimeNs = s.simNow.Load()
+		ss.Failed = s.failed.Load()
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}
+
+// DrainReport summarizes the graceful shutdown.
+type DrainReport struct {
+	// DrainedPages were destaged to flash during the drain.
+	DrainedPages int64
+	// RemainingDirtyPages stayed buffered (the policy declined to
+	// nominate them, or the device degraded mid-drain).
+	RemainingDirtyPages int64
+	// Degraded reports whether any shard ended in read-only mode.
+	Degraded bool
+}
+
+// Drain performs the graceful shutdown: close intake (new submissions get
+// OutcomeDraining), let the workers finish every queued request, destage
+// dirty pages, and flush the final telemetry state. Idempotent; blocks
+// until every worker has exited.
+func (srv *Server) Drain() DrainReport {
+	srv.drainOnce.Do(func() {
+		srv.draining.Store(true)
+		// Wake window waiters under the shard lock so none miss the flag
+		// between their check and cond.Wait.
+		for _, s := range srv.shards {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		// The write barrier: once Lock is held every in-flight Submit has
+		// released RLock, so its enqueue (if any) happened-before the
+		// close and no send can hit a closed channel.
+		srv.stateMu.Lock()
+		for _, s := range srv.shards {
+			close(s.queue)
+		}
+		srv.stateMu.Unlock()
+		srv.wg.Wait()
+
+		var rep DrainReport
+		rep.Degraded = srv.degraded.Load()
+		for _, s := range srv.shards {
+			rep.DrainedPages += s.drained
+			if dp, ok := s.pol.(cache.DirtyPager); ok {
+				rep.RemainingDirtyPages += int64(dp.DirtyPages())
+			} else {
+				rep.RemainingDirtyPages += int64(s.pol.Len())
+			}
+		}
+		srv.met.queueDepth.Set(0)
+		srv.met.overload.Set(stateRung(StateDraining))
+		srv.report = rep
+	})
+	return srv.report
+}
+
+// Close is Drain for defer sites that ignore the report.
+func (srv *Server) Close() { srv.Drain() }

@@ -1,0 +1,308 @@
+package serve_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/leakcheck"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// testDevice builds the small fresh device every serve test shards over.
+func testDevice(int) (*ssd.Device, error) {
+	p := ssd.DefaultParams()
+	p.Flash.BlocksPerPlane = 512
+	p.Flash.PagesPerBlock = 16
+	p.Precondition = 0
+	return ssd.New(p)
+}
+
+func lruPolicy(_, n int) cache.Policy { return cache.NewLRU(n) }
+
+// waitFor polls until cond holds, failing the test after five seconds.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeBasicAndDrain pushes concurrent reads and writes from several
+// clients through a two-shard server, then drains: every request must be
+// served, the tallies must add up, and the graceful drain must destage
+// the dirty buffer and leave no goroutines behind.
+func TestServeBasicAndDrain(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := serve.New(serve.Config{
+		Shards: 2, Sharing: sim.SharingEqual, TotalCapacityPages: 128,
+		DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy:         lruPolicy, NewDevice: testDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, perClient = 4, 50
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				op := serve.Op{Write: i%3 != 0, LPN: int64(g*4096 + i*4), Pages: 4}
+				resp, err := srv.Submit(op)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if resp.Outcome != serve.OutcomeOK {
+					t.Errorf("op %d/%d: outcome %v, want ok", g, i, resp.Outcome)
+					return
+				}
+				if resp.SimLatencyNs <= 0 {
+					t.Errorf("op %d/%d: sim latency %d, want > 0", g, i, resp.SimLatencyNs)
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := served.Load(); got != clients*perClient {
+		t.Fatalf("served %d, want %d", got, clients*perClient)
+	}
+
+	st := srv.Stats()
+	if st.Accepted != clients*perClient {
+		t.Fatalf("accepted %d, want %d", st.Accepted, clients*perClient)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after quiesce, want 0", st.QueueDepth)
+	}
+
+	rep := srv.Drain()
+	if rep.Degraded {
+		t.Fatal("drain reports degraded on a healthy run")
+	}
+	if rep.DrainedPages == 0 {
+		t.Fatal("drain destaged nothing despite a dirty buffer")
+	}
+	// LRU's idle evictor stops at half capacity; whatever it kept must be
+	// accounted, not silently dropped.
+	if rep.RemainingDirtyPages < 0 {
+		t.Fatalf("negative remaining dirty pages %d", rep.RemainingDirtyPages)
+	}
+
+	// Intake is closed: post-drain submissions report draining, and the
+	// health source agrees.
+	resp, err := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != serve.OutcomeDraining {
+		t.Fatalf("post-drain outcome %v, want draining", resp.Outcome)
+	}
+	if status, serving, _ := srv.HealthStatus(); status != serve.StateDraining || serving {
+		t.Fatalf("post-drain health %q serving=%v, want draining/false", status, serving)
+	}
+	if srv.Drain() != rep {
+		t.Fatal("second Drain returned a different report")
+	}
+}
+
+// TestServeShedsWhenWindowExhausted pins ladder rung 1: once the DRAM
+// window is full, writes go around the cache to flash instead of waiting,
+// and reads keep flowing through the engine.
+func TestServeShedsWhenWindowExhausted(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 16,
+		WriteWindowPages: 16, Shed: true, DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy: lruPolicy, NewDevice: testDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var ok, shed int
+	for i := 0; i < 40; i++ {
+		resp, err := srv.Submit(serve.Op{Write: true, LPN: int64(i * 4), Pages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.Outcome {
+		case serve.OutcomeOK:
+			ok++
+		case serve.OutcomeShed:
+			shed++
+			if resp.SimLatencyNs <= 0 {
+				t.Fatalf("shed write %d: sim latency %d, want > 0", i, resp.SimLatencyNs)
+			}
+		default:
+			t.Fatalf("write %d: outcome %v", i, resp.Outcome)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("ok=%d shed=%d: want both rungs exercised", ok, shed)
+	}
+	// The cache is full, so the window stays exhausted: reads must still
+	// be admitted (they bypass the window).
+	resp, err := srv.Submit(serve.Op{LPN: 0, Pages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != serve.OutcomeOK {
+		t.Fatalf("read under write shed: outcome %v, want ok", resp.Outcome)
+	}
+	st := srv.Stats()
+	if st.Shed != int64(shed) || st.ShedPages != int64(shed*4) {
+		t.Fatalf("stats shed=%d shedPages=%d, want %d/%d", st.Shed, st.ShedPages, shed, shed*4)
+	}
+}
+
+// TestServeRejectsWhenQueueFull pins ladder rung 2: with the worker
+// blocked mid-request and the admission queue full, the next submission
+// is turned away immediately with a positive backoff hint.
+func TestServeRejectsWhenQueueFull(t *testing.T) {
+	leakcheck.Check(t)
+	gate := newGatePolicy(cache.NewLRU(64))
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 64,
+		QueueDepth: 2, WriteWindowPages: 1024, DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy: func(_, _ int) cache.Policy { return gate },
+		NewDevice: testDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	submit := func(lpn int64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Submit(serve.Op{Write: true, LPN: lpn, Pages: 1}); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	submit(0) // dequeued by the worker, parked inside Access
+	<-gate.entered
+	submit(8)  // fills queue slot 1
+	submit(16) // fills queue slot 2
+	waitFor(t, func() bool { return srv.Stats().QueueDepth == 2 }, "queue never filled")
+
+	resp, err := srv.Submit(serve.Op{Write: true, LPN: 24, Pages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != serve.OutcomeRejected {
+		t.Fatalf("outcome %v, want rejected", resp.Outcome)
+	}
+	if resp.RetryAfterNs <= 0 {
+		t.Fatalf("retry hint %d, want > 0", resp.RetryAfterNs)
+	}
+	if status, serving, depth := srv.HealthStatus(); status != serve.StateRejecting || serving || depth != 2 {
+		t.Fatalf("health %q serving=%v depth=%d, want rejecting/false/2", status, serving, depth)
+	}
+
+	gate.open() // let the parked request and the queue drain
+	wg.Wait()
+	st := srv.Stats()
+	if st.Rejected != 1 || st.Accepted != 3 {
+		t.Fatalf("rejected=%d accepted=%d, want 1/3", st.Rejected, st.Accepted)
+	}
+}
+
+// TestServeValidation pins the front-door input contract and the
+// contradictory-config rejections.
+func TestServeValidation(t *testing.T) {
+	leakcheck.Check(t)
+	bad := []serve.Config{
+		{Shards: 0, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice},
+		{Shards: 2, TotalCapacityPages: 1, NewPolicy: lruPolicy, NewDevice: testDevice},
+		{Shards: 1, TotalCapacityPages: 8, NewDevice: testDevice},
+		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy},
+		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
+			TenantRegionPages: -1},
+		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
+			TenantRegionPages: 64, TenantBoundaries: []int64{100}},
+		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
+			QueueDepth: -1},
+		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
+			DefaultDeadlineNs: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := serve.New(cfg); err == nil {
+			t.Errorf("config %d: accepted, want error", i)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 16,
+		NewPolicy: lruPolicy, NewDevice: testDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Submit(serve.Op{Pages: 0}); err == nil {
+		t.Error("zero-page op accepted")
+	}
+	if _, err := srv.Submit(serve.Op{LPN: -1, Pages: 1}); err == nil {
+		t.Error("negative LPN accepted")
+	}
+	if _, err := srv.Submit(serve.Op{LPN: 1 << 60, Pages: 1}); err == nil {
+		t.Error("out-of-space LPN accepted")
+	}
+	if _, err := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1 << 20}); err == nil {
+		t.Error("window-exceeding write accepted with shedding off")
+	}
+}
+
+// gatePolicy wraps a policy so tests can park the shard worker inside
+// Access: entered signals each arrival, and the worker proceeds only
+// when the gate channel delivers. open() unblocks everything for good.
+type gatePolicy struct {
+	cache.Policy
+	mu      sync.Mutex
+	closed  bool
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func newGatePolicy(p cache.Policy) *gatePolicy {
+	return &gatePolicy{Policy: p, entered: make(chan struct{}, 64), gate: make(chan struct{})}
+}
+
+func (g *gatePolicy) Access(r cache.Request) cache.Result {
+	g.mu.Lock()
+	closed := g.closed
+	g.mu.Unlock()
+	if !closed {
+		g.entered <- struct{}{}
+		<-g.gate
+	}
+	return g.Policy.Access(r)
+}
+
+// open releases the current and all future Access calls.
+func (g *gatePolicy) open() {
+	g.mu.Lock()
+	if !g.closed {
+		g.closed = true
+		close(g.gate)
+	}
+	g.mu.Unlock()
+}

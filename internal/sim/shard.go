@@ -152,6 +152,23 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// RouteLPN maps a request's first page to a shard using the same routing
+// the splitter applies: explicit tenant boundaries when present (tenant t
+// maps to shard t mod shards), otherwise the splitmix64 hash of the LPN's
+// regionPages-sized address region. Exported so front-ends (the service
+// layer) route exactly like a sharded replay would; regionPages <= 0
+// selects the default region size.
+func RouteLPN(lpn int64, boundaries []int64, regionPages int64, shards int) int {
+	if len(boundaries) > 0 {
+		t := sort.Search(len(boundaries), func(i int) bool { return lpn < boundaries[i] })
+		return t % shards
+	}
+	if regionPages <= 0 {
+		regionPages = defaultTenantRegionPages
+	}
+	return int(splitmix64(uint64(lpn/regionPages)) % uint64(shards))
+}
+
 // seqReq is one routed request with its global source ordinal.
 type seqReq struct {
 	req trace.Request
@@ -498,7 +515,22 @@ func NewSharded(src trace.Source, cfg ShardConfig) (*ShardedEngine, error) {
 		return nil, fmt.Errorf("sim: capacity %d pages across %d shards leaves empty shards",
 			cfg.TotalCapacityPages, cfg.Shards)
 	}
-	if cfg.TenantRegionPages <= 0 {
+	if cfg.BackPressureDepth < 0 {
+		return nil, fmt.Errorf("sim: back-pressure depth %d is negative (0 disables)", cfg.BackPressureDepth)
+	}
+	if cfg.StopAfterRequests < 0 {
+		return nil, fmt.Errorf("sim: stop-after %d is negative (0 disables)", cfg.StopAfterRequests)
+	}
+	if cfg.TenantRegionPages < 0 {
+		return nil, fmt.Errorf("sim: tenant region %d pages is negative (0 selects the default)", cfg.TenantRegionPages)
+	}
+	// Region hashing and explicit boundaries are competing routing schemes;
+	// configuring both means one of them is silently dead — reject instead.
+	if cfg.TenantRegionPages > 0 && len(cfg.TenantBoundaries) > 0 {
+		return nil, fmt.Errorf("sim: tenant region pages (%d) conflicts with explicit tenant boundaries (%d): boundaries route, regions would be ignored",
+			cfg.TenantRegionPages, len(cfg.TenantBoundaries))
+	}
+	if cfg.TenantRegionPages == 0 {
 		cfg.TenantRegionPages = defaultTenantRegionPages
 	}
 	if !sort.SliceIsSorted(cfg.TenantBoundaries, func(i, j int) bool {
@@ -579,12 +611,7 @@ func (s *ShardedEngine) StoppedFeeding() bool { return s.stoppedFeed }
 
 // shardOf routes a request's first page to a shard.
 func (s *ShardedEngine) shardOf(lpn int64) int {
-	if b := s.cfg.TenantBoundaries; len(b) > 0 {
-		t := sort.Search(len(b), func(i int) bool { return lpn < b[i] })
-		return t % s.cfg.Shards
-	}
-	region := uint64(lpn / s.cfg.TenantRegionPages)
-	return int(splitmix64(region) % uint64(s.cfg.Shards))
+	return RouteLPN(lpn, s.cfg.TenantBoundaries, s.cfg.TenantRegionPages, s.cfg.Shards)
 }
 
 // splitResult is what the splitter goroutine reports back.

@@ -154,6 +154,11 @@ func (d *Device) FaultsEnabled() bool { return d.inj != nil }
 // Degraded reports whether the device has entered read-only mode.
 func (d *Device) Degraded() bool { return d.f.Degraded() }
 
+// ForceReadOnly trips the device into read-only degraded mode immediately
+// (ftl.ForceDegrade): writes fail with fault.ErrReadOnly, reads keep
+// working. An operational fuse for the service layer and its tests.
+func (d *Device) ForceReadOnly() { d.f.ForceDegrade() }
+
 // FaultStats returns the injector's fault counters (zero without faults).
 func (d *Device) FaultStats() fault.Stats {
 	if d.inj == nil {
