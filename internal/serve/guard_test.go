@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/leakcheck"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// TestWorkerRejectsZeroSpan pins the worker-side guard behind Submit's
+// validation: a queued op whose span the engine would silently skip
+// (PageSpan count 0) must still produce exactly one response. Before the
+// guard, the engine returned without firing OnResult, the next request
+// overwrote shard.pending, and the first caller blocked forever.
+func TestWorkerRejectsZeroSpan(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := New(Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 16,
+		DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy:         func(_, n int) cache.Policy { return cache.NewLRU(n) },
+		NewDevice: func(int) (*ssd.Device, error) {
+			p := ssd.DefaultParams()
+			p.Flash.BlocksPerPlane = 512
+			p.Flash.PagesPerBlock = 16
+			p.Precondition = 0
+			return ssd.New(p)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	s := srv.shards[0]
+	now := srv.now()
+	w := &work{op: Op{Pages: 0}, submitted: now, deadline: now + int64(time.Minute),
+		done: make(chan Response, 1)}
+	srv.stateMu.RLock()
+	s.queue <- w
+	srv.depth.Add(1)
+	srv.stateMu.RUnlock()
+
+	select {
+	case resp := <-w.done:
+		if resp.Outcome != OutcomeError {
+			t.Fatalf("zero-span outcome %v, want error", resp.Outcome)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("zero-span request never answered: worker dropped it silently")
+	}
+
+	// The worker survived and pending was not orphaned: a valid follow-up
+	// is still served.
+	resp, err := srv.Submit(Op{LPN: 0, Pages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != OutcomeOK {
+		t.Fatalf("follow-up outcome %v, want ok", resp.Outcome)
+	}
+}

@@ -27,6 +27,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -258,6 +259,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TenantRegionPages > 0 && len(cfg.TenantBoundaries) > 0 {
 		return nil, fmt.Errorf("serve: explicit tenant boundaries and hash regions are exclusive: boundaries route, regions would be ignored")
 	}
+	// RouteLPN binary-searches the boundaries, so unsorted or negative
+	// values silently misroute instead of failing — reject them here,
+	// mirroring sim.NewSharded.
+	if !sort.SliceIsSorted(cfg.TenantBoundaries, func(i, j int) bool {
+		return cfg.TenantBoundaries[i] < cfg.TenantBoundaries[j]
+	}) {
+		return nil, fmt.Errorf("serve: tenant boundaries must be sorted ascending")
+	}
+	if len(cfg.TenantBoundaries) > 0 && cfg.TenantBoundaries[0] < 0 {
+		return nil, fmt.Errorf("serve: negative tenant boundary %d", cfg.TenantBoundaries[0])
+	}
 	if cfg.QueueDepth < 0 || cfg.WriteWindowPages < 0 || cfg.DefaultDeadlineNs < 0 ||
 		cfg.MaxWaitNs < 0 || cfg.BackPressureDepth < 0 {
 		return nil, fmt.Errorf("serve: negative admission parameter")
@@ -351,7 +363,9 @@ func (srv *Server) Submit(op Op) (Response, error) {
 	if op.Pages < 1 {
 		return Response{}, fmt.Errorf("serve: %d pages, need >= 1", op.Pages)
 	}
-	if op.LPN < 0 || op.LPN+int64(op.Pages) > srv.logical {
+	// Bounds check without LPN+Pages arithmetic: the sum overflows for
+	// Pages near MaxInt64, wraps negative, and would pass a naive check.
+	if op.LPN < 0 || int64(op.Pages) > srv.logical || op.LPN > srv.logical-int64(op.Pages) {
 		return Response{}, fmt.Errorf("serve: lpn %d+%d outside logical space %d",
 			op.LPN, op.Pages, srv.logical)
 	}
@@ -526,7 +540,12 @@ func (srv *Server) state() (string, bool) {
 	case full:
 		return StateRejecting, false
 	case windowed:
-		return StateShedding, true
+		// Rung 1 only exists with shedding enabled; without it a full
+		// window blocks writes in waitWindow, which is rung-0 queueing.
+		if srv.cfg.Shed {
+			return StateShedding, true
+		}
+		return StateQueueing, true
 	case srv.depth.Load() > 0:
 		return StateQueueing, true
 	}

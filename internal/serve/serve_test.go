@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -155,6 +156,11 @@ func TestServeShedsWhenWindowExhausted(t *testing.T) {
 	if ok == 0 || shed == 0 {
 		t.Fatalf("ok=%d shed=%d: want both rungs exercised", ok, shed)
 	}
+	// With shedding enabled and the window exhausted, health reports the
+	// rung the server actually executes.
+	if status, serving, _ := srv.HealthStatus(); status != serve.StateShedding || !serving {
+		t.Fatalf("health %q serving=%v with window exhausted, want shedding/true", status, serving)
+	}
 	// The cache is full, so the window stays exhausted: reads must still
 	// be admitted (they bypass the window).
 	resp, err := srv.Submit(serve.Op{LPN: 0, Pages: 4})
@@ -238,6 +244,10 @@ func TestServeValidation(t *testing.T) {
 			TenantRegionPages: -1},
 		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
 			TenantRegionPages: 64, TenantBoundaries: []int64{100}},
+		{Shards: 2, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
+			TenantBoundaries: []int64{200, 100}},
+		{Shards: 2, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
+			TenantBoundaries: []int64{-5, 100}},
 		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
 			QueueDepth: -1},
 		{Shards: 1, TotalCapacityPages: 8, NewPolicy: lruPolicy, NewDevice: testDevice,
@@ -266,8 +276,53 @@ func TestServeValidation(t *testing.T) {
 	if _, err := srv.Submit(serve.Op{LPN: 1 << 60, Pages: 1}); err == nil {
 		t.Error("out-of-space LPN accepted")
 	}
+	// Pages near MaxInt64 used to wrap LPN+Pages negative and slip past
+	// the bounds check, permanently wedging the caller on a request the
+	// engine silently dropped (remotely triggerable goroutine leak).
+	if _, err := srv.Submit(serve.Op{LPN: 1, Pages: math.MaxInt}); err == nil {
+		t.Error("overflowing read page count accepted")
+	}
+	if _, err := srv.Submit(serve.Op{Write: true, LPN: 1, Pages: math.MaxInt}); err == nil {
+		t.Error("overflowing write page count accepted")
+	}
 	if _, err := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1 << 20}); err == nil {
 		t.Error("window-exceeding write accepted with shedding off")
+	}
+}
+
+// TestServeQueueingStateWithoutShed pins the health report for a full
+// write window with shedding disabled: the server blocks writes in the
+// window wait (rung-0 queueing), so /healthz must say queueing, not
+// claim a shedding rung it never executes.
+func TestServeQueueingStateWithoutShed(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 16,
+		WriteWindowPages: 16, DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy: lruPolicy, NewDevice: testDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 4; i++ {
+		resp, err := srv.Submit(serve.Op{Write: true, LPN: int64(i * 4), Pages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Outcome != serve.OutcomeOK {
+			t.Fatalf("write %d: outcome %v, want ok", i, resp.Outcome)
+		}
+	}
+	st := srv.Stats()
+	if st.Shards[0].CachedPages < st.Shards[0].WindowPages {
+		t.Fatalf("cached %d pages below window %d: window not exhausted",
+			st.Shards[0].CachedPages, st.Shards[0].WindowPages)
+	}
+	if status, serving, _ := srv.HealthStatus(); status != serve.StateQueueing || !serving {
+		t.Fatalf("health %q serving=%v with window full and shed off, want queueing/true",
+			status, serving)
 	}
 }
 

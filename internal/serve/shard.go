@@ -288,6 +288,16 @@ func (ls *liveSource) Next() (trace.Request, bool) {
 			})
 			continue
 		}
+		// Defense in depth behind Submit's validation: a span the engine
+		// would skip (PageSpan count 0) never fires OnResult, which would
+		// orphan s.pending and hang the waiter — answer with an error
+		// instead of handing it to the engine or the expand loop.
+		if w.op.Pages < 1 || int64(w.op.Pages) > s.srv.logical ||
+			w.op.LPN < 0 || w.op.LPN > s.srv.logical-int64(w.op.Pages) {
+			s.settle(w)
+			s.respond(w, Response{Outcome: OutcomeError, QueueNs: now - w.submitted})
+			continue
+		}
 		if w.bypass {
 			s.bypassFlush(w)
 			continue
