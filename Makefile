@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly soak-serve bench bench-smoke bench-json bench-sharded experiments experiments-full lint
+.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly soak-serve bench bench-smoke bench-json bench-sharded bench-capacity bench-capacity-smoke experiments experiments-full lint
 
 all: test
 
@@ -86,6 +86,29 @@ bench-sharded:
 	go test -run '^$$' -bench 'BenchmarkShardedReplay' -benchtime 3x -benchmem . \
 		| go run ./cmd/benchjson > BENCH_PR6.json
 	@echo wrote BENCH_PR6.json
+
+# bench-capacity regenerates the victim-selection capacity-scaling
+# baseline: every switchable-scan policy, indexed vs linear, 64 MB → 4 GB
+# (see docs/PERFORMANCE.md). The linear 4 GB points are the slow part —
+# they are the baseline the index is beating.
+# The intermediate .out file (instead of a pipe) makes a benchmark
+# failure fail the target — POSIX sh has no pipefail, and a pipe would
+# report benchjson's exit status, not go test's.
+bench-capacity:
+	go test -run '^$$' -bench 'BenchmarkCapacityEviction' -benchtime 300ms -benchmem . > bench-capacity.out
+	go run ./cmd/benchjson < bench-capacity.out > BENCH_PR8.json
+	@rm -f bench-capacity.out
+	@echo wrote BENCH_PR8.json
+
+# bench-capacity-smoke is the CI slice: the indexed 64 MB capacity
+# points, gated at 10% pages/s regression against the committed baseline.
+# Only the indexed rows are gated — they are the surface this PR protects
+# and they run enough iterations to be stable; the linear reference scans
+# iterate too few times at this benchtime to gate that tightly.
+bench-capacity-smoke:
+	go test -run '^$$' -bench 'BenchmarkCapacityEviction/.*/indexed/cap=64MB$$' -benchtime 300ms -benchmem . > bench-capacity-smoke.out
+	go run ./cmd/benchjson -old BENCH_PR8.json -gate 'pages/s=0.9' < bench-capacity-smoke.out > /dev/null
+	@rm -f bench-capacity-smoke.out
 
 experiments:
 	go run ./cmd/experiments

@@ -13,6 +13,12 @@
 // carried through as context where useful and otherwise ignored. With
 // -old, each record additionally reports the relative change against the
 // matching benchmark in a previous benchjson file.
+//
+// -gate turns the relative change into a CI check: `-gate 'pages/s=0.9'`
+// exits 3 when any benchmark present in both files regressed the named
+// higher-is-better metric below the ratio (here: lost more than 10%).
+// Benchmarks missing from the old file are ignored, so a gate over a
+// smoke subset composes with a full-sweep baseline.
 package main
 
 import (
@@ -50,6 +56,7 @@ type File struct {
 
 func main() {
 	oldPath := flag.String("old", "", "previous benchjson file to compute relative changes against")
+	gate := flag.String("gate", "", "with -old: fail (exit 3) when a metric regresses below a ratio, e.g. 'pages/s=0.9'")
 	flag.Parse()
 
 	out, err := parse(bufio.NewScanner(os.Stdin))
@@ -59,6 +66,10 @@ func main() {
 	}
 	if len(out.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if *gate != "" && *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate requires -old")
 		os.Exit(1)
 	}
 	if *oldPath != "" {
@@ -74,6 +85,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *gate != "" {
+		if failed, err := checkGate(out, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		} else if failed {
+			os.Exit(3)
+		}
+	}
+}
+
+// checkGate enforces a higher-is-better regression bound: every result
+// carrying a VsOld entry for the gated metric must stay at or above the
+// ratio. It reports (and returns true for) every offender.
+func checkGate(out *File, gate string) (failed bool, err error) {
+	metric, minStr, ok := strings.Cut(gate, "=")
+	if !ok {
+		return false, fmt.Errorf("bad -gate %q, want metric=minratio", gate)
+	}
+	min, err := strconv.ParseFloat(minStr, 64)
+	if err != nil {
+		return false, fmt.Errorf("bad -gate ratio %q: %w", minStr, err)
+	}
+	compared := 0
+	for _, r := range out.Results {
+		vs, ok := r.VsOld[metric]
+		if !ok {
+			continue
+		}
+		compared++
+		if vs < min {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchjson: GATE %s: %s at %.2fx of baseline (floor %.2fx)\n",
+				metric, r.Name, vs, min)
+		}
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("gate on %q compared zero benchmarks — name drift against the baseline?", metric)
+	}
+	if !failed {
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok — %d benchmarks within %.0f%% of baseline %s\n",
+			compared, (1-min)*100, metric)
+	}
+	return failed, nil
 }
 
 func parse(sc *bufio.Scanner) (*File, error) {
@@ -120,7 +174,11 @@ func parseBenchLine(line string) (Result, bool) {
 		Iterations: iters,
 		Metrics:    make(map[string]float64, (len(fields)-2)/2),
 	}
-	if i := strings.LastIndexByte(fields[0], '-'); i > 0 {
+	// The -N GOMAXPROCS suffix is only present when GOMAXPROCS > 1, and
+	// benchmark names may legitimately contain '-' (pud-lru); strip the
+	// trailing segment only when it is all digits so names stay stable
+	// across machines with different core counts.
+	if i := strings.LastIndexByte(fields[0], '-'); i > 0 && isDigits(fields[0][i+1:]) {
 		r.Name = fields[0][:i]
 	}
 	for i := 2; i+1 < len(fields); i += 2 {
@@ -131,6 +189,18 @@ func parseBenchLine(line string) (Result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // deriveShardSpeedups adds a speedup-vs-1shard metric to sharded sweep

@@ -5,9 +5,15 @@
 // down to a minimal repro and (with -repro-dir) saves it as JSON for the
 // regression corpus under internal/oracle/testdata/repros.
 //
+// A second differential mode, -vindex, replays the SAME fast policy
+// against itself: indexed (heap-backed) victim selection versus the
+// paper-literal linear reference scan, across the four policies with a
+// switchable scan (fab, lfu, vbbms, pud-lru). -quick runs both modes.
+//
 // Usage:
 //
-//	ssdcheck -quick                        # CI gate: 64 seeds × 4 policies
+//	ssdcheck -quick                        # CI gate: 64 seeds × 4 policies, both modes
+//	ssdcheck -vindex                       # indexed-vs-linear victim selection only
 //	ssdcheck -seeds 4096 -requests 512     # bigger batch
 //	ssdcheck -duration 10m                 # nightly campaign: run until the clock
 //	ssdcheck -seed 1234 -policies req-block -v   # replay one seed, verbose
@@ -31,7 +37,8 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "CI gate: 64 seeds x all policies, shrink on failure")
+		quick    = flag.Bool("quick", false, "CI gate: 64 seeds x all policies, both modes, shrink on failure")
+		vindex   = flag.Bool("vindex", false, "run the indexed-vs-linear victim-selection differential instead of fast-vs-oracle")
 		seed     = flag.Int64("seed", -1, "replay exactly one seed (default: campaign mode)")
 		seedBase = flag.Int64("seed-base", 0, "first seed of the campaign range")
 		seeds    = flag.Int("seeds", 256, "campaign seed count")
@@ -64,9 +71,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssdcheck: unknown -mutation %q (have: %s)\n", *mutation, mutationList())
 		os.Exit(2)
 	}
+	if *vindex && mut != oracle.MutNone {
+		fmt.Fprintln(os.Stderr, "ssdcheck: -mutation targets the oracle differential; it does not combine with -vindex")
+		os.Exit(2)
+	}
+	known := oracle.Policies
+	if *vindex {
+		known = oracle.VictimPolicies
+	}
 	for _, p := range splitPolicies(*policies) {
-		if !validPolicy(p) {
-			fmt.Fprintf(os.Stderr, "ssdcheck: unknown policy %q (have: %s)\n", p, strings.Join(oracle.Policies, ","))
+		if !validPolicy(p, known) {
+			fmt.Fprintf(os.Stderr, "ssdcheck: unknown policy %q (have: %s)\n", p, strings.Join(known, ","))
 			os.Exit(2)
 		}
 	}
@@ -81,6 +96,9 @@ func main() {
 		MaxFailures: 1,
 		Logf:        logf,
 	}
+	if *vindex {
+		cfg.Mode = oracle.ModeVindex
+	}
 	if *quick {
 		cfg.Seeds = 64
 		cfg.Policies = nil
@@ -90,21 +108,33 @@ func main() {
 		cfg.SeedStart, cfg.Seeds = *seed, 1
 	}
 
+	// -quick gates both differentials; otherwise run the selected one.
+	cfgs := []oracle.CampaignConfig{cfg}
+	if *quick && !*vindex && mut == oracle.MutNone {
+		vcfg := cfg
+		vcfg.Mode = oracle.ModeVindex
+		cfgs = append(cfgs, vcfg)
+	}
+
 	start := time.Now()
 	var total oracle.CampaignResult
-	for round := 0; ; round++ {
-		res := oracle.RunCampaign(cfg)
-		total.Runs += res.Runs
-		total.Divergences = append(total.Divergences, res.Divergences...)
-		if total.Failed() {
-			break
+	for round := 0; !total.Failed(); round++ {
+		for i := range cfgs {
+			res := oracle.RunCampaign(cfgs[i])
+			total.Runs += res.Runs
+			total.Divergences = append(total.Divergences, res.Divergences...)
+			if total.Failed() {
+				break
+			}
 		}
 		if *duration <= 0 || time.Since(start) >= *duration {
 			break
 		}
 		// Campaign mode: advance through fresh seed ranges until the clock
 		// runs out, so a nightly run covers new ground every round.
-		cfg.SeedStart += int64(cfg.Seeds)
+		for i := range cfgs {
+			cfgs[i].SeedStart += int64(cfgs[i].Seeds)
+		}
 		logf("round %d done (%d runs so far, %s elapsed)", round+1, total.Runs, time.Since(start).Round(time.Second))
 	}
 
@@ -183,9 +213,9 @@ func splitPolicies(s string) []string {
 	return out
 }
 
-func validPolicy(p string) bool {
-	for _, known := range oracle.Policies {
-		if p == known {
+func validPolicy(p string, known []string) bool {
+	for _, k := range known {
+		if p == k {
 			return true
 		}
 	}

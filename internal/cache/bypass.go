@@ -42,6 +42,15 @@ func (c *Bypass) NodeCount() int { return c.inner.NodeCount() }
 // BypassedPages returns how many write pages skipped the buffer.
 func (c *Bypass) BypassedPages() int64 { return c.bypassed }
 
+// VictimScanCost forwards the inner policy's victim-selection work
+// counter, 0 when the inner policy does not report one.
+func (c *Bypass) VictimScanCost() int64 {
+	if r, ok := c.inner.(VictimScanReporter); ok {
+		return r.VictimScanCost()
+	}
+	return 0
+}
+
 // Access implements Policy.
 func (c *Bypass) Access(req Request) Result {
 	CheckRequest(req)

@@ -1,6 +1,11 @@
 package cache
 
-import "repro/internal/list"
+import (
+	"math"
+
+	"repro/internal/list"
+	"repro/internal/vindex"
+)
 
 // ECR approximates the eviction-cost-aware replacement of Chen et al.
 // (CCPE'21), the paper's citation [10]: when the buffer is full, the
@@ -12,6 +17,11 @@ import "repro/internal/list"
 //
 // Without a device view ECR degrades to per-channel LRU with round-robin
 // victim channels, which keeps it usable (and testable) standalone.
+//
+// The channel argmin routes through vindex.Best so the first-wins
+// tie-break (lowest channel on equal backlog) is the shared selection
+// contract rather than a loop idiosyncrasy; the candidate set is the
+// fixed channel population, so no heap is involved.
 type ECR struct {
 	capacity int
 	channels int
@@ -20,6 +30,11 @@ type ECR struct {
 	order    []list.List[lruEntry] // one LRU list per channel
 	rr       int                   // fallback victim channel without a view
 	count    int
+
+	buf      ResultBuffers
+	free     []*list.Node[lruEntry] // recycled page nodes
+	scoreBuf []int64                // reusable per-channel backlog scores
+	scanCost int64
 }
 
 // NewECR returns an ECR buffer for a device with the given channel count.
@@ -33,6 +48,7 @@ func NewECR(capacityPages, channels int) *ECR {
 		channels: channels,
 		pages:    make(map[int64]*list.Node[lruEntry], capacityPages),
 		order:    make([]list.List[lruEntry], channels),
+		scoreBuf: make([]int64, channels),
 	}
 }
 
@@ -54,12 +70,16 @@ func (c *ECR) NodeBytes() int { return 13 }
 // NodeCount implements Policy.
 func (c *ECR) NodeCount() int { return c.count }
 
+// VictimScanCost implements VictimScanReporter.
+func (c *ECR) VictimScanCost() int64 { return c.scanCost }
+
 // channelOf is the static page→channel affinity.
 func (c *ECR) channelOf(lpn int64) int { return int(lpn % int64(c.channels)) }
 
 // Access implements Policy.
 func (c *ECR) Access(req Request) Result {
 	CheckRequest(req)
+	c.buf.Reset()
 	var res Result
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
@@ -70,43 +90,66 @@ func (c *ECR) Access(req Request) Result {
 			res.Misses++
 			if req.Write {
 				for c.count >= c.capacity {
-					res.Evictions = append(res.Evictions, c.evict(req.Time))
+					c.buf.Evictions = append(c.buf.Evictions, c.evict(req.Time))
 				}
-				n := &list.Node[lruEntry]{Value: lruEntry{lpn: lpn}}
+				n := c.newNode(lpn)
 				c.order[c.channelOf(lpn)].PushHead(n)
 				c.pages[lpn] = n
 				c.count++
 				res.Inserted++
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
 }
+
+// newNode takes a page node from the free stack, or allocates one.
+func (c *ECR) newNode(lpn int64) *list.Node[lruEntry] {
+	if len(c.free) > 0 {
+		n := c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		n.Value = lruEntry{lpn: lpn}
+		return n
+	}
+	return &list.Node[lruEntry]{Value: lruEntry{lpn: lpn}}
+}
+
+// emptyChannel marks a channel holding no pages in the score buffer: it
+// compares worse than any real backlog (real frees are clamped one below
+// it), so Best never selects an empty channel while any page remains.
+const emptyChannel = math.MaxInt64
 
 // evict picks the channel with the earliest-freeing bus among those
 // holding pages, and flushes its LRU tail page there.
 func (c *ECR) evict(now int64) Eviction {
 	victimCh := -1
 	if c.view != nil {
-		var best int64
 		for ch := 0; ch < c.channels; ch++ {
 			if c.order[ch].Len() == 0 {
+				c.scoreBuf[ch] = emptyChannel
 				continue
 			}
 			free := c.view.ChannelFreeAt(ch)
 			if free < now {
 				free = now
 			}
-			if victimCh < 0 || free < best {
-				victimCh, best = ch, free
+			if free >= emptyChannel {
+				free = emptyChannel - 1
 			}
+			c.scoreBuf[ch] = free
+		}
+		c.scanCost += int64(c.channels)
+		if ch := vindex.Best(c.scoreBuf); ch >= 0 && c.scoreBuf[ch] != emptyChannel {
+			victimCh = ch
 		}
 	} else {
 		for probe := 0; probe < c.channels; probe++ {
 			ch := (c.rr + probe) % c.channels
+			c.scanCost++
 			if c.order[ch].Len() > 0 {
 				victimCh = ch
 				c.rr = (ch + 1) % c.channels
@@ -120,7 +163,11 @@ func (c *ECR) evict(now int64) Eviction {
 	n := c.order[victimCh].PopTail()
 	delete(c.pages, n.Value.lpn)
 	c.count--
-	return Eviction{LPNs: []int64{n.Value.lpn}, HasChannelHint: true, Channel: victimCh}
+	mark := c.buf.Mark()
+	c.buf.LPNs = append(c.buf.LPNs, n.Value.lpn)
+	lpns := c.buf.Carve(mark)
+	c.free = append(c.free, n)
+	return Eviction{LPNs: lpns, HasChannelHint: true, Channel: victimCh}
 }
 
 // Contains reports whether a page is buffered (tests).
@@ -130,6 +177,7 @@ func (c *ECR) Contains(lpn int64) bool {
 }
 
 var (
-	_ Policy      = (*ECR)(nil)
-	_ DeviceAware = (*ECR)(nil)
+	_ Policy             = (*ECR)(nil)
+	_ DeviceAware        = (*ECR)(nil)
+	_ VictimScanReporter = (*ECR)(nil)
 )

@@ -1,12 +1,21 @@
 package cache
 
-import "repro/internal/list"
+import (
+	"repro/internal/list"
+	"repro/internal/vindex"
+)
 
 // fabGroup clusters the buffered pages that fall into one logical flash
 // block.
 type fabGroup struct {
 	blockID int64
 	pages   pageSet // lpns present
+	// seq is the group's creation sequence number: FAB's victim rule
+	// breaks size ties in favor of the oldest group, which the victim
+	// index encodes as ascending seq.
+	seq uint64
+	// hd is the group's live entry in the victim index (indexed mode).
+	hd vindex.Handle[*list.Node[*fabGroup]]
 }
 
 // FAB is the flash-aware buffer of Jo et al. (TCE'06): pages are grouped by
@@ -15,14 +24,25 @@ type fabGroup struct {
 // weakness the paper's related work points out. Groups are flushed
 // block-bound, since FAB's goal is to turn the buffer contents into full
 // sequential block writes.
+//
+// Victim selection is indexed: every group keeps a vindex heap entry keyed
+// (-size, creation seq), so the fullest-oldest group pops in O(log n)
+// instead of the paper-era full walk — the walk survives as the linear
+// reference mode (LinearScanSelector) for differential validation and the
+// capacity benchmarks.
 type FAB struct {
 	capacity      int
 	pagesPerBlock int64
 	pageCount     int
 	groups        map[int64]*list.Node[*fabGroup]
-	order         list.List[*fabGroup] // insertion order; victim search scans
+	order         list.List[*fabGroup] // insertion order; linear mode scans it
 	buf           ResultBuffers
 	free          []*list.Node[*fabGroup] // recycled group nodes
+
+	heap     vindex.Heap[*list.Node[*fabGroup]]
+	groupSeq uint64
+	linear   bool
+	scanCost int64
 }
 
 // NewFAB returns a FAB buffer grouping pages into logical blocks of
@@ -39,6 +59,13 @@ func NewFAB(capacityPages int, pagesPerBlock int) *FAB {
 	}
 }
 
+var (
+	_ Policy             = (*FAB)(nil)
+	_ IdleEvictor        = (*FAB)(nil)
+	_ VictimScanReporter = (*FAB)(nil)
+	_ LinearScanSelector = (*FAB)(nil)
+)
+
 // Name implements Policy.
 func (c *FAB) Name() string { return "FAB" }
 
@@ -54,6 +81,17 @@ func (c *FAB) NodeBytes() int { return 24 }
 
 // NodeCount implements Policy.
 func (c *FAB) NodeCount() int { return c.order.Len() }
+
+// VictimScanCost implements VictimScanReporter.
+func (c *FAB) VictimScanCost() int64 { return c.scanCost }
+
+// SetLinearVictimScan implements LinearScanSelector.
+func (c *FAB) SetLinearVictimScan(enable bool) {
+	if c.pageCount > 0 {
+		panic("cache: FAB victim-scan mode must be set before use")
+	}
+	c.linear = enable
+}
 
 // Access implements Policy.
 func (c *FAB) Access(req Request) Result {
@@ -82,6 +120,7 @@ func (c *FAB) Access(req Request) Result {
 				g.Value.pages.add(lpn)
 				c.pageCount++
 				res.Inserted++
+				c.indexGroup(g)
 			} else {
 				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
@@ -101,19 +140,44 @@ func (c *FAB) newGroup(blockID int64) *list.Node[*fabGroup] {
 	} else {
 		g = &list.Node[*fabGroup]{Value: &fabGroup{}}
 	}
-	g.Value.blockID = blockID
-	g.Value.pages.reset(blockID*c.pagesPerBlock, c.pagesPerBlock)
+	fg := g.Value
+	fg.blockID = blockID
+	fg.pages.reset(blockID*c.pagesPerBlock, c.pagesPerBlock)
+	c.groupSeq++
+	fg.seq = c.groupSeq
+	fg.hd = vindex.Handle[*list.Node[*fabGroup]]{}
 	return g
+}
+
+// indexGroup re-keys the group's victim-index entry after its size
+// changed. Score is the negated page count: the heap is a min-heap, FAB
+// evicts the largest group, and ties fall to the oldest (smallest seq).
+func (c *FAB) indexGroup(g *list.Node[*fabGroup]) {
+	if c.linear {
+		return
+	}
+	fg := g.Value
+	fg.hd = c.heap.Update(fg.hd, -int64(fg.pages.len()), fg.seq, g)
 }
 
 // evictLargest flushes the group with the most pages, breaking ties in
 // favor of the oldest group (list tail side).
 func (c *FAB) evictLargest() Eviction {
 	var victim *list.Node[*fabGroup]
-	best := 0
-	for n := c.order.Tail(); n != nil; n = n.Prev() {
-		if l := n.Value.pages.len(); l > best {
-			best, victim = l, n
+	if c.linear {
+		best := 0
+		for n := c.order.Tail(); n != nil; n = n.Prev() {
+			c.scanCost++
+			if l := n.Value.pages.len(); l > best {
+				best, victim = l, n
+			}
+		}
+	} else {
+		before := c.heap.Cost()
+		v, ok := c.heap.PopMin()
+		c.scanCost += c.heap.Cost() - before
+		if ok {
+			victim = v
 		}
 	}
 	if victim == nil {

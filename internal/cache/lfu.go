@@ -1,30 +1,41 @@
 package cache
 
-import "repro/internal/list"
+import "repro/internal/vindex"
 
-// lfuEntry is one cached page together with its reference count.
+// lfuEntry is one cached page together with its reference count. seq is
+// the entry's admission order into its current frequency class: it is
+// re-stamped on every promotion, so ascending (freq, seq) reproduces the
+// classic frequency-bucket structure's victim exactly — lowest frequency
+// first, least recently promoted/inserted within a frequency.
 type lfuEntry struct {
 	lpn  int64
 	freq int64
-	// bucket points at the frequency bucket this page currently lives in.
-	bucket *list.Node[*lfuBucket]
+	seq  uint64
+	hd   vindex.Handle[*lfuEntry]
+	next *lfuEntry // pool link
 }
 
-// lfuBucket groups pages with equal reference counts; within a bucket
-// pages are LRU-ordered so ties evict the least recently used page.
-type lfuBucket struct {
-	freq  int64
-	pages list.List[*lfuEntry]
-}
-
-// LFU is a page-granularity least-frequently-used write buffer using the
-// classic O(1) frequency-bucket structure. It rounds out the "traditional
-// schemes" the paper's related-work section names (FIFO, LRU, LFU).
+// LFU is a page-granularity least-frequently-used write buffer. It rounds
+// out the "traditional schemes" the paper's related-work section names
+// (FIFO, LRU, LFU).
+//
+// Earlier revisions kept the classic O(1) frequency-bucket lists; victim
+// selection now routes through the shared vindex heap keyed (freq, seq),
+// which selects the same page (the bucket structure's lowest-bucket LRU
+// tail is exactly the minimum (freq, seq) entry) while sharing the
+// indexed core with the block-granularity policies. The equivalent
+// full-scan survives as the linear reference mode (LinearScanSelector)
+// for differential validation and the capacity benchmarks.
 type LFU struct {
 	capacity int
-	pages    map[int64]*list.Node[*lfuEntry]
-	// buckets is ordered by ascending frequency; head = lowest.
-	buckets list.List[*lfuBucket]
+	pages    map[int64]*lfuEntry
+
+	heap     vindex.Heap[*lfuEntry]
+	seq      uint64
+	free     *lfuEntry
+	buf      ResultBuffers
+	linear   bool
+	scanCost int64
 }
 
 // NewLFU returns a page-level LFU buffer with the given capacity in pages.
@@ -32,9 +43,15 @@ func NewLFU(capacityPages int) *LFU {
 	ValidateCapacity(capacityPages)
 	return &LFU{
 		capacity: capacityPages,
-		pages:    make(map[int64]*list.Node[*lfuEntry], capacityPages),
+		pages:    make(map[int64]*lfuEntry, capacityPages),
 	}
 }
+
+var (
+	_ Policy             = (*LFU)(nil)
+	_ VictimScanReporter = (*LFU)(nil)
+	_ LinearScanSelector = (*LFU)(nil)
+)
 
 // Name implements Policy.
 func (c *LFU) Name() string { return "LFU" }
@@ -52,83 +69,105 @@ func (c *LFU) NodeBytes() int { return 16 }
 // NodeCount implements Policy.
 func (c *LFU) NodeCount() int { return len(c.pages) }
 
+// VictimScanCost implements VictimScanReporter.
+func (c *LFU) VictimScanCost() int64 { return c.scanCost }
+
+// SetLinearVictimScan implements LinearScanSelector.
+func (c *LFU) SetLinearVictimScan(enable bool) {
+	if len(c.pages) > 0 {
+		panic("cache: LFU victim-scan mode must be set before use")
+	}
+	c.linear = enable
+}
+
 // Access implements Policy.
 func (c *LFU) Access(req Request) Result {
 	CheckRequest(req)
+	c.buf.Reset()
 	var res Result
 	lpn := req.LPN
 	for i := 0; i < req.Pages; i++ {
-		if n, ok := c.pages[lpn]; ok {
+		if e, ok := c.pages[lpn]; ok {
 			res.Hits++
-			c.promote(n)
+			c.promote(e)
 		} else {
 			res.Misses++
 			if req.Write {
 				for len(c.pages) >= c.capacity {
-					res.Evictions = append(res.Evictions, c.evictOne())
+					c.buf.Evictions = append(c.buf.Evictions, c.evictOne())
 				}
 				c.insert(lpn)
 				res.Inserted++
 			} else {
-				res.ReadMisses = append(res.ReadMisses, lpn)
+				c.buf.Reads = append(c.buf.Reads, lpn)
 			}
 		}
 		lpn++
 	}
+	c.buf.Finish(&res)
 	return res
 }
 
-// insert places a new page in the frequency-1 bucket.
+// insert admits a new page at frequency 1.
 func (c *LFU) insert(lpn int64) {
-	e := &lfuEntry{lpn: lpn, freq: 1}
-	b := c.buckets.Head()
-	if b == nil || b.Value.freq != 1 {
-		nb := &list.Node[*lfuBucket]{Value: &lfuBucket{freq: 1}}
-		if b == nil {
-			c.buckets.PushHead(nb)
-		} else {
-			c.buckets.InsertBefore(nb, b)
-		}
-		b = nb
+	e := c.free
+	if e != nil {
+		c.free = e.next
+		e.next = nil
+	} else {
+		e = &lfuEntry{}
 	}
-	e.bucket = b
-	n := &list.Node[*lfuEntry]{Value: e}
-	b.Value.pages.PushHead(n)
-	c.pages[lpn] = n
+	c.seq++
+	e.lpn = lpn
+	e.freq = 1
+	e.seq = c.seq
+	e.hd = vindex.Handle[*lfuEntry]{}
+	if !c.linear {
+		e.hd = c.heap.Push(e.freq, e.seq, e)
+	}
+	c.pages[lpn] = e
 }
 
-// promote moves a hit page to the next frequency bucket.
-func (c *LFU) promote(n *list.Node[*lfuEntry]) {
-	e := n.Value
-	cur := e.bucket
-	next := cur.Next()
+// promote bumps a hit page into the next frequency class, re-stamping its
+// admission order there.
+func (c *LFU) promote(e *lfuEntry) {
+	c.seq++
 	e.freq++
-	cur.Value.pages.Remove(n)
-	if next == nil || next.Value.freq != e.freq {
-		nb := &list.Node[*lfuBucket]{Value: &lfuBucket{freq: e.freq}}
-		c.buckets.InsertAfter(nb, cur)
-		next = nb
+	e.seq = c.seq
+	if !c.linear {
+		e.hd = c.heap.Update(e.hd, e.freq, e.seq, e)
 	}
-	if cur.Value.pages.Len() == 0 {
-		c.buckets.Remove(cur)
-	}
-	e.bucket = next
-	next.Value.pages.PushHead(n)
 }
 
-// evictOne flushes the least-recently-used page of the lowest-frequency
-// bucket.
+// evictOne flushes the least frequently used page, breaking frequency
+// ties toward the page least recently admitted into that frequency class.
 func (c *LFU) evictOne() Eviction {
-	b := c.buckets.Head()
-	if b == nil {
+	var victim *lfuEntry
+	if c.linear {
+		for _, e := range c.pages {
+			c.scanCost++
+			if victim == nil || e.freq < victim.freq || (e.freq == victim.freq && e.seq < victim.seq) {
+				victim = e
+			}
+		}
+	} else {
+		before := c.heap.Cost()
+		v, ok := c.heap.PopMin()
+		c.scanCost += c.heap.Cost() - before
+		if ok {
+			victim = v
+		}
+	}
+	if victim == nil {
 		panic("cache: LFU evict on empty cache")
 	}
-	n := b.Value.pages.PopTail()
-	if b.Value.pages.Len() == 0 {
-		c.buckets.Remove(b)
-	}
-	delete(c.pages, n.Value.lpn)
-	return Eviction{LPNs: []int64{n.Value.lpn}}
+	mark := c.buf.Mark()
+	c.buf.LPNs = append(c.buf.LPNs, victim.lpn)
+	lpns := c.buf.Carve(mark)
+	delete(c.pages, victim.lpn)
+	victim.next = c.free
+	c.free = victim
+	return Eviction{LPNs: lpns}
 }
 
 // Contains reports whether a page is buffered (tests).
@@ -139,8 +178,8 @@ func (c *LFU) Contains(lpn int64) bool {
 
 // Freq returns the reference count of a buffered page, 0 if absent (tests).
 func (c *LFU) Freq(lpn int64) int64 {
-	if n, ok := c.pages[lpn]; ok {
-		return n.Value.freq
+	if e, ok := c.pages[lpn]; ok {
+		return e.freq
 	}
 	return 0
 }

@@ -78,6 +78,15 @@ func (c *ReadAhead) NodeCount() int { return c.inner.NodeCount() + c.order.Len()
 // ReadRegionLen returns the pages held by the read cache (tests).
 func (c *ReadAhead) ReadRegionLen() int { return len(c.pages) }
 
+// VictimScanCost forwards the inner policy's victim-selection work
+// counter, 0 when the inner policy does not report one.
+func (c *ReadAhead) VictimScanCost() int64 {
+	if r, ok := c.inner.(VictimScanReporter); ok {
+		return r.VictimScanCost()
+	}
+	return 0
+}
+
 // Stats returns (read-region hits, prefetch first-hits, pages prefetched).
 func (c *ReadAhead) Stats() (readHits, prefetchHits, prefetched int64) {
 	return c.readHits, c.prefetchHits, c.prefetched

@@ -1,12 +1,20 @@
 package cache
 
-import "repro/internal/list"
+import (
+	"repro/internal/list"
+	"repro/internal/vindex"
+)
 
 // vbbmsBlock is one virtual block: an aligned group of consecutive pages in
-// one of the two regions.
+// one of the two regions. seq is the block's recency rank — re-stamped on
+// every promotion in the LRU region, insertion-only in the FIFO region —
+// so the region's victim (its order-list tail) is exactly the minimum-seq
+// block, which is what the victim index stores.
 type vbbmsBlock struct {
 	vbID  int64
 	pages pageSet
+	seq   uint64
+	hd    vindex.Handle[*list.Node[*vbbmsBlock]]
 }
 
 // vbbmsRegion is one of VBBMS's two sub-caches.
@@ -18,6 +26,8 @@ type vbbmsRegion struct {
 	blocks    map[int64]*list.Node[*vbbmsBlock]
 	order     list.List[*vbbmsBlock]
 	free      []*list.Node[*vbbmsBlock] // recycled virtual-block nodes
+	heap      vindex.Heap[*list.Node[*vbbmsBlock]]
+	seq       uint64
 }
 
 // VBBMS is the virtual-block buffer management strategy of Du et al.
@@ -35,6 +45,9 @@ type VBBMS struct {
 	// re-written by a differently classified request still hits.
 	home map[int64]*vbbmsRegion
 	buf  ResultBuffers
+
+	linear   bool
+	scanCost int64
 }
 
 // NewVBBMS returns a VBBMS buffer with the paper's configuration: a 3:2
@@ -82,9 +95,22 @@ func NewVBBMSConfig(capacityPages, randomShare, seqShare, randVB, seqVB, seqMin 
 }
 
 var (
-	_ Policy           = (*VBBMS)(nil)
-	_ OccupancySampler = (*VBBMS)(nil)
+	_ Policy             = (*VBBMS)(nil)
+	_ OccupancySampler   = (*VBBMS)(nil)
+	_ VictimScanReporter = (*VBBMS)(nil)
+	_ LinearScanSelector = (*VBBMS)(nil)
 )
+
+// VictimScanCost implements VictimScanReporter.
+func (c *VBBMS) VictimScanCost() int64 { return c.scanCost }
+
+// SetLinearVictimScan implements LinearScanSelector.
+func (c *VBBMS) SetLinearVictimScan(enable bool) {
+	if c.Len() > 0 {
+		panic("cache: VBBMS victim-scan mode must be set before use")
+	}
+	c.linear = enable
+}
 
 // Name implements Policy.
 func (c *VBBMS) Name() string { return "VBBMS" }
@@ -134,14 +160,14 @@ func (c *VBBMS) Access(req Request) Result {
 	for i := 0; i < req.Pages; i++ {
 		if region, ok := c.home[lpn]; ok {
 			res.Hits++
-			region.touch(lpn)
+			c.touch(region, lpn)
 		} else {
 			res.Misses++
 			if req.Write {
 				for target.pageCount >= target.capacity {
 					c.buf.Evictions = append(c.buf.Evictions, c.evictFrom(target))
 				}
-				target.insert(lpn)
+				c.insert(target, lpn)
 				c.home[lpn] = target
 				res.Inserted++
 			} else {
@@ -156,18 +182,23 @@ func (c *VBBMS) Access(req Request) Result {
 
 // touch applies the region's hit rule: LRU regions promote the virtual
 // block; the FIFO region leaves order untouched.
-func (r *vbbmsRegion) touch(lpn int64) {
+func (c *VBBMS) touch(r *vbbmsRegion, lpn int64) {
 	if !r.lru {
 		return
 	}
 	if n, ok := r.blocks[lpn/r.vbSize]; ok {
 		r.order.MoveToHead(n)
+		if !c.linear {
+			r.seq++
+			n.Value.seq = r.seq
+			n.Value.hd = r.heap.Update(n.Value.hd, int64(r.seq), 0, n)
+		}
 	}
 }
 
 // insert adds a page to its (aligned) virtual block, creating the block at
 // the head when absent.
-func (r *vbbmsRegion) insert(lpn int64) {
+func (c *VBBMS) insert(r *vbbmsRegion, lpn int64) {
 	vbID := lpn / r.vbSize
 	n, ok := r.blocks[vbID]
 	if !ok {
@@ -177,8 +208,15 @@ func (r *vbbmsRegion) insert(lpn int64) {
 		} else {
 			n = &list.Node[*vbbmsBlock]{Value: &vbbmsBlock{}}
 		}
-		n.Value.vbID = vbID
-		n.Value.pages.reset(vbID*r.vbSize, r.vbSize)
+		vb := n.Value
+		vb.vbID = vbID
+		vb.pages.reset(vbID*r.vbSize, r.vbSize)
+		r.seq++
+		vb.seq = r.seq
+		vb.hd = vindex.Handle[*list.Node[*vbbmsBlock]]{}
+		if !c.linear {
+			vb.hd = r.heap.Push(int64(vb.seq), 0, n)
+		}
 		r.order.PushHead(n)
 		r.blocks[vbID] = n
 	}
@@ -187,9 +225,22 @@ func (r *vbbmsRegion) insert(lpn int64) {
 }
 
 // evictFrom flushes the region's tail virtual block (LRU victim in the
-// random region, oldest in the sequential region).
+// random region, oldest in the sequential region). The indexed path pops
+// the minimum recency rank, which is the same block.
 func (c *VBBMS) evictFrom(r *vbbmsRegion) Eviction {
-	n := r.order.PopTail()
+	var n *list.Node[*vbbmsBlock]
+	if c.linear {
+		c.scanCost++
+		n = r.order.PopTail()
+	} else {
+		before := r.heap.Cost()
+		v, ok := r.heap.PopMin()
+		c.scanCost += r.heap.Cost() - before
+		if ok {
+			n = v
+			r.order.Remove(n)
+		}
+	}
 	if n == nil {
 		panic("cache: VBBMS evict on empty region")
 	}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/list"
+	"repro/internal/vindex"
 )
 
 // DefaultDelta is the small-request bound the paper selects in its
@@ -158,13 +159,21 @@ type ReqBlock struct {
 	freePage *pageNode // page-node pool
 
 	sink cache.TransitionSink // list-transition annotations, nil = off
+
+	// scoreBuf/candBuf back the vindex.BestF victim selection; struct
+	// fields rather than locals so the slices never escape to the heap
+	// (the request path is allocation-free in steady state).
+	scoreBuf [3]float64
+	candBuf  [3]*reqBlock
+	scanCost int64
 }
 
 var (
-	_ cache.Policy            = (*ReqBlock)(nil)
-	_ cache.OccupancyReporter = (*ReqBlock)(nil)
-	_ cache.OccupancySampler  = (*ReqBlock)(nil)
-	_ cache.TransitionSource  = (*ReqBlock)(nil)
+	_ cache.Policy             = (*ReqBlock)(nil)
+	_ cache.OccupancyReporter  = (*ReqBlock)(nil)
+	_ cache.OccupancySampler   = (*ReqBlock)(nil)
+	_ cache.TransitionSource   = (*ReqBlock)(nil)
+	_ cache.VictimScanReporter = (*ReqBlock)(nil)
 )
 
 // New returns a Req-block buffer with the paper's default configuration.
@@ -466,23 +475,29 @@ func (c *ReqBlock) evict(now int64) cache.Eviction {
 }
 
 // pickVictim compares the three tail blocks by Eq. 1 and returns the
-// lowest-frequency one. Ties prefer IRL, then DRL, then SRL, matching the
-// design's bias toward keeping small hot blocks.
+// lowest-frequency one via the shared vindex selector (first-wins on
+// equal score). Ties prefer IRL, then DRL, then SRL — the candidate
+// order — matching the design's bias toward keeping small hot blocks.
 func (c *ReqBlock) pickVictim(now int64) *reqBlock {
-	var victim *reqBlock
-	var victimFreq float64
+	k := 0
 	tails := [3]*list.Node[*reqBlock]{c.irl.Tail(), c.drl.Tail(), c.srl.Tail()}
 	for _, t := range tails {
 		if t == nil {
 			continue
 		}
-		f := c.freq(t.Value, now)
-		if victim == nil || f < victimFreq {
-			victim, victimFreq = t.Value, f
-		}
+		c.candBuf[k] = t.Value
+		c.scoreBuf[k] = c.freq(t.Value, now)
+		k++
 	}
-	return victim
+	c.scanCost += int64(k)
+	if i := vindex.BestF(c.scoreBuf[:k]); i >= 0 {
+		return c.candBuf[i]
+	}
+	return nil
 }
+
+// VictimScanCost implements cache.VictimScanReporter.
+func (c *ReqBlock) VictimScanCost() int64 { return c.scanCost }
 
 // detachBlock unlinks a block and all its pages from the cache, appending
 // the page LPNs to the shared eviction buffer and recycling both the page

@@ -45,6 +45,7 @@ type Telemetry struct {
 	IdleFlushed   *Counter
 	Destaged      *Counter
 	DestageNs     *Hist
+	VictimScan    *Hist
 
 	// Flash plane — updated by the ftl.Tap methods.
 	ProgramNs   *Hist
@@ -107,6 +108,7 @@ func New() *Telemetry {
 	t.IdleFlushed = r.Counter("ssdsim_idle_flushed_pages_total", "Pages flushed by the idle-window flusher.")
 	t.Destaged = r.Counter("ssdsim_destaged_pages_total", "Pages drained by the periodic destager.")
 	t.DestageNs = r.Hist("ssdsim_destage_ns", "Idle-flush and destage drain latency, hand-off to durable, simulated ns.")
+	t.VictimScan = r.Hist("ssdsim_victim_scan_cost", "Victim-selection work per eviction batch: heap entries sifted/skipped (indexed) or nodes walked (linear scan).")
 
 	t.ProgramNs = r.Hist("ssdsim_flash_program_ns", "Flash page program latency, issue to die-free, simulated ns.")
 	t.ReadNs = r.Hist("ssdsim_flash_read_ns", "Flash page read latency, issue to data transferred, simulated ns.")
@@ -240,6 +242,13 @@ func (o *engineObserver) OnRequest(e *sim.Engine, ev *sim.RequestEvent) {}
 func (o *engineObserver) OnEviction(e *sim.Engine, ev *sim.EvictionEvent) {
 	t := o.t
 	n := int64(len(ev.LPNs))
+	// Scan cost precedes the clean-drop return: selecting a clean victim
+	// is victim-selection work all the same. Zero deltas (policies that
+	// report no scan work, or trailing batches of a multi-eviction Access)
+	// are skipped so the histogram reflects actual selection passes.
+	if ev.ScanCost > 0 {
+		t.VictimScan.Observe(ev.ScanCost)
+	}
 	switch ev.Kind {
 	case sim.EvictClean:
 		t.CleanDrops.Add(n)

@@ -8,7 +8,11 @@ type CampaignConfig struct {
 	// SeedStart and Seeds delimit the seed range [SeedStart, SeedStart+Seeds).
 	SeedStart int64
 	Seeds     int
-	// Policies defaults to all four paper policies.
+	// Mode selects the differential per run: empty for fast-vs-oracle,
+	// ModeVindex for indexed-vs-linear victim selection.
+	Mode string
+	// Policies defaults to all four paper policies (classic mode) or all
+	// four VictimPolicies (ModeVindex).
 	Policies []string
 	// Requests is the workload length per run (default 192).
 	Requests int
@@ -38,7 +42,11 @@ func (r CampaignResult) Failed() bool { return len(r.Divergences) > 0 }
 // every (optionally minimized) divergence found.
 func RunCampaign(cfg CampaignConfig) CampaignResult {
 	if len(cfg.Policies) == 0 {
-		cfg.Policies = Policies
+		if cfg.Mode == ModeVindex {
+			cfg.Policies = VictimPolicies
+		} else {
+			cfg.Policies = Policies
+		}
 	}
 	if cfg.Requests <= 0 {
 		cfg.Requests = 192
@@ -53,8 +61,13 @@ func RunCampaign(cfg CampaignConfig) CampaignResult {
 	var res CampaignResult
 	for s := int64(0); s < int64(cfg.Seeds); s++ {
 		for _, pol := range cfg.Policies {
-			spec := Generate(cfg.SeedStart+s, pol, cfg.Requests)
-			spec.Mutation = cfg.Mutation
+			var spec Spec
+			if cfg.Mode == ModeVindex {
+				spec = GenerateVindex(cfg.SeedStart+s, pol, cfg.Requests)
+			} else {
+				spec = Generate(cfg.SeedStart+s, pol, cfg.Requests)
+				spec.Mutation = cfg.Mutation
+			}
 			res.Runs++
 			d := Run(spec)
 			if d == nil {

@@ -166,6 +166,11 @@ func Run(spec Spec) *Divergence {
 	if err := spec.Validate(); err != nil {
 		return &Divergence{Spec: spec, Step: -1, Kind: "spec", Detail: err.Error()}
 	}
+	if spec.Mode == ModeVindex {
+		// Indexed-vs-linear victim selection; Shrink, SaveRepro and the
+		// repro corpus reuse this dispatch untouched.
+		return runVindex(spec)
+	}
 	p := buildPair(&spec)
 	fp, err := newFTLPair()
 	if err != nil {

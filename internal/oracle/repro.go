@@ -28,6 +28,9 @@ func SaveRepro(dir string, spec Spec) (string, error) {
 	}
 	data = append(data, '\n')
 	base := fmt.Sprintf("%s-seed%d-%dreq", spec.Policy, spec.Seed, len(spec.Requests))
+	if spec.Mode != "" {
+		base = spec.Mode + "-" + base
+	}
 	if spec.Mutation != MutNone {
 		base += "-" + string(spec.Mutation)
 	}

@@ -10,6 +10,18 @@ import (
 // Policies lists the four paper policies the differential runner covers.
 var Policies = []string{"req-block", "lru", "bplru", "fab"}
 
+// ModeVindex selects the vindex differential: the SAME fast policy built
+// twice, once with the indexed (heap-backed) victim selection and once
+// with the paper-literal linear reference scan, replayed in lockstep.
+// Any disagreement means the index broke victim-choice semantics.
+const ModeVindex = "vindex"
+
+// VictimPolicies lists the policies with a switchable linear victim scan
+// (cache.LinearScanSelector) — the ModeVindex policy set. ECR and
+// Req-block route through stateless vindex argmin selectors instead of a
+// heap, so they have no second implementation to diff against.
+var VictimPolicies = []string{"fab", "lfu", "vbbms", "pud-lru"}
+
 // Spec is one fully self-contained differential workload: policy,
 // configuration and request stream. A Spec determines a run completely,
 // so a saved Spec replays bit-identically — the repro corpus under
@@ -18,7 +30,11 @@ type Spec struct {
 	// Seed is the generator seed the spec came from (informational once
 	// the requests are materialized).
 	Seed int64 `json:"seed"`
-	// Policy is one of Policies.
+	// Mode selects the differential: empty for the classic fast-vs-oracle
+	// run, ModeVindex for the indexed-vs-linear victim-selection run.
+	Mode string `json:"mode,omitempty"`
+	// Policy is one of Policies (classic mode) or VictimPolicies
+	// (ModeVindex).
 	Policy string `json:"policy"`
 	// CapacityPages is the write-buffer capacity.
 	CapacityPages int `json:"capacity_pages"`
@@ -41,10 +57,24 @@ type Spec struct {
 
 // Validate rejects specs the runner cannot replay.
 func (s *Spec) Validate() error {
-	switch s.Policy {
-	case "req-block", "lru", "bplru", "fab":
+	switch s.Mode {
+	case "":
+		switch s.Policy {
+		case "req-block", "lru", "bplru", "fab":
+		default:
+			return fmt.Errorf("oracle: unknown policy %q", s.Policy)
+		}
+	case ModeVindex:
+		switch s.Policy {
+		case "fab", "lfu", "vbbms", "pud-lru":
+		default:
+			return fmt.Errorf("oracle: unknown vindex policy %q", s.Policy)
+		}
+		if s.Mutation != MutNone {
+			return fmt.Errorf("oracle: mutations target the oracle, not the vindex differential")
+		}
 	default:
-		return fmt.Errorf("oracle: unknown policy %q", s.Policy)
+		return fmt.Errorf("oracle: unknown mode %q", s.Mode)
 	}
 	if s.CapacityPages < 1 {
 		return fmt.Errorf("oracle: capacity %d, need >= 1", s.CapacityPages)
@@ -52,7 +82,7 @@ func (s *Spec) Validate() error {
 	if s.Policy == "req-block" && s.Delta < 1 {
 		return fmt.Errorf("oracle: delta %d, need >= 1", s.Delta)
 	}
-	if (s.Policy == "bplru" || s.Policy == "fab") && s.PagesPerBlock < 1 {
+	if (s.Policy == "bplru" || s.Policy == "fab" || s.Policy == "pud-lru") && s.PagesPerBlock < 1 {
 		return fmt.Errorf("oracle: pages per block %d, need >= 1", s.PagesPerBlock)
 	}
 	for i, r := range s.Requests {
@@ -117,6 +147,48 @@ func Generate(seed int64, policy string, n int) Spec {
 	}
 	if lpnRange > ftlLogicalPages-maxGenPages {
 		lpnRange = ftlLogicalPages - maxGenPages
+	}
+	writePct := 60 + rng.Intn(36) // 60..95 percent writes
+	now := int64(0)
+	s.Requests = make([]cache.Request, 0, n)
+	for i := 0; i < n; i++ {
+		now += 1 + int64(rng.Intn(5000))
+		pages := 1 + rng.Intn(maxGenPages)
+		if int64(pages) > lpnRange {
+			pages = int(lpnRange)
+		}
+		s.Requests = append(s.Requests, cache.Request{
+			Time:  now,
+			Write: rng.Intn(100) < writePct,
+			LPN:   rng.Int63n(lpnRange - int64(pages) + 1),
+			Pages: pages,
+		})
+	}
+	return s
+}
+
+// GenerateVindex derives a deterministic randomized ModeVindex workload.
+// No FTL rides along in this mode, so capacities and address ranges run
+// larger than Generate's: enough churn that the heaps see thousands of
+// push/invalidate/pop cycles, compaction, and pooled-node reuse, while
+// ties stay common (the address range is a small multiple of capacity).
+func GenerateVindex(seed int64, policy string, n int) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{
+		Seed:          seed,
+		Mode:          ModeVindex,
+		Policy:        policy,
+		CapacityPages: 16 + rng.Intn(113), // 16..128 pages
+		PagesPerBlock: []int{2, 4, 8}[rng.Intn(3)],
+	}
+	if rng.Intn(2) == 0 {
+		// Probed only for policies that implement IdleEvictor (FAB).
+		s.IdleEvery = 13 + rng.Intn(25)
+	}
+	lpnRange := int64(s.CapacityPages * (1 + rng.Intn(4)))
+	lpnRange -= lpnRange % int64(s.PagesPerBlock)
+	if lpnRange < int64(s.PagesPerBlock) {
+		lpnRange = int64(s.PagesPerBlock)
 	}
 	writePct := 60 + rng.Intn(36) // 60..95 percent writes
 	now := int64(0)

@@ -81,6 +81,8 @@ type Engine struct {
 	res   cache.Result
 
 	idler     cache.IdleEvictor
+	scanRep   cache.VictimScanReporter
+	lastScan  int64 // scanRep counter at the previous eviction emission
 	logical   int64
 	window    []int64 // closed-loop completion ring, len == QueueDepth
 	windowPos int
@@ -156,10 +158,27 @@ func (e *Engine) emitEviction(kind EvictionKind, at int64, lpns []int64) {
 // emitEvictionTimed additionally reports the batch's device timing for
 // stages that flush before emitting (idle and destage drains).
 func (e *Engine) emitEvictionTimed(kind EvictionKind, at int64, lpns []int64, transferred, durable int64) {
-	e.evEv = EvictionEvent{Kind: kind, Time: at, LPNs: lpns, Transferred: transferred, Durable: durable}
+	var scanCost int64
+	if e.scanRep != nil {
+		total := e.scanRep.VictimScanCost()
+		scanCost = total - e.lastScan
+		e.lastScan = total
+	}
+	e.evEv = EvictionEvent{Kind: kind, Time: at, LPNs: lpns, Transferred: transferred, Durable: durable, ScanCost: scanCost}
 	for _, o := range e.obs {
 		o.OnEviction(e, &e.evEv)
 	}
+}
+
+// VictimScanCost returns the policy's cumulative victim-selection work
+// counter, 0 when the policy does not report one (see
+// cache.VictimScanReporter). Observers use it to relate total selection
+// work to eviction counts; the per-batch delta rides on EvictionEvent.
+func (e *Engine) VictimScanCost() int64 {
+	if e.scanRep == nil {
+		return 0
+	}
+	return e.scanRep.VictimScanCost()
 }
 
 // Inflight returns how many closed-loop window slots hold completions
@@ -281,6 +300,10 @@ func (e *Engine) begin() {
 		da.AttachDevice(e.dev)
 	}
 	e.idler, _ = e.pol.(cache.IdleEvictor)
+	e.scanRep, _ = e.pol.(cache.VictimScanReporter)
+	if e.scanRep != nil {
+		e.lastScan = e.scanRep.VictimScanCost()
+	}
 	e.logical = e.dev.LogicalPages()
 	if e.cfg.QueueDepth > 0 {
 		e.window = make([]int64, e.cfg.QueueDepth)

@@ -95,6 +95,13 @@ type EvictionEvent struct {
 	// are emitted before the flush (fate accounting needs the pre-flush
 	// order) and clean drops never touch flash — both leave these zero.
 	Transferred, Durable int64
+	// ScanCost is the victim-selection work the policy performed since the
+	// previous emitted batch (heap entries sifted/skipped in indexed mode,
+	// nodes walked in the linear reference mode), taken as the delta of the
+	// policy's cache.VictimScanReporter counter. When one Access triggers
+	// several batches the whole Access's selection work lands on the first;
+	// 0 for policies that do not report scan work.
+	ScanCost int64
 }
 
 // DoneEvent summarizes a finished run.

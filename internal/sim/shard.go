@@ -343,6 +343,7 @@ type shardEvent struct {
 	lpns        []int64
 	transferred int64
 	durable     int64
+	scanCost    int64
 }
 
 // eventBatch is one shard→merger message. The arenas back the events'
@@ -440,7 +441,7 @@ func (r *shardRelay) OnEviction(_ *Engine, ev *EvictionEvent) {
 	b.ev = append(b.ev, shardEvent{
 		kind: sevEviction, seq: r.src.seq,
 		evKind: ev.Kind, evTime: ev.Time, lpns: b.carveLPNs(ev.LPNs),
-		transferred: ev.Transferred, durable: ev.Durable,
+		transferred: ev.Transferred, durable: ev.Durable, scanCost: ev.ScanCost,
 	})
 	r.maybeFlush()
 }
@@ -862,6 +863,7 @@ func (s *ShardedEngine) merge() int {
 			evEv = EvictionEvent{
 				Kind: rec.evKind, Time: rec.evTime, LPNs: rec.lpns,
 				Transferred: rec.transferred, Durable: rec.durable,
+				ScanCost: rec.scanCost,
 			}
 			for _, o := range s.obs {
 				o.OnEviction(nil, &evEv)

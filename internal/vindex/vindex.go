@@ -1,0 +1,303 @@
+// Package vindex is the shared indexed victim-selection core: a lazy
+// min-heap with generation-stamped, pooled entries, plus tiny
+// fixed-candidate selectors for policies whose victim sets are small
+// device constants.
+//
+// Every cache policy in this repository ultimately answers the same
+// question at eviction time — "which resident item scores worst right
+// now?" — but at GB-scale capacities the linear scans the paper's 16/64 MB
+// evaluation could afford (FAB's full-group walk, PUD-LRU's PUD sweep, a
+// naive min-frequency scan) turn O(n) per eviction. Heap indexes the
+// policy-supplied score so victim selection is O(log n):
+//
+//   - Push inserts an entry under a (score, tie) key and returns a Handle.
+//   - When an item's score changes, the policy calls Update: the old entry
+//     is invalidated in place (its generation is bumped, the entry stays
+//     in the heap) and a fresh entry is pushed. Nothing is ever removed
+//     from the middle of the heap.
+//   - PopMin sifts tournament-style toward the root and discards stale
+//     (invalidated) entries as they surface, returning the first live
+//     minimum. Stale entries therefore cost O(log n) once, at pop or
+//     compaction time, instead of O(n) re-ordering at update time.
+//
+// Ordering is ascending (score, tie). Policies encode "largest wins" by
+// negating the score and encode their documented tie-break contract
+// (insertion order, bucket-entry order, recency rank) in the tie field —
+// the heap itself is deterministic: equal (score, tie) pairs never occur
+// in practice because ties carry a unique monotone sequence number.
+//
+// Entries are pooled per heap and recycled on pop/compaction, so a warm
+// heap allocates nothing in steady state (enforced by the package's
+// AllocsPerRun test, matching the PR 1 convention). Generations make
+// retained Handles harmless: a Handle into a recycled entry no longer
+// matches the entry's generation and Invalidate/Update on it is a no-op
+// for the old incarnation.
+package vindex
+
+// Key is the heap ordering: ascending Score, ties broken by ascending
+// Tie. Policies map their victim rule onto it (e.g. FAB: Score = -group
+// size, Tie = group creation sequence, so the fullest, oldest group pops
+// first).
+type Key struct {
+	Score int64
+	Tie   uint64
+}
+
+// less is the tournament comparison.
+func (k Key) less(o Key) bool {
+	if k.Score != o.Score {
+		return k.Score < o.Score
+	}
+	return k.Tie < o.Tie
+}
+
+// entry is one heap slot. Dead entries (invalidated, or superseded by an
+// Update) stay in the slot array until they surface at the root or a
+// compaction sweeps them out.
+type entry[V any] struct {
+	key  Key
+	val  V
+	gen  uint64 // bumped on invalidate and recycle; Handles pin a generation
+	dead bool
+	next *entry[V] // pool link
+}
+
+// Handle names one live heap entry. The zero Handle is valid and refers
+// to nothing: Invalidate and Update on it are no-ops (so a policy's "no
+// entry yet" state needs no special casing).
+type Handle[V any] struct {
+	e   *entry[V]
+	gen uint64
+}
+
+// Valid reports whether the handle still names a live entry.
+func (h Handle[V]) Valid() bool { return h.e != nil && h.e.gen == h.gen && !h.e.dead }
+
+// Heap is the lazy min-heap. The zero value is an empty heap ready to
+// use. Heap is not safe for concurrent use; every policy owns its own.
+type Heap[V any] struct {
+	slots []*entry[V]
+	free  *entry[V]
+	live  int
+	stale int
+	cost  int64
+}
+
+// compactSlack is the stale overhang tolerated before Invalidate triggers
+// an in-place compaction. Rebuilding costs O(n) and is amortized against
+// the >= live+compactSlack invalidations that created the garbage, so
+// update-heavy workloads stay O(log n) amortized per operation while the
+// slot array stays within a small constant factor of the live population.
+const compactSlack = 64
+
+// Len returns the number of live entries.
+func (h *Heap[V]) Len() int { return h.live }
+
+// Cost returns the cumulative victim-selection work counter: one unit per
+// entry examined while popping or peeking (stale entries skipped plus the
+// live minimum) and per level sifted. Policies difference it around an
+// eviction to report per-eviction scan cost.
+func (h *Heap[V]) Cost() int64 { return h.cost }
+
+// Push inserts val under (score, tie) and returns its Handle.
+func (h *Heap[V]) Push(score int64, tie uint64, val V) Handle[V] {
+	e := h.free
+	if e != nil {
+		h.free = e.next
+		e.next = nil
+	} else {
+		e = &entry[V]{}
+	}
+	e.key = Key{Score: score, Tie: tie}
+	e.val = val
+	e.dead = false
+	h.slots = append(h.slots, e)
+	h.siftUp(len(h.slots) - 1)
+	h.live++
+	return Handle[V]{e: e, gen: e.gen}
+}
+
+// Invalidate marks the handle's entry stale; it reports whether a live
+// entry was actually invalidated. Stale or zero handles are no-ops. The
+// entry's storage is reclaimed lazily, when it surfaces at the root or a
+// compaction runs.
+func (h *Heap[V]) Invalidate(hd Handle[V]) bool {
+	if !hd.Valid() {
+		return false
+	}
+	e := hd.e
+	e.dead = true
+	e.gen++
+	var zero V
+	e.val = zero
+	h.live--
+	h.stale++
+	if h.stale > h.live+compactSlack {
+		h.compact()
+	}
+	return true
+}
+
+// Update re-keys an item: the old entry (if any) is invalidated and a
+// fresh one pushed. It returns the new Handle.
+func (h *Heap[V]) Update(hd Handle[V], score int64, tie uint64, val V) Handle[V] {
+	h.Invalidate(hd)
+	return h.Push(score, tie, val)
+}
+
+// PopMin removes and returns the live minimum, skipping (and recycling)
+// stale entries as they surface. ok is false when the heap is empty.
+func (h *Heap[V]) PopMin() (val V, ok bool) {
+	for len(h.slots) > 0 {
+		root := h.slots[0]
+		h.removeRoot()
+		h.cost++
+		if root.dead {
+			h.stale--
+			h.recycle(root)
+			continue
+		}
+		h.live--
+		val = root.val
+		h.recycle(root)
+		return val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// PeekMin returns the live minimum without removing it, discarding stale
+// roots on the way. ok is false when the heap is empty.
+func (h *Heap[V]) PeekMin() (val V, ok bool) {
+	for len(h.slots) > 0 {
+		root := h.slots[0]
+		if !root.dead {
+			h.cost++
+			return root.val, true
+		}
+		h.removeRoot()
+		h.cost++
+		h.stale--
+		h.recycle(root)
+	}
+	var zero V
+	return zero, false
+}
+
+// Reset empties the heap, recycling every entry (live and stale) into the
+// pool. Handles into the heap become stale.
+func (h *Heap[V]) Reset() {
+	for _, e := range h.slots {
+		h.recycle(e)
+	}
+	h.slots = h.slots[:0]
+	h.live, h.stale = 0, 0
+}
+
+// recycle returns an entry to the pool, bumping its generation so any
+// retained Handle can never match the next incarnation.
+func (h *Heap[V]) recycle(e *entry[V]) {
+	e.gen++
+	e.dead = false
+	var zero V
+	e.val = zero
+	e.next = h.free
+	h.free = e
+}
+
+// removeRoot detaches slot 0 and restores the heap property.
+func (h *Heap[V]) removeRoot() {
+	last := len(h.slots) - 1
+	h.slots[0] = h.slots[last]
+	h.slots[last] = nil
+	h.slots = h.slots[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+}
+
+// compact removes every stale entry in place and re-heapifies (Floyd's
+// bottom-up build). Called from Invalidate once garbage exceeds the live
+// population by compactSlack.
+func (h *Heap[V]) compact() {
+	kept := h.slots[:0]
+	for _, e := range h.slots {
+		if e.dead {
+			h.stale--
+			h.recycle(e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Clear the tail so recycled pointers do not linger in the backing
+	// array past the new length.
+	for i := len(kept); i < len(h.slots); i++ {
+		h.slots[i] = nil
+	}
+	h.slots = kept
+	for i := len(h.slots)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *Heap[V]) siftUp(i int) {
+	e := h.slots[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.key.less(h.slots[parent].key) {
+			break
+		}
+		h.slots[i] = h.slots[parent]
+		i = parent
+	}
+	h.slots[i] = e
+}
+
+func (h *Heap[V]) siftDown(i int) {
+	e := h.slots[i]
+	n := len(h.slots)
+	for {
+		// Tournament step: the smaller child advances.
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.slots[r].key.less(h.slots[child].key) {
+			child = r
+		}
+		if !h.slots[child].key.less(e.key) {
+			break
+		}
+		h.slots[i] = h.slots[child]
+		h.cost++
+		i = child
+	}
+	h.slots[i] = e
+}
+
+// Best returns the index of the smallest score, the first index winning
+// ties (matching the "scan in candidate order, replace on strictly
+// smaller" contract of the linear scans it replaces). It returns -1 for
+// an empty slice. Policies whose candidate sets are small fixed
+// populations — ECR's per-channel queues, Req-block's three list tails —
+// select through Best so the tie-break contract lives in one place.
+func Best(scores []int64) int {
+	best := -1
+	for i, s := range scores {
+		if best < 0 || s < scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestF is Best for float64 scores (Req-block's Eq. 1 frequency).
+func BestF(scores []float64) int {
+	best := -1
+	for i, s := range scores {
+		if best < 0 || s < scores[best] {
+			best = i
+		}
+	}
+	return best
+}

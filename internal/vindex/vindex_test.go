@@ -1,0 +1,326 @@
+package vindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveModel is the obviously-correct reference: a flat slice scanned in
+// full for the minimum (score, tie) on every pop. The heap must agree
+// with it on every operation.
+type naiveItem struct {
+	key Key
+	id  int
+}
+
+type naiveModel struct {
+	items []naiveItem
+}
+
+func (m *naiveModel) push(score int64, tie uint64, id int) {
+	m.items = append(m.items, naiveItem{key: Key{Score: score, Tie: tie}, id: id})
+}
+
+func (m *naiveModel) remove(id int) bool {
+	for i, it := range m.items {
+		if it.id == id {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *naiveModel) popMin() (int, bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := 1; i < len(m.items); i++ {
+		if m.items[i].key.less(m.items[best].key) {
+			best = i
+		}
+	}
+	id := m.items[best].id
+	m.items = append(m.items[:best], m.items[best+1:]...)
+	return id, true
+}
+
+func (m *naiveModel) peekMin() (int, bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := 1; i < len(m.items); i++ {
+		if m.items[i].key.less(m.items[best].key) {
+			best = i
+		}
+	}
+	return m.items[best].id, true
+}
+
+// TestHeapDifferential drives the heap and the naive model in lockstep
+// through a long randomized op sequence (push / invalidate / update /
+// pop / peek / reset) and requires identical answers throughout.
+func TestHeapDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var h Heap[int]
+		var m naiveModel
+		handles := map[int]Handle[int]{} // id -> live handle
+		nextID := 0
+		var tieSeq uint64
+
+		liveIDs := func() []int {
+			ids := make([]int, 0, len(handles))
+			for id := range handles {
+				ids = append(ids, id)
+			}
+			return ids
+		}
+
+		for step := 0; step < 5000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // push
+				score := int64(rng.Intn(16)) // narrow range to force score ties
+				tieSeq++
+				id := nextID
+				nextID++
+				handles[id] = h.Push(score, tieSeq, id)
+				m.push(score, tieSeq, id)
+			case op < 6: // invalidate a random live entry
+				ids := liveIDs()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				if !h.Invalidate(handles[id]) {
+					t.Fatalf("seed %d step %d: Invalidate(%d) reported no-op on a live handle", seed, step, id)
+				}
+				delete(handles, id)
+				m.remove(id)
+			case op < 8: // update a random live entry to a new key
+				ids := liveIDs()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				score := int64(rng.Intn(16))
+				tieSeq++
+				handles[id] = h.Update(handles[id], score, tieSeq, id)
+				m.remove(id)
+				m.push(score, tieSeq, id)
+			case op < 9: // pop
+				got, gotOK := h.PopMin()
+				want, wantOK := m.popMin()
+				if gotOK != wantOK || (gotOK && got != want) {
+					t.Fatalf("seed %d step %d: PopMin = (%d,%v), naive = (%d,%v)", seed, step, got, gotOK, want, wantOK)
+				}
+				if gotOK {
+					delete(handles, got)
+				}
+			default: // peek
+				got, gotOK := h.PeekMin()
+				want, wantOK := m.peekMin()
+				if gotOK != wantOK || (gotOK && got != want) {
+					t.Fatalf("seed %d step %d: PeekMin = (%d,%v), naive = (%d,%v)", seed, step, got, gotOK, want, wantOK)
+				}
+			}
+			if h.Len() != len(m.items) {
+				t.Fatalf("seed %d step %d: Len = %d, naive = %d", seed, step, h.Len(), len(m.items))
+			}
+			// Occasional full reset exercises pooled recycling of live
+			// and stale entries together.
+			if step%1024 == 1023 {
+				h.Reset()
+				m.items = m.items[:0]
+				for id := range handles {
+					delete(handles, id)
+				}
+			}
+		}
+
+		// Drain: remaining pops must come out in exact naive order.
+		for {
+			got, gotOK := h.PopMin()
+			want, wantOK := m.popMin()
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("seed %d drain: PopMin = (%d,%v), naive = (%d,%v)", seed, got, gotOK, want, wantOK)
+			}
+			if !gotOK {
+				break
+			}
+		}
+	}
+}
+
+// TestTieBreakInsertionOrder pins the ordering contract policies rely on:
+// equal scores pop in ascending tie order, i.e. insertion order when the
+// tie is a monotone sequence number.
+func TestTieBreakInsertionOrder(t *testing.T) {
+	var h Heap[string]
+	h.Push(5, 1, "first")
+	h.Push(5, 2, "second")
+	h.Push(5, 3, "third")
+	h.Push(4, 4, "smaller-later")
+
+	want := []string{"smaller-later", "first", "second", "third"}
+	for i, w := range want {
+		got, ok := h.PopMin()
+		if !ok || got != w {
+			t.Fatalf("pop %d = (%q,%v), want %q", i, got, ok, w)
+		}
+	}
+	if _, ok := h.PopMin(); ok {
+		t.Fatalf("heap not empty after draining")
+	}
+}
+
+// TestHandleGenerations pins the safety of retained handles: a handle
+// whose entry has been invalidated, popped, or recycled into a new
+// incarnation must be inert.
+func TestHandleGenerations(t *testing.T) {
+	var h Heap[int]
+
+	// Zero handle: no-ops.
+	var zero Handle[int]
+	if zero.Valid() {
+		t.Fatalf("zero handle reports Valid")
+	}
+	if h.Invalidate(zero) {
+		t.Fatalf("Invalidate(zero) reported work done")
+	}
+
+	// Invalidate makes the handle stale; double-invalidate is a no-op.
+	hd := h.Push(1, 1, 10)
+	if !hd.Valid() {
+		t.Fatalf("fresh handle not valid")
+	}
+	if !h.Invalidate(hd) {
+		t.Fatalf("first Invalidate failed")
+	}
+	if hd.Valid() {
+		t.Fatalf("handle still valid after Invalidate")
+	}
+	if h.Invalidate(hd) {
+		t.Fatalf("second Invalidate reported work done")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after invalidating the only entry", h.Len())
+	}
+
+	// A handle into a popped-and-recycled entry must not affect the new
+	// incarnation occupying the same pooled slot.
+	hd = h.Push(1, 2, 20)
+	if v, ok := h.PopMin(); !ok || v != 20 {
+		t.Fatalf("PopMin = (%d,%v), want (20,true)", v, ok)
+	}
+	hd2 := h.Push(2, 3, 30) // reuses the pooled entry
+	if hd.Valid() {
+		t.Fatalf("stale handle valid after its entry was recycled")
+	}
+	if h.Invalidate(hd) {
+		t.Fatalf("stale handle invalidated the recycled entry")
+	}
+	if v, ok := h.PopMin(); !ok || v != 30 {
+		t.Fatalf("new incarnation lost: PopMin = (%d,%v), want (30,true)", v, ok)
+	}
+	_ = hd2
+}
+
+// TestCompaction forces the stale population far past the live one and
+// checks the heap stays correct and bounded afterwards.
+func TestCompaction(t *testing.T) {
+	var h Heap[int]
+	// Churn: push then immediately invalidate, far beyond compactSlack,
+	// with a handful of survivors interleaved.
+	var keep []Handle[int]
+	for i := 0; i < 10*compactSlack; i++ {
+		hd := h.Push(int64(i%7), uint64(i+1), i)
+		if i%97 == 0 {
+			keep = append(keep, hd)
+			continue
+		}
+		h.Invalidate(hd)
+	}
+	if got, bound := len(h.slots), h.live+compactSlack+1; got > bound {
+		t.Fatalf("slot array grew unbounded: %d slots for %d live (bound %d)", got, h.live, bound)
+	}
+	// Survivors must still pop in (score, tie) order.
+	var last Key
+	first := true
+	n := 0
+	for {
+		v, ok := h.PeekMin()
+		if !ok {
+			break
+		}
+		v2, ok2 := h.PopMin()
+		if !ok2 || v2 != v {
+			t.Fatalf("PeekMin %d then PopMin (%d,%v) disagree", v, v2, ok2)
+		}
+		k := Key{Score: int64(v % 7), Tie: uint64(v + 1)}
+		if !first && k.less(last) {
+			t.Fatalf("out-of-order pop: %v after %v", k, last)
+		}
+		last, first = k, false
+		n++
+	}
+	if n != len(keep) {
+		t.Fatalf("popped %d survivors, want %d", n, len(keep))
+	}
+}
+
+// TestCostMonotone checks the scan-cost counter only moves forward and
+// charges work at pop time.
+func TestCostMonotone(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 256; i++ {
+		h.Push(int64(256-i), uint64(i+1), i)
+	}
+	before := h.Cost()
+	for i := 0; i < 256; i++ {
+		if _, ok := h.PopMin(); !ok {
+			t.Fatalf("premature empty at pop %d", i)
+		}
+		after := h.Cost()
+		if after <= before {
+			t.Fatalf("cost did not advance on pop %d: %d -> %d", i, before, after)
+		}
+		before = after
+	}
+}
+
+func TestBestSelectors(t *testing.T) {
+	cases := []struct {
+		scores []int64
+		want   int
+	}{
+		{nil, -1},
+		{[]int64{}, -1},
+		{[]int64{7}, 0},
+		{[]int64{3, 1, 2}, 1},
+		{[]int64{5, 5, 5}, 0},    // first wins ties
+		{[]int64{9, 2, 2, 8}, 1}, // first of the tied pair
+		{[]int64{-4, -4, -9}, 2},
+	}
+	for _, c := range cases {
+		if got := Best(c.scores); got != c.want {
+			t.Errorf("Best(%v) = %d, want %d", c.scores, got, c.want)
+		}
+	}
+	fcases := []struct {
+		scores []float64
+		want   int
+	}{
+		{nil, -1},
+		{[]float64{2.5}, 0},
+		{[]float64{1.5, 1.5, 0.5}, 2},
+		{[]float64{3.25, 3.25}, 0}, // first wins ties
+	}
+	for _, c := range fcases {
+		if got := BestF(c.scores); got != c.want {
+			t.Errorf("BestF(%v) = %d, want %d", c.scores, got, c.want)
+		}
+	}
+}
