@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly soak-serve bench bench-smoke bench-json bench-sharded bench-capacity bench-capacity-smoke experiments experiments-full lint
+.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly soak-serve obs-smoke bench bench-smoke bench-json bench-sharded bench-capacity bench-capacity-smoke experiments experiments-full lint
 
 all: test
 
@@ -41,6 +41,24 @@ race-sharded:
 # wall-clock bound against deadlocks.
 soak-serve:
 	SSDSOAK=1 go test -race -count=1 -run 'TestOpenLoopSoak' -timeout 300s -v ./internal/load
+
+# obs-smoke exercises the tail-latency attribution plane end to end: a
+# small replay with the blame table, Perfetto export, and flight
+# recorder armed, then cmd/tracecheck validates the export against the
+# trace-event format and the run-end flight dump is required to exist.
+# Outputs land in obs-smoke/ (kept for artifact upload on CI).
+obs-smoke:
+	@rm -rf obs-smoke && mkdir -p obs-smoke
+	go run ./cmd/ssdreplay -workload src1_2 -scale 0.02 -policy reqblock \
+		-cache-mb 8 -backpressure 4 -blame \
+		-perfetto obs-smoke/trace.json -trace-sample 64 \
+		-flight-recorder obs-smoke > obs-smoke/report.txt
+	go run ./cmd/tracecheck obs-smoke/trace.json
+	@ls obs-smoke/flightrec-*-run-end.ndjson > /dev/null || \
+		{ echo "obs-smoke: no run-end flight dump"; exit 1; }
+	@grep -q '^P99' obs-smoke/report.txt || \
+		{ echo "obs-smoke: no blame table in report"; exit 1; }
+	@echo obs-smoke ok
 
 # fuzz-smoke runs each fuzz target briefly: not a soak, just proof that
 # the targets still build and survive a short adversarial pass.

@@ -60,9 +60,9 @@ func BenchmarkCapacityEviction(b *testing.B) {
 
 func benchCapacityEviction(b *testing.B, mk func(int) cache.Policy, capPages int, linear bool) {
 	pol := mk(capPages)
-	if linear {
-		pol.(cache.LinearScanSelector).SetLinearVictimScan(true)
-	}
+	// Defaults differ per policy (VBBMS ships linear, the rest indexed),
+	// so both modes set the selector explicitly.
+	pol.(cache.LinearScanSelector).SetLinearVictimScan(linear)
 	// Fill to capacity with distinct sequential pages delivered as a 3:2
 	// interleave of 4-page and 8-page requests: split-region policies
 	// (VBBMS routes requests of >= 5 pages to its sequential region, which

@@ -48,13 +48,14 @@ func main() {
 		maxOut   = flag.Int("max-outstanding", 4096, "cap on in-flight ops (overflow counted as skipped)")
 
 		// In-process server knobs (-inproc).
-		shards  = flag.Int("shards", 2, "in-proc: cache shards")
-		cacheMB = flag.Int("cache-mb", 4, "in-proc: total cache MiB")
-		qDepth  = flag.Int("queue-depth", 256, "in-proc: admission queue slots per shard")
-		window  = flag.Int("window-pages", 0, "in-proc: write window pages per shard (0 = 1.5x capacity)")
-		shed    = flag.Bool("shed", false, "in-proc: shed writes around a full window")
-		pace    = flag.Bool("pace", true, "in-proc: throttle to simulated device time")
-		divisor = flag.Int("device-divisor", 64, "in-proc: flash array size divisor")
+		shards    = flag.Int("shards", 2, "in-proc: cache shards")
+		cacheMB   = flag.Int("cache-mb", 4, "in-proc: total cache MiB")
+		qDepth    = flag.Int("queue-depth", 256, "in-proc: admission queue slots per shard")
+		window    = flag.Int("window-pages", 0, "in-proc: write window pages per shard (0 = 1.5x capacity)")
+		shed      = flag.Bool("shed", false, "in-proc: shed writes around a full window")
+		pace      = flag.Bool("pace", true, "in-proc: throttle to simulated device time")
+		divisor   = flag.Int("device-divisor", 64, "in-proc: flash array size divisor")
+		flightDir = flag.String("flight-recorder", "", "in-proc: directory for anomaly-triggered flight-recorder dumps (empty = off)")
 	)
 	flag.Parse()
 
@@ -74,14 +75,32 @@ func main() {
 		sub = &serve.Client{Base: strings.TrimRight(*target, "/")}
 	case *inproc:
 		params := ssd.ScaledParams(*divisor)
+		tel := obs.New()
+		var fr *obs.FlightRecorder
+		if *flightDir != "" {
+			if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+				fail(err)
+			}
+			fr = obs.NewFlightRecorder(*shards, 0, *flightDir)
+		}
 		srv, err := serve.New(serve.Config{
 			Shards: *shards, Sharing: sim.SharingShared,
 			TotalCapacityPages: *cacheMB * 256,
 			NewPolicy:          func(_, n int) cache.Policy { return cache.NewLRU(n) },
-			NewDevice:          func(int) (*ssd.Device, error) { return ssd.New(params) },
-			QueueDepth:         *qDepth, WriteWindowPages: *window, Shed: *shed,
+			NewDevice: func(shard int) (*ssd.Device, error) {
+				d, err := ssd.New(params)
+				if err != nil {
+					return nil, err
+				}
+				if tap := obs.MultiTap(tel, fr.Tap(shard)); tap != nil {
+					d.SetTap(tap)
+				}
+				return d, nil
+			},
+			QueueDepth: *qDepth, WriteWindowPages: *window, Shed: *shed,
 			DefaultDeadlineNs: int64(2 * time.Second),
-			Pace:              *pace, Telemetry: obs.New(),
+			Pace:              *pace, Telemetry: tel,
+			FlightRecorder: fr,
 		})
 		if err != nil {
 			fail(err)
@@ -90,6 +109,9 @@ func main() {
 			rep := srv.Drain()
 			fmt.Fprintf(os.Stderr, "ssdload: drained %d pages, %d dirty remain, degraded=%v\n",
 				rep.DrainedPages, rep.RemainingDirtyPages, rep.Degraded)
+			if path := fr.Trigger("run-end", 0, 0); path != "" {
+				fmt.Fprintf(os.Stderr, "ssdload: flight recorder dump %s\n", path)
+			}
 		}()
 		sub = srv
 	default:

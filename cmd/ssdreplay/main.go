@@ -15,6 +15,9 @@
 //	-listen 127.0.0.1:9090      live /metrics, /healthz, /debug/pprof
 //	-progress 10000             NDJSON snapshot to stderr every N requests
 //	-trace-out spans.ndjson     sampled request spans (with -trace-sample)
+//	-blame                      per-cause latency attribution table
+//	-perfetto trace.json        Perfetto-loadable trace-event export
+//	-flight-recorder DIR        anomaly flight-recorder dumps into DIR
 package main
 
 import (
@@ -58,8 +61,11 @@ func main() {
 		listen      = flag.String("listen", "", "serve live /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 		progressN   = flag.Int("progress", 0, "emit an NDJSON progress snapshot to stderr every N processed requests (0 = off)")
 		traceOut    = flag.String("trace-out", "", "write sampled request spans (NDJSON) to this file (- = stdout)")
-		traceSample = flag.Int("trace-sample", 1024, "sample 1 in N requests for -trace-out")
-		traceSeed   = flag.Uint64("trace-seed", 1, "sampler seed for -trace-out (same seed + rate = same sample)")
+		traceSample = flag.Int("trace-sample", 1024, "sample 1 in N requests for -trace-out and -perfetto")
+		traceSeed   = flag.Uint64("trace-seed", 1, "sampler seed for -trace-out and -perfetto (same seed + rate = same sample)")
+		blame       = flag.Bool("blame", false, "print the per-cause tail-latency blame table after the run")
+		perfetto    = flag.String("perfetto", "", "write sampled requests as Chrome trace-event JSON (Perfetto-loadable) to this file")
+		flightDir   = flag.String("flight-recorder", "", "record recent events per shard and dump NDJSON rings into this directory on anomalies and at run end")
 	)
 	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -87,18 +93,28 @@ func main() {
 	opts.BackPressureDepth = *backpressure
 
 	// Telemetry plane (all optional, all passive; docs/OBSERVABILITY.md).
-	// tel stays nil without -listen; every use below is nil-safe.
+	// tel stays nil without -listen/-blame; every use below is nil-safe.
 	var tel *obs.Telemetry
 	var observers []sim.Observer
-	if *listen != "" {
+	if *listen != "" || *blame {
 		tel = obs.New()
 		observers = append(observers, tel.Observer())
+	}
+	if *listen != "" {
 		srv, err := obs.Serve(*listen, tel.Handler())
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "ssdreplay: telemetry on http://%s\n", srv.Addr())
+	}
+	var fr *obs.FlightRecorder
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fail(err)
+		}
+		fr = obs.NewFlightRecorder(*shards, 0, *flightDir)
+		tel.SetFlightRecorder(fr)
 	}
 	if *progressN > 0 {
 		observers = append(observers, obs.NewProgress(os.Stderr, *progressN))
@@ -116,6 +132,16 @@ func main() {
 		}
 		tracer = obs.NewTracer(w, *traceSample, *traceSeed)
 		observers = append(observers, tracer)
+	}
+	var pexp *obs.TraceExport
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		pexp = obs.NewTraceExport(f, *traceSample, *traceSeed)
+		observers = append(observers, pexp)
 	}
 	opts.Observers = observers
 
@@ -146,20 +172,27 @@ func main() {
 		// device; events re-merge deterministically (docs/ARCHITECTURE.md).
 		// Request-span tracing works on the merged stream, but per-policy
 		// transition sinks stay single-engine only.
+		telHook := tel.ShardObservers(*shards)
 		spec := replay.ShardSpec{
 			Shards:             *shards,
 			Sharing:            smode,
 			TotalCapacityPages: *cacheMB * 256,
 			NewPolicy:          func(_, capPages int) cache.Policy { return newPolicy(capPages) },
-			NewDevice: func(int) (*ssd.Device, error) {
+			NewDevice: func(k int) (*ssd.Device, error) {
 				d, err := ssd.New(params)
 				if err == nil {
-					d.SetTap(tel)
+					d.SetTap(obs.MultiTap(tel, fr.Tap(k)))
 				}
 				return d, err
 			},
 			TenantRegionPages: *tenantRegion,
-			ShardObservers:    tel.ShardObservers(*shards),
+			ShardObservers: func(k int, eng *sim.Engine) []sim.Observer {
+				o := telHook(k, eng)
+				if fr != nil {
+					o = append(o, fr.Observer(k))
+				}
+				return o
+			},
 		}
 		if streaming {
 			f, err := os.Open(*traceFile)
@@ -192,7 +225,10 @@ func main() {
 		if dev, err = ssd.New(params); err != nil {
 			fail(err)
 		}
-		dev.SetTap(tel)
+		dev.SetTap(obs.MultiTap(tel, fr.Tap(0)))
+		if fr != nil {
+			opts.Observers = append(opts.Observers, fr.Observer(0))
+		}
 		pol := newPolicy(*cacheMB * 256)
 		if tracer != nil {
 			if src, ok := pol.(cache.TransitionSource); ok {
@@ -236,7 +272,25 @@ func main() {
 			fail(fmt.Errorf("trace-out: %w", err))
 		}
 	}
+	if pexp != nil {
+		if err := pexp.Close(); err != nil {
+			fail(fmt.Errorf("perfetto: %w", err))
+		}
+	}
+	if fr != nil {
+		// A run-end dump makes the flight-recorder output deterministic for
+		// smoke tests even when no anomaly fired during the run.
+		if path := fr.Trigger("run-end", 0, 0); path != "" {
+			fmt.Fprintf(os.Stderr, "ssdreplay: flight recorder dump %s\n", path)
+		}
+	}
 	report(m, *verbose)
+	if *blame {
+		fmt.Println()
+		if err := tel.Blame.WriteBlameTable(os.Stdout, 0.50, 0.99, 0.999); err != nil {
+			fail(err)
+		}
+	}
 	if *shards > 1 {
 		fmt.Printf("shards          %d (%s sharing)\n", *shards, smode)
 	}

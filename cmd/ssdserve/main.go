@@ -15,6 +15,10 @@
 // intake closes, queued work finishes, dirty pages destage, and the
 // drain report prints before exit.
 //
+// -flight-recorder DIR arms a per-shard ring of recent events that is
+// dumped to DIR on anomalies (deadline misses, ladder rung escalation,
+// read-only entry) and browsable live at /debug/flightrec.
+//
 //	ssdserve -addr 127.0.0.1:9000 -shards 4 -cache-mb 64 -shed -pace
 package main
 
@@ -54,6 +58,7 @@ func main() {
 		tenantBounds = flag.String("tenant-boundaries", "", "comma-separated LPN upper bounds routing tenants to shards (empty = hash routing)")
 		tenantRegion = flag.Int64("tenant-region", 0, "pages per hash region for shard routing (0 = default 4096)")
 		pace         = flag.Bool("pace", true, "throttle to simulated device time so saturation behaves like a real drive")
+		flightDir    = flag.String("flight-recorder", "", "directory for anomaly-triggered flight-recorder dumps (empty = off)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,13 @@ func main() {
 	}
 	params := ssd.ScaledParams(*divisor)
 	tel := obs.New()
+	var fr *obs.FlightRecorder
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fail(err)
+		}
+		fr = obs.NewFlightRecorder(*shards, 0, *flightDir)
+	}
 
 	srv, err := serve.New(serve.Config{
 		Shards:             *shards,
@@ -84,7 +96,16 @@ func main() {
 			}
 			return p
 		},
-		NewDevice:         func(int) (*ssd.Device, error) { return ssd.New(params) },
+		NewDevice: func(shard int) (*ssd.Device, error) {
+			d, err := ssd.New(params)
+			if err != nil {
+				return nil, err
+			}
+			if tap := obs.MultiTap(tel, fr.Tap(shard)); tap != nil {
+				d.SetTap(tap)
+			}
+			return d, nil
+		},
 		TenantBoundaries:  boundaries,
 		TenantRegionPages: *tenantRegion,
 		QueueDepth:        *queueDepth,
@@ -95,6 +116,7 @@ func main() {
 		BackPressureDepth: *backpressure,
 		Pace:              *pace,
 		Telemetry:         tel,
+		FlightRecorder:    fr,
 	})
 	if err != nil {
 		fail(err)
@@ -116,6 +138,9 @@ func main() {
 	rep := srv.Drain()
 	fmt.Fprintf(os.Stderr, "ssdserve: drained %d pages, %d dirty pages remain, degraded=%v\n",
 		rep.DrainedPages, rep.RemainingDirtyPages, rep.Degraded)
+	if path := fr.Trigger("drain", 0, 0); path != "" {
+		fmt.Fprintf(os.Stderr, "ssdserve: flight recorder dump %s\n", path)
+	}
 	_ = ln.Close()
 	if rep.Degraded {
 		os.Exit(2)

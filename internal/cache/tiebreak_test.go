@@ -27,9 +27,7 @@ func runTieCases(t *testing.T, cases []tieCase) {
 		for _, mode := range []string{"indexed", "linear"} {
 			t.Run(tc.name+"/"+mode, func(t *testing.T) {
 				p := tc.mk()
-				if mode == "linear" {
-					p.(LinearScanSelector).SetLinearVictimScan(true)
-				}
+				p.(LinearScanSelector).SetLinearVictimScan(mode == "linear")
 				for _, req := range tc.script {
 					p.Access(req)
 				}

@@ -78,6 +78,11 @@ func NewVBBMSConfig(capacityPages, randomShare, seqShare, randVB, seqVB, seqMin 
 	return &VBBMS{
 		capacity: capacityPages,
 		seqMin:   seqMin,
+		// VBBMS's victim is always the region's order-list tail, so the
+		// linear "scan" is an O(1) tail pop — the default. The heap index
+		// stays selectable (SetLinearVictimScan(false)) for the oracle's
+		// indexed-vs-linear equivalence check, but buys nothing here.
+		linear: true,
 		random: vbbmsRegion{
 			capacity: randCap,
 			vbSize:   int64(randVB),

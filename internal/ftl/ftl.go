@@ -50,6 +50,12 @@ type Stats struct {
 	// DegradedEntries counts transitions into read-only degraded mode
 	// (0 or 1; a counter for symmetry with the other metrics).
 	DegradedEntries int64
+	// GCPauseNs is the cumulative die-busy time GC collections added to
+	// their victims' chips (migrations plus erase, beyond any backlog
+	// already queued there) — the foreground-visible GC pause total. It is
+	// accumulated whether or not a Tap is attached, so attaching telemetry
+	// never changes the stat.
+	GCPauseNs int64
 }
 
 // Tap receives timing observations from the FTL's operation paths. It is
@@ -204,6 +210,13 @@ func (f *FTL) Stats() Stats {
 	s := f.stats
 	s.Erases = f.arr.Erases()
 	return s
+}
+
+// GCPauseNs returns the cumulative foreground-visible GC pause without
+// materializing a full Stats copy; the hot attribution path in the engine
+// diffs it around every dispatch.
+func (f *FTL) GCPauseNs() int64 {
+	return f.stats.GCPauseNs
 }
 
 // EnableFaults attaches a fault injector to the flash array and arms the
@@ -687,11 +700,10 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 	// GC pause accounting: the collection's cost to foreground work is the
 	// die-busy time it adds to the victim's chip beyond the backlog already
 	// queued there (cross-plane migrations touch other chips too; the
-	// victim's chip dominates and keeps the tap allocation-free).
-	var gcStart int64
-	if f.tap != nil {
-		gcStart = max(now, f.tl.ChipFree(chip))
-	}
+	// victim's chip dominates and keeps the accounting allocation-free).
+	// Computed unconditionally so Stats.GCPauseNs is identical with and
+	// without a Tap attached — telemetry must never change the counters.
+	gcStart := max(now, f.tl.ChipFree(chip))
 	moved := 0
 	// Migrate valid pages.
 	base := f.p.PPN(victim, 0)
@@ -730,6 +742,7 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 			// before the erase, so no data is at risk.
 			eraseDone := f.tl.Erase(now, chip)
 			f.retireBlock(victim)
+			f.stats.GCPauseNs += f.tl.ChipFree(chip) - gcStart
 			if f.tap != nil {
 				f.tap.TapErase(now, eraseDone)
 				f.tap.TapGC(f.tl.ChipFree(chip)-gcStart, moved)
@@ -741,6 +754,7 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 	eraseDone := f.tl.Erase(now, chip)
 	f.freeBlocks[plane] = append(f.freeBlocks[plane], int32(victim))
 	f.stats.GCRuns++
+	f.stats.GCPauseNs += f.tl.ChipFree(chip) - gcStart
 	if f.tap != nil {
 		f.tap.TapErase(now, eraseDone)
 		f.tap.TapGC(f.tl.ChipFree(chip)-gcStart, moved)

@@ -133,10 +133,20 @@ func TestOpenLoopSoak(t *testing.T) {
 	}
 	leakcheck.Check(t)
 	tel := obs.New()
+	// SSDSOAK_FLIGHTDIR arms the flight recorder at a stable path so CI
+	// can upload the anomaly dumps as artifacts when the soak fails.
+	var fr *obs.FlightRecorder
+	if dir := os.Getenv("SSDSOAK_FLIGHTDIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		fr = obs.NewFlightRecorder(2, 0, dir)
+	}
 	srv := testServer(t, serve.Config{
 		TotalCapacityPages: 256, QueueDepth: 64, Shed: true,
 		DefaultDeadlineNs: int64(250 * time.Millisecond),
 		Pace:              true, Telemetry: tel,
+		FlightRecorder: fr,
 	})
 
 	res, err := load.Run(srv, load.Profile{

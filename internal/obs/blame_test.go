@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Powers of two are the bucket edges themselves: 2^i must land in bucket
+// i (upper edge inclusive), and 2^i + 1 must spill into bucket i+1. The
+// blame matrix, quantile mapping, and Prometheus exposition all assume
+// this alignment, so it is pinned across the whole representable range.
+func TestHistPowerOfTwoBoundaries(t *testing.T) {
+	for i := 1; i < histBuckets-1; i++ {
+		edge := int64(1) << uint(i)
+		if got := bucketOf(edge); got != i {
+			t.Errorf("bucketOf(2^%d) = %d, want %d", i, got, i)
+		}
+		if got := bucketOf(edge + 1); got != i+1 {
+			t.Errorf("bucketOf(2^%d+1) = %d, want %d", i, got, i+1)
+		}
+	}
+	// The bottom bucket holds everything <= 1, including the degenerate
+	// inputs; the top bucket absorbs the unrepresentable tail.
+	if bucketOf(0) != 0 || bucketOf(1) != 0 || bucketOf(-1) != 0 {
+		t.Error("values <= 1 must land in bucket 0")
+	}
+	if got := bucketOf(math.MaxInt64); got != histBuckets-1 {
+		t.Errorf("bucketOf(MaxInt64) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+// A histogram whose observations all share one bucket must answer every
+// quantile with that bucket's upper edge — there is no sub-bucket
+// resolution to interpolate, and pretending otherwise would fabricate
+// precision the log2 layout does not have.
+func TestHistSingleBucketQuantile(t *testing.T) {
+	h := &Hist{}
+	for _, v := range []int64{513, 700, 1000, 1024} { // all in bucket 10 (edge 1024)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 1024 {
+			t.Fatalf("Quantile(%v) = %d, want 1024", q, got)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+// The blame instruments follow the same nil contract as every other obs
+// instrument: a nil *BlameSet and a zero-value BlameSet (nil interior
+// instruments) both absorb observations without panicking, and the
+// report paths render the empty state instead of failing.
+func TestBlameSetNilSafe(t *testing.T) {
+	bl := &sim.Blame{GCPauseNs: 5, ScanCost: 3}
+	bl.Ns[sim.BlameCache] = 100
+
+	var nilSet *BlameSet
+	nilSet.Observe(100, bl)
+	nilSet.Observe(0, nil)
+	if nilSet.Count() != 0 {
+		t.Fatal("nil BlameSet.Count != 0")
+	}
+	if rows := nilSet.BlameTable(0.5, 0.99); rows != nil {
+		t.Fatalf("nil BlameSet.BlameTable = %v, want nil", rows)
+	}
+	var sb strings.Builder
+	if err := nilSet.WriteBlameTable(&sb, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no requests") {
+		t.Fatalf("nil WriteBlameTable output %q", sb.String())
+	}
+
+	// Zero value: the cells matrix works, the interior *Hist/*Counter
+	// instruments are nil and must no-op individually.
+	zero := &BlameSet{}
+	zero.Observe(100, bl)
+	zero.Observe(100, nil) // nil span is ignored, not counted
+	if zero.Count() != 1 {
+		t.Fatalf("zero-value BlameSet.Count = %d, want 1", zero.Count())
+	}
+	rows := zero.BlameTable(0.5)
+	if len(rows) != 1 || rows[0].CauseNs[sim.BlameCache] != 100 {
+		t.Fatalf("zero-value BlameTable rows = %+v", rows)
+	}
+}
+
+// A registered BlameSet's table rows must decompose exactly: the
+// per-cause means sum to the row's mean response time because the
+// engine's partition is exact — any drift here means double counting.
+func TestBlameTableRowsSumExactly(t *testing.T) {
+	tel := New()
+	b := tel.Blame
+	for i := int64(1); i <= 64; i++ {
+		var bl sim.Blame
+		bl.Ns[sim.BlameQueue] = i
+		bl.Ns[sim.BlameCache] = 2 * i
+		bl.Ns[sim.BlameEvict] = 7
+		b.Observe(bl.Total(), &bl)
+	}
+	if b.Count() != 64 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	for _, r := range b.BlameTable(0.5, 0.99, 1) {
+		var sum float64
+		for c := 0; c < sim.NumBlameCauses; c++ {
+			sum += r.CauseNs[c]
+		}
+		if math.Abs(sum-r.MeanNs) > 1e-9 {
+			t.Fatalf("P%g: cause means sum %v != mean %v", r.Quantile*100, sum, r.MeanNs)
+		}
+		if r.Count == 0 {
+			t.Fatalf("P%g: empty bucket selected", r.Quantile*100)
+		}
+	}
+	// Dominant tallies cover every request exactly once.
+	var doms int64
+	for c := 0; c < sim.NumBlameCauses; c++ {
+		doms += b.Dominant[c].Value()
+	}
+	if doms != 64 {
+		t.Fatalf("dominant total = %d, want 64", doms)
+	}
+}

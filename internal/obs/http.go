@@ -47,11 +47,42 @@ func (t *Telemetry) healthSource() HealthSource {
 	return nil
 }
 
+// flightRecorders guards the per-Telemetry flight recorder, mirroring the
+// healthSources pattern; /debug/flightrec reads are rare.
+var flightRecorders sync.Map // *Telemetry → *FlightRecorder
+
+// SetFlightRecorder attaches the flight recorder served on
+// /debug/flightrec. Safe to call while the handler is serving; a nil
+// recorder detaches.
+func (t *Telemetry) SetFlightRecorder(fr *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	if fr == nil {
+		flightRecorders.Delete(t)
+		return
+	}
+	flightRecorders.Store(t, fr)
+}
+
+// flightRecorder returns the attached recorder, or nil.
+func (t *Telemetry) flightRecorder() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	if fr, ok := flightRecorders.Load(t); ok {
+		return fr.(*FlightRecorder)
+	}
+	return nil
+}
+
 // Handler returns the live exposition mux for this Telemetry:
 //
 //	/metrics       Prometheus text exposition of the whole catalog
 //	/healthz       200 {"status":"ok"} while healthy,
 //	               503 {"status":"degraded"} once the device goes read-only
+//	/debug/flightrec  NDJSON snapshot of the attached flight recorder
+//	                  (404 until SetFlightRecorder is called)
 //	/debug/pprof/  the standard Go profiling endpoints
 //	/              a plain-text index of the above
 //
@@ -85,6 +116,15 @@ func (t *Telemetry) Handler() http.Handler {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"status":"degraded"}`)
 	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		fr := t.flightRecorder()
+		if fr == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = fr.WriteSnapshot(w) // write errors mean the client hung up
+	})
 	// net/http/pprof registers on DefaultServeMux at import; wire its
 	// handlers onto this mux explicitly so the default mux stays clean.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -98,7 +138,7 @@ func (t *Telemetry) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "ssdsim telemetry\n\n/metrics\n/healthz\n/debug/pprof/\n")
+		fmt.Fprint(w, "ssdsim telemetry\n\n/metrics\n/healthz\n/debug/flightrec\n/debug/pprof/\n")
 	})
 	return mux
 }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// TraceExport writes sampled requests as Chrome trace-event JSON — the
+// format Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+// Each sampled request becomes a complete ("X") slice on its shard's
+// track, with nested child slices per nonzero blame cause laid out
+// chronologically, so opening the file shows exactly where each slow
+// request's time went.
+//
+// Sampling is the Tracer's: a pure function of (Seed, request index), so
+// the same seed and rate produce byte-identical files across runs —
+// diffable and assertable in tests. Timestamps are simulated nanoseconds
+// rendered as fractional microseconds (the trace-event unit).
+//
+// On a single engine every request lands on track "shard 0". On the
+// sharded merged stream, OnResult sees a nil engine and defers emission to
+// OnShardResult (sim.ShardAware), which carries the owning shard.
+type TraceExport struct {
+	w    *bufio.Writer
+	seed uint64
+	rate uint64
+
+	named map[int]bool // shard tracks already given a thread_name
+	await bool         // sampled result pending its OnShardResult
+	n     int64        // sampled requests emitted
+	err   error
+}
+
+var (
+	_ sim.Observer   = (*TraceExport)(nil)
+	_ sim.ShardAware = (*TraceExport)(nil)
+)
+
+// NewTraceExport builds an exporter writing to w, keeping one request in
+// rate (rate <= 0 disables sampling; rate 1 keeps every request). The
+// header and process metadata are written immediately.
+func NewTraceExport(w io.Writer, rate int, seed uint64) *TraceExport {
+	t := &TraceExport{w: bufio.NewWriter(w), seed: seed, named: make(map[int]bool)}
+	if rate > 0 {
+		t.rate = uint64(rate)
+	}
+	t.printf(`{"displayTimeUnit":"ns","traceEvents":[` + "\n")
+	t.printf(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"ssdsim"}}`)
+	return t
+}
+
+// Sampled reports whether request index i is in the sample.
+func (t *TraceExport) Sampled(i int) bool {
+	return t.rate > 0 && splitmix64(t.seed^uint64(i))%t.rate == 0
+}
+
+// SampledCount returns how many requests were exported so far.
+func (t *TraceExport) SampledCount() int64 { return t.n }
+
+// Err returns the first write error, if any.
+func (t *TraceExport) Err() error { return t.err }
+
+// printf appends trace text, latching the first write error.
+func (t *TraceExport) printf(format string, args ...any) {
+	if _, err := fmt.Fprintf(t.w, format, args...); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// event starts one more event object (the leading ",\n" separator — the
+// header already wrote the first event).
+func (t *TraceExport) event() { t.printf(",\n") }
+
+// OnRequest implements sim.Observer (emission happens at OnResult, when
+// the blame partition is complete).
+func (t *TraceExport) OnRequest(e *sim.Engine, ev *sim.RequestEvent) {}
+
+// OnEviction implements sim.Observer.
+func (t *TraceExport) OnEviction(e *sim.Engine, ev *sim.EvictionEvent) {}
+
+// OnResult implements sim.Observer: emits the sampled request's slice
+// tree. The unsampled path is one hash and one branch, no allocation.
+func (t *TraceExport) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
+	if !t.Sampled(ev.Req.Index) {
+		return
+	}
+	if e == nil {
+		// Merged sharded stream: the shard arrives in OnShardResult,
+		// which the merger calls right after this.
+		t.await = true
+		return
+	}
+	t.emit(0, ev)
+}
+
+// OnShardResult implements sim.ShardAware: emission point on the merged
+// stream, with the owning shard's track.
+func (t *TraceExport) OnShardResult(shard int, _ []int, ev *sim.ResultEvent) {
+	if !t.await {
+		return
+	}
+	t.await = false
+	t.emit(shard, ev)
+}
+
+// OnDone implements sim.Observer: flushes buffered events (the JSON
+// footer is written by Close, so multi-run attachments stay valid).
+func (t *TraceExport) OnDone(e *sim.Engine, ev *sim.DoneEvent) {
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Close writes the JSON footer and flushes; the file is a complete
+// trace-event document afterwards.
+func (t *TraceExport) Close() error {
+	t.printf("\n]}\n")
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// emit writes the request's parent slice plus one child slice per nonzero
+// blame cause. The children tile [arrival, completion) in phase order —
+// the partition is exact, so the layout has no gaps or overlaps.
+func (t *TraceExport) emit(shard int, ev *sim.ResultEvent) {
+	t.n++
+	tid := shard + 1
+	if !t.named[shard] {
+		t.named[shard] = true
+		t.event()
+		t.printf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"shard %d"}}`, tid, shard)
+	}
+	op := "read"
+	if ev.Req.Write {
+		op = "write"
+	}
+	total := ev.Blame.Total()
+	res := ev.Res
+	t.event()
+	t.printf(`{"name":"req %d %s","cat":"request","ph":"X","pid":1,"tid":%d,"ts":%d.%03d,"dur":%d.%03d,`+
+		`"args":{"index":%d,"lpn":%d,"pages":%d,"hits":%d,"misses":%d,"dominant":%q,"gc_overlap_ns":%d,"scan_cost":%d}}`,
+		ev.Req.Index, op, tid,
+		ev.Req.Arrival/1000, ev.Req.Arrival%1000, total/1000, total%1000,
+		ev.Req.Index, ev.Req.LPN, ev.Req.Pages, res.Hits, res.Misses,
+		ev.Blame.Dominant().String(), ev.Blame.GCPauseNs, ev.Blame.ScanCost)
+	start := ev.Req.Arrival
+	for c := 0; c < sim.NumBlameCauses; c++ {
+		dur := ev.Blame.Ns[c]
+		if dur <= 0 {
+			continue
+		}
+		t.event()
+		t.printf(`{"name":%q,"cat":"blame","ph":"X","pid":1,"tid":%d,"ts":%d.%03d,"dur":%d.%03d,"args":{"index":%d}}`,
+			sim.BlameCause(c).String(), tid,
+			start/1000, start%1000, dur/1000, dur%1000, ev.Req.Index)
+		start += dur
+	}
+}

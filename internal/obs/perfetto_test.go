@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+// perfettoEvent mirrors the exporter's event shape for decoding.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+// runExport replays the test workload through a TraceExport and returns
+// the raw bytes.
+func runExport(t *testing.T, rate int, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	exp := NewTraceExport(&buf, rate, seed)
+	_, err := replay.Run(testTrace(t), core.New(1024), testDevice(t), replay.Options{
+		Observers: []sim.Observer{exp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The export must be one valid JSON document in Chrome trace-event form,
+// deterministic for a fixed seed and rate, with every blame child slice
+// tiling its parent request slice exactly.
+func TestTraceExportDeterministicAndNested(t *testing.T) {
+	a := runExport(t, 16, 7)
+	if !bytes.Equal(a, runExport(t, 16, 7)) {
+		t.Fatal("same seed and rate produced different exports")
+	}
+	if bytes.Equal(a, runExport(t, 16, 8)) {
+		t.Fatal("different seed produced an identical export")
+	}
+
+	var doc struct {
+		DisplayTimeUnit string          `json:"displayTimeUnit"`
+		TraceEvents     []perfettoEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var requests, blames int
+	var parent *perfettoEvent
+	var childEnd float64
+	const eps = 0.0005 // half the 3-decimal µs resolution
+	for i := range doc.TraceEvents {
+		ev := &doc.TraceEvents[i]
+		switch {
+		case ev.Ph == "M":
+			continue
+		case ev.Cat == "request":
+			// The previous parent must have been tiled completely.
+			if parent != nil && math.Abs(childEnd-(parent.Ts+parent.Dur)) > eps {
+				t.Fatalf("%s: children end at %v, parent ends at %v",
+					parent.Name, childEnd, parent.Ts+parent.Dur)
+			}
+			requests++
+			parent = ev
+			childEnd = ev.Ts
+			if ev.Args["dominant"] == nil || ev.Args["index"] == nil {
+				t.Fatalf("request slice missing args: %+v", ev)
+			}
+		case ev.Cat == "blame":
+			blames++
+			if parent == nil {
+				t.Fatalf("blame slice %q before any request slice", ev.Name)
+			}
+			if ev.Tid != parent.Tid {
+				t.Fatalf("blame slice on tid %d, parent on %d", ev.Tid, parent.Tid)
+			}
+			// Children are sequential: each starts where the last ended.
+			if math.Abs(ev.Ts-childEnd) > eps {
+				t.Fatalf("%s: child starts at %v, previous ended at %v", ev.Name, ev.Ts, childEnd)
+			}
+			childEnd = ev.Ts + ev.Dur
+		default:
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+	if parent != nil && math.Abs(childEnd-(parent.Ts+parent.Dur)) > eps {
+		t.Fatalf("last parent not tiled: children end %v, parent ends %v",
+			childEnd, parent.Ts+parent.Dur)
+	}
+	if requests == 0 || blames == 0 {
+		t.Fatalf("export has %d request and %d blame slices", requests, blames)
+	}
+}
+
+// Rate 0 disables sampling: the export is a valid empty document.
+func TestTraceExportRateZero(t *testing.T) {
+	var doc struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}
+	out := runExport(t, 0, 1)
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("rate-0 export invalid: %v\n%s", err, out)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			t.Fatalf("rate-0 export contains slice %+v", ev)
+		}
+	}
+}

@@ -69,6 +69,10 @@ type Telemetry struct {
 	DegradedTrans  *Counter
 	InvChecks      *Counter
 
+	// Attribution plane — per-request blame spans folded at OnResult.
+	Blame        *BlameSet
+	GCPauseTotal *Counter
+
 	// Health plane.
 	Degraded *Gauge
 	RunsDone *Counter
@@ -128,6 +132,9 @@ func New() *Telemetry {
 	t.GrownBad = r.Counter("ssdsim_fault_grown_bad_total", "Injected grown-bad-block events.")
 	t.DegradedTrans = r.Counter("ssdsim_degraded_transitions_total", "Transitions into read-only degraded mode.")
 	t.InvChecks = r.Counter("ssdsim_invariant_checks_total", "Post-recovery invariant suite runs.")
+
+	t.Blame = newBlameSet(r)
+	t.GCPauseTotal = r.Counter("ssdsim_gc_pause_total_ns", "Cumulative foreground-visible GC pause, mirrored from the device, simulated ns.")
 
 	t.Degraded = r.Gauge("ssdsim_degraded", "1 while the device is in read-only degraded mode.")
 	t.RunsDone = r.Counter("ssdsim_runs_completed_total", "Replays finished under this telemetry value.")
@@ -201,6 +208,7 @@ func (t *Telemetry) syncDevice(dev *ssd.Device) {
 	t.GrownBad.Set(c.GrownBadBlocks)
 	t.DegradedTrans.Set(c.DegradedEntries)
 	t.InvChecks.Set(c.InvariantChecks)
+	t.GCPauseTotal.Set(c.GCPauseNs)
 	if dev.Degraded() {
 		t.Degraded.Set(1)
 	} else {
@@ -280,6 +288,7 @@ func (o *engineObserver) OnResult(e *sim.Engine, ev *sim.ResultEvent) {
 	t.Bypassed.Add(int64(len(res.Bypass)))
 	t.Prefetched.Add(int64(ev.Prefetched))
 	t.ReqLatency.Observe(ev.Completion - ev.Req.Issue)
+	t.Blame.Observe(ev.Completion-ev.Req.Arrival, &ev.Blame)
 	if dev := e.Device(); dev != nil {
 		t.CacheLookup.Observe(int64(res.Hits+res.Inserted) * dev.Params().DRAMAccess)
 	}

@@ -19,6 +19,9 @@ import (
 func runVindex(spec Spec) *Divergence {
 	idx := buildVindexPolicy(&spec)
 	lin := buildVindexPolicy(&spec)
+	// Both modes are forced explicitly: defaults differ per policy (VBBMS
+	// ships linear because its victim is an O(1) tail pop either way).
+	idx.(cache.LinearScanSelector).SetLinearVictimScan(false)
 	lin.(cache.LinearScanSelector).SetLinearVictimScan(true)
 	idxIdle, _ := idx.(cache.IdleEvictor)
 	linIdle, _ := lin.(cache.IdleEvictor)

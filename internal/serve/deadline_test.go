@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"os"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -181,4 +182,77 @@ func assertMetric(t *testing.T, tel *obs.Telemetry, line string) {
 		}
 	}
 	t.Fatalf("metric line %q not found in exposition", line)
+}
+
+// TestDeadlineMissDumpsFlightRecorder pins the anomaly plumbing: the
+// first deadline expiry must record a deadline_miss in the flight
+// recorder and write a dump file named for the phase that missed.
+func TestDeadlineMissDumpsFlightRecorder(t *testing.T) {
+	leakcheck.Check(t)
+	clock := &fakeClock{}
+	gate := newGatePolicy(cache.NewLRU(64))
+	dir := t.TempDir()
+	fr := obs.NewFlightRecorder(1, 64, dir)
+	srv, err := serve.New(serve.Config{
+		Shards: 1, Sharing: sim.SharingEqual, TotalCapacityPages: 64,
+		WriteWindowPages: 1024, DefaultDeadlineNs: int64(time.Hour),
+		NewPolicy: func(_, _ int) cache.Policy { return gate },
+		NewDevice: testDevice,
+		Now:       clock.Now, FlightRecorder: fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	respA := make(chan serve.Response, 1)
+	go func() {
+		r, _ := srv.Submit(serve.Op{Write: true, LPN: 0, Pages: 1})
+		respA <- r
+	}()
+	<-gate.entered
+
+	respB := make(chan serve.Response, 1)
+	go func() {
+		r, _ := srv.Submit(serve.Op{Write: true, LPN: 8, Pages: 1, DeadlineNs: 1000})
+		respB <- r
+	}()
+	waitFor(t, func() bool { return srv.Stats().QueueDepth == 1 }, "B never queued")
+	clock.Advance(2000)
+	gate.open()
+	<-respA
+	if b := <-respB; b.Outcome != serve.OutcomeTimeout {
+		t.Fatalf("B outcome %v, want timeout", b.Outcome)
+	}
+
+	var miss *obs.FlightRecord
+	for _, r := range fr.Snapshot() {
+		if r.Kind == obs.FlightDeadlineMiss {
+			rc := r
+			miss = &rc
+			break
+		}
+	}
+	if miss == nil {
+		t.Fatal("no deadline_miss record in the flight recorder")
+	}
+	if miss.B < 1000 { // overrun ns: the clock advanced 2000 past a 1000ns deadline
+		t.Fatalf("deadline_miss overrun = %d, want >= 1000", miss.B)
+	}
+	if fr.DumpCount() == 0 {
+		t.Fatal("deadline miss did not trigger a dump")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range ents {
+		if strings.Contains(e.Name(), "deadline-queued") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no deadline-queued dump among %v", ents)
+	}
 }

@@ -17,6 +17,7 @@ type WireResponse struct {
 	Shard        int    `json:"shard"`
 	QueueNs      int64  `json:"queue_ns"`
 	ServiceNs    int64  `json:"service_ns"`
+	WindowNs     int64  `json:"window_ns,omitempty"`
 	SimLatencyNs int64  `json:"sim_latency_ns"`
 	RetryAfterNs int64  `json:"retry_after_ns,omitempty"`
 	Hits         int    `json:"hits"`
@@ -26,7 +27,8 @@ type WireResponse struct {
 func toWire(r Response) WireResponse {
 	return WireResponse{
 		Outcome: r.Outcome.String(), Phase: r.Phase.String(), Shard: r.Shard,
-		QueueNs: r.QueueNs, ServiceNs: r.ServiceNs, SimLatencyNs: r.SimLatencyNs,
+		QueueNs: r.QueueNs, ServiceNs: r.ServiceNs, WindowNs: r.WindowNs,
+		SimLatencyNs: r.SimLatencyNs,
 		RetryAfterNs: r.RetryAfterNs, Hits: r.Hits, Misses: r.Misses,
 	}
 }
@@ -212,7 +214,7 @@ func (c *Client) Submit(op Op) (Response, error) {
 	}
 	return Response{
 		Outcome: out, Phase: parsePhase(wire.Phase), Shard: wire.Shard,
-		QueueNs: wire.QueueNs, ServiceNs: wire.ServiceNs,
+		QueueNs: wire.QueueNs, ServiceNs: wire.ServiceNs, WindowNs: wire.WindowNs,
 		SimLatencyNs: wire.SimLatencyNs, RetryAfterNs: wire.RetryAfterNs,
 		Hits: wire.Hits, Misses: wire.Misses,
 	}, nil

@@ -147,3 +147,79 @@ func postJSON(t *testing.T, c *http.Client, url string, wantStatus int, v any) {
 		t.Fatal(err)
 	}
 }
+
+// TestStatsExposeRungAndQueueDepth pins the overload-ladder rung and
+// admission queue depth as raw /v1/stats JSON keys: dashboards scrape
+// these by name, so renaming them is a breaking change. The flight
+// recorder's /debug/flightrec endpoint rides the same obs fallthrough.
+func TestStatsExposeRungAndQueueDepth(t *testing.T) {
+	leakcheck.Check(t)
+	tel := obs.New()
+	fr := obs.NewFlightRecorder(2, 64, "")
+	srv, err := serve.New(serve.Config{
+		Shards: 2, Sharing: sim.SharingEqual, TotalCapacityPages: 64,
+		DefaultDeadlineNs: int64(time.Minute),
+		NewPolicy:         lruPolicy, NewDevice: testDevice,
+		Telemetry: tel, FlightRecorder: fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.HTTPHandler(tel.Handler()))
+	defer ts.Close()
+	cl := &serve.Client{Base: ts.URL, HTTP: ts.Client()}
+
+	if _, err := cl.Submit(serve.Op{Write: true, LPN: 0, Pages: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode into a raw map so the assertion is on the wire names, not on
+	// the Go struct tags staying in sync with themselves.
+	var raw map[string]any
+	getJSON(t, ts.Client(), ts.URL+"/v1/stats", http.StatusOK, &raw)
+	rung, ok := raw["rung"].(float64)
+	if !ok {
+		t.Fatalf("stats JSON missing numeric \"rung\": %v", raw)
+	}
+	if rung != 0 {
+		t.Fatalf("idle rung = %v, want 0", rung)
+	}
+	if _, ok := raw["queue_depth"].(float64); !ok {
+		t.Fatalf("stats JSON missing numeric \"queue_depth\": %v", raw)
+	}
+
+	// Escalation is visible in the same field: read-only is rung 4.
+	postJSON(t, ts.Client(), ts.URL+"/v1/force-readonly", http.StatusOK, &struct{}{})
+	if _, err := cl.Submit(serve.Op{Write: true, LPN: 0, Pages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.Client(), ts.URL+"/v1/stats", http.StatusOK, &raw)
+	if raw["rung"].(float64) != 4 || raw["state"].(string) != serve.StateReadOnly {
+		t.Fatalf("post-readonly rung/state = %v/%v, want 4/%s",
+			raw["rung"], raw["state"], serve.StateReadOnly)
+	}
+
+	// The flight recorder is reachable on the obs fallthrough and has
+	// recorded the engine traffic.
+	resp, err := ts.Client().Get(ts.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flightrec status %d, want 200", resp.StatusCode)
+	}
+	var n int
+	sc := json.NewDecoder(resp.Body)
+	for sc.More() {
+		var rec map[string]any
+		if err := sc.Decode(&rec); err != nil {
+			t.Fatalf("flightrec NDJSON: %v", err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("flight recorder snapshot empty after served traffic")
+	}
+	srv.Drain()
+}

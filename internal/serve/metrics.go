@@ -1,6 +1,9 @@
 package serve
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // instruments is the ssdserve_* catalog registered into the attached
 // obs.Telemetry. Every field may be nil (no telemetry attached) — the obs
@@ -22,8 +25,22 @@ type instruments struct {
 	shedPages       *obs.Counter
 	drainedPages    *obs.Counter
 
-	queueWait *obs.Hist
-	service   *obs.Hist
+	queueWait  *obs.Hist
+	service    *obs.Hist
+	windowWait *obs.Hist
+
+	// simBlame[c] is the simulated-time blame breakdown of engine-served
+	// requests, per cause (nonzero shares only).
+	simBlame [sim.NumBlameCauses]*obs.Hist
+}
+
+// observeBlame folds one engine-path response's blame partition.
+func (ins *instruments) observeBlame(bl *sim.Blame) {
+	for c := 0; c < sim.NumBlameCauses; c++ {
+		if v := bl.Ns[c]; v != 0 {
+			ins.simBlame[c].Observe(v)
+		}
+	}
 }
 
 // newInstruments registers the serve catalog, or returns an all-nil set
@@ -65,5 +82,12 @@ func newInstruments(tel *obs.Telemetry) *instruments {
 		"Admission wait per request in server-clock nanoseconds")
 	ins.service = r.Hist("ssdserve_service_ns",
 		"Service time per request in server-clock nanoseconds")
+	ins.windowWait = r.Hist("ssdserve_window_wait_ns",
+		"DRAM write-window wait per blocked write in server-clock nanoseconds")
+	for c := 0; c < sim.NumBlameCauses; c++ {
+		name := sim.BlameCause(c).String()
+		ins.simBlame[c] = r.Hist("ssdserve_blame_"+name+"_ns",
+			"Simulated response time attributed to the "+name+" cause on engine-served requests, nonzero shares only")
+	}
 	return ins
 }

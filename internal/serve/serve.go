@@ -133,6 +133,13 @@ type Response struct {
 	// QueueNs is submission → dequeue; ServiceNs is dequeue → response.
 	QueueNs   int64
 	ServiceNs int64
+	// WindowNs is the DRAM write-window wait inside the queue phase: how
+	// long the submitter blocked for a free slot (0 when the reservation
+	// succeeded immediately, for reads, and for shed writes).
+	WindowNs int64
+	// SimBlame is the engine's exact per-cause latency partition of
+	// SimLatencyNs (engine path only; zero elsewhere).
+	SimBlame sim.Blame
 	// SimLatencyNs is the simulated device response time (issue to
 	// completion on the device timeline).
 	SimLatencyNs int64
@@ -194,6 +201,11 @@ type Config struct {
 	// per-shard engine instruments, and the /healthz health source. One
 	// Server per Telemetry (instrument names collide otherwise).
 	Telemetry *obs.Telemetry
+	// FlightRecorder, when set, records each shard's engine events and
+	// dumps the rings on anomalies: deadline expiry, overload-ladder rung
+	// changes, and entry into degraded/read-only mode. Also attached to
+	// Telemetry's /debug/flightrec endpoint when both are set.
+	FlightRecorder *obs.FlightRecorder
 	// Now is the server clock in nanoseconds; nil uses monotonic wall
 	// time since New. Tests inject a fake clock for deterministic
 	// deadline behavior.
@@ -219,6 +231,11 @@ type Server struct {
 	shards  []*shard
 	met     *instruments
 	tally   tally
+	fr      *obs.FlightRecorder
+
+	// lastRung tracks the overload-ladder rung for flight-recorder
+	// rung-change triggers; only maintained while fr is attached.
+	lastRung atomic.Int64
 
 	// stateMu is the intake barrier: Submit holds RLock from the
 	// draining check through the queue send, Drain takes Lock before
@@ -284,7 +301,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxWaitNs = cfg.DefaultDeadlineNs
 	}
 
-	srv := &Server{cfg: cfg, met: newInstruments(cfg.Telemetry)}
+	srv := &Server{cfg: cfg, met: newInstruments(cfg.Telemetry), fr: cfg.FlightRecorder}
 	if cfg.Now != nil {
 		srv.now = cfg.Now
 	} else {
@@ -343,10 +360,16 @@ func New(cfg Config) (*Server, error) {
 		if hook != nil {
 			s.eng.Observe(hook(k, s.eng)...)
 		}
+		if srv.fr != nil {
+			s.eng.Observe(srv.fr.Observer(k))
+		}
 		srv.shards = append(srv.shards, s)
 	}
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.SetHealthSource(srv)
+		if srv.fr != nil {
+			cfg.Telemetry.SetFlightRecorder(srv.fr)
+		}
 	}
 	for _, s := range srv.shards {
 		srv.wg.Add(1)
@@ -425,6 +448,7 @@ func (srv *Server) ForceReadOnly() {
 // they fail fast instead of waiting out their deadline.
 func (srv *Server) setDegraded() {
 	if srv.degraded.CompareAndSwap(false, true) {
+		srv.fr.Trigger("read-only", 0, srv.now())
 		for _, s := range srv.shards {
 			s.mu.Lock()
 			s.cond.Broadcast()
@@ -433,16 +457,49 @@ func (srv *Server) setDegraded() {
 	}
 }
 
+// flightDeadline records a deadline expiry in the flight recorder and
+// dumps the rings (the first misses produce files; later ones only
+// record). Nil-safe via the recorder.
+func (srv *Server) flightDeadline(shard int, phase Phase, overrunNs int64) {
+	if srv.fr == nil {
+		return
+	}
+	now := srv.now()
+	srv.fr.Record(shard, obs.FlightDeadlineMiss, now, int64(phase), overrunNs, 0)
+	srv.fr.Trigger("deadline-"+phase.String(), shard, now)
+}
+
+// noteRung feeds the overload-ladder rung derived from live state into the
+// flight recorder, recording transitions and dumping on escalations. Only
+// called while a recorder is attached (state() takes per-shard locks).
+func (srv *Server) noteRung() {
+	state, _ := srv.state()
+	rung := stateRung(state)
+	old := srv.lastRung.Load()
+	if old == rung || !srv.lastRung.CompareAndSwap(old, rung) {
+		return
+	}
+	now := srv.now()
+	srv.fr.Record(0, obs.FlightRungChange, now, old, rung, 0)
+	if rung > old {
+		srv.fr.Trigger("rung-"+state, 0, now)
+	}
+}
+
 // count folds a finished response into the tallies and instruments and
 // returns it unchanged (so call sites can count-and-return in one line).
 func (srv *Server) count(resp Response) Response {
 	t, m := &srv.tally, srv.met
+	if resp.WindowNs > 0 {
+		m.windowWait.Observe(resp.WindowNs)
+	}
 	switch resp.Outcome {
 	case OutcomeOK:
 		t.accepted.Add(1)
 		m.accepted.Inc()
 		m.queueWait.Observe(resp.QueueNs)
 		m.service.Observe(resp.ServiceNs)
+		m.observeBlame(&resp.SimBlame)
 	case OutcomeShed:
 		t.shed.Add(1)
 		m.shed.Inc()
@@ -457,6 +514,7 @@ func (srv *Server) count(resp Response) Response {
 			m.timeoutsService.Inc()
 			m.queueWait.Observe(resp.QueueNs)
 			m.service.Observe(resp.ServiceNs)
+			m.observeBlame(&resp.SimBlame)
 		} else {
 			t.timeoutsQueued.Add(1)
 			m.timeoutsQueued.Inc()
@@ -474,6 +532,9 @@ func (srv *Server) count(resp Response) Response {
 	case OutcomeError:
 		t.errs.Add(1)
 		m.errs.Inc()
+	}
+	if srv.fr != nil {
+		srv.noteRung()
 	}
 	return resp
 }
@@ -566,6 +627,7 @@ type ShardStats struct {
 // Stats is the /v1/stats snapshot: outcome tallies plus per-shard state.
 type Stats struct {
 	State           string       `json:"state"`
+	Rung            int64        `json:"rung"`
 	QueueDepth      int64        `json:"queue_depth"`
 	Accepted        int64        `json:"accepted"`
 	Shed            int64        `json:"shed"`
@@ -586,6 +648,7 @@ func (srv *Server) Stats() Stats {
 	state, _ := srv.state()
 	st := Stats{
 		State:           state,
+		Rung:            stateRung(state),
 		QueueDepth:      srv.depth.Load(),
 		Accepted:        srv.tally.accepted.Load(),
 		Shed:            srv.tally.shed.Load(),

@@ -34,6 +34,7 @@ type work struct {
 	deadline  int64 // absolute server-clock ns; always > 0 for client ops
 	submitted int64
 	dequeued  int64
+	windowNs  int64 // time blocked in waitWindow (0 on immediate reserve)
 	done      chan Response
 }
 
@@ -148,6 +149,7 @@ func (s *shard) waitWindow(w *work) (Response, bool) {
 		if s.cached+s.queuedWrite+pages <= s.window {
 			s.queuedWrite += pages
 			w.reserved = true
+			w.windowNs = srv.now() - w.submitted
 			return Response{}, true
 		}
 		if now := srv.now(); now >= limit {
@@ -283,8 +285,10 @@ func (ls *liveSource) Next() (trace.Request, bool) {
 		}
 		if now > w.deadline {
 			s.settle(w)
+			s.srv.flightDeadline(s.id, PhaseQueued, now-w.deadline)
 			s.respond(w, Response{
 				Outcome: OutcomeTimeout, Phase: PhaseQueued, QueueNs: now - w.submitted,
+				WindowNs: w.windowNs,
 			})
 			continue
 		}
@@ -369,7 +373,9 @@ func (o *shardObserver) OnResult(_ *sim.Engine, ev *sim.ResultEvent) {
 	resp := Response{
 		Outcome: OutcomeOK,
 		QueueNs: w.dequeued - w.submitted, ServiceNs: svc,
+		WindowNs:     w.windowNs,
 		SimLatencyNs: ev.Completion - ev.Req.Issue,
+		SimBlame:     ev.Blame,
 		Hits:         ev.Res.Hits, Misses: ev.Res.Misses,
 	}
 	// A deadline that died inside the engine — typically stalled behind a
@@ -378,6 +384,7 @@ func (o *shardObserver) OnResult(_ *sim.Engine, ev *sim.ResultEvent) {
 	if now > w.deadline {
 		resp.Outcome = OutcomeTimeout
 		resp.Phase = PhaseService
+		s.srv.flightDeadline(s.id, PhaseService, now-w.deadline)
 	}
 	s.settleResult(w)
 	s.respond(w, resp)
@@ -429,6 +436,7 @@ func (s *shard) degradedLoop() {
 		case w.ctrl == ctrlForceReadOnly:
 			s.respond(w, Response{Outcome: OutcomeOK})
 		case now > w.deadline:
+			s.srv.flightDeadline(s.id, PhaseQueued, now-w.deadline)
 			s.respond(w, Response{
 				Outcome: OutcomeTimeout, Phase: PhaseQueued, QueueNs: now - w.submitted,
 			})

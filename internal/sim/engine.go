@@ -79,6 +79,7 @@ type Engine struct {
 	resEv ResultEvent
 	evEv  EvictionEvent
 	res   cache.Result
+	blame Blame // per-request attribution, reset at each processRequest
 
 	idler     cache.IdleEvictor
 	scanRep   cache.VictimScanReporter
@@ -403,9 +404,26 @@ func (e *Engine) processRequest(i int, req trace.Request, pageSize int64) error 
 	e.res = e.pol.Access(creq)
 	completion := e.dev.CacheAccess(now, e.res.Hits+e.res.Inserted)
 
+	// Blame attribution: each phase boundary charges its delta of the
+	// running completion time to one cause, so the entries sum exactly to
+	// Completion - Arrival. Dispatch charges Evict/Bypass/Read itself.
+	e.blame = Blame{}
+	e.blame.Ns[BlameQueue] = issue - req.Time
+	e.blame.Ns[BlameStall] = now - issue
+	e.blame.Ns[BlameCache] = completion - now
+	gc0 := e.dev.GCPauseNs()
+	var scan0 int64
+	if e.scanRep != nil {
+		scan0 = e.scanRep.VictimScanCost()
+	}
+
 	completion, prefetched, err := e.dispatch(now, completion)
 	if err != nil || e.stopped {
 		return err
+	}
+	e.blame.GCPauseNs = e.dev.GCPauseNs() - gc0
+	if e.scanRep != nil {
+		e.blame.ScanCost = e.scanRep.VictimScanCost() - scan0
 	}
 
 	if e.window != nil {
@@ -417,6 +435,7 @@ func (e *Engine) processRequest(i int, req trace.Request, pageSize int64) error 
 		Req: &e.reqEv, Res: &e.res,
 		Completion: completion, Prefetched: prefetched,
 		Processed: e.processed, NodeCount: e.pol.NodeCount(),
+		Blame: e.blame,
 	}
 	for _, o := range e.obs {
 		o.OnResult(e, &e.resEv)
@@ -457,6 +476,7 @@ func (e *Engine) quotaDrain(now int64) error {
 // time and the prefetch count actually issued.
 func (e *Engine) dispatch(now, completion int64) (int64, int, error) {
 	// Evictions: flush victims; the request waits for durability.
+	mark := completion
 	for i := range e.res.Evictions {
 		ev := &e.res.Evictions[i]
 		if ev.CleanDrop {
@@ -499,9 +519,11 @@ func (e *Engine) dispatch(now, completion int64) (int64, int, error) {
 			completion = bt.Transferred
 		}
 	}
+	e.blame.Ns[BlameEvict] += completion - mark
 
 	// Bypassed large-write pages stream straight to flash; the request
 	// blocks on their transfers like an eviction flush.
+	mark = completion
 	if len(e.res.Bypass) > 0 {
 		bt, err := e.dev.FlushStriped(now, e.res.Bypass)
 		if err != nil {
@@ -515,8 +537,10 @@ func (e *Engine) dispatch(now, completion int64) (int64, int, error) {
 			completion = bt.Transferred
 		}
 	}
+	e.blame.Ns[BlameBypass] += completion - mark
 
 	// Read misses fetch from flash.
+	mark = completion
 	if len(e.res.ReadMisses) > 0 {
 		done, err := e.dev.ReadPages(now, e.res.ReadMisses)
 		if err != nil {
@@ -526,6 +550,7 @@ func (e *Engine) dispatch(now, completion int64) (int64, int, error) {
 			completion = done
 		}
 	}
+	e.blame.Ns[BlameRead] += completion - mark
 
 	// Background prefetches load the device but never block the
 	// triggering request. Readahead past the end of the logical space is

@@ -43,6 +43,9 @@ type ResultEvent struct {
 	Processed int
 	// NodeCount is the policy's list-node population after this request.
 	NodeCount int
+	// Blame is the request's exact per-cause latency partition; its
+	// entries sum to Completion minus the request's arrival Time.
+	Blame Blame
 }
 
 // EvictionKind says which engine stage flushed (or dropped) a batch.

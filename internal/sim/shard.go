@@ -335,6 +335,7 @@ type shardEvent struct {
 	completion int64
 	prefetched int
 	nodeCount  int
+	blame      Blame
 	occ        []int
 
 	// sevEviction
@@ -454,6 +455,7 @@ func (r *shardRelay) OnResult(_ *Engine, ev *ResultEvent) {
 		completion: ev.Completion,
 		prefetched: ev.Prefetched,
 		nodeCount:  ev.NodeCount,
+		blame:      ev.Blame,
 	}
 	// Deep-copy the result: its slices alias policy buffers that the next
 	// Access overwrites, and the merger reads them on another goroutine.
@@ -877,6 +879,7 @@ func (s *ShardedEngine) merge() int {
 				Req: &reqEv, Res: &rec.res,
 				Completion: rec.completion, Prefetched: rec.prefetched,
 				Processed: processed, NodeCount: nodeSum,
+				Blame: rec.blame,
 			}
 			for _, o := range s.obs {
 				o.OnResult(nil, &resEv)

@@ -59,6 +59,10 @@ type Counters struct {
 	GCMigrations int64
 	// GCRuns counts GC victim collections.
 	GCRuns int64
+	// GCPauseNs is the cumulative die-busy time GC added to its victims'
+	// chips — the foreground-visible pause total, accumulated with or
+	// without telemetry attached.
+	GCPauseNs int64
 	// Erases counts block erases.
 	Erases int64
 
@@ -225,6 +229,11 @@ func (d *Device) BackPressureStalls() (stalls int64, stallNs int64) {
 	return d.bpStalls, d.bpStallNs
 }
 
+// GCPauseNs returns the cumulative foreground-visible GC pause. It is a
+// cheap field read (no Stats snapshot) so the engine can diff it around
+// every dispatch for per-request GC-overlap attribution.
+func (d *Device) GCPauseNs() int64 { return d.f.GCPauseNs() }
+
 // noteFlush records one flush batch's durable time in the back-pressure
 // ring. Every flush path calls it; a nil ring makes it a no-op.
 func (d *Device) noteFlush(durable int64) {
@@ -277,6 +286,7 @@ func (d *Device) Counters() Counters {
 		FlashReads:      s.HostReads,
 		GCMigrations:    s.GCMigrations,
 		GCRuns:          s.GCRuns,
+		GCPauseNs:       s.GCPauseNs,
 		Erases:          s.Erases,
 		ProgramRetries:  s.ProgramRetries,
 		RetiredBlocks:   s.RetiredBlocks,
