@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly soak-serve obs-smoke bench bench-smoke bench-json bench-sharded bench-capacity bench-capacity-smoke experiments experiments-full lint
+.PHONY: all check fmt-check test race test-race race-sharded fuzz-smoke ssdcheck-quick ssdcheck-nightly soak-serve soak-gc obs-smoke bench bench-smoke bench-json bench-sharded bench-capacity bench-capacity-smoke bench-gc experiments experiments-full lint
 
 all: test
 
@@ -42,6 +42,15 @@ race-sharded:
 soak-serve:
 	SSDSOAK=1 go test -race -count=1 -run 'TestOpenLoopSoak' -timeout 300s -v ./internal/load
 
+# soak-gc is the GC-scheduling saturation soak: the same open-loop ramp
+# against preconditioned scheduler-enabled devices with light fault
+# injection, asserting queue-empty windows grant budgeted GC slices that
+# actually collect victims, light-load deadlines hold, and the drain is
+# clean with collections split across slices throughout. Set
+# SSDSOAK_FLIGHTDIR to also capture flight-recorder dumps for upload.
+soak-gc:
+	SSDSOAK_GC=1 go test -race -count=1 -run 'TestGCSchedSoak' -timeout 300s -v ./internal/load
+
 # obs-smoke exercises the tail-latency attribution plane end to end: a
 # small replay with the blame table, Perfetto export, and flight
 # recorder armed, then cmd/tracecheck validates the export against the
@@ -76,9 +85,13 @@ ssdcheck-quick:
 	go run ./cmd/ssdcheck -quick -repro-dir internal/oracle/testdata/failures
 
 # ssdcheck-nightly is the scheduled randomized campaign: fresh seed
-# ranges for a fixed wall-clock budget, minimized repros saved for upload.
+# ranges for a fixed wall-clock budget, minimized repros saved for
+# upload, then the same treatment for the scheduled-vs-greedy GC
+# differential (budgeted idle slices against the stamped oracle FTL).
 ssdcheck-nightly:
 	go run ./cmd/ssdcheck -duration 10m -seeds 512 -requests 384 -v \
+		-repro-dir internal/oracle/testdata/failures
+	go run ./cmd/ssdcheck -gcsched -duration 5m -seeds 512 -requests 384 -v \
 		-repro-dir internal/oracle/testdata/failures
 
 bench:
@@ -127,6 +140,17 @@ bench-capacity-smoke:
 	go test -run '^$$' -bench 'BenchmarkCapacityEviction/.*/indexed/cap=64MB$$' -benchtime 300ms -benchmem . > bench-capacity-smoke.out
 	go run ./cmd/benchjson -old BENCH_PR8.json -gate 'pages/s=0.9' < bench-capacity-smoke.out > /dev/null
 	@rm -f bench-capacity-smoke.out
+
+# bench-gc regenerates the GC-scheduling tail baseline: the bursty
+# open-loop step with greedy foreground-only GC versus the preemptible
+# scheduler, P99/P99.9 response as the headline metrics (see
+# docs/PERFORMANCE.md and docs/GC.md). load.Run paces wall-clock
+# arrivals, so each of the 3 iterations costs its 3 s step.
+bench-gc:
+	go test -run '^$$' -bench 'BenchmarkGCSchedTail' -benchtime 3x -benchmem . > bench-gc.out
+	go run ./cmd/benchjson < bench-gc.out > BENCH_PR10.json
+	@rm -f bench-gc.out
+	@echo wrote BENCH_PR10.json
 
 experiments:
 	go run ./cmd/experiments

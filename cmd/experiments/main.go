@@ -46,6 +46,7 @@ func main() {
 		sharing = flag.String("sharing", "both", "sharing modes for -shards: shared, equal or both")
 		backpr  = flag.Int("backpressure", 0, "destage-backlog bound applied to every device (0 = off)")
 		faults  = flag.String("faults", "", "fault injection spec applied to every grid device (see docs/FAULTS.md)")
+		aged    = flag.Bool("aged", false, "run the aged-device scenario (pre-worn blocks + elevated grown defects, docs/GC.md) instead of the figures")
 		full    = flag.Bool("full", false, "paper scale: full traces on the 128 GiB device")
 
 		listen    = flag.String("listen", "", "serve live /metrics, /healthz and /debug/pprof across the whole run (e.g. 127.0.0.1:9090; empty = off)")
@@ -117,7 +118,9 @@ func main() {
 	// Dispatch returns an exit code instead of calling os.Exit directly so
 	// the profiles are flushed on every path.
 	var code int
-	if *shards != "" {
+	if *aged {
+		code = runAged(cfg)
+	} else if *shards != "" {
 		code = runSharding(cfg, *shards, *sharing)
 	} else {
 		code = dispatch(cfg, enabled, *seeds, *diffOld, *diffThr, *jsonOut, *csvDir, *plot)
@@ -129,6 +132,25 @@ func main() {
 		}
 	}
 	os.Exit(code)
+}
+
+// runAged runs the aged-device scenario (-aged) across the selected traces
+// at the middle grid cache size.
+func runAged(cfg experiments.Config) int {
+	r := experiments.NewRunner(cfg)
+	sizes := r.Config().CacheSizesMB
+	cacheMB := sizes[len(sizes)/2]
+	var rows []experiments.AgedRow
+	for _, p := range r.Profiles() {
+		tr, err := r.AgedDevice(p.Name, cacheMB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		rows = append(rows, tr...)
+	}
+	fmt.Println(experiments.RenderAged(rows))
+	return 0
 }
 
 // runSharding runs the sharded-scaling sweep (-shards) across the selected

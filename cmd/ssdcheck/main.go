@@ -8,12 +8,16 @@
 // A second differential mode, -vindex, replays the SAME fast policy
 // against itself: indexed (heap-backed) victim selection versus the
 // paper-literal linear reference scan, across the four policies with a
-// switchable scan (fab, lfu, vbbms, pud-lru). -quick runs both modes.
+// switchable scan (fab, lfu, vbbms, pud-lru). A third, -gcsched, replays
+// a greedy-GC FTL, a scheduler-enabled FTL driven by seed-derived idle
+// budgets, and the stamped oracle FTL in lockstep across four stream
+// flavors (striped, bound, mixed, trim-mix). -quick runs all three.
 //
 // Usage:
 //
-//	ssdcheck -quick                        # CI gate: 64 seeds × 4 policies, both modes
+//	ssdcheck -quick                        # CI gate: 64 seeds × all policies, all modes
 //	ssdcheck -vindex                       # indexed-vs-linear victim selection only
+//	ssdcheck -gcsched                      # scheduled-vs-greedy GC differential only
 //	ssdcheck -seeds 4096 -requests 512     # bigger batch
 //	ssdcheck -duration 10m                 # nightly campaign: run until the clock
 //	ssdcheck -seed 1234 -policies req-block -v   # replay one seed, verbose
@@ -39,6 +43,7 @@ func main() {
 	var (
 		quick    = flag.Bool("quick", false, "CI gate: 64 seeds x all policies, both modes, shrink on failure")
 		vindex   = flag.Bool("vindex", false, "run the indexed-vs-linear victim-selection differential instead of fast-vs-oracle")
+		gcsched  = flag.Bool("gcsched", false, "run the scheduled-vs-greedy GC differential instead of fast-vs-oracle")
 		seed     = flag.Int64("seed", -1, "replay exactly one seed (default: campaign mode)")
 		seedBase = flag.Int64("seed-base", 0, "first seed of the campaign range")
 		seeds    = flag.Int("seeds", 256, "campaign seed count")
@@ -71,13 +76,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssdcheck: unknown -mutation %q (have: %s)\n", *mutation, mutationList())
 		os.Exit(2)
 	}
-	if *vindex && mut != oracle.MutNone {
-		fmt.Fprintln(os.Stderr, "ssdcheck: -mutation targets the oracle differential; it does not combine with -vindex")
+	if *vindex && *gcsched {
+		fmt.Fprintln(os.Stderr, "ssdcheck: -vindex and -gcsched select different differentials; pick one")
+		os.Exit(2)
+	}
+	if (*vindex || *gcsched) && mut != oracle.MutNone {
+		fmt.Fprintln(os.Stderr, "ssdcheck: -mutation targets the oracle differential; it does not combine with -vindex or -gcsched")
 		os.Exit(2)
 	}
 	known := oracle.Policies
-	if *vindex {
+	switch {
+	case *vindex:
 		known = oracle.VictimPolicies
+	case *gcsched:
+		known = oracle.GCSchedFlavors
 	}
 	for _, p := range splitPolicies(*policies) {
 		if !validPolicy(p, known) {
@@ -96,8 +108,11 @@ func main() {
 		MaxFailures: 1,
 		Logf:        logf,
 	}
-	if *vindex {
+	switch {
+	case *vindex:
 		cfg.Mode = oracle.ModeVindex
+	case *gcsched:
+		cfg.Mode = oracle.ModeGCSched
 	}
 	if *quick {
 		cfg.Seeds = 64
@@ -108,12 +123,15 @@ func main() {
 		cfg.SeedStart, cfg.Seeds = *seed, 1
 	}
 
-	// -quick gates both differentials; otherwise run the selected one.
+	// -quick gates all three differentials; otherwise run the selected one.
 	cfgs := []oracle.CampaignConfig{cfg}
-	if *quick && !*vindex && mut == oracle.MutNone {
+	if *quick && !*vindex && !*gcsched && mut == oracle.MutNone {
 		vcfg := cfg
 		vcfg.Mode = oracle.ModeVindex
 		cfgs = append(cfgs, vcfg)
+		gcfg := cfg
+		gcfg.Mode = oracle.ModeGCSched
+		cfgs = append(cfgs, gcfg)
 	}
 
 	start := time.Now()

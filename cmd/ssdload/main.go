@@ -56,6 +56,7 @@ func main() {
 		pace      = flag.Bool("pace", true, "in-proc: throttle to simulated device time")
 		divisor   = flag.Int("device-divisor", 64, "in-proc: flash array size divisor")
 		flightDir = flag.String("flight-recorder", "", "in-proc: directory for anomaly-triggered flight-recorder dumps (empty = off)")
+		gcBudget  = flag.Duration("gc-budget", 0, "in-proc: enable the preemptible GC scheduler and spend up to this much simulated time per queue-empty idle slice (0 = greedy GC)")
 	)
 	flag.Parse()
 
@@ -75,6 +76,9 @@ func main() {
 		sub = &serve.Client{Base: strings.TrimRight(*target, "/")}
 	case *inproc:
 		params := ssd.ScaledParams(*divisor)
+		if *gcBudget > 0 {
+			params.GCSched.Enabled = true
+		}
 		tel := obs.New()
 		var fr *obs.FlightRecorder
 		if *flightDir != "" {
@@ -101,6 +105,7 @@ func main() {
 			DefaultDeadlineNs: int64(2 * time.Second),
 			Pace:              *pace, Telemetry: tel,
 			FlightRecorder: fr,
+			GCBudgetNs:     int64(*gcBudget),
 		})
 		if err != nil {
 			fail(err)

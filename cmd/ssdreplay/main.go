@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -49,7 +50,10 @@ func main() {
 		delta     = flag.Int("delta", core.DefaultDelta, "Req-block δ")
 		readahead = flag.Int("readahead", 0, "wrap the policy with an N-page readahead read cache (0 = off)")
 		divisor   = flag.Int("device-divisor", 16, "flash array size divisor (1 = full 128 GiB)")
-		faults    = flag.String("faults", "", "fault injection spec, comma-separated key=value: seed, pfail, efail, grown, pfail-at, efail-at, retries, reserve, crash-at, destage-ms, check (see docs/FAULTS.md)")
+		faults    = flag.String("faults", "", "fault injection spec, comma-separated key=value: seed, pfail, efail, grown, pfail-at, efail-at, retries, reserve, crash-at, destage-ms, check, preworn, preworn-jitter (see docs/FAULTS.md)")
+		aged      = flag.Bool("aged", false, "age the device before replay: pre-worn blocks near the P/E budget plus an elevated grown-defect rate, merged under any -faults spec (docs/GC.md)")
+		idleFlush = flag.Float64("idle-flush-ms", 0, "idle-window threshold in ms: inter-arrival gaps past it trigger proactive flushing (0 = off)")
+		gcBudget  = flag.Float64("gc-budget-ms", 0, "enable the preemptible GC scheduler and spend up to this much simulated ms per idle window (requires -idle-flush-ms; 0 = greedy GC)")
 		maxSkip   = flag.Int("max-skipped", 0, "malformed trace lines skipped before aborting (0 = strict, -1 = unlimited)")
 		verbose   = flag.Bool("v", false, "print extended metrics")
 
@@ -79,8 +83,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *aged {
+		fcfg = experiments.AgedFaults(fcfg)
+	}
 	params := ssd.ScaledParams(*divisor)
 	params.Faults = fcfg
+	if *aged {
+		// An aged device is nearly full, not just worn: GC (and with it
+		// wear detection and retirement) must actually run.
+		params.Precondition = 0.9
+	}
+	if *gcBudget > 0 {
+		params.GCSched.Enabled = true
+	}
 	smode, err := sim.ParseSharing(*sharing)
 	if err != nil {
 		fail(err)
@@ -91,6 +106,8 @@ func main() {
 	opts := replay.Options{TrackPageFates: *verbose, SeriesInterval: 10000}
 	opts.ApplyFaults(fcfg)
 	opts.BackPressureDepth = *backpressure
+	opts.IdleFlushNs = int64(*idleFlush * 1e6)
+	opts.GCBudgetNs = int64(*gcBudget * 1e6)
 
 	// Telemetry plane (all optional, all passive; docs/OBSERVABILITY.md).
 	// tel stays nil without -listen/-blame; every use below is nil-safe.
@@ -294,6 +311,13 @@ func main() {
 	if *shards > 1 {
 		fmt.Printf("shards          %d (%s sharing)\n", *shards, smode)
 	}
+	if *gcBudget > 0 {
+		g := m.GCSched
+		fmt.Printf("gc scheduler    %d jobs started, %d completed, %d abandoned (%d idle / %d background / %d mandatory victims)\n",
+			g.JobsStarted, g.JobsCompleted, g.JobsAbandoned, g.VictimsIdle, g.VictimsBackground, g.VictimsMandatory)
+		fmt.Printf("gc preemption   %d preempts, %d resumes, %d paced steps, %d cost-deferred slices, %d idle collections\n",
+			g.Preempts, g.Resumes, g.PacedSteps, g.CostDeferred, m.IdleGCRuns)
+	}
 	if *backpressure > 0 {
 		fmt.Printf("back-pressure   %d stalls, %.3f ms total (depth %d)\n",
 			m.BackPressureStalls, float64(m.BackPressureStallNs)/1e6, *backpressure)
@@ -372,8 +396,8 @@ func report(m *replay.Metrics, verbose bool) {
 		m.HitRatio(), m.PageHits, m.PageHits+m.PageMisses)
 	fmt.Printf("mean response   %.3f ms (reads %.3f ms, writes %.3f ms)\n",
 		m.Response.Mean()/1e6, m.ReadResponse.Mean()/1e6, m.WriteResponse.Mean()/1e6)
-	fmt.Printf("response tail   P50 %.3f ms, P99 %.3f ms\n",
-		m.ResponseP50.Value()/1e6, m.ResponseP99.Value()/1e6)
+	fmt.Printf("response tail   P50 %.3f ms, P99 %.3f ms, P99.9 %.3f ms\n",
+		m.ResponseP50.Value()/1e6, m.ResponseP99.Value()/1e6, m.ResponseP999.Value()/1e6)
 	fmt.Printf("flash writes    %d (GC migrations %d, erases %d)\n",
 		m.Device.FlashWrites, m.Device.GCMigrations, m.Device.Erases)
 	fmt.Printf("flash reads     %d\n", m.Device.FlashReads)

@@ -86,6 +86,18 @@ type Config struct {
 	// from the geometry (1/64 of physical blocks, at least 4).
 	ReserveBlocks int
 
+	// PrewornErases, when > 0, seeds every block's erase count near this
+	// value before the run — the "aged device" scenario: a device that has
+	// already lived most of its P/E budget, so endurance projections start
+	// deep in life and grown-defect rates bite a realistic population.
+	// Applied by the device layer via flash.Array.PreWear; consumes no
+	// fault-stream draws, so enabling it never perturbs injection.
+	PrewornErases int
+	// PrewornJitter spreads the preworn counts: each block adds a
+	// deterministic draw in [0, PrewornJitter] keyed by Seed and the block
+	// number, modelling the uneven wear a real retired workload leaves.
+	PrewornJitter int
+
 	// CrashAtRequest, when > 0, makes the replay harness simulate a DRAM
 	// power loss after that many processed requests: the run stops and the
 	// dirty pages still buffered are counted as lost.
@@ -106,7 +118,8 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.ProgramFailProb > 0 || c.EraseFailProb > 0 || c.GrownBadProb > 0 ||
 		len(c.FailProgramOps) > 0 || len(c.FailEraseOps) > 0 ||
-		c.CrashAtRequest > 0 || c.DestageNs > 0 || c.CheckInvariants
+		c.CrashAtRequest > 0 || c.DestageNs > 0 || c.CheckInvariants ||
+		c.PrewornErases > 0 || c.PrewornJitter > 0
 }
 
 // InjectsFaults reports whether any flash-level fault source is active
@@ -143,6 +156,9 @@ func (c Config) Validate() error {
 	}
 	if c.RetryLimit < 0 || c.ReserveBlocks < 0 || c.CrashAtRequest < 0 || c.DestageNs < 0 {
 		return fmt.Errorf("fault: negative limit in config")
+	}
+	if c.PrewornErases < 0 || c.PrewornJitter < 0 {
+		return fmt.Errorf("fault: negative preworn value in config")
 	}
 	return nil
 }
@@ -191,6 +207,10 @@ func ParseSpec(spec string) (Config, error) {
 			c.ReserveBlocks, err = strconv.Atoi(val)
 		case "crash-at":
 			c.CrashAtRequest, err = strconv.Atoi(val)
+		case "preworn":
+			c.PrewornErases, err = strconv.Atoi(val)
+		case "preworn-jitter":
+			c.PrewornJitter, err = strconv.Atoi(val)
 		case "destage-ms":
 			var ms float64
 			ms, err = strconv.ParseFloat(val, 64)

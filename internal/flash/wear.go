@@ -18,6 +18,34 @@ type Wear struct {
 	TotalErases int64
 }
 
+// PreWear seeds every block's erase count as if the device had already
+// lived through a long service life — the "aged device" scenario. Each
+// block receives erases plus a deterministic per-block jitter draw in
+// [0, jitter] (splitmix64 of seed and the block number, so two arrays
+// pre-worn with equal arguments age identically). Page states are
+// untouched: the array is still empty, only its wear history changes, so
+// every invariant holds before and after.
+func (a *Array) PreWear(seed uint64, erases, jitter int) {
+	if erases <= 0 && jitter <= 0 {
+		return
+	}
+	if erases < 0 {
+		erases = 0
+	}
+	for b := 0; b < a.p.Blocks(); b++ {
+		e := erases
+		if jitter > 0 {
+			z := seed ^ (uint64(b)+1)*0x9e3779b97f4a7c15
+			z += 0x9e3779b97f4a7c15
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			e += int(z % uint64(jitter+1))
+		}
+		a.eraseCount[b] = int32(e)
+	}
+}
+
 // WearStats computes the current erase-count distribution.
 func (a *Array) WearStats() Wear {
 	blocks := a.p.Blocks()

@@ -116,7 +116,15 @@ type FTL struct {
 	checker       *fault.Checker // invariant checker, run after recoveries
 	pendingCheck  bool           // a recovery happened in the current op
 
-	tap Tap // timing observations, nil unless telemetry is attached
+	tap      Tap        // timing observations, nil unless telemetry is attached
+	schedTap TapGCSched // tap's optional scheduler extension, cached at SetTap
+
+	// Preemptible GC scheduler (see gcsched.go; all zero when disabled).
+	gcSched   bool         // scheduler enabled
+	gcSoftLow int          // free-block watermark below which pacing engages
+	gcPace    int          // copy steps piggybacked per host program
+	job       gcJob        // the single in-flight victim collection
+	sched     GCSchedStats // scheduler counters
 
 	stats Stats
 }
@@ -242,7 +250,12 @@ func (f *FTL) EnableFaults(inj *fault.Injector) {
 
 // SetTap attaches a timing tap (nil detaches). Taps observe; they cannot
 // alter the simulation, so attaching one keeps every metric bit-identical.
-func (f *FTL) SetTap(t Tap) { f.tap = t }
+// A tap that also implements TapGCSched additionally receives GC
+// preempt/resume callbacks.
+func (f *FTL) SetTap(t Tap) {
+	f.tap = t
+	f.schedTap, _ = t.(TapGCSched)
+}
 
 // SetChecker attaches an invariant checker that runs after every operation
 // in which a fault recovery occurred. A violation fails the write that
@@ -332,6 +345,9 @@ func (f *FTL) allocPage(now int64, plane int, gcAllowed bool) (int64, int64, err
 		}
 	}
 	if gcAllowed {
+		if f.gcSched {
+			f.paceGC(now, plane)
+		}
 		now = f.maybeGC(now, plane)
 	}
 	ppn, ok := f.allocOnPlane(plane, stream)
@@ -658,12 +674,23 @@ func (f *FTL) maybeGC(now int64, plane int) int64 {
 	// block), which is why we do not demand per-round free-count growth.
 	// Rounds that retire a failing victim shrink the candidate pool, so
 	// they too make progress toward termination.
+	if f.gcSched && f.job.active && f.job.plane == plane &&
+		len(f.freeBlocks[plane]) < f.gcLow && !f.degraded {
+		// Mandatory pressure on the in-flight job's plane: adopt and finish
+		// the job synchronously before any greedy rounds, so its excluded
+		// victim re-enters circulation.
+		f.noteResume(now)
+		f.finishJob(now)
+	}
 	for len(f.freeBlocks[plane]) < f.gcLow {
 		if f.degraded {
 			break // read-only mode: stop burning the remaining blocks
 		}
 		if !f.gcOnce(now, plane) {
 			break // nothing reclaimable; let allocation fail upstream
+		}
+		if f.gcSched {
+			f.sched.VictimsMandatory++
 		}
 	}
 	return now
@@ -687,6 +714,9 @@ func (f *FTL) gcOnce(now int64, plane int) bool {
 		}
 		if f.arr.IsBad(b) {
 			continue // retired blocks are out of circulation
+		}
+		if f.job.active && b == f.job.victim {
+			continue // an in-flight scheduled job owns this victim
 		}
 		if v := f.arr.ValidCount(b); v < best {
 			best, victim = v, b
@@ -874,6 +904,15 @@ func (f *FTL) CheckInvariants() error {
 	}
 	if f.arr.BadBlocks() != f.retired {
 		return fmt.Errorf("ftl: array reports %d retired blocks, ftl accounted %d", f.arr.BadBlocks(), f.retired)
+	}
+	// An in-flight scheduled GC job must own a legal victim: full (so it is
+	// invisible to the allocator), healthy, and not an open frontier.
+	if f.job.active {
+		j := f.job
+		if f.arr.IsBad(j.victim) || !f.arr.BlockFull(j.victim) ||
+			int32(j.victim) == f.activeBlock[j.plane] || int32(j.victim) == f.gcActive[j.plane] {
+			return fmt.Errorf("ftl: in-flight gc job victim %d in illegal state", j.victim)
+		}
 	}
 	return nil
 }

@@ -39,6 +39,12 @@ const (
 	FlightInvariant
 	// FlightTrigger: the anomaly that caused a dump (a=dump ordinal).
 	FlightTrigger
+	// FlightGCPreempt: a scheduled collection preempted mid-victim
+	// (a=pages moved so far).
+	FlightGCPreempt
+	// FlightGCResume: a preempted collection picked back up (a=pages
+	// moved so far).
+	FlightGCResume
 )
 
 // flightKindNames maps kinds to stable dump identifiers.
@@ -53,6 +59,8 @@ var flightKindNames = map[FlightKind]string{
 	FlightDegraded:     "degraded",
 	FlightInvariant:    "invariant",
 	FlightTrigger:      "trigger",
+	FlightGCPreempt:    "gc_preempt",
+	FlightGCResume:     "gc_resume",
 }
 
 // String returns the kind's stable name.
@@ -304,6 +312,12 @@ func (t *flightTap) TapErase(issue, done int64) {
 func (t *flightTap) TapGC(pause int64, pagesMoved int) {
 	t.f.Record(t.shard, FlightGC, 0, pause, int64(pagesMoved), 0)
 }
+func (t *flightTap) TapGCPreempt(now int64, pagesMoved int) {
+	t.f.Record(t.shard, FlightGCPreempt, now, int64(pagesMoved), 0, 0)
+}
+func (t *flightTap) TapGCResume(now int64, pagesMoved int) {
+	t.f.Record(t.shard, FlightGCResume, now, int64(pagesMoved), 0, 0)
+}
 
 // MultiTap tees ftl.Tap calls to every non-nil tap; nil when none remain,
 // and the single tap itself when only one does (no indirection cost).
@@ -353,5 +367,23 @@ func (m multiTap) TapErase(issue, done int64) {
 func (m multiTap) TapGC(pause int64, pagesMoved int) {
 	for _, t := range m {
 		t.TapGC(pause, pagesMoved)
+	}
+}
+
+// multiTap also satisfies ftl.TapGCSched, forwarding to whichever members
+// implement the extension — so a telemetry+flight-recorder tee loses
+// neither side's preempt/resume stream.
+func (m multiTap) TapGCPreempt(now int64, pagesMoved int) {
+	for _, t := range m {
+		if s, ok := t.(ftl.TapGCSched); ok {
+			s.TapGCPreempt(now, pagesMoved)
+		}
+	}
+}
+func (m multiTap) TapGCResume(now int64, pagesMoved int) {
+	for _, t := range m {
+		if s, ok := t.(ftl.TapGCSched); ok {
+			s.TapGCResume(now, pagesMoved)
+		}
 	}
 }

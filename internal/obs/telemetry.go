@@ -54,6 +54,18 @@ type Telemetry struct {
 	GCPauseNs   *Hist
 	GCPagesHist *Hist
 
+	// GC scheduler plane — preempt/resume arrive through the TapGCSched
+	// extension; the tier/pacing counters are mirrored from
+	// ftl.GCSchedStats alongside the device counters.
+	GCPreempts      *Counter
+	GCResumes       *Counter
+	GCVictimsIdle   *Counter
+	GCVictimsBg     *Counter
+	GCVictimsMand   *Counter
+	GCPacedSteps    *Counter
+	GCJobsAbandoned *Counter
+	GCCostDeferred  *Counter
+
 	// Device counters, mirrored from ssd.Counters once per request (the
 	// device owns the truth; these use Counter.Set).
 	FlashWrites    *Counter
@@ -82,7 +94,10 @@ type Telemetry struct {
 	Shards []*ShardSet
 }
 
-var _ ftl.Tap = (*Telemetry)(nil)
+var (
+	_ ftl.Tap        = (*Telemetry)(nil)
+	_ ftl.TapGCSched = (*Telemetry)(nil)
+)
 
 // New builds a Telemetry with its full catalog registered. Instrument
 // names carry the ssdsim_ prefix; latency units are simulated nanoseconds.
@@ -119,6 +134,15 @@ func New() *Telemetry {
 	t.EraseNs = r.Hist("ssdsim_flash_erase_ns", "Flash block erase latency, simulated ns.")
 	t.GCPauseNs = r.Hist("ssdsim_gc_pause_ns", "GC die-busy extension on the victim chip per collection, simulated ns.")
 	t.GCPagesHist = r.Hist("ssdsim_gc_pages_moved", "Valid pages migrated per GC collection.")
+
+	t.GCPreempts = r.Counter("ssdsim_gc_preempts_total", "Scheduled-GC jobs preempted mid-victim (budget exhausted or slice ended).")
+	t.GCResumes = r.Counter("ssdsim_gc_resumes_total", "Scheduled-GC jobs resumed from a preempted state.")
+	t.GCVictimsIdle = r.Counter("ssdsim_gc_victims_idle_total", "GC victims opened in the idle-only urgency tier.")
+	t.GCVictimsBg = r.Counter("ssdsim_gc_victims_background_total", "GC victims opened in the background-paced urgency tier.")
+	t.GCVictimsMand = r.Counter("ssdsim_gc_victims_mandatory_total", "GC victims collected in the mandatory tier (greedy, on the write path).")
+	t.GCPacedSteps = r.Counter("ssdsim_gc_paced_steps_total", "Copy steps piggybacked on host programs by background pacing.")
+	t.GCJobsAbandoned = r.Counter("ssdsim_gc_jobs_abandoned_total", "Scheduled-GC jobs abandoned (destination allocation failed mid-job).")
+	t.GCCostDeferred = r.Counter("ssdsim_gc_cost_deferred_total", "Idle slices that declined every candidate on projected pause cost.")
 
 	t.FlashWrites = r.Counter("ssdsim_flash_writes_total", "Pages programmed for host flushes (Fig. 11 metric).")
 	t.FlashReads = r.Counter("ssdsim_flash_reads_total", "Pages read from flash for the host.")
@@ -189,6 +213,22 @@ func (t *Telemetry) TapGC(pause int64, pagesMoved int) {
 	}
 }
 
+// TapGCPreempt implements ftl.TapGCSched: a scheduled collection was
+// preempted mid-victim with pagesMoved copies done so far.
+func (t *Telemetry) TapGCPreempt(now int64, pagesMoved int) {
+	if t != nil {
+		t.GCPreempts.Inc()
+	}
+}
+
+// TapGCResume implements ftl.TapGCSched: a preempted collection picked
+// back up.
+func (t *Telemetry) TapGCResume(now int64, pagesMoved int) {
+	if t != nil {
+		t.GCResumes.Inc()
+	}
+}
+
 // syncDevice mirrors the device's counter block and degraded flag into
 // the catalog. Called every syncEvery-th request and once at run end.
 func (t *Telemetry) syncDevice(dev *ssd.Device) {
@@ -196,6 +236,13 @@ func (t *Telemetry) syncDevice(dev *ssd.Device) {
 		return
 	}
 	c := dev.Counters()
+	g := dev.GCSchedStats()
+	t.GCVictimsIdle.Set(g.VictimsIdle)
+	t.GCVictimsBg.Set(g.VictimsBackground)
+	t.GCVictimsMand.Set(g.VictimsMandatory)
+	t.GCPacedSteps.Set(g.PacedSteps)
+	t.GCJobsAbandoned.Set(g.JobsAbandoned)
+	t.GCCostDeferred.Set(g.CostDeferred)
 	t.FlashWrites.Set(c.FlashWrites)
 	t.FlashReads.Set(c.FlashReads)
 	t.GCMigrations.Set(c.GCMigrations)

@@ -42,9 +42,12 @@ func (r CampaignResult) Failed() bool { return len(r.Divergences) > 0 }
 // every (optionally minimized) divergence found.
 func RunCampaign(cfg CampaignConfig) CampaignResult {
 	if len(cfg.Policies) == 0 {
-		if cfg.Mode == ModeVindex {
+		switch cfg.Mode {
+		case ModeVindex:
 			cfg.Policies = VictimPolicies
-		} else {
+		case ModeGCSched:
+			cfg.Policies = GCSchedFlavors
+		default:
 			cfg.Policies = Policies
 		}
 	}
@@ -62,9 +65,12 @@ func RunCampaign(cfg CampaignConfig) CampaignResult {
 	for s := int64(0); s < int64(cfg.Seeds); s++ {
 		for _, pol := range cfg.Policies {
 			var spec Spec
-			if cfg.Mode == ModeVindex {
+			switch cfg.Mode {
+			case ModeVindex:
 				spec = GenerateVindex(cfg.SeedStart+s, pol, cfg.Requests)
-			} else {
+			case ModeGCSched:
+				spec = GenerateGCSched(cfg.SeedStart+s, pol, cfg.Requests)
+			default:
 				spec = Generate(cfg.SeedStart+s, pol, cfg.Requests)
 				spec.Mutation = cfg.Mutation
 			}

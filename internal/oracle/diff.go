@@ -171,6 +171,11 @@ func Run(spec Spec) *Divergence {
 		// repro corpus reuse this dispatch untouched.
 		return runVindex(spec)
 	}
+	if spec.Mode == ModeGCSched {
+		// Scheduled-vs-greedy GC over the lockstep FTL triple; same
+		// mode-agnostic dispatch for Shrink and the repro corpus.
+		return runGCSched(spec)
+	}
 	p := buildPair(&spec)
 	fp, err := newFTLPair()
 	if err != nil {

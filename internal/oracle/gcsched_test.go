@@ -1,0 +1,67 @@
+package oracle
+
+import "testing"
+
+// TestGCSchedCampaign sweeps the gcsched differential across 64 seeds and
+// all four stream flavors: scheduled GC must preserve the live logical
+// set and every invariant (including mid-job states) against both the
+// greedy fast FTL and the stamped oracle.
+func TestGCSchedCampaign(t *testing.T) {
+	res := RunCampaign(CampaignConfig{
+		Seeds:    64,
+		Mode:     ModeGCSched,
+		Requests: 192,
+		Logf:     t.Logf,
+	})
+	if res.Failed() {
+		t.Fatalf("%s", res.Summary())
+	}
+	if want := 64 * len(GCSchedFlavors); res.Runs != want {
+		t.Fatalf("campaign ran %d specs, want %d", res.Runs, want)
+	}
+}
+
+// TestGCSchedSpecValidation pins the ModeGCSched validation arm.
+func TestGCSchedSpecValidation(t *testing.T) {
+	s := GenerateGCSched(1, "striped", 16)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated spec invalid: %v", err)
+	}
+	s.Policy = "lru"
+	if err := s.Validate(); err == nil {
+		t.Fatal("non-flavor policy accepted in gcsched mode")
+	}
+	s.Policy = "mixed"
+	s.Mutation = MutDeltaOffByOne
+	if err := s.Validate(); err == nil {
+		t.Fatal("mutation accepted in gcsched mode")
+	}
+}
+
+// TestGCSchedGenerateDeterministic pins that the same seed yields the
+// same spec — the property the repro corpus rests on.
+func TestGCSchedGenerateDeterministic(t *testing.T) {
+	a := GenerateGCSched(7, "trim-mix", 64)
+	b := GenerateGCSched(7, "trim-mix", 64)
+	if len(a.Requests) != len(b.Requests) || a.IdleEvery != b.IdleEvery {
+		t.Fatal("same seed produced different specs")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs between identical generations", i)
+		}
+	}
+}
+
+// TestGCSchedShrink pins that the ddmin shrinker accepts gcsched specs:
+// shrinking a passing spec is a no-op that must not panic or corrupt it.
+func TestGCSchedShrink(t *testing.T) {
+	spec := GenerateGCSched(3, "mixed", 96)
+	if d := Run(spec); d != nil {
+		t.Fatalf("seed spec unexpectedly diverges: %v", d)
+	}
+	// Corrupt nothing; Shrink on a passing spec returns no divergence.
+	if _, sd := Shrink(spec); sd != nil {
+		t.Fatalf("shrink invented a divergence: %v", sd)
+	}
+}

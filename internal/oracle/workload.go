@@ -73,6 +73,15 @@ func (s *Spec) Validate() error {
 		if s.Mutation != MutNone {
 			return fmt.Errorf("oracle: mutations target the oracle, not the vindex differential")
 		}
+	case ModeGCSched:
+		switch s.Policy {
+		case "striped", "bound", "mixed", "trim-mix":
+		default:
+			return fmt.Errorf("oracle: unknown gcsched flavor %q", s.Policy)
+		}
+		if s.Mutation != MutNone {
+			return fmt.Errorf("oracle: mutations target the oracle, not the gcsched differential")
+		}
 	default:
 		return fmt.Errorf("oracle: unknown mode %q", s.Mode)
 	}

@@ -60,6 +60,7 @@ func (c *coreObserver) OnResult(_ *sim.Engine, ev *sim.ResultEvent) {
 		m.Response.Observe(resp)
 		m.ResponseP50.Observe(resp)
 		m.ResponseP99.Observe(resp)
+		m.ResponseP999.Observe(resp)
 		if req.Write {
 			m.WriteResponse.Observe(resp)
 		} else {
@@ -88,6 +89,7 @@ func (c *coreObserver) OnDone(e *sim.Engine, ev *sim.DoneEvent) {
 		return
 	}
 	m.Device = dev.Counters()
+	m.GCSched = dev.GCSchedStats()
 	m.BackPressureStalls, m.BackPressureStallNs = dev.BackPressureStalls()
 	m.Endurance = dev.Endurance(0)
 	ep := ssd.DefaultEnergyParams()

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/flash"
+	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -66,6 +67,12 @@ type Options struct {
 	// same idle windows (requires IdleFlushNs > 0), refilling free-block
 	// headroom so foreground writes stall on GC less often.
 	IdleGC bool
+	// GCBudgetNs grants the device's preemptible GC scheduler a budgeted
+	// slice per idle window (after the idle flusher drains): see
+	// sim.Config.GCBudgetNs. Requires IdleFlushNs > 0; mutually exclusive
+	// with IdleGC. A device without the scheduler enabled gets it enabled
+	// with defaults. Zero keeps the legacy greedy path bit-identical.
+	GCBudgetNs int64
 	// QueueDepth switches from open-loop replay (requests enter at their
 	// trace timestamps regardless of progress) to a closed loop with this
 	// many outstanding requests: request i issues at
@@ -121,6 +128,15 @@ func (o *Options) Validate() error {
 	}
 	if o.IdleGC && o.IdleFlushNs == 0 {
 		return fmt.Errorf("replay: IdleGC requires IdleFlushNs > 0 (idle windows are defined by the flush threshold)")
+	}
+	if o.GCBudgetNs < 0 {
+		return fmt.Errorf("replay: GCBudgetNs %d is negative (0 disables scheduled GC)", o.GCBudgetNs)
+	}
+	if o.GCBudgetNs > 0 && o.IdleFlushNs == 0 {
+		return fmt.Errorf("replay: GCBudgetNs requires IdleFlushNs > 0 (idle windows are defined by the flush threshold)")
+	}
+	if o.GCBudgetNs > 0 && o.IdleGC {
+		return fmt.Errorf("replay: GCBudgetNs and IdleGC are mutually exclusive (scheduled vs greedy idle GC)")
 	}
 	if o.QueueDepth < 0 {
 		return fmt.Errorf("replay: QueueDepth %d is negative (0 keeps the open loop)", o.QueueDepth)
@@ -188,10 +204,11 @@ type Metrics struct {
 	Response metrics.Summary
 	// ReadResponse / WriteResponse split Response by request type.
 	ReadResponse, WriteResponse metrics.Summary
-	// ResponseP50 / ResponseP99 estimate the median and 99th-percentile
-	// response times (P² streaming estimators): whole-block flush bursts
-	// show up in the tail long before they move the mean.
-	ResponseP50, ResponseP99 *metrics.Quantile
+	// ResponseP50 / ResponseP99 / ResponseP999 estimate the median, 99th-
+	// and 99.9th-percentile response times (P² streaming estimators):
+	// whole-block flush bursts show up in the tail long before they move
+	// the mean, and foreground GC pauses live almost entirely in P99.9.
+	ResponseP50, ResponseP99, ResponseP999 *metrics.Quantile
 
 	// EvictionBatch is the histogram of pages per eviction operation
 	// (Fig. 10). Clean drops (CFLRU) are excluded: nothing was flushed.
@@ -217,8 +234,12 @@ type Metrics struct {
 	// the request count at that point.
 	Degraded          bool
 	DegradedAtRequest int
-	// IdleGCRuns counts background GC victim collections (Options.IdleGC).
+	// IdleGCRuns counts background GC victim collections (Options.IdleGC,
+	// or completed scheduler collections under Options.GCBudgetNs).
 	IdleGCRuns int64
+	// GCSched snapshots the preemptible GC scheduler's counters
+	// (Options.GCBudgetNs or a pre-enabled device); all zero otherwise.
+	GCSched ftl.GCSchedStats
 	// BackPressureStalls counts admissions delayed by the destage backlog
 	// bound (Options.BackPressureDepth); BackPressureStallNs is the total
 	// simulated delay. Both zero with back-pressure off.
@@ -326,15 +347,20 @@ func RunSource(src trace.Source, pol cache.Policy, dev *ssd.Device, opts Options
 		NodeBytes:           pol.NodeBytes(),
 		ResponseP50:         metrics.NewQuantile(0.5),
 		ResponseP99:         metrics.NewQuantile(0.99),
+		ResponseP999:        metrics.NewQuantile(0.999),
 		SmallThresholdPages: opts.SmallThresholdPages,
 	}
 	if opts.BackPressureDepth > 0 {
 		dev.SetBackPressure(opts.BackPressureDepth)
 	}
+	if opts.GCBudgetNs > 0 && !dev.GCSchedEnabled() {
+		dev.EnableGCScheduler(ftl.GCSchedConfig{Enabled: true})
+	}
 	eng := sim.New(src, pol, dev, sim.Config{
 		WarmupRequests: opts.WarmupRequests,
 		IdleFlushNs:    opts.IdleFlushNs,
 		IdleGC:         opts.IdleGC,
+		GCBudgetNs:     opts.GCBudgetNs,
 		QueueDepth:     opts.QueueDepth,
 		DestageNs:      opts.DestageNs,
 	})

@@ -130,6 +130,7 @@ func RunSharded(src trace.Source, spec ShardSpec, opts Options) (*Metrics, error
 		NodeBytes:           pols[0].NodeBytes(),
 		ResponseP50:         metrics.NewQuantile(0.5),
 		ResponseP99:         metrics.NewQuantile(0.99),
+		ResponseP999:        metrics.NewQuantile(0.999),
 		SmallThresholdPages: opts.SmallThresholdPages,
 	}
 

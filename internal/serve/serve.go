@@ -186,6 +186,12 @@ type Config struct {
 	// BackPressureDepth configures each shard device's destage
 	// back-pressure ring (ssd.Device.SetBackPressure). Zero disables.
 	BackPressureDepth int
+	// GCBudgetNs grants a shard's device one budgeted slice of preemptible
+	// GC (ssd.Device.ScheduleGC) each time its admission queue runs empty —
+	// the service-layer analogue of the engine's idle-window coordination.
+	// Requires devices built with the GC scheduler enabled (Params.GCSched);
+	// devices without it are left untouched. Zero disables.
+	GCBudgetNs int64
 	// Engine tunes each shard's simulation engine (idle flush, destage
 	// cadence, closed-loop depth). SoftQuotaPages is overwritten for
 	// SharingShared, exactly as the sharded replay does.
@@ -219,6 +225,7 @@ type tally struct {
 	timeoutsQueued, timeoutsService    atomic.Int64
 	readonly, drainRejected, errs      atomic.Int64
 	windowWaits, shedPages, drainedPgs atomic.Int64
+	gcSlices, gcVictims                atomic.Int64
 }
 
 // Server is the live front-end. Build with New, submit with Submit from
@@ -288,7 +295,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: negative tenant boundary %d", cfg.TenantBoundaries[0])
 	}
 	if cfg.QueueDepth < 0 || cfg.WriteWindowPages < 0 || cfg.DefaultDeadlineNs < 0 ||
-		cfg.MaxWaitNs < 0 || cfg.BackPressureDepth < 0 {
+		cfg.MaxWaitNs < 0 || cfg.BackPressureDepth < 0 || cfg.GCBudgetNs < 0 {
 		return nil, fmt.Errorf("serve: negative admission parameter")
 	}
 	if cfg.QueueDepth == 0 {
@@ -640,6 +647,8 @@ type Stats struct {
 	WindowWaits     int64        `json:"window_waits"`
 	ShedPages       int64        `json:"shed_pages"`
 	DrainedPages    int64        `json:"drained_pages"`
+	GCSlices        int64        `json:"gc_slices"`
+	GCVictims       int64        `json:"gc_victims"`
 	Shards          []ShardStats `json:"shards"`
 }
 
@@ -661,6 +670,8 @@ func (srv *Server) Stats() Stats {
 		WindowWaits:     srv.tally.windowWaits.Load(),
 		ShedPages:       srv.tally.shedPages.Load(),
 		DrainedPages:    srv.tally.drainedPgs.Load(),
+		GCSlices:        srv.tally.gcSlices.Load(),
+		GCVictims:       srv.tally.gcVictims.Load(),
 	}
 	for _, s := range srv.shards {
 		s.mu.Lock()

@@ -270,7 +270,24 @@ func (ls *liveSource) Next() (trace.Request, bool) {
 			return trace.Request{}, false
 		}
 		s.pace()
-		w, ok := <-s.queue
+		var w *work
+		var ok bool
+		if b := s.srv.cfg.GCBudgetNs; b > 0 && s.dev.GCSchedEnabled() {
+			select {
+			case w, ok = <-s.queue:
+			default:
+				// Queue-empty signal: the shard has no work, so spend one
+				// budgeted slice of preemptible GC on the worker goroutine
+				// (which owns the single-threaded device), then block for
+				// the next request. The scheduler preempts itself within
+				// the budget, so a request arriving mid-slice waits at most
+				// one GC step, not a whole victim collection.
+				s.scheduleGC(b)
+				w, ok = <-s.queue
+			}
+		} else {
+			w, ok = <-s.queue
+		}
 		if !ok {
 			return trace.Request{}, false
 		}
@@ -313,6 +330,18 @@ func (ls *liveSource) Next() (trace.Request, bool) {
 			Time: t, Write: w.op.Write,
 			Offset: w.op.LPN * ps, Size: int64(w.op.Pages) * ps,
 		}, true
+	}
+}
+
+// scheduleGC grants the shard device one budgeted preemptible-GC slice at
+// the next device-timeline instant. Worker-goroutine only: the engine is
+// blocked inside Next while this runs, so the device is never shared.
+func (s *shard) scheduleGC(budgetNs int64) {
+	t := s.issueTime()
+	n := s.dev.ScheduleGC(t, budgetNs)
+	s.srv.tally.gcSlices.Add(1)
+	if n > 0 {
+		s.srv.tally.gcVictims.Add(int64(n))
 	}
 }
 

@@ -48,6 +48,14 @@ type Config struct {
 	// IdleGC additionally runs one background GC collection per idle
 	// window (requires IdleFlushNs > 0).
 	IdleGC bool
+	// GCBudgetNs, when positive, grants the device's preemptible GC
+	// scheduler a budgeted slice in each idle window instead of the
+	// IdleGC whole-victim collection: the idle flusher drains dirty data
+	// first, then the remainder of the window (capped at this budget) goes
+	// to ssd.Device.ScheduleGC. Requires IdleFlushNs > 0 and a device with
+	// the scheduler enabled; mutually exclusive with IdleGC. Zero keeps
+	// the legacy path bit-identical.
+	GCBudgetNs int64
 	// QueueDepth switches from open-loop to closed-loop issue: request i
 	// issues at max(arrival_i, completion_{i-QueueDepth}). Zero keeps the
 	// open loop.
@@ -220,17 +228,38 @@ func (e *Engine) Run() (DoneEvent, error) {
 
 		// Idle stage: background GC and proactive eviction in the arrival
 		// gap before this request, then any pending destage ticks.
-		if e.cfg.IdleFlushNs > 0 && e.cfg.IdleGC && i > 0 &&
+		if e.cfg.GCBudgetNs > 0 && e.cfg.IdleFlushNs > 0 && i > 0 &&
 			req.Time-prevArrival >= e.cfg.IdleFlushNs {
-			// One block collection per idle window keeps background GC
-			// from monopolizing the dies right before the next burst.
-			if n := e.dev.BackgroundGC(prevArrival, 1); n > 0 {
-				e.idleGCRuns += int64(n)
+			// Scheduled mode: the idle flusher drains dirty data first, then
+			// the rest of the window — capped at the configured budget — is
+			// granted to the preemptible GC scheduler, which preempts itself
+			// cleanly before the next arrival.
+			idleAt := prevArrival
+			if e.idler != nil {
+				var err error
+				if idleAt, err = e.idleFlush(prevArrival, req.Time); err != nil {
+					return done, err
+				}
 			}
-		}
-		if e.cfg.IdleFlushNs > 0 && e.idler != nil && i > 0 {
-			if err := e.idleFlush(prevArrival, req.Time); err != nil {
-				return done, err
+			if !e.stopped {
+				budget := min(e.cfg.GCBudgetNs, req.Time-idleAt)
+				if n := e.dev.ScheduleGC(idleAt, budget); n > 0 {
+					e.idleGCRuns += int64(n)
+				}
+			}
+		} else {
+			if e.cfg.IdleFlushNs > 0 && e.cfg.IdleGC && i > 0 &&
+				req.Time-prevArrival >= e.cfg.IdleFlushNs {
+				// One block collection per idle window keeps background GC
+				// from monopolizing the dies right before the next burst.
+				if n := e.dev.BackgroundGC(prevArrival, 1); n > 0 {
+					e.idleGCRuns += int64(n)
+				}
+			}
+			if e.cfg.IdleFlushNs > 0 && e.idler != nil && i > 0 {
+				if _, err := e.idleFlush(prevArrival, req.Time); err != nil {
+					return done, err
+				}
 			}
 		}
 		if e.cfg.DestageNs > 0 && e.idler != nil && !e.stopped {
@@ -312,8 +341,10 @@ func (e *Engine) begin() {
 }
 
 // idleFlush drains victim batches during the idle gap [prevArrival,
-// arrival), as many as fit before the next arrival.
-func (e *Engine) idleFlush(prevArrival, arrival int64) error {
+// arrival), as many as fit before the next arrival. It returns the time
+// the flusher reached, so the scheduled-GC stage knows how much of the
+// window remains.
+func (e *Engine) idleFlush(prevArrival, arrival int64) (int64, error) {
 	idleAt := prevArrival
 	for arrival-idleAt >= e.cfg.IdleFlushNs {
 		ev, ok := e.idler.EvictIdle(idleAt)
@@ -326,12 +357,12 @@ func (e *Engine) idleFlush(prevArrival, arrival int64) error {
 				e.stopped = true
 				break
 			}
-			return fmt.Errorf("sim: %s idle flush: %w", e.src.Name(), err)
+			return idleAt, fmt.Errorf("sim: %s idle flush: %w", e.src.Name(), err)
 		}
 		e.emitEvictionTimed(EvictIdle, idleAt, ev.LPNs, bt.Transferred, bt.Durable)
 		idleAt = bt.Transferred
 	}
-	return nil
+	return idleAt, nil
 }
 
 // destage runs every periodic destage tick due before arrival, draining

@@ -28,6 +28,11 @@ type Params struct {
 	// fault-free build. The injector attaches after preconditioning, so
 	// scripted operation ordinals count replay operations only.
 	Faults fault.Config
+	// GCSched configures the preemptible GC scheduler (internal/ftl
+	// gcsched.go). The zero value keeps plain greedy GC, bit-identical to a
+	// device without the scheduler. Enabled after preconditioning, so the
+	// fill phase never paces.
+	GCSched ftl.GCSchedConfig
 }
 
 // DefaultParams mirrors the paper's setup: Table 1 flash parameters, a
@@ -131,11 +136,18 @@ func New(p Params) (*Device, error) {
 		}
 	}
 	d := &Device{p: p, f: f}
+	if p.GCSched.Enabled {
+		f.EnableGCScheduler(p.GCSched)
+	}
 	if p.Faults.Enabled() {
 		inj, err := fault.NewInjector(p.Faults)
 		if err != nil {
 			return nil, fmt.Errorf("ssd: %w", err)
 		}
+		// Aged-device seeding happens before the injector attaches, so the
+		// wear history exists from the first replay operation but consumes
+		// no fault-stream draws.
+		f.Array().PreWear(p.Faults.Seed, p.Faults.PrewornErases, p.Faults.PrewornJitter)
 		d.inj = inj
 		f.EnableFaults(inj)
 		if p.Faults.CheckInvariants {
@@ -312,6 +324,31 @@ func (d *Device) BackgroundGC(now int64, maxVictims int) int {
 	soft := int(float64(d.p.Flash.BlocksPerPlane)*d.p.Flash.GCThreshold) * 2
 	return d.f.BackgroundGC(now, maxVictims, soft)
 }
+
+// EnableGCScheduler turns on (or reconfigures) the preemptible GC
+// scheduler after construction — the budgeted evolution of BackgroundGC.
+// Devices built with Params.GCSched.Enabled need no explicit call.
+func (d *Device) EnableGCScheduler(cfg ftl.GCSchedConfig) {
+	d.f.EnableGCScheduler(cfg)
+}
+
+// GCSchedEnabled reports whether the preemptible GC scheduler is on.
+func (d *Device) GCSchedEnabled() bool { return d.f.GCSchedulerEnabled() }
+
+// ScheduleGC grants the GC scheduler one budgeted slice of projected die
+// time at now, resuming any preempted victim collection first. Returns the
+// victim collections completed. A no-op (0) without the scheduler enabled.
+func (d *Device) ScheduleGC(now, budgetNs int64) int {
+	return d.f.ScheduleGC(now, budgetNs)
+}
+
+// GCSchedStats returns the scheduler's cumulative counters (all zero when
+// the scheduler is disabled).
+func (d *Device) GCSchedStats() ftl.GCSchedStats { return d.f.GCSchedStats() }
+
+// GCJobInFlight reports whether a preempted GC victim collection is
+// pending resume.
+func (d *Device) GCJobInFlight() bool { return d.f.GCJobInFlight() }
 
 // FlushOnChannel writes a batch onto one channel's planes (ECR's
 // channel-affine flush); see FlushStriped for the timing semantics.
